@@ -1,0 +1,151 @@
+// Command philly-analyze computes trace-level statistics from a jobs.csv
+// written by philly-sim: run-time distributions by job size, status mix,
+// GPU-time shares, queueing-delay percentiles by delay cause, retry rates,
+// and the failure-reason breakdown. It demonstrates that the exported trace
+// carries enough signal to reproduce the paper's job-level results without
+// access to the simulator's internal state.
+//
+// Usage:
+//
+//	philly-analyze -trace philly-out/jobs.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"philly/internal/failures"
+	"philly/internal/stats"
+	"philly/internal/trace"
+)
+
+func main() {
+	path := flag.String("trace", "philly-out/jobs.csv", "path to jobs.csv written by philly-sim")
+	flag.Parse()
+
+	f, err := os.Open(*path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "philly-analyze:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	jobs, err := trace.ReadJobsCSV(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "philly-analyze:", err)
+		os.Exit(1)
+	}
+	if len(jobs) == 0 {
+		fmt.Fprintln(os.Stderr, "philly-analyze: trace has no jobs")
+		os.Exit(1)
+	}
+
+	fmt.Printf("trace: %d jobs\n\n", len(jobs))
+	statusMix(jobs)
+	runtimes(jobs)
+	delays(jobs)
+	retries(jobs)
+	failureReasons(jobs)
+}
+
+func statusMix(jobs []trace.JobRecord) {
+	counts := map[string]int{}
+	gpuTime := map[string]float64{}
+	total := 0.0
+	for _, j := range jobs {
+		counts[j.Status]++
+		gpuTime[j.Status] += j.GPUMin
+		total += j.GPUMin
+	}
+	fmt.Println("Final status (Table 6):")
+	for _, s := range []string{"Passed", "Killed", "Unsuccessful"} {
+		fmt.Printf("  %-13s %6d jobs (%5.1f%%)  GPU-time %5.1f%%\n",
+			s, counts[s], 100*float64(counts[s])/float64(len(jobs)), 100*gpuTime[s]/total)
+	}
+	fmt.Println()
+}
+
+func runtimes(jobs []trace.JobRecord) {
+	byBucket := map[failures.SizeBucket][]float64{}
+	for _, j := range jobs {
+		b := failures.SizeBucketFor(j.GPUs)
+		byBucket[b] = append(byBucket[b], j.RunMin)
+	}
+	fmt.Println("Run times by size (Figure 2, minutes):")
+	for b := failures.SizeBucket(0); b < failures.NumSizeBuckets; b++ {
+		v := byBucket[b]
+		if len(v) == 0 {
+			continue
+		}
+		fmt.Printf("  %-8s n=%-6d p50=%8.1f  p90=%9.1f  p99=%10.1f\n",
+			b, len(v), stats.Percentile(v, 50), stats.Percentile(v, 90), stats.Percentile(v, 99))
+	}
+	fmt.Println()
+}
+
+func delays(jobs []trace.JobRecord) {
+	byCause := map[string][]float64{}
+	for _, j := range jobs {
+		byCause[j.DelayCause] = append(byCause[j.DelayCause], j.QueueDelayMin)
+	}
+	fmt.Println("Queueing delay by cause (Table 2, minutes):")
+	for _, c := range []string{"none", "fair-share", "fragmentation"} {
+		v := byCause[c]
+		if len(v) == 0 {
+			continue
+		}
+		fmt.Printf("  %-14s n=%-6d p50=%8.1f  p90=%9.1f\n",
+			c, len(v), stats.Percentile(v, 50), stats.Percentile(v, 90))
+	}
+	fmt.Println()
+}
+
+func retries(jobs []trace.JobRecord) {
+	var sum, unsucc [failures.NumSizeBuckets]float64
+	var n [failures.NumSizeBuckets]int
+	for _, j := range jobs {
+		b := failures.SizeBucketFor(j.GPUs)
+		sum[b] += float64(j.Retries)
+		n[b]++
+		if j.Status == "Unsuccessful" {
+			unsucc[b]++
+		}
+	}
+	fmt.Println("Retries and unsuccessful rate by size (Figure 9):")
+	for b := failures.SizeBucket(0); b < failures.NumSizeBuckets; b++ {
+		if n[b] == 0 {
+			continue
+		}
+		fmt.Printf("  %-8s mean retries=%.2f  unsuccessful=%.2f\n",
+			b, sum[b]/float64(n[b]), unsucc[b]/float64(n[b]))
+	}
+	fmt.Println()
+}
+
+func failureReasons(jobs []trace.JobRecord) {
+	counts := map[string]int{}
+	for _, j := range jobs {
+		if j.FailureReason != "" {
+			counts[j.FailureReason]++
+		}
+	}
+	type kv struct {
+		reason string
+		n      int
+	}
+	var rows []kv
+	for r, n := range counts {
+		rows = append(rows, kv{r, n})
+	}
+	sort.Slice(rows, func(i, k int) bool {
+		if rows[i].n != rows[k].n {
+			return rows[i].n > rows[k].n
+		}
+		return rows[i].reason < rows[k].reason
+	})
+	fmt.Println("Failure reasons among failed jobs (Table 7, job-level):")
+	for _, r := range rows {
+		fmt.Printf("  %-22s %d\n", r.reason, r.n)
+	}
+}

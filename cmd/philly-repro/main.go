@@ -1,0 +1,98 @@
+// Command philly-repro regenerates every table and figure of the paper in
+// one run and prints them with the paper's values alongside.
+//
+// Usage:
+//
+//	philly-repro [-scale small|medium|full] [-seed N] [-policy philly|fifo|srtf|tiresias|gandiva] [-o report.txt]
+//
+// small  (~230 GPUs, 3.3k jobs) finishes in under a second;
+// medium (~2300 GPUs, 24k jobs) in tens of seconds;
+// full   (paper scale: ~2300 GPUs, 96,260 jobs over 75 days) in minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"philly"
+)
+
+func main() {
+	scale := flag.String("scale", "small", "study scale: small, medium or full")
+	seed := flag.Uint64("seed", 1, "master random seed")
+	policy := flag.String("policy", "philly", "scheduling policy: philly, fifo, srtf, tiresias, gandiva")
+	out := flag.String("o", "", "also write the report to this file")
+	flag.Parse()
+
+	cfg, err := configFor(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg.Seed = *seed
+	cfg.Scheduler.Policy, err = parsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	res, err := philly.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "philly-repro:", err)
+		os.Exit(1)
+	}
+	report := philly.Analyze(res)
+	fmt.Printf("scale=%s seed=%d policy=%s jobs=%d gpus=%d simulated=%v wall=%v\n\n",
+		*scale, *seed, *policy, len(res.Jobs), res.TotalGPUs, res.SimEnd, time.Since(start).Round(time.Millisecond))
+	fmt.Println(report.RenderAll())
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "philly-repro:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := report.WriteAll(f); err != nil {
+			fmt.Fprintln(os.Stderr, "philly-repro:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func configFor(scale string) (philly.Config, error) {
+	switch scale {
+	case "small":
+		return philly.SmallConfig(), nil
+	case "medium":
+		cfg := philly.DefaultConfig()
+		cfg.Workload.TotalJobs /= 4
+		cfg.Workload.Duration /= 4
+		cfg.Workload.MaxRuntimeMinutes = 7 * 24 * 60
+		return cfg, nil
+	case "full":
+		return philly.DefaultConfig(), nil
+	default:
+		return philly.Config{}, fmt.Errorf("philly-repro: unknown scale %q", scale)
+	}
+}
+
+func parsePolicy(s string) (philly.Policy, error) {
+	switch s {
+	case "philly":
+		return philly.PolicyPhilly, nil
+	case "fifo":
+		return philly.PolicyFIFO, nil
+	case "srtf":
+		return philly.PolicySRTF, nil
+	case "tiresias":
+		return philly.PolicyTiresias, nil
+	case "gandiva":
+		return philly.PolicyGandiva, nil
+	default:
+		return 0, fmt.Errorf("philly-repro: unknown policy %q", s)
+	}
+}

@@ -1,0 +1,83 @@
+// Command philly-sim runs one cluster simulation and writes its artifacts:
+// the job trace (CSV + JSON, in the spirit of the public Philly traces) and
+// a run summary.
+//
+// Usage:
+//
+//	philly-sim [-scale small|medium|full] [-seed N] [-out DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"philly"
+)
+
+func main() {
+	scale := flag.String("scale", "small", "study scale: small, medium or full")
+	seed := flag.Uint64("seed", 1, "master random seed")
+	out := flag.String("out", "philly-out", "output directory")
+	flag.Parse()
+
+	var cfg philly.Config
+	switch *scale {
+	case "small":
+		cfg = philly.SmallConfig()
+	case "medium":
+		cfg = philly.DefaultConfig()
+		cfg.Workload.TotalJobs /= 4
+		cfg.Workload.Duration /= 4
+		cfg.Workload.MaxRuntimeMinutes = 7 * 24 * 60
+	case "full":
+		cfg = philly.DefaultConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "philly-sim: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	cfg.Seed = *seed
+
+	start := time.Now()
+	res, err := philly.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "philly-sim:", err)
+		os.Exit(1)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "philly-sim:", err)
+		os.Exit(1)
+	}
+
+	tr := philly.NewTrace(res)
+	csvPath := filepath.Join(*out, "jobs.csv")
+	jsonPath := filepath.Join(*out, "trace.json")
+	if err := writeFile(csvPath, tr.WriteJobsCSV); err != nil {
+		fmt.Fprintln(os.Stderr, "philly-sim:", err)
+		os.Exit(1)
+	}
+	if err := writeFile(jsonPath, tr.WriteJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "philly-sim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("simulated %d jobs on %d GPUs in %v (simulated %v)\n",
+		len(res.Jobs), res.TotalGPUs, time.Since(start).Round(time.Millisecond), res.SimEnd)
+	fmt.Printf("wrote %s (%d jobs) and %s (%d attempts)\n",
+		csvPath, len(tr.Jobs), jsonPath, len(tr.Attempts))
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,99 @@
+// Command philly-trace generates a synthetic workload (without simulating
+// its execution) and prints its composition, or writes the job list as CSV.
+// It is the trace-generator half of the reproduction: the distributions
+// behind it are calibrated to the aggregates the paper publishes.
+//
+// Usage:
+//
+//	philly-trace [-jobs N] [-days D] [-seed S] [-csv out.csv]
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"philly/internal/failures"
+	"philly/internal/simulation"
+	"philly/internal/stats"
+	"philly/internal/workload"
+)
+
+func main() {
+	jobs := flag.Int("jobs", 96260, "number of jobs to generate")
+	days := flag.Int("days", 75, "trace duration in days")
+	seed := flag.Uint64("seed", 1, "random seed")
+	csvPath := flag.String("csv", "", "write the generated job list to this CSV file")
+	flag.Parse()
+
+	cfg := workload.DefaultConfig()
+	cfg.TotalJobs = *jobs
+	cfg.Duration = simulation.Time(*days) * simulation.Day
+	g := stats.NewRNG(*seed).Split("workload")
+	gen, err := workload.NewGenerator(cfg, g)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "philly-trace:", err)
+		os.Exit(1)
+	}
+	specs := gen.Generate(g)
+
+	sizeCounts := map[int]int{}
+	outcomes := map[failures.Outcome]int{}
+	users := map[string]bool{}
+	vcs := map[string]int{}
+	for _, j := range specs {
+		sizeCounts[j.GPUs]++
+		outcomes[j.Plan.Outcome]++
+		users[j.User] = true
+		vcs[j.VC]++
+	}
+	fmt.Printf("generated %d jobs over %d days (%d users, %d VCs)\n",
+		len(specs), *days, len(users), len(vcs))
+	fmt.Println("size mix:")
+	for _, s := range []int{1, 2, 4, 8, 16, 24, 32} {
+		if sizeCounts[s] > 0 {
+			fmt.Printf("  %2d GPUs: %6d (%.1f%%)\n", s, sizeCounts[s],
+				100*float64(sizeCounts[s])/float64(len(specs)))
+		}
+	}
+	fmt.Println("planned outcomes:")
+	for o := failures.Outcome(0); o < 3; o++ {
+		fmt.Printf("  %-13s %6d (%.1f%%)\n", o, outcomes[o],
+			100*float64(outcomes[o])/float64(len(specs)))
+	}
+
+	if *csvPath == "" {
+		return
+	}
+	f, err := os.Create(*csvPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "philly-trace:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"jobid", "vc", "user", "num_gpus", "submitted_time", "planned_runtime_min", "planned_outcome"}); err != nil {
+		fmt.Fprintln(os.Stderr, "philly-trace:", err)
+		os.Exit(1)
+	}
+	for _, j := range specs {
+		rec := []string{
+			strconv.FormatInt(j.ID, 10), j.VC, j.User, strconv.Itoa(j.GPUs),
+			strconv.FormatFloat(j.SubmitAt.Minutes(), 'f', 3, 64),
+			strconv.FormatFloat(j.PlannedRuntimeMinutes(), 'f', 3, 64),
+			j.Plan.Outcome.String(),
+		}
+		if err := w.Write(rec); err != nil {
+			fmt.Fprintln(os.Stderr, "philly-trace:", err)
+			os.Exit(1)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		fmt.Fprintln(os.Stderr, "philly-trace:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *csvPath)
+}

@@ -1,0 +1,33 @@
+// Quickstart: run a small simulated study of the Philly cluster and print
+// the headline results — the status mix of Table 6, the overall GPU
+// utilization of Table 3, and scheduling behaviour.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"philly"
+)
+
+func main() {
+	cfg := philly.SmallConfig()
+	cfg.Seed = 42
+
+	res, err := philly.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report := philly.Analyze(res)
+
+	fmt.Printf("simulated %d jobs on %d GPUs (%v of cluster time)\n\n",
+		len(res.Jobs), res.TotalGPUs, res.SimEnd)
+
+	fmt.Println(report.Table6.Render())
+	fmt.Println(report.Table3.Render())
+	fmt.Println(report.Sched.Render())
+
+	fmt.Println("Headline: even with most GPUs allocated, the GPUs in use")
+	fmt.Printf("run at only %.0f%% utilization on average — the paper's central finding.\n",
+		report.Table3.Overall)
+}

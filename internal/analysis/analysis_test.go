@@ -1,0 +1,444 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"philly/internal/core"
+	"philly/internal/failures"
+	"philly/internal/telemetry"
+)
+
+var (
+	once   sync.Once
+	result *core.StudyResult
+	resErr error
+)
+
+// studyResult runs the shared SmallConfig study once.
+func studyResult(t *testing.T) *core.StudyResult {
+	t.Helper()
+	once.Do(func() {
+		st, err := core.NewStudy(core.SmallConfig())
+		if err != nil {
+			resErr = err
+			return
+		}
+		result, resErr = st.Run()
+	})
+	if resErr != nil {
+		t.Fatal(resErr)
+	}
+	return result
+}
+
+func TestFigure2Shapes(t *testing.T) {
+	f := ComputeFigure2(studyResult(t))
+	for b := failures.SizeBucket(0); b < failures.NumSizeBuckets; b++ {
+		if f.BySize[b].Len() == 0 {
+			t.Fatalf("no runtime samples for bucket %v", b)
+		}
+	}
+	// Figure 2: larger jobs run longer.
+	if f.BySize[failures.SizeOver8].Median() <= f.BySize[failures.Size1].Median() {
+		t.Errorf(">8 GPU median (%.1f) should exceed 1 GPU median (%.1f)",
+			f.BySize[failures.SizeOver8].Median(), f.BySize[failures.Size1].Median())
+	}
+	if s := f.Render(); !strings.Contains(s, "Figure 2") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFigure3TopVCs(t *testing.T) {
+	f := ComputeFigure3(studyResult(t))
+	if len(f.VCs) != 5 {
+		t.Fatalf("got %d VCs, want 5", len(f.VCs))
+	}
+	for i := 1; i < len(f.VCs); i++ {
+		if f.VCs[i].Jobs > f.VCs[i-1].Jobs {
+			t.Error("VCs not sorted by job count")
+		}
+	}
+	// The biggest VC must have delay data for small jobs at least.
+	if f.VCs[0].BySize[failures.Size1].Len() == 0 {
+		t.Error("largest VC has no 1-GPU delay samples")
+	}
+	if s := f.Render(); !strings.Contains(s, "vc1") {
+		t.Error("render missing VC names")
+	}
+}
+
+func TestFigure4LocalityRelaxation(t *testing.T) {
+	f := ComputeFigure4(studyResult(t))
+	if len(f.DistOver8) == 0 {
+		t.Fatal("no >8 GPU spread data")
+	}
+	// Paper: >8 GPU jobs spread over more servers started sooner. Compare
+	// the most-packed against the most-spread observed class with enough
+	// jobs.
+	var packed, spread *ServerDelay
+	for i := range f.DistOver8 {
+		r := &f.DistOver8[i]
+		if r.Jobs < 5 {
+			continue
+		}
+		if packed == nil {
+			packed = r
+		}
+		spread = r
+	}
+	if packed != nil && spread != nil && packed != spread {
+		if spread.MedianDelayMin > packed.MedianDelayMin*3 && packed.MedianDelayMin > 1 {
+			t.Errorf("spread jobs (%d servers, %.1fm) should not wait much longer than packed (%d servers, %.1fm)",
+				spread.Servers, spread.MedianDelayMin, packed.Servers, packed.MedianDelayMin)
+		}
+	}
+	_ = f.Render()
+}
+
+func TestTable2FragmentationDominatesForBigJobs(t *testing.T) {
+	tb := ComputeTable2(studyResult(t))
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Paper: fragmentation causes 97.9% of >8 GPU delays and ~80% of total
+	// waiting time. That split depends on job width being a small fraction
+	// of VC quota (~5% in the paper's production VCs); at test scale a
+	// 16-GPU gang is ~30% of its VC's quota, which structurally inflates
+	// fair-share classification. The quantitative comparison therefore
+	// lives in the paper-scale run (EXPERIMENTS.md); here we assert the
+	// machinery: both causes occur and every delayed bucket is populated.
+	totalFair, totalFrag := 0, 0
+	for _, r := range tb.Rows {
+		totalFair += r.FairShare
+		totalFrag += r.Fragmentation
+	}
+	if totalFair == 0 {
+		t.Error("no fair-share delays observed")
+	}
+	if totalFrag == 0 {
+		t.Error("no fragmentation delays observed")
+	}
+	if tb.FragShareOfDelayTime <= 0 || tb.FragShareOfDelayTime >= 1 {
+		t.Errorf("fragmentation share of delay time %.2f out of (0, 1)", tb.FragShareOfDelayTime)
+	}
+	_ = tb.Render()
+}
+
+func TestTable3Calibration(t *testing.T) {
+	tb := ComputeTable3(studyResult(t))
+	if math.Abs(tb.Overall-52.32) > 8 {
+		t.Errorf("overall mean %.1f, paper 52.32", tb.Overall)
+	}
+	// Status ordering: killed < passed < unsuccessful (Table 3 'All' row).
+	if !(tb.AllByStatus[1] < tb.AllByStatus[0] && tb.AllByStatus[0] < tb.AllByStatus[2]) {
+		t.Errorf("status ordering wrong: passed %.1f killed %.1f unsucc %.1f",
+			tb.AllByStatus[0], tb.AllByStatus[1], tb.AllByStatus[2])
+	}
+	// 16-GPU jobs have the lowest utilization among representative sizes.
+	if tb.AllBySize[telemetry.Size16GPU] >= tb.AllBySize[telemetry.Size8GPU] {
+		t.Errorf("16 GPU mean %.1f should be below 8 GPU %.1f",
+			tb.AllBySize[telemetry.Size16GPU], tb.AllBySize[telemetry.Size8GPU])
+	}
+	if s := tb.Render(); !strings.Contains(s, "Table 3") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFigure5HasData(t *testing.T) {
+	f := ComputeFigure5(studyResult(t))
+	for _, c := range []telemetry.SizeClass{telemetry.Size1GPU, telemetry.Size8GPU} {
+		total := uint64(0)
+		for o := 0; o < 3; o++ {
+			total += f.Rec.SizeStatus(c, failures.Outcome(o)).Count()
+		}
+		if total == 0 {
+			t.Errorf("no samples for class %v", c)
+		}
+	}
+	_ = f.Render()
+}
+
+// countJobs16 counts distinct completed 16-GPU jobs by (servers, dedicated).
+func countJobs16(res *core.StudyResult, servers int, dedicated bool) int {
+	n := 0
+	for i := range res.Jobs {
+		j := &res.Jobs[i]
+		if !j.Completed || j.Spec.GPUs != 16 {
+			continue
+		}
+		if j.LastServers == servers && (!dedicated || !j.EverColocated) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestFigure6DedicatedGap(t *testing.T) {
+	res := studyResult(t)
+	f := ComputeFigure6(res)
+	if f.Hist8.Count() == 0 {
+		t.Fatal("no dedicated 8-GPU samples")
+	}
+	// Per-job base utilization has sigma 13, so a handful of long jobs can
+	// dominate the minute-sample histograms; only assert with a population.
+	if n := countJobs16(res, 2, true); n < 15 {
+		t.Skipf("only %d dedicated 16-GPU jobs; the paper-scale run covers this", n)
+	}
+	// Figure 6: the 8-GPU series clearly dominates.
+	if f.Mean8-f.Mean16 < 5 {
+		t.Errorf("dedicated 8 GPU mean %.1f vs 16 GPU %.1f; paper gap ~22 points", f.Mean8, f.Mean16)
+	}
+	if f.Median8 <= f.Median16 {
+		t.Errorf("median ordering wrong: %.1f vs %.1f", f.Median8, f.Median16)
+	}
+	_ = f.Render()
+}
+
+// TestUtilizationGroupsMediumScale drives many 8/16-GPU jobs through the
+// full simulator so the telemetry group orderings (Figure 6, Table 5) are
+// testable with a real population rather than a lucky handful of jobs.
+func TestUtilizationGroupsMediumScale(t *testing.T) {
+	cfg := core.SmallConfig()
+	cfg.Seed = 7
+	cfg.Workload.TotalJobs = 1100
+	cfg.Workload.SizeWeights = map[int]float64{8: 0.4, 16: 0.6}
+	st, err := core.NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := ComputeFigure6(res)
+	if f.Hist8.Count() < 1000 || f.Hist16.Count() < 1000 {
+		t.Fatalf("insufficient samples: %d / %d", f.Hist8.Count(), f.Hist16.Count())
+	}
+	if f.Mean8-f.Mean16 < 5 {
+		t.Errorf("dedicated 8 GPU mean %.1f vs 16 GPU %.1f; paper gap ~22 points", f.Mean8, f.Mean16)
+	}
+	if f.Median8 <= f.Median16 {
+		t.Errorf("median ordering wrong: %.1f vs %.1f", f.Median8, f.Median16)
+	}
+	// Compare job-weighted mean utilization (each passed job counts once)
+	// between packed (2 servers) and well-spread (>= 4 servers) 16-GPU
+	// jobs. Only passed jobs are compared so the status factors do not
+	// confound the placement effect, and 3-server spreads are excluded:
+	// the paper's own 2-vs-4-server gap is under 3 points, far below
+	// per-job dispersion, so only the wide spreads are resolvable.
+	var packed, spread []float64
+	for i := range res.Jobs {
+		j := &res.Jobs[i]
+		if !j.Completed || j.Spec.GPUs != 16 || j.MeanUtil == 0 {
+			continue
+		}
+		if j.Outcome != failures.Passed {
+			continue
+		}
+		switch {
+		case j.LastServers == 2:
+			packed = append(packed, j.MeanUtil)
+		case j.LastServers >= 4:
+			spread = append(spread, j.MeanUtil)
+		}
+	}
+	if len(packed) < 20 || len(spread) < 20 {
+		t.Skipf("insufficient 16-GPU population: %d packed, %d spread", len(packed), len(spread))
+	}
+	mp, ms := mean(packed), mean(spread)
+	if ms >= mp {
+		t.Errorf("spread 16-GPU jobs mean util %.1f should be below packed %.1f (Table 5)", ms, mp)
+	}
+}
+
+func mean(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+func TestFigure7HostShape(t *testing.T) {
+	f := ComputeFigure7(studyResult(t))
+	if f.CPU.Count() == 0 || f.Mem.Count() == 0 {
+		t.Fatal("no host samples")
+	}
+	if f.MemMedian-f.CPUMedian < 15 {
+		t.Errorf("memory median %.1f should clearly exceed CPU median %.1f (Figure 7)",
+			f.MemMedian, f.CPUMedian)
+	}
+	_ = f.Render()
+}
+
+func TestTable5SpreadOrdering(t *testing.T) {
+	res := studyResult(t)
+	tb := ComputeTable5(res)
+	if len(tb.Rows) == 0 {
+		t.Skip("no 16-GPU spread data in this run")
+	}
+	// Ordering is asserted in TestUtilizationGroupsMediumScale where the
+	// population is large; here just validate structure and rendering.
+	for _, r := range tb.Rows {
+		if r.Samples == 0 {
+			t.Errorf("spread %d row with zero samples", r.Servers)
+		}
+		if r.P50 > r.P90 || r.P90 > r.P95 {
+			t.Errorf("spread %d percentiles not monotone: %+v", r.Servers, r)
+		}
+	}
+	_ = tb.Render()
+}
+
+func TestTable6Calibration(t *testing.T) {
+	tb := ComputeTable6(studyResult(t))
+	if tb.Total == 0 {
+		t.Fatal("no completed jobs")
+	}
+	if math.Abs(tb.CountPct[0]-69.3) > 6 {
+		t.Errorf("passed pct %.1f, paper 69.3", tb.CountPct[0])
+	}
+	if math.Abs(tb.CountPct[1]-13.5) > 5 {
+		t.Errorf("killed pct %.1f, paper 13.5", tb.CountPct[1])
+	}
+	if math.Abs(tb.CountPct[2]-17.2) > 6 {
+		t.Errorf("unsuccessful pct %.1f, paper 17.2", tb.CountPct[2])
+	}
+	// GPU-time: failed/killed jobs consume disproportionate time.
+	if tb.GPUTimeShares[1]+tb.GPUTimeShares[2] < 38 {
+		t.Errorf("killed+unsuccessful GPU share %.1f, paper ~55", tb.GPUTimeShares[1]+tb.GPUTimeShares[2])
+	}
+	_ = tb.Render()
+}
+
+func TestFigure8Shape(t *testing.T) {
+	f := ComputeFigure8(studyResult(t))
+	if f.JobsWithCurves == 0 {
+		t.Fatal("no convergence data")
+	}
+	if f.LowestPassed.Len() == 0 {
+		t.Fatal("no passed curves")
+	}
+	// Most passed jobs need ~all epochs for the strict minimum.
+	needAll := 1 - f.LowestPassed.At(0.95)
+	if needAll < 0.5 {
+		t.Errorf("fraction needing ~all epochs = %.2f, paper ~0.8", needAll)
+	}
+	// Within-0.1% comes much earlier.
+	if f.WithinPassed.Median() > 0.7 {
+		t.Errorf("median within-0.1%% fraction = %.2f, paper ~0.4", f.WithinPassed.Median())
+	}
+	if f.GPUTimeToLastTenthPassed < 0.3 {
+		t.Errorf("GPU time to final 0.1%% = %.2f, paper 0.62", f.GPUTimeToLastTenthPassed)
+	}
+	_ = f.Render()
+}
+
+func TestFigure9Monotonicity(t *testing.T) {
+	f := ComputeFigure9(studyResult(t))
+	if f.UnsuccessfulRate[failures.SizeOver8] <= f.UnsuccessfulRate[failures.Size1] {
+		t.Errorf("unsuccessful rate should grow with size: %.3f vs %.3f",
+			f.UnsuccessfulRate[failures.Size1], f.UnsuccessfulRate[failures.SizeOver8])
+	}
+	if f.MeanRetries[failures.SizeOver8] <= f.MeanRetries[failures.Size1] {
+		t.Errorf("retries should grow with size: %.3f vs %.3f",
+			f.MeanRetries[failures.Size1], f.MeanRetries[failures.SizeOver8])
+	}
+	_ = f.Render()
+}
+
+func TestTable7Reproduction(t *testing.T) {
+	tb := ComputeTable7(studyResult(t))
+	if tb.TotalTrials == 0 {
+		t.Fatal("no failure trials")
+	}
+	if tb.MisclassifiedPct > 1 {
+		t.Errorf("classifier disagreement %.2f%%, want < 1%%", tb.MisclassifiedPct)
+	}
+	rows := map[string]Table7Row{}
+	for _, r := range tb.Rows {
+		rows[r.Reason] = r
+	}
+	// The dominant reasons must appear and be ordered plausibly.
+	oom, ok := rows[failures.CodeCPUOOM]
+	if !ok {
+		t.Fatal("CPU OOM missing from Table 7")
+	}
+	inputs := rows[failures.CodeIncorrectInputs]
+	if oom.Trials == 0 || inputs.Trials == 0 {
+		t.Fatal("dominant reasons have no trials")
+	}
+	if tb.Rows[0].Reason != failures.CodeCPUOOM && tb.Rows[0].Reason != failures.CodeIncorrectInputs {
+		t.Errorf("top reason is %s; paper has CPU OOM / incorrect inputs on top", tb.Rows[0].Reason)
+	}
+	// RTF medians reproduce the taxonomy's calibration (ratio check).
+	if oom.RTFP50 < 5 || oom.RTFP50 > 40 {
+		t.Errorf("CPU OOM RTF p50 = %.1f, paper 13.45", oom.RTFP50)
+	}
+	ckpt := rows[failures.CodeModelCkptError]
+	if ckpt.Trials > 0 && ckpt.RTFP50 < oom.RTFP50 {
+		t.Errorf("ckpt error median RTF %.1f should exceed CPU OOM %.1f", ckpt.RTFP50, oom.RTFP50)
+	}
+	// No-signature fallback appears.
+	if _, ok := rows[failures.CodeNoSignature]; !ok {
+		t.Error("no-signature row missing")
+	}
+	// Demand columns populated.
+	if oom.Demand[failures.Demand1] == 0 {
+		t.Error("CPU OOM should concentrate on 1-GPU jobs")
+	}
+	if s := tb.Render(); !strings.Contains(s, "CPU out of memory") {
+		t.Error("render missing reason names")
+	}
+}
+
+func TestFigure10SemanticErrorTrend(t *testing.T) {
+	f := ComputeFigure10(studyResult(t))
+	if len(f.Series) != 4 {
+		t.Fatalf("series = %d", len(f.Series))
+	}
+	var sem Figure10Series
+	for _, s := range f.Series {
+		if s.Reason == failures.CodeSemanticError {
+			sem = s
+		}
+	}
+	// The semantic-error RTF distribution has sigma ~3.9, so medians need a
+	// real sample size before the demand trend is testable; the full-scale
+	// run in EXPERIMENTS.md shows it clearly.
+	small, large := 0, 0
+	for _, p := range sem.Points {
+		if p.X <= 4 {
+			small++
+		} else {
+			large++
+		}
+	}
+	if small < 200 || large < 200 {
+		t.Skipf("too few semantic-error trials (%d small, %d large) for a stable median", small, large)
+	}
+	if sem.MedianLarge <= sem.MedianSmall {
+		t.Errorf("semantic error: large-demand median %.1f should exceed small %.1f (Figure 10b)",
+			sem.MedianLarge, sem.MedianSmall)
+	}
+	_ = f.Render()
+}
+
+func TestSchedulingStats(t *testing.T) {
+	s := ComputeSchedulingStats(studyResult(t))
+	if s.Starts == 0 {
+		t.Fatal("no starts")
+	}
+	if s.OutOfOrderPct <= 0 || s.OutOfOrderPct >= 100 {
+		t.Errorf("out-of-order pct %.1f implausible", s.OutOfOrderPct)
+	}
+	if !math.IsNaN(s.EmptyServersAtTwoThirds) && s.EmptyServersAtTwoThirds > 0.3 {
+		t.Errorf("empty servers at 2/3 occupancy = %.2f, paper < 0.045", s.EmptyServersAtTwoThirds)
+	}
+	if out := s.Render(); !strings.Contains(out, "out-of-order") {
+		t.Error("render missing fields")
+	}
+}

@@ -1,0 +1,721 @@
+// Package analysis turns a core.StudyResult into the paper's tables and
+// figures. Each experiment has a Compute function returning a structured
+// result (asserted by tests and benches) and a Render method producing the
+// human-readable table or ASCII plot that cmd/philly-repro prints.
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"philly/internal/core"
+	"philly/internal/failures"
+	"philly/internal/scheduler"
+	"philly/internal/stats"
+	"philly/internal/telemetry"
+)
+
+// completed filters to jobs that reached a final status.
+func completed(res *core.StudyResult) []*core.JobResult {
+	out := make([]*core.JobResult, 0, len(res.Jobs))
+	for i := range res.Jobs {
+		if res.Jobs[i].Completed {
+			out = append(out, &res.Jobs[i])
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2: CDF of job run times by size bucket.
+
+// Figure2 holds run-time CDFs (minutes) per size bucket.
+type Figure2 struct {
+	BySize [failures.NumSizeBuckets]*stats.CDF
+	// WeekLongFraction is the share of jobs running longer than one week
+	// (the paper reports ~0.5%).
+	WeekLongFraction float64
+}
+
+// ComputeFigure2 builds the run-time distributions.
+func ComputeFigure2(res *core.StudyResult) Figure2 {
+	var samples [failures.NumSizeBuckets][]float64
+	long, total := 0, 0
+	for _, j := range completed(res) {
+		b := j.Spec.SizeBucket()
+		samples[b] = append(samples[b], j.RunMinutes)
+		total++
+		if j.RunMinutes > 7*24*60 {
+			long++
+		}
+	}
+	var f Figure2
+	for b := range samples {
+		f.BySize[b] = stats.NewCDF(samples[b])
+	}
+	if total > 0 {
+		f.WeekLongFraction = float64(long) / float64(total)
+	}
+	return f
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3: CDF of queueing delay per VC and size bucket.
+
+// VCDelays is one VC's queueing-delay distributions.
+type VCDelays struct {
+	VC     string
+	Jobs   int
+	BySize [failures.NumSizeBuckets]*stats.CDF
+}
+
+// Figure3 holds the five largest VCs' delay CDFs.
+type Figure3 struct {
+	VCs []VCDelays
+}
+
+// ComputeFigure3 builds per-VC queueing-delay CDFs for the five VCs with
+// the most jobs.
+func ComputeFigure3(res *core.StudyResult) Figure3 {
+	type acc struct {
+		jobs   int
+		bySize [failures.NumSizeBuckets][]float64
+	}
+	byVC := map[string]*acc{}
+	for _, j := range completed(res) {
+		a := byVC[j.Spec.VC]
+		if a == nil {
+			a = &acc{}
+			byVC[j.Spec.VC] = a
+		}
+		a.jobs++
+		b := j.Spec.SizeBucket()
+		a.bySize[b] = append(a.bySize[b], j.FirstQueueDelay.Minutes())
+	}
+	names := make([]string, 0, len(byVC))
+	for name := range byVC {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, k int) bool {
+		if byVC[names[i]].jobs != byVC[names[k]].jobs {
+			return byVC[names[i]].jobs > byVC[names[k]].jobs
+		}
+		return names[i] < names[k]
+	})
+	if len(names) > 5 {
+		names = names[:5]
+	}
+	var f Figure3
+	for _, name := range names {
+		a := byVC[name]
+		vd := VCDelays{VC: name, Jobs: a.jobs}
+		for b := range a.bySize {
+			vd.BySize[b] = stats.NewCDF(a.bySize[b])
+		}
+		f.VCs = append(f.VCs, vd)
+	}
+	return f
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4: locality relaxation vs queueing delay.
+
+// ServerDelay is one (server count -> delay) aggregation point.
+type ServerDelay struct {
+	Servers        int
+	Jobs           int
+	MedianDelayMin float64
+}
+
+// Figure4 correlates the number of servers a job landed on with its
+// queueing delay, for 5-8 GPU and >8 GPU jobs.
+type Figure4 struct {
+	Dist5to8  []ServerDelay
+	DistOver8 []ServerDelay
+}
+
+// ComputeFigure4 builds the correlation. Jobs are grouped by the server
+// spread of their first attempt.
+func ComputeFigure4(res *core.StudyResult) Figure4 {
+	type key struct {
+		big     bool
+		servers int
+	}
+	samples := map[key][]float64{}
+	for _, j := range completed(res) {
+		b := j.Spec.SizeBucket()
+		if b != failures.Size5to8 && b != failures.SizeOver8 {
+			continue
+		}
+		if len(j.Attempts) == 0 {
+			continue
+		}
+		k := key{big: b == failures.SizeOver8, servers: j.Attempts[0].Servers}
+		samples[k] = append(samples[k], j.FirstQueueDelay.Minutes())
+	}
+	build := func(big bool) []ServerDelay {
+		var out []ServerDelay
+		for k, v := range samples {
+			if k.big != big {
+				continue
+			}
+			out = append(out, ServerDelay{
+				Servers:        k.servers,
+				Jobs:           len(v),
+				MedianDelayMin: stats.Percentile(v, 50),
+			})
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Servers < out[j].Servers })
+		return out
+	}
+	return Figure4{Dist5to8: build(false), DistOver8: build(true)}
+}
+
+// ---------------------------------------------------------------------------
+// Table 2: frequencies of fair-share vs fragmentation delay.
+
+// Table2Row is one size bucket's delay-cause split.
+type Table2Row struct {
+	Bucket        failures.SizeBucket
+	FairShare     int
+	Fragmentation int
+}
+
+// FairSharePct returns the fair-share percentage of classified delays.
+func (r Table2Row) FairSharePct() float64 {
+	t := r.FairShare + r.Fragmentation
+	if t == 0 {
+		return 0
+	}
+	return 100 * float64(r.FairShare) / float64(t)
+}
+
+// Table2 is the delay-cause frequency table plus the fragmentation share of
+// total waiting time (the paper reports ~80%).
+type Table2 struct {
+	Rows                 []Table2Row
+	FragShareOfDelayTime float64
+	PaperFairSharePct    map[failures.SizeBucket]float64
+}
+
+// ComputeTable2 classifies delayed jobs by dominant cause. Following the
+// paper, only jobs with >= 2 GPUs that ran for at least one minute are
+// considered, and only jobs that experienced a blocked attempt count.
+func ComputeTable2(res *core.StudyResult) Table2 {
+	rows := map[failures.SizeBucket]*Table2Row{}
+	var fairTime, fragTime float64
+	for _, j := range completed(res) {
+		if j.Spec.GPUs < 2 || j.RunMinutes < 1 {
+			continue
+		}
+		cause := j.DelayCause
+		if cause == scheduler.DelayNone {
+			continue
+		}
+		b := j.Spec.SizeBucket()
+		r := rows[b]
+		if r == nil {
+			r = &Table2Row{Bucket: b}
+			rows[b] = r
+		}
+		if cause == scheduler.DelayFairShare {
+			r.FairShare++
+			fairTime += j.TotalQueueDelay.Minutes()
+		} else {
+			r.Fragmentation++
+			fragTime += j.TotalQueueDelay.Minutes()
+		}
+	}
+	var t Table2
+	for _, b := range []failures.SizeBucket{failures.Size2to4, failures.Size5to8, failures.SizeOver8} {
+		if r := rows[b]; r != nil {
+			t.Rows = append(t.Rows, *r)
+		} else {
+			t.Rows = append(t.Rows, Table2Row{Bucket: b})
+		}
+	}
+	if fairTime+fragTime > 0 {
+		t.FragShareOfDelayTime = fragTime / (fairTime + fragTime)
+	}
+	t.PaperFairSharePct = map[failures.SizeBucket]float64{
+		failures.Size2to4:  40.6,
+		failures.Size5to8:  25.8,
+		failures.SizeOver8: 2.1,
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5 / Table 3: GPU utilization by size and status.
+
+// Figure5 exposes the per-minute utilization histograms by size class and
+// outcome, straight from telemetry.
+type Figure5 struct {
+	Rec *telemetry.Recorder
+}
+
+// ComputeFigure5 wraps the telemetry recorder.
+func ComputeFigure5(res *core.StudyResult) Figure5 { return Figure5{Rec: res.Telemetry} }
+
+// Table3 is mean GPU utilization for representative sizes x statuses.
+type Table3 struct {
+	// Mean[class][outcome]; NaN when no samples.
+	Mean [telemetry.NumSizeClasses][3]float64
+	// AllByStatus and AllBySize are the margins; Overall is the global mean.
+	AllByStatus [3]float64
+	AllBySize   [telemetry.NumSizeClasses]float64
+	Overall     float64
+	// Paper values for EXPERIMENTS.md comparison, by class then status.
+	Paper map[string]float64
+}
+
+// ComputeTable3 aggregates telemetry means.
+func ComputeTable3(res *core.StudyResult) Table3 {
+	var t Table3
+	rec := res.Telemetry
+	for c := telemetry.SizeClass(0); c < telemetry.NumSizeClasses; c++ {
+		merged := stats.NewHistogram(0, 100, 100)
+		for o := 0; o < 3; o++ {
+			h := rec.SizeStatus(c, failures.Outcome(o))
+			t.Mean[c][o] = h.Mean()
+			if err := merged.Merge(h); err != nil {
+				panic(err) // identical shapes by construction
+			}
+		}
+		t.AllBySize[c] = merged.Mean()
+	}
+	for o := 0; o < 3; o++ {
+		t.AllByStatus[o] = rec.AllByStatus(failures.Outcome(o)).Mean()
+	}
+	t.Overall = rec.All().Mean()
+	t.Paper = map[string]float64{
+		"1 GPU/All": 52.38, "4 GPU/All": 45.18, "8 GPU/All": 58.99, "16 GPU/All": 40.39,
+		"All/Passed": 52.43, "All/Killed": 42.98, "All/Unsuccessful": 60.43, "All/All": 52.32,
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6: dedicated-server 8 vs 16 GPU utilization.
+
+// Figure6 compares dedicated 8-GPU and 16-GPU jobs.
+type Figure6 struct {
+	Mean8, Mean16     float64
+	Median8, Median16 float64
+	Hist8, Hist16     *stats.Histogram
+}
+
+// ComputeFigure6 reads the dedicated-server histograms.
+func ComputeFigure6(res *core.StudyResult) Figure6 {
+	h8, h16 := res.Telemetry.Dedicated8(), res.Telemetry.Dedicated16()
+	return Figure6{
+		Mean8: h8.Mean(), Mean16: h16.Mean(),
+		Median8: h8.Percentile(50), Median16: h16.Percentile(50),
+		Hist8: h8, Hist16: h16,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7: host resources.
+
+// Figure7 is the host CPU/memory utilization distributions.
+type Figure7 struct {
+	CPU, Mem             *stats.Histogram
+	CPUMedian, MemMedian float64
+}
+
+// ComputeFigure7 reads host telemetry.
+func ComputeFigure7(res *core.StudyResult) Figure7 {
+	return Figure7{
+		CPU: res.Telemetry.HostCPU(), Mem: res.Telemetry.HostMem(),
+		CPUMedian: res.Telemetry.HostCPU().Percentile(50),
+		MemMedian: res.Telemetry.HostMem().Percentile(50),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table 5: 16-GPU jobs by server spread.
+
+// Table5Row is one spread class.
+type Table5Row struct {
+	Servers             int
+	Samples             uint64
+	Mean, P50, P90, P95 float64
+}
+
+// Table5 is utilization of 16-GPU jobs by number of servers.
+type Table5 struct {
+	Rows  []Table5Row
+	Paper map[int][4]float64 // servers -> mean, p50, p90, p95
+}
+
+// ComputeTable5 aggregates the spread histograms for 2/4/8-server spreads
+// (other spreads are reported too when observed).
+func ComputeTable5(res *core.StudyResult) Table5 {
+	var t Table5
+	for _, s := range res.Telemetry.Spread16Servers() {
+		h := res.Telemetry.Spread16(s)
+		t.Rows = append(t.Rows, Table5Row{
+			Servers: s, Samples: h.Count(),
+			Mean: h.Mean(), P50: h.Percentile(50), P90: h.Percentile(90), P95: h.Percentile(95),
+		})
+	}
+	t.Paper = map[int][4]float64{
+		2: {43.66, 43.69, 91.77, 97.06},
+		4: {40.94, 39.85, 83.28, 91.97},
+		8: {28.56, 25.71, 65.68, 78.85},
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Table 6: job outcomes and GPU-time shares.
+
+// Table6 is the final-status distribution.
+type Table6 struct {
+	Counts        [3]int
+	CountPct      [3]float64
+	GPUTimeShares [3]float64
+	Total         int
+	Paper         [3][2]float64 // outcome -> {count pct, gpu time pct}
+}
+
+// ComputeTable6 aggregates outcomes.
+func ComputeTable6(res *core.StudyResult) Table6 {
+	var t Table6
+	var gpuMin [3]float64
+	total := 0.0
+	for _, j := range completed(res) {
+		t.Counts[int(j.Outcome)]++
+		t.Total++
+		gpuMin[int(j.Outcome)] += j.GPUMinutes
+		total += j.GPUMinutes
+	}
+	for o := 0; o < 3; o++ {
+		if t.Total > 0 {
+			t.CountPct[o] = 100 * float64(t.Counts[o]) / float64(t.Total)
+		}
+		if total > 0 {
+			t.GPUTimeShares[o] = 100 * gpuMin[o] / total
+		}
+	}
+	t.Paper = [3][2]float64{
+		{69.3, 44.53},
+		{13.5, 37.69},
+		{17.2, 17.76},
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8: effectiveness of training iterations.
+
+// Figure8 summarizes convergence curves for passed and killed jobs.
+type Figure8 struct {
+	// LowestPassed/WithinPassed are CDFs over the fraction of epochs needed
+	// to reach the lowest loss / within 0.1% of it, for passed jobs;
+	// likewise for killed jobs.
+	LowestPassed, WithinPassed *stats.CDF
+	LowestKilled, WithinKilled *stats.CDF
+	// JobsWithCurves counts jobs contributing (paper: ~2502).
+	JobsWithCurves int
+	// GPUTimeToLastTenthPassed is the mean fraction of GPU time spent
+	// improving the final 0.1% for passed jobs (paper: 62%); likewise for
+	// killed (paper: 56%).
+	GPUTimeToLastTenthPassed float64
+	GPUTimeToLastTenthKilled float64
+}
+
+// ComputeFigure8 aggregates convergence results.
+func ComputeFigure8(res *core.StudyResult) Figure8 {
+	var lp, wp, lk, wk []float64
+	n := 0
+	for _, j := range completed(res) {
+		c := j.Convergence
+		if c == nil {
+			continue
+		}
+		n++
+		switch j.Outcome {
+		case failures.Passed:
+			lp = append(lp, c.FractionForLowest)
+			wp = append(wp, c.FractionWithinTenth)
+		case failures.Killed:
+			lk = append(lk, c.FractionForLowest)
+			wk = append(wk, c.FractionWithinTenth)
+		}
+	}
+	mean1minus := func(v []float64) float64 {
+		if len(v) == 0 {
+			return math.NaN()
+		}
+		return 1 - stats.Mean(v)
+	}
+	return Figure8{
+		LowestPassed: stats.NewCDF(lp), WithinPassed: stats.NewCDF(wp),
+		LowestKilled: stats.NewCDF(lk), WithinKilled: stats.NewCDF(wk),
+		JobsWithCurves:           n,
+		GPUTimeToLastTenthPassed: mean1minus(wp),
+		GPUTimeToLastTenthKilled: mean1minus(wk),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9: retries and unsuccessful rate by size.
+
+// Figure9 is retry/unsuccessful statistics by size bucket plus overall.
+type Figure9 struct {
+	MeanRetries      [failures.NumSizeBuckets]float64
+	UnsuccessfulRate [failures.NumSizeBuckets]float64
+	AllMeanRetries   float64
+	AllUnsuccessful  float64
+}
+
+// ComputeFigure9 aggregates retry behaviour.
+func ComputeFigure9(res *core.StudyResult) Figure9 {
+	var retries [failures.NumSizeBuckets]float64
+	var unsucc, count [failures.NumSizeBuckets]float64
+	var allR, allU, allN float64
+	for _, j := range completed(res) {
+		b := j.Spec.SizeBucket()
+		retries[b] += float64(j.Retries)
+		count[b]++
+		allR += float64(j.Retries)
+		allN++
+		if j.Outcome == failures.Unsuccessful {
+			unsucc[b]++
+			allU++
+		}
+	}
+	var f Figure9
+	for b := range count {
+		if count[b] > 0 {
+			f.MeanRetries[b] = retries[b] / count[b]
+			f.UnsuccessfulRate[b] = unsucc[b] / count[b]
+		}
+	}
+	if allN > 0 {
+		f.AllMeanRetries = allR / allN
+		f.AllUnsuccessful = allU / allN
+	}
+	return f
+}
+
+// ---------------------------------------------------------------------------
+// Table 7: the failure table, recomputed from classified logs.
+
+// Table7Row aggregates one classified failure reason.
+type Table7Row struct {
+	Reason     string // reason code
+	Name       string
+	Categories failures.Category
+	Trials     int
+	Jobs       int
+	Users      int
+	// RTF percentiles in minutes over observed failed attempts.
+	RTFP50, RTFP90, RTFP95 float64
+	// TotalRTFPct is this reason's share of summed RTF minutes.
+	TotalRTFPct float64
+	// Demand buckets the failed attempts' GPU counts.
+	Demand [failures.NumDemandBuckets]int
+	// GPUTimePct is the share of RTF x demand (GPU-minutes of failure).
+	GPUTimePct float64
+}
+
+// Table7 is the full failure-classification table.
+type Table7 struct {
+	Rows []Table7Row
+	// TotalTrials counts failed attempts; MisclassifiedPct measures the log
+	// classifier against the planner's ground truth (not available to the
+	// paper's pipeline, available here).
+	TotalTrials      int
+	MisclassifiedPct float64
+}
+
+// ComputeTable7 groups failed attempts by their log-classified reason.
+func ComputeTable7(res *core.StudyResult) Table7 {
+	type acc struct {
+		rtfs   []float64
+		jobs   map[int64]bool
+		users  map[string]bool
+		demand [failures.NumDemandBuckets]int
+		gpuMin float64
+	}
+	accs := map[string]*acc{}
+	totalRTF := 0.0
+	totalGPUMin := 0.0
+	trials, mis := 0, 0
+	for _, j := range completed(res) {
+		for _, a := range j.Attempts {
+			if !a.Failed {
+				continue
+			}
+			trials++
+			if a.ClassifiedReason != a.PlannedReason {
+				mis++
+			}
+			r := accs[a.ClassifiedReason]
+			if r == nil {
+				r = &acc{jobs: map[int64]bool{}, users: map[string]bool{}}
+				accs[a.ClassifiedReason] = r
+			}
+			r.rtfs = append(r.rtfs, a.RuntimeMinutes)
+			r.jobs[j.Spec.ID] = true
+			r.users[j.Spec.User] = true
+			r.demand[failures.BucketFor(j.Spec.GPUs)]++
+			gm := a.RuntimeMinutes * float64(j.Spec.GPUs)
+			r.gpuMin += gm
+			totalRTF += a.RuntimeMinutes
+			totalGPUMin += gm
+		}
+	}
+	byCode := failures.ByCode()
+	var t Table7
+	t.TotalTrials = trials
+	if trials > 0 {
+		t.MisclassifiedPct = 100 * float64(mis) / float64(trials)
+	}
+	for code, a := range accs {
+		row := Table7Row{
+			Reason: code,
+			Trials: len(a.rtfs),
+			Jobs:   len(a.jobs),
+			Users:  len(a.users),
+			RTFP50: stats.Percentile(a.rtfs, 50),
+			RTFP90: stats.Percentile(a.rtfs, 90),
+			RTFP95: stats.Percentile(a.rtfs, 95),
+			Demand: a.demand,
+		}
+		if r, ok := byCode[code]; ok {
+			row.Name = r.Name
+			row.Categories = r.Categories
+		} else {
+			row.Name = code
+		}
+		if totalRTF > 0 {
+			row.TotalRTFPct = 100 * stats.Sum(a.rtfs) / totalRTF
+		}
+		if totalGPUMin > 0 {
+			row.GPUTimePct = 100 * a.gpuMin / totalGPUMin
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	sort.Slice(t.Rows, func(i, k int) bool {
+		if t.Rows[i].Trials != t.Rows[k].Trials {
+			return t.Rows[i].Trials > t.Rows[k].Trials
+		}
+		return t.Rows[i].Reason < t.Rows[k].Reason
+	})
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10: RTF vs GPU demand for RTF-dominant failure reasons.
+
+// Figure10Series is the scatter for one reason.
+type Figure10Series struct {
+	Reason string
+	// Points are (GPU demand, RTF minutes) pairs.
+	Points []stats.Point
+	// MedianSmall / MedianLarge are median RTFs for demand <= 4 and > 4.
+	MedianSmall, MedianLarge float64
+}
+
+// Figure10 holds the four scatters of the paper.
+type Figure10 struct {
+	Series []Figure10Series
+}
+
+// Figure10Reasons are the four most RTF-dominant failure classes (§4.2.4).
+func Figure10Reasons() []string {
+	return []string{
+		failures.CodeIncorrectInputs,
+		failures.CodeSemanticError,
+		failures.CodeModelCkptError,
+		failures.CodeMPIRuntime,
+	}
+}
+
+// ComputeFigure10 extracts the scatters from classified attempts.
+func ComputeFigure10(res *core.StudyResult) Figure10 {
+	want := map[string]int{}
+	for i, r := range Figure10Reasons() {
+		want[r] = i
+	}
+	series := make([]Figure10Series, len(want))
+	for r, i := range want {
+		series[i].Reason = r
+	}
+	var small, large [4][]float64
+	for _, j := range completed(res) {
+		for _, a := range j.Attempts {
+			if !a.Failed {
+				continue
+			}
+			i, ok := want[a.ClassifiedReason]
+			if !ok {
+				continue
+			}
+			series[i].Points = append(series[i].Points, stats.Point{
+				X: float64(j.Spec.GPUs), Y: a.RuntimeMinutes,
+			})
+			if j.Spec.GPUs <= 4 {
+				small[i] = append(small[i], a.RuntimeMinutes)
+			} else {
+				large[i] = append(large[i], a.RuntimeMinutes)
+			}
+		}
+	}
+	for i := range series {
+		series[i].MedianSmall = stats.Percentile(small[i], 50)
+		series[i].MedianLarge = stats.Percentile(large[i], 50)
+	}
+	return Figure10{Series: series}
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling behaviour (§3.1.1 prose numbers).
+
+// SchedulingStats summarizes ordering behaviour.
+type SchedulingStats struct {
+	Starts            int
+	OutOfOrderPct     float64
+	HarmlessOOOPct    float64
+	FairSharePreempts int
+	PolicyPreempts    int
+	BlockedAttempts   int
+	// FragEvidence: mean fraction of empty servers while occupancy was in
+	// [0.6, 0.7] (paper: < 4.5% empty at two-thirds occupancy).
+	EmptyServersAtTwoThirds float64
+}
+
+// ComputeSchedulingStats summarizes scheduler counters and fragmentation
+// evidence.
+func ComputeSchedulingStats(res *core.StudyResult) SchedulingStats {
+	s := SchedulingStats{
+		Starts:            res.Sched.Starts,
+		FairSharePreempts: res.Sched.FairSharePreemptions,
+		PolicyPreempts:    res.Sched.PolicyPreemptions,
+		BlockedAttempts:   res.Sched.BlockedAttempts,
+	}
+	if res.Sched.Starts > 0 {
+		s.OutOfOrderPct = 100 * float64(res.Sched.OutOfOrderStarts) / float64(res.Sched.Starts)
+	}
+	if res.Sched.OutOfOrderStarts > 0 {
+		s.HarmlessOOOPct = 100 * float64(res.Sched.HarmlessOutOfOrder) / float64(res.Sched.OutOfOrderStarts)
+	}
+	var sum float64
+	n := 0
+	for _, o := range res.OccupancySamples {
+		if o.Occupancy >= 0.6 && o.Occupancy <= 0.7 {
+			sum += o.EmptyServers
+			n++
+		}
+	}
+	if n > 0 {
+		s.EmptyServersAtTwoThirds = sum / float64(n)
+	} else {
+		s.EmptyServersAtTwoThirds = math.NaN()
+	}
+	return s
+}

@@ -1,0 +1,399 @@
+// Package cluster models the physical GPU cluster that Philly runs on:
+// racks (which are RDMA domains), servers belonging to a hardware SKU, and
+// individual GPUs with exclusive job assignment. The model captures exactly
+// the state the paper's scheduler consults — per-GPU allocation, per-server
+// and per-rack occupancy, and the network hierarchy (intra-server PCIe /
+// NVLink, intra-rack 100 Gbps InfiniBand, cross-rack Ethernet).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SKU describes a server hardware class. The paper's cluster has two SKUs:
+// 2-GPU servers and 8-GPU servers; RDMA domains are homogeneous in SKU.
+type SKU struct {
+	// Name identifies the SKU in traces and logs.
+	Name string
+	// GPUsPerServer is the GPU count per machine (2 or 8 in the paper).
+	GPUsPerServer int
+	// CPUCoresPerServer and MemoryGBPerServer size the host resources that
+	// are allocated proportionally to requested GPUs (paper §2.3).
+	CPUCoresPerServer int
+	MemoryGBPerServer int
+}
+
+// Standard SKUs matching the paper's description (§2.4).
+var (
+	SKU8GPU = SKU{Name: "sku-8gpu", GPUsPerServer: 8, CPUCoresPerServer: 48, MemoryGBPerServer: 512}
+	SKU2GPU = SKU{Name: "sku-2gpu", GPUsPerServer: 2, CPUCoresPerServer: 24, MemoryGBPerServer: 224}
+)
+
+// JobID identifies a job. Zero means "no job".
+type JobID int64
+
+// GPU is a single device. GPUs are monolithic: at most one job owns a GPU
+// at a time (the paper's clusters never share a GPU between jobs).
+type GPU struct {
+	// Index is the device ordinal within its server.
+	Index int
+	// Owner is the job currently allocated this GPU, or 0 if free.
+	Owner JobID
+}
+
+// Server is one machine.
+type Server struct {
+	// ID is unique across the cluster.
+	ID int
+	// Rack is the index of the rack (RDMA domain) containing the server.
+	Rack int
+	// SKU is the hardware class.
+	SKU SKU
+	// GPUs are the devices on this server.
+	GPUs []GPU
+
+	free int // cached count of free GPUs
+	// jobs tracks how many GPUs each job holds on this server, to detect
+	// colocation and compute per-job spread.
+	jobs map[JobID]int
+}
+
+// FreeGPUs returns the number of unallocated GPUs on the server.
+func (s *Server) FreeGPUs() int { return s.free }
+
+// UsedGPUs returns the number of allocated GPUs on the server.
+func (s *Server) UsedGPUs() int { return len(s.GPUs) - s.free }
+
+// Jobs returns the IDs of jobs holding at least one GPU on this server, in
+// ascending order (deterministic iteration for the simulator).
+func (s *Server) Jobs() []JobID {
+	ids := make([]JobID, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// JobGPUs returns how many GPUs the given job holds on this server.
+func (s *Server) JobGPUs(id JobID) int { return s.jobs[id] }
+
+// Colocated reports whether more than one distinct job holds GPUs here.
+func (s *Server) Colocated() bool { return len(s.jobs) > 1 }
+
+// Rack is an RDMA domain: a set of servers connected by 100 Gbps InfiniBand.
+// Cross-rack traffic goes over Ethernet (paper §2.2).
+type Rack struct {
+	// ID is the rack index.
+	ID int
+	// Servers in this rack. Homogeneous SKU.
+	Servers []*Server
+	// SKU is the hardware class of every server in the rack.
+	SKU SKU
+}
+
+// FreeGPUs returns the total free GPUs in the rack.
+func (r *Rack) FreeGPUs() int {
+	n := 0
+	for _, s := range r.Servers {
+		n += s.free
+	}
+	return n
+}
+
+// TotalGPUs returns the rack's GPU capacity.
+func (r *Rack) TotalGPUs() int { return len(r.Servers) * r.SKU.GPUsPerServer }
+
+// Config describes a cluster to build.
+type Config struct {
+	// Racks lists rack specs in order. Rack IDs are assigned sequentially.
+	Racks []RackConfig
+}
+
+// RackConfig describes one rack.
+type RackConfig struct {
+	// Servers is the number of machines in the rack.
+	Servers int
+	// SKU is the hardware class for every server in the rack.
+	SKU SKU
+}
+
+// DefaultConfig returns a topology resembling the paper's deployment scale:
+// mostly 8-GPU servers with some 2-GPU racks, "hundreds of machines
+// accounting for thousands of GPUs".
+func DefaultConfig() Config {
+	racks := make([]RackConfig, 0, 14)
+	// 12 racks of 16 x 8-GPU servers = 1536 GPUs.
+	for i := 0; i < 12; i++ {
+		racks = append(racks, RackConfig{Servers: 16, SKU: SKU8GPU})
+	}
+	// 2 racks of 24 x 2-GPU servers = 96 GPUs.
+	for i := 0; i < 2; i++ {
+		racks = append(racks, RackConfig{Servers: 24, SKU: SKU2GPU})
+	}
+	return Config{Racks: racks}
+}
+
+// Cluster is the full machine inventory plus allocation state.
+type Cluster struct {
+	Racks   []*Rack
+	servers []*Server // flat index by server ID
+
+	totalGPUs int
+	freeGPUs  int
+
+	// placements tracks the live placement of each job for release and for
+	// locality/interference queries.
+	placements map[JobID]Placement
+}
+
+// New builds a cluster from cfg. It returns an error for empty or invalid
+// configurations.
+func New(cfg Config) (*Cluster, error) {
+	if len(cfg.Racks) == 0 {
+		return nil, fmt.Errorf("cluster: no racks configured")
+	}
+	c := &Cluster{placements: make(map[JobID]Placement)}
+	serverID := 0
+	for rackID, rc := range cfg.Racks {
+		if rc.Servers <= 0 {
+			return nil, fmt.Errorf("cluster: rack %d has %d servers", rackID, rc.Servers)
+		}
+		if rc.SKU.GPUsPerServer <= 0 {
+			return nil, fmt.Errorf("cluster: rack %d SKU %q has %d GPUs per server", rackID, rc.SKU.Name, rc.SKU.GPUsPerServer)
+		}
+		rack := &Rack{ID: rackID, SKU: rc.SKU}
+		for i := 0; i < rc.Servers; i++ {
+			srv := &Server{
+				ID:   serverID,
+				Rack: rackID,
+				SKU:  rc.SKU,
+				GPUs: make([]GPU, rc.SKU.GPUsPerServer),
+				free: rc.SKU.GPUsPerServer,
+				jobs: make(map[JobID]int),
+			}
+			for g := range srv.GPUs {
+				srv.GPUs[g].Index = g
+			}
+			rack.Servers = append(rack.Servers, srv)
+			c.servers = append(c.servers, srv)
+			c.totalGPUs += rc.SKU.GPUsPerServer
+			serverID++
+		}
+		c.Racks = append(c.Racks, rack)
+	}
+	c.freeGPUs = c.totalGPUs
+	return c, nil
+}
+
+// MustNew is New but panics on error, for statically known configs.
+func MustNew(cfg Config) *Cluster {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// TotalGPUs returns the cluster's GPU capacity.
+func (c *Cluster) TotalGPUs() int { return c.totalGPUs }
+
+// FreeGPUs returns the number of unallocated GPUs cluster-wide.
+func (c *Cluster) FreeGPUs() int { return c.freeGPUs }
+
+// UsedGPUs returns the number of allocated GPUs cluster-wide.
+func (c *Cluster) UsedGPUs() int { return c.totalGPUs - c.freeGPUs }
+
+// Occupancy returns the fraction of GPUs allocated, in [0, 1].
+func (c *Cluster) Occupancy() float64 {
+	if c.totalGPUs == 0 {
+		return 0
+	}
+	return float64(c.UsedGPUs()) / float64(c.totalGPUs)
+}
+
+// Servers returns the flat server list indexed by server ID.
+func (c *Cluster) Servers() []*Server { return c.servers }
+
+// Server returns the server with the given ID, or nil.
+func (c *Cluster) Server(id int) *Server {
+	if id < 0 || id >= len(c.servers) {
+		return nil
+	}
+	return c.servers[id]
+}
+
+// NumServers returns the machine count.
+func (c *Cluster) NumServers() int { return len(c.servers) }
+
+// EmptyServers returns the count of servers with zero allocated GPUs. The
+// paper uses this to quantify fragmentation ("when two thirds of GPUs are
+// in use, under 4.5% of servers are completely empty").
+func (c *Cluster) EmptyServers() int {
+	n := 0
+	for _, s := range c.servers {
+		if s.free == len(s.GPUs) {
+			n++
+		}
+	}
+	return n
+}
+
+// Placement records which GPU slots a job occupies.
+type Placement struct {
+	// Slots lists the allocated (server, GPU index) pairs.
+	Slots []Slot
+}
+
+// Slot is one allocated GPU.
+type Slot struct {
+	Server int
+	GPU    int
+}
+
+// NumGPUs returns the number of allocated GPUs.
+func (p Placement) NumGPUs() int { return len(p.Slots) }
+
+// ServerIDs returns the distinct servers used, ascending.
+func (p Placement) ServerIDs() []int {
+	seen := map[int]bool{}
+	var ids []int
+	for _, s := range p.Slots {
+		if !seen[s.Server] {
+			seen[s.Server] = true
+			ids = append(ids, s.Server)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// NumServers returns the number of distinct servers used.
+func (p Placement) NumServers() int { return len(p.ServerIDs()) }
+
+// RackIDs returns the distinct racks used, ascending, resolved against c.
+func (p Placement) RackIDs(c *Cluster) []int {
+	seen := map[int]bool{}
+	var ids []int
+	for _, s := range p.Slots {
+		r := c.Server(s.Server).Rack
+		if !seen[r] {
+			seen[r] = true
+			ids = append(ids, r)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// CrossRack reports whether the placement spans more than one RDMA domain.
+func (p Placement) CrossRack(c *Cluster) bool { return len(p.RackIDs(c)) > 1 }
+
+// Allocate assigns the placement's GPU slots to job. Every slot must be
+// free; on error nothing is allocated. Allocating for a job that already
+// holds GPUs is an error (jobs are gang-scheduled in one shot).
+func (c *Cluster) Allocate(job JobID, p Placement) error {
+	if job == 0 {
+		return fmt.Errorf("cluster: job ID 0 is reserved for 'no job'")
+	}
+	if len(p.Slots) == 0 {
+		return fmt.Errorf("cluster: empty placement for job %d", job)
+	}
+	if _, exists := c.placements[job]; exists {
+		return fmt.Errorf("cluster: job %d already has an allocation", job)
+	}
+	// Validate first so failure leaves no partial state.
+	seen := map[Slot]bool{}
+	for _, sl := range p.Slots {
+		srv := c.Server(sl.Server)
+		if srv == nil {
+			return fmt.Errorf("cluster: placement references unknown server %d", sl.Server)
+		}
+		if sl.GPU < 0 || sl.GPU >= len(srv.GPUs) {
+			return fmt.Errorf("cluster: placement references GPU %d on server %d (has %d)", sl.GPU, sl.Server, len(srv.GPUs))
+		}
+		if srv.GPUs[sl.GPU].Owner != 0 {
+			return fmt.Errorf("cluster: GPU %d on server %d already owned by job %d", sl.GPU, sl.Server, srv.GPUs[sl.GPU].Owner)
+		}
+		if seen[sl] {
+			return fmt.Errorf("cluster: duplicate slot %+v in placement", sl)
+		}
+		seen[sl] = true
+	}
+	for _, sl := range p.Slots {
+		srv := c.servers[sl.Server]
+		srv.GPUs[sl.GPU].Owner = job
+		srv.free--
+		srv.jobs[job]++
+	}
+	c.freeGPUs -= len(p.Slots)
+	// Store a defensive copy.
+	cp := Placement{Slots: append([]Slot(nil), p.Slots...)}
+	c.placements[job] = cp
+	return nil
+}
+
+// Release frees all GPUs held by job. Releasing a job with no allocation is
+// an error (double release indicates a scheduler bug).
+func (c *Cluster) Release(job JobID) error {
+	p, ok := c.placements[job]
+	if !ok {
+		return fmt.Errorf("cluster: job %d has no allocation to release", job)
+	}
+	for _, sl := range p.Slots {
+		srv := c.servers[sl.Server]
+		srv.GPUs[sl.GPU].Owner = 0
+		srv.free++
+		srv.jobs[job]--
+		if srv.jobs[job] == 0 {
+			delete(srv.jobs, job)
+		}
+	}
+	c.freeGPUs += len(p.Slots)
+	delete(c.placements, job)
+	return nil
+}
+
+// PlacementOf returns the live placement for job and whether one exists.
+func (c *Cluster) PlacementOf(job JobID) (Placement, bool) {
+	p, ok := c.placements[job]
+	return p, ok
+}
+
+// RunningJobs returns IDs of all jobs holding GPUs, ascending.
+func (c *Cluster) RunningJobs() []JobID {
+	ids := make([]JobID, 0, len(c.placements))
+	for id := range c.placements {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// SharesServers reports whether job shares at least one server with another
+// job — the paper's colocation condition for interference.
+func (c *Cluster) SharesServers(job JobID) bool {
+	p, ok := c.placements[job]
+	if !ok {
+		return false
+	}
+	for _, sid := range p.ServerIDs() {
+		srv := c.servers[sid]
+		if len(srv.jobs) > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// CoresPerGPU returns the CPU cores allocated per requested GPU on the
+// given server's SKU (host resources are proportional, paper §2.3).
+func CoresPerGPU(s SKU) float64 {
+	return float64(s.CPUCoresPerServer) / float64(s.GPUsPerServer)
+}
+
+// MemoryPerGPU returns host memory GB per requested GPU for the SKU.
+func MemoryPerGPU(s SKU) float64 {
+	return float64(s.MemoryGBPerServer) / float64(s.GPUsPerServer)
+}

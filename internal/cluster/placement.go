@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"sort"
+)
+
+// Locality is the constraint level a placement search must satisfy. The
+// Philly scheduler starts at the strictest level and relaxes after repeated
+// scheduling failures (paper §2.3: "to avoid starvation, the locality
+// constraints are relaxed after a scheduling request has been retried a
+// fixed number of times").
+type Locality int
+
+const (
+	// LocalityPacked requires the minimum possible number of servers, all
+	// within a single RDMA domain: one server when the job fits, otherwise
+	// ceil(n / GPUsPerServer) whole servers in one rack.
+	LocalityPacked Locality = iota
+	// LocalityRack requires all GPUs within a single RDMA domain but allows
+	// any number of servers.
+	LocalityRack
+	// LocalityRelaxed allows any free GPUs anywhere in the cluster.
+	LocalityRelaxed
+)
+
+// String names the constraint level.
+func (l Locality) String() string {
+	switch l {
+	case LocalityPacked:
+		return "packed"
+	case LocalityRack:
+		return "rack"
+	case LocalityRelaxed:
+		return "relaxed"
+	default:
+		return "unknown"
+	}
+}
+
+// FindPlacement searches for n free GPUs satisfying the locality level.
+// It returns the placement and true on success, or a zero placement and
+// false when the constraint cannot be met with current free resources.
+//
+// Search order follows the paper: racks are ranked by increasing occupancy
+// (most free GPUs first) and servers within a rack the same way, so the
+// scheduler "first considers racks and then servers within those racks that
+// have most GPUs available". Small jobs that fit on a single server use
+// best-fit instead (fewest leftover free GPUs) so that they pack into
+// partially used machines and do not fragment empty servers — the paper's
+// anti-fragmentation packing for small jobs.
+func (c *Cluster) FindPlacement(n int, level Locality) (Placement, bool) {
+	if n <= 0 {
+		return Placement{}, false
+	}
+	if n > c.freeGPUs {
+		return Placement{}, false
+	}
+	switch level {
+	case LocalityPacked:
+		return c.findPacked(n)
+	case LocalityRack:
+		return c.findWithinRack(n)
+	case LocalityRelaxed:
+		return c.findAnywhere(n)
+	default:
+		return Placement{}, false
+	}
+}
+
+// findPacked places on the minimum number of servers within one rack.
+func (c *Cluster) findPacked(n int) (Placement, bool) {
+	// Single-server case: best fit across all servers that can hold n.
+	if p, ok := c.bestFitSingleServer(n); ok {
+		return p, true
+	}
+	// Multi-server case: the job must span servers. Require the minimal
+	// server count for the rack's SKU and a single rack.
+	for _, rack := range c.racksByFreeDesc() {
+		per := rack.SKU.GPUsPerServer
+		minServers := (n + per - 1) / per
+		servers := serversByFreeDesc(rack.Servers)
+		p, used := takeFromServers(servers, n)
+		if used > 0 && used <= minServers && len(p.Slots) == n {
+			return p, true
+		}
+	}
+	return Placement{}, false
+}
+
+// findWithinRack places anywhere within a single rack.
+func (c *Cluster) findWithinRack(n int) (Placement, bool) {
+	if p, ok := c.bestFitSingleServer(n); ok {
+		return p, true
+	}
+	for _, rack := range c.racksByFreeDesc() {
+		if rack.FreeGPUs() < n {
+			continue
+		}
+		servers := serversByFreeDesc(rack.Servers)
+		p, _ := takeFromServers(servers, n)
+		if len(p.Slots) == n {
+			return p, true
+		}
+	}
+	return Placement{}, false
+}
+
+// findAnywhere places on any free GPUs, preferring fuller racks... no:
+// preferring emptier racks first to keep the job as compact as the free
+// space allows, then spilling across racks.
+func (c *Cluster) findAnywhere(n int) (Placement, bool) {
+	if p, ok := c.bestFitSingleServer(n); ok {
+		return p, true
+	}
+	var servers []*Server
+	for _, rack := range c.racksByFreeDesc() {
+		servers = append(servers, serversByFreeDesc(rack.Servers)...)
+	}
+	p, _ := takeFromServers(servers, n)
+	if len(p.Slots) == n {
+		return p, true
+	}
+	return Placement{}, false
+}
+
+// bestFitSingleServer finds the server whose free-GPU count is the smallest
+// value >= n (ties broken by lowest server ID for determinism).
+func (c *Cluster) bestFitSingleServer(n int) (Placement, bool) {
+	var best *Server
+	for _, s := range c.servers {
+		if s.free < n || n > len(s.GPUs) {
+			continue
+		}
+		if best == nil || s.free < best.free || (s.free == best.free && s.ID < best.ID) {
+			best = s
+		}
+	}
+	if best == nil {
+		return Placement{}, false
+	}
+	return takeFromServer(best, n), true
+}
+
+// racksByFreeDesc returns racks sorted by free GPUs descending (i.e.
+// increasing occupancy), ties by rack ID.
+func (c *Cluster) racksByFreeDesc() []*Rack {
+	racks := append([]*Rack(nil), c.Racks...)
+	sort.SliceStable(racks, func(i, j int) bool {
+		fi, fj := racks[i].FreeGPUs(), racks[j].FreeGPUs()
+		if fi != fj {
+			return fi > fj
+		}
+		return racks[i].ID < racks[j].ID
+	})
+	return racks
+}
+
+// serversByFreeDesc returns servers sorted by free GPUs descending, ties by
+// server ID.
+func serversByFreeDesc(servers []*Server) []*Server {
+	out := append([]*Server(nil), servers...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].free != out[j].free {
+			return out[i].free > out[j].free
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// takeFromServer builds a placement of n free GPUs from a single server.
+// The caller must ensure s.free >= n.
+func takeFromServer(s *Server, n int) Placement {
+	var p Placement
+	for g := range s.GPUs {
+		if len(p.Slots) == n {
+			break
+		}
+		if s.GPUs[g].Owner == 0 {
+			p.Slots = append(p.Slots, Slot{Server: s.ID, GPU: g})
+		}
+	}
+	return p
+}
+
+// takeFromServers greedily takes free GPUs from servers in order until n
+// slots are gathered. It returns the placement (possibly short) and the
+// number of servers actually used.
+func takeFromServers(servers []*Server, n int) (Placement, int) {
+	var p Placement
+	used := 0
+	for _, s := range servers {
+		if len(p.Slots) == n {
+			break
+		}
+		if s.free == 0 {
+			continue
+		}
+		before := len(p.Slots)
+		for g := range s.GPUs {
+			if len(p.Slots) == n {
+				break
+			}
+			if s.GPUs[g].Owner == 0 {
+				p.Slots = append(p.Slots, Slot{Server: s.ID, GPU: g})
+			}
+		}
+		if len(p.Slots) > before {
+			used++
+		}
+	}
+	return p, used
+}
+
+// MaxRackGPUs returns the largest rack capacity — the widest gang that can
+// ever satisfy a single-RDMA-domain locality constraint.
+func (c *Cluster) MaxRackGPUs() int {
+	max := 0
+	for _, r := range c.Racks {
+		if t := r.TotalGPUs(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// MaxGPUsPerServer returns the largest per-server GPU count in the cluster.
+func (c *Cluster) MaxGPUsPerServer() int {
+	max := 0
+	for _, r := range c.Racks {
+		if r.SKU.GPUsPerServer > max {
+			max = r.SKU.GPUsPerServer
+		}
+	}
+	return max
+}
+
+// MinServersFor returns the minimum number of servers a job of n GPUs could
+// ever occupy in this cluster (its ideal locality).
+func (c *Cluster) MinServersFor(n int) int {
+	per := c.MaxGPUsPerServer()
+	if per == 0 {
+		return 0
+	}
+	return (n + per - 1) / per
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+
+	"philly/internal/failures"
+)
+
+// extCfg is a small, contended configuration for the §5-extension tests.
+func extCfg() Config {
+	cfg := SmallConfig()
+	cfg.Workload.TotalJobs = 1200
+	cfg.Workload.Duration = SmallConfig().Workload.Duration / 2
+	return cfg
+}
+
+func TestAdaptiveRetryCutsDeterministicFailures(t *testing.T) {
+	base := extCfg()
+	stBase, err := NewStudy(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resBase, err := stBase.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	adaptive := extCfg()
+	adaptive.AdaptiveRetry = true
+	stA, err := NewStudy(adaptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA, err := stA.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Deterministic unsuccessful jobs make exactly one attempt under
+	// adaptive retry.
+	cut := 0
+	for i := range resA.Jobs {
+		j := &resA.Jobs[i]
+		if !j.Completed || j.Outcome != failures.Unsuccessful {
+			continue
+		}
+		det := j.Spec.Plan.FailedAttempts[0].Reason.Deterministic
+		if det && len(j.Attempts) == 1 {
+			cut++
+		}
+		if det && len(j.Attempts) > 1 {
+			// Only a misclassified log (rare) may slip through.
+			if j.Attempts[0].ClassifiedReason == j.Attempts[0].PlannedReason {
+				t.Fatalf("job %d: deterministic failure retried despite correct classification", j.Spec.ID)
+			}
+		}
+	}
+	if cut == 0 {
+		t.Fatal("adaptive retry never cut a deterministic failure")
+	}
+
+	// GPU time burnt on failed attempts must drop.
+	wasted := func(res *StudyResult) float64 {
+		var w float64
+		for i := range res.Jobs {
+			for _, a := range res.Jobs[i].Attempts {
+				if a.Failed {
+					w += a.RuntimeMinutes * float64(res.Jobs[i].Spec.GPUs)
+				}
+			}
+		}
+		return w
+	}
+	wb, wa := wasted(resBase), wasted(resA)
+	if wa >= wb {
+		t.Errorf("adaptive retry did not reduce failure GPU-time: %.0f -> %.0f", wb, wa)
+	}
+	// The planner dooms the same jobs either way; outcomes must agree.
+	for i := range resA.Jobs {
+		if resA.Jobs[i].Completed && resBase.Jobs[i].Completed &&
+			resA.Jobs[i].Outcome != resBase.Jobs[i].Outcome {
+			t.Fatalf("job %d outcome changed under adaptive retry", resA.Jobs[i].Spec.ID)
+		}
+	}
+}
+
+func TestDefragMigratesAndPreservesInvariants(t *testing.T) {
+	cfg := extCfg()
+	cfg.Defrag = DefaultDefragConfig()
+	cfg.Defrag.Enabled = true
+	st, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sched.Migrations == 0 {
+		t.Fatal("defragmenter never migrated a job")
+	}
+	// Every job still completes consistently.
+	for i := range res.Jobs {
+		j := &res.Jobs[i]
+		if !j.Completed {
+			continue
+		}
+		if j.Outcome != j.Spec.Plan.Outcome {
+			t.Fatalf("job %d outcome %v != planned %v", j.Spec.ID, j.Outcome, j.Spec.Plan.Outcome)
+		}
+		if j.RunMinutes <= 0 {
+			t.Fatalf("job %d has no runtime", j.Spec.ID)
+		}
+		for _, a := range j.Attempts {
+			if a.EndAt < a.StartAt {
+				t.Fatalf("job %d attempt ordering broken", j.Spec.ID)
+			}
+		}
+	}
+}
+
+func TestDefragConfigValidation(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.Defrag.Enabled = true
+	cfg.Defrag.Interval = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("want error for zero defrag interval")
+	}
+	cfg = SmallConfig()
+	cfg.Defrag.Enabled = true
+	cfg.Defrag.Interval = 60
+	cfg.Defrag.MaxWidth = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("want error for zero defrag width")
+	}
+	cfg = SmallConfig()
+	cfg.Defrag = DefaultDefragConfig()
+	cfg.Defrag.Enabled = true
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("default defrag config rejected: %v", err)
+	}
+}

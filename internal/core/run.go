@@ -1,0 +1,698 @@
+package core
+
+import (
+	"fmt"
+
+	"philly/internal/cluster"
+	"philly/internal/failures"
+	"philly/internal/joblog"
+	"philly/internal/perfmodel"
+	"philly/internal/scheduler"
+	"philly/internal/simulation"
+	"philly/internal/stats"
+	"philly/internal/telemetry"
+	"philly/internal/training"
+	"philly/internal/workload"
+)
+
+// AttemptResult records one execution attempt of a job.
+type AttemptResult struct {
+	// Index is the 0-based attempt number.
+	Index int
+	// StartAt and EndAt bound the attempt's running episode(s).
+	StartAt, EndAt simulation.Time
+	// QueueDelay is the queueing delay preceding this attempt.
+	QueueDelay simulation.Time
+	// Servers is the placement spread at start; Colocated and CrossRack
+	// describe the placement at start.
+	Servers   int
+	Colocated bool
+	CrossRack bool
+	// Locality is the constraint level the placement satisfied.
+	Locality cluster.Locality
+	// Failed marks attempts ending in a failure.
+	Failed bool
+	// PlannedReason is the failure model's ground-truth reason code ("" for
+	// clean attempts).
+	PlannedReason string
+	// ClassifiedReason is what the log classifier attributed ("" for clean
+	// attempts). With GenerateLogs enabled this comes from parsing the
+	// synthetic stderr log.
+	ClassifiedReason string
+	// RuntimeMinutes is the attempt's total running time (across
+	// preemption-split episodes). For failed attempts this is the realized
+	// runtime-to-failure.
+	RuntimeMinutes float64
+}
+
+// ConvergenceResult summarizes a job's loss curve (Figure 8 inputs).
+type ConvergenceResult struct {
+	// EpochsRun is the number of epochs the job executed.
+	EpochsRun int
+	// FractionForLowest is BestEpoch / EpochsRun.
+	FractionForLowest float64
+	// FractionWithinTenth is EpochWithin(0.1%) / EpochsRun.
+	FractionWithinTenth float64
+}
+
+// JobResult is the per-job study output.
+type JobResult struct {
+	// Spec echoes the generated job.
+	Spec workload.JobSpec
+	// Completed reports whether the job reached a final status before the
+	// simulation horizon; incomplete jobs are excluded from analysis.
+	Completed bool
+	// Outcome is the final status.
+	Outcome failures.Outcome
+	// FirstStartAt / EndAt bound the job's life; FirstQueueDelay is the
+	// paper's queueing-delay metric (first scheduling episode).
+	FirstStartAt, EndAt simulation.Time
+	FirstQueueDelay     simulation.Time
+	// TotalQueueDelay accumulates across retries and preemptions.
+	TotalQueueDelay simulation.Time
+	// RunMinutes is total time spent holding GPUs; GPUMinutes multiplies
+	// by the gang width.
+	RunMinutes, GPUMinutes float64
+	// Retries counts re-executions after failures.
+	Retries int
+	// Preemptions counts scheduler preemptions.
+	Preemptions int
+	// MaxServers is the widest spread across attempts; LastServers the
+	// final attempt's spread.
+	MaxServers, LastServers int
+	// EverColocated reports whether any attempt shared servers at start.
+	EverColocated bool
+	// DelayCause classifies the dominant queueing-delay cause.
+	DelayCause scheduler.DelayCause
+	// FairShareBlocks / FragBlocks count blocked attempts by cause.
+	FairShareBlocks, FragBlocks int
+	// OutOfOrderStart / Overtaken reproduce §3.1.1's ordering stats.
+	OutOfOrderStart, Overtaken bool
+	// MeanUtil is the job's mean per-minute GPU utilization.
+	MeanUtil float64
+	// Attempts lists per-attempt records.
+	Attempts []AttemptResult
+	// Convergence is non-nil for jobs whose logs include loss curves.
+	Convergence *ConvergenceResult
+}
+
+// StudyResult is everything a study produces.
+type StudyResult struct {
+	// Config echoes the run configuration.
+	Config Config
+	// Jobs holds one entry per generated job, in ID order.
+	Jobs []JobResult
+	// Telemetry is the aggregated per-minute hardware telemetry.
+	Telemetry *telemetry.Recorder
+	// Sched echoes the scheduler's counters.
+	Sched scheduler.Stats
+	// TotalGPUs is the cluster capacity.
+	TotalGPUs int
+	// SimEnd is the simulated time at which the run stopped.
+	SimEnd simulation.Time
+	// OccupancySamples pairs cluster occupancy with the fraction of
+	// completely empty servers, sampled each telemetry tick (fragmentation
+	// evidence, §3.1.1).
+	OccupancySamples []OccupancySample
+}
+
+// OccupancySample is one cluster-state observation.
+type OccupancySample struct {
+	At           simulation.Time
+	Occupancy    float64
+	EmptyServers float64
+}
+
+// jobState is the driver's runtime bookkeeping for one job.
+type jobState struct {
+	spec  *workload.JobSpec
+	sched *scheduler.Job
+	res   *JobResult
+
+	// attemptIdx indexes the current attempt (0-based).
+	attemptIdx int
+	// remainingWorkSec is ideal-placement work remaining for the final
+	// (clean) attempt, reduced by checkpointed progress on preemption.
+	remainingWorkSec float64
+	// baseUtil is the per-job utilization level for the current episode.
+	baseUtil float64
+	// slowdown is the current episode's placement slowdown.
+	slowdown float64
+	// episodeStart marks the current running episode.
+	episodeStart simulation.Time
+	// attemptRunSec accumulates running seconds within the current attempt
+	// (across preemption splits).
+	attemptRunSec float64
+	// attemptOpen marks that the current attempt already has a result
+	// record (a resumption after preemption must not open a new one).
+	attemptOpen bool
+	// attemptStartAt is when the current attempt first started running.
+	attemptStartAt simulation.Time
+	// meta is the telemetry grouping key for the current episode.
+	meta telemetry.JobMeta
+	// finishSeq guards stale finish events after a preemption.
+	finishSeq int
+	running   bool
+}
+
+// plannedAttempts returns the total attempts the job will make.
+func (js *jobState) plannedAttempts() int { return js.spec.Plan.TotalAttempts() }
+
+// currentFailure returns the failure plan for the current attempt, or nil
+// if the attempt runs clean.
+func (js *jobState) currentFailure() *failures.AttemptPlan {
+	if js.attemptIdx < len(js.spec.Plan.FailedAttempts) {
+		return &js.spec.Plan.FailedAttempts[js.attemptIdx]
+	}
+	return nil
+}
+
+// Study is a configured, runnable reproduction.
+type Study struct {
+	cfg Config
+
+	engine  *simulation.Engine
+	cluster *cluster.Cluster
+	sched   *scheduler.Scheduler
+	util    *perfmodel.Model
+	host    *perfmodel.HostModel
+	rec     *telemetry.Recorder
+	gen     *workload.Generator
+	logGen  *joblog.Generator
+	clf     *joblog.Classifier
+
+	utilRNG  *stats.RNG
+	hostRNG  *stats.RNG
+	logRNG   *stats.RNG
+	curveRNG *stats.RNG
+
+	// detReason marks failure-reason codes that reproduce deterministically
+	// (AdaptiveRetry consults it with the *classified* reason, as a real
+	// deployment would).
+	detReason map[string]bool
+
+	jobs    []workload.JobSpec
+	states  map[cluster.JobID]*jobState
+	running []*jobState // insertion-ordered running set for telemetry
+	results []JobResult
+	occ     []OccupancySample
+
+	pending   int // jobs not yet finalized
+	wakeAt    simulation.Time
+	wakeArmed bool
+}
+
+// NewStudy builds a study from the configuration.
+func NewStudy(cfg Config) (*Study, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	master := stats.NewRNG(cfg.Seed)
+	wlRNG := master.Split("workload")
+
+	gen, err := workload.NewGenerator(cfg.Workload, wlRNG)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := cluster.New(cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	var vcs []scheduler.VC
+	for _, vc := range cfg.Workload.VCs {
+		vcs = append(vcs, scheduler.VC{Name: vc.Name, Quota: vc.QuotaGPUs})
+	}
+	sched, err := scheduler.New(cfg.Scheduler, cl, vcs)
+	if err != nil {
+		return nil, err
+	}
+	util, err := perfmodel.NewModel(cfg.Util)
+	if err != nil {
+		return nil, err
+	}
+	s := &Study{
+		cfg:       cfg,
+		engine:    simulation.NewEngine(),
+		cluster:   cl,
+		sched:     sched,
+		util:      util,
+		host:      perfmodel.NewHostModel(cfg.Host),
+		rec:       telemetry.NewRecorder(),
+		gen:       gen,
+		logGen:    joblog.NewGenerator(),
+		clf:       joblog.NewClassifier(),
+		utilRNG:   master.Split("util"),
+		hostRNG:   master.Split("host"),
+		logRNG:    master.Split("logs"),
+		curveRNG:  master.Split("curves"),
+		states:    map[cluster.JobID]*jobState{},
+		detReason: map[string]bool{},
+	}
+	for code, r := range failures.ByCode() {
+		s.detReason[code] = r.Deterministic
+	}
+	s.jobs = gen.Generate(wlRNG)
+	s.results = make([]JobResult, len(s.jobs))
+	return s, nil
+}
+
+// Run executes the study to completion and returns the result.
+func (s *Study) Run() (*StudyResult, error) {
+	horizon := simulation.Time(float64(s.cfg.Workload.Duration) * s.cfg.HorizonFactor)
+
+	// Arrivals.
+	for i := range s.jobs {
+		spec := &s.jobs[i]
+		res := &s.results[i]
+		res.Spec = *spec
+		js := &jobState{
+			spec:             spec,
+			res:              res,
+			remainingWorkSec: s.cleanWorkSeconds(spec),
+			sched: scheduler.NewJob(cluster.JobID(spec.ID), spec.VC,
+				spec.GPUs, spec.SubmitAt),
+		}
+		js.sched.RemainingSeconds = js.remainingWorkSec
+		s.states[js.sched.ID] = js
+		s.pending++
+		s.engine.At(spec.SubmitAt, func() {
+			if err := s.sched.Submit(js.sched, s.engine.Now()); err != nil {
+				panic(fmt.Sprintf("core: submit job %d: %v", spec.ID, err))
+			}
+			s.pump()
+		})
+	}
+
+	// Telemetry ticker.
+	s.engine.Ticker(0, s.cfg.TelemetryInterval, func(now simulation.Time) bool {
+		s.sampleTelemetry(now)
+		return now < horizon && s.pending > 0
+	})
+
+	// Defragmentation sweeps (§5 migration guideline), when enabled.
+	if s.cfg.Defrag.Enabled {
+		d := s.cfg.Defrag
+		s.engine.Ticker(d.Interval, d.Interval, func(now simulation.Time) bool {
+			moved := s.sched.Defrag(now, d.MaxWidth, d.MaxMovesPerSweep)
+			for _, ev := range moved {
+				s.onMigrate(ev, now)
+			}
+			if len(moved) > 0 {
+				// Consolidated servers may unblock waiting gangs.
+				s.pump()
+			}
+			return now < horizon && s.pending > 0
+		})
+	}
+
+	s.engine.Run(horizon)
+	if s.engine.Processed() >= s.cfg.MaxEvents {
+		return nil, fmt.Errorf("core: event budget %d exhausted", s.cfg.MaxEvents)
+	}
+
+	return &StudyResult{
+		Config:           s.cfg,
+		Jobs:             s.results,
+		Telemetry:        s.rec,
+		Sched:            s.sched.Stats(),
+		TotalGPUs:        s.cluster.TotalGPUs(),
+		SimEnd:           s.engine.Now(),
+		OccupancySamples: s.occ,
+	}, nil
+}
+
+// cleanWorkSeconds is the ideal-placement duration of the job's clean run:
+// full training for passed jobs, the kill fraction for killed jobs, zero
+// for unsuccessful jobs (they only ever run failing attempts).
+func (s *Study) cleanWorkSeconds(spec *workload.JobSpec) float64 {
+	switch spec.Plan.Outcome {
+	case failures.Passed:
+		return spec.Train.IdealRuntimeSeconds()
+	case failures.Killed:
+		return spec.Train.IdealRuntimeSeconds() * spec.Plan.KillFraction
+	default:
+		return 0
+	}
+}
+
+// pump advances the scheduler and processes its decisions in the order the
+// scheduler made them (a job can start and be preempted within one Pump).
+func (s *Study) pump() {
+	now := s.engine.Now()
+	res := s.sched.Pump(now)
+	si, pi := 0, 0
+	for si < len(res.Starts) || pi < len(res.Preemptions) {
+		switch {
+		case pi >= len(res.Preemptions):
+			s.onStart(res.Starts[si], now)
+			si++
+		case si >= len(res.Starts):
+			s.onPreempt(res.Preemptions[pi], now)
+			pi++
+		case res.Starts[si].Seq < res.Preemptions[pi].Seq:
+			s.onStart(res.Starts[si], now)
+			si++
+		default:
+			s.onPreempt(res.Preemptions[pi], now)
+			pi++
+		}
+	}
+	if res.NextWake > now {
+		// Coalesce wake-ups: keep the earliest armed timer.
+		if !s.wakeArmed || res.NextWake < s.wakeAt {
+			s.wakeArmed = true
+			s.wakeAt = res.NextWake
+			at := res.NextWake
+			s.engine.At(at, func() {
+				if s.wakeArmed && s.wakeAt == at {
+					s.wakeArmed = false
+				}
+				s.pump()
+			})
+		}
+	}
+}
+
+// onStart begins a running episode for a job.
+func (s *Study) onStart(ev scheduler.StartEvent, now simulation.Time) {
+	js := s.states[ev.Job.ID]
+	if js == nil {
+		panic(fmt.Sprintf("core: start event for unknown job %d", ev.Job.ID))
+	}
+	shape := perfmodel.JobShape{
+		GPUs:      js.spec.GPUs,
+		Servers:   ev.Placement.NumServers(),
+		Colocated: s.cluster.SharesServers(ev.Job.ID),
+		CrossRack: ev.Placement.CrossRack(s.cluster),
+	}
+	js.meta = telemetry.JobMeta{
+		ID:        ev.Job.ID,
+		GPUs:      js.spec.GPUs,
+		Outcome:   js.spec.Plan.Outcome,
+		Servers:   shape.Servers,
+		Colocated: shape.Colocated,
+	}
+	js.slowdown = s.util.Slowdown(shape)
+	js.baseUtil = s.util.JobBaseUtil(shape, js.spec.Plan.Outcome, s.utilRNG)
+	js.episodeStart = now
+	js.running = true
+	if !s.inRunning(js) {
+		s.running = append(s.running, js)
+	}
+
+	// New attempt (vs resumption after preemption)?
+	if !js.attemptOpen {
+		js.attemptOpen = true
+		js.attemptStartAt = now
+		js.res.Attempts = append(js.res.Attempts, AttemptResult{
+			Index:      js.attemptIdx,
+			StartAt:    now,
+			QueueDelay: now - js.sched.EnqueuedAt,
+			Servers:    shape.Servers,
+			Colocated:  shape.Colocated,
+			CrossRack:  shape.CrossRack,
+			Locality:   ev.Locality,
+		})
+	}
+
+	// Schedule the episode end.
+	var episodeSec float64
+	if fa := js.currentFailure(); fa != nil {
+		// Failing attempt: runs until its RTF elapses (RTF counts this
+		// attempt's cumulative runtime; preemption splits don't reset it).
+		episodeSec = fa.RTFMinutes*60 - js.attemptRunSec
+	} else {
+		episodeSec = js.remainingWorkSec * js.slowdown
+	}
+	if episodeSec < 1 {
+		episodeSec = 1
+	}
+	js.finishSeq++
+	seq := js.finishSeq
+	s.engine.After(simulation.Time(episodeSec+0.5), func() {
+		if js.finishSeq == seq && js.running {
+			s.onFinish(js)
+		}
+	})
+}
+
+func (s *Study) inRunning(js *jobState) bool {
+	for _, r := range s.running {
+		if r == js {
+			return true
+		}
+	}
+	return false
+}
+
+// onPreempt suspends a running episode; the scheduler has already requeued
+// the job.
+func (s *Study) onPreempt(ev scheduler.PreemptEvent, now simulation.Time) {
+	js := s.states[ev.Job.ID]
+	if js == nil || !js.running {
+		return
+	}
+	elapsed := float64(now - js.episodeStart)
+	js.attemptRunSec += elapsed
+	js.res.Preemptions++
+	s.accountEpisode(js, elapsed)
+	if js.currentFailure() == nil {
+		// Clean run: checkpointed progress survives; the rest is lost.
+		retention := 0.0
+		if js.spec.Train.CheckpointEveryEpochs > 0 {
+			retention = s.cfg.CheckpointRetention
+		}
+		done := elapsed / js.slowdown * retention
+		js.remainingWorkSec -= done
+		if js.remainingWorkSec < 0 {
+			js.remainingWorkSec = 0
+		}
+		js.sched.RemainingSeconds = js.remainingWorkSec
+		// Work lost to the preemption is re-run: the attempt's cumulative
+		// clock keeps counting, so GPU time is charged faithfully.
+	}
+	js.running = false
+	js.finishSeq++ // invalidate the scheduled finish
+	s.removeRunning(js)
+}
+
+// onMigrate re-places a running job after a defragmentation move: the old
+// episode is accounted, the placement-derived performance parameters are
+// recomputed for the new servers, and the checkpoint-restore pause is added
+// to the remaining wall time.
+func (s *Study) onMigrate(ev scheduler.MigrationEvent, now simulation.Time) {
+	js := s.states[ev.Job.ID]
+	if js == nil || !js.running {
+		return
+	}
+	elapsed := float64(now - js.episodeStart)
+	js.attemptRunSec += elapsed
+	s.accountEpisode(js, elapsed)
+	if js.currentFailure() == nil {
+		// Live migration goes through a checkpoint; progress since the
+		// last checkpoint is re-run, like a preemption.
+		retention := 0.0
+		if js.spec.Train.CheckpointEveryEpochs > 0 {
+			retention = s.cfg.CheckpointRetention
+		}
+		done := elapsed / js.slowdown * retention
+		js.remainingWorkSec -= done
+		if js.remainingWorkSec < 0 {
+			js.remainingWorkSec = 0
+		}
+		js.sched.RemainingSeconds = js.remainingWorkSec
+	}
+	shape := perfmodel.JobShape{
+		GPUs:      js.spec.GPUs,
+		Servers:   ev.Job.Placement.NumServers(),
+		Colocated: s.cluster.SharesServers(ev.Job.ID),
+		CrossRack: ev.Job.Placement.CrossRack(s.cluster),
+	}
+	js.slowdown = s.util.Slowdown(shape)
+	js.baseUtil = s.util.JobBaseUtil(shape, js.spec.Plan.Outcome, s.utilRNG)
+	js.meta.Servers = shape.Servers
+	js.meta.Colocated = shape.Colocated
+	js.episodeStart = now
+
+	var episodeSec float64
+	if fa := js.currentFailure(); fa != nil {
+		episodeSec = fa.RTFMinutes*60 - js.attemptRunSec
+	} else {
+		episodeSec = js.remainingWorkSec * js.slowdown
+	}
+	episodeSec += s.cfg.Defrag.PauseSeconds
+	if episodeSec < 1 {
+		episodeSec = 1
+	}
+	js.finishSeq++
+	seq := js.finishSeq
+	s.engine.After(simulation.Time(episodeSec+0.5), func() {
+		if js.finishSeq == seq && js.running {
+			s.onFinish(js)
+		}
+	})
+}
+
+func (s *Study) removeRunning(js *jobState) {
+	for i, r := range s.running {
+		if r == js {
+			s.running = append(s.running[:i], s.running[i+1:]...)
+			return
+		}
+	}
+}
+
+// accountEpisode charges an episode's runtime to the job result.
+func (s *Study) accountEpisode(js *jobState, elapsedSec float64) {
+	js.res.RunMinutes += elapsedSec / 60
+	js.res.GPUMinutes += elapsedSec / 60 * float64(js.spec.GPUs)
+}
+
+// onFinish ends the current attempt (failure or clean completion).
+func (s *Study) onFinish(js *jobState) {
+	now := s.engine.Now()
+	elapsed := float64(now - js.episodeStart)
+	js.attemptRunSec += elapsed
+	s.accountEpisode(js, elapsed)
+	js.running = false
+	s.removeRunning(js)
+	if err := s.sched.Release(js.sched.ID, now); err != nil {
+		panic(fmt.Sprintf("core: release job %d: %v", js.sched.ID, err))
+	}
+
+	att := &js.res.Attempts[len(js.res.Attempts)-1]
+	att.EndAt = now
+	att.RuntimeMinutes = js.attemptRunSec / 60
+
+	fa := js.currentFailure()
+	if fa != nil {
+		att.Failed = true
+		att.PlannedReason = fa.Reason.Code
+		att.ClassifiedReason = s.classify(fa.Reason.Code, js.spec.GPUs)
+		js.attemptIdx++
+		js.attemptRunSec = 0
+		js.attemptOpen = false
+		if s.cfg.AdaptiveRetry && s.isDeterministicReason(att.ClassifiedReason) {
+			// §5: the classifier says this failure will reproduce — stop
+			// retrying instead of burning two more gangs' worth of GPUs.
+			s.finalize(js, now)
+			s.pump()
+			return
+		}
+		if js.attemptIdx < js.plannedAttempts() {
+			// Retry: back through the queue (Figure 1's retry loop).
+			js.sched.RemainingSeconds = js.remainingWorkSec
+			if err := s.sched.Submit(js.sched, now); err != nil {
+				panic(fmt.Sprintf("core: resubmit job %d: %v", js.sched.ID, err))
+			}
+			s.pump()
+			return
+		}
+		// Out of retries: unsuccessful.
+		s.finalize(js, now)
+		s.pump()
+		return
+	}
+
+	// Clean completion (passed or killed).
+	js.remainingWorkSec = 0
+	s.finalize(js, now)
+	s.pump()
+}
+
+// isDeterministicReason reports whether a classified failure code belongs
+// to a deterministic class (unknown codes, including no_signature, are
+// treated as possibly transient and stay retryable).
+func (s *Study) isDeterministicReason(code string) bool { return s.detReason[code] }
+
+// classify routes failure attribution through the log pipeline.
+func (s *Study) classify(reasonCode string, gpus int) string {
+	if !s.cfg.GenerateLogs {
+		return reasonCode
+	}
+	log := s.logGen.FailureLog(reasonCode, gpus, s.logRNG)
+	return s.clf.Classify(log)
+}
+
+// finalize records the job's terminal state.
+func (s *Study) finalize(js *jobState, now simulation.Time) {
+	res := js.res
+	res.Completed = true
+	res.Outcome = js.spec.Plan.Outcome
+	res.EndAt = now
+	res.FirstStartAt = js.sched.FirstStartAt
+	res.FirstQueueDelay = js.sched.FirstQueueDelay
+	res.TotalQueueDelay = js.sched.TotalQueueDelay
+	// Retries are counted from what actually ran (AdaptiveRetry can cut a
+	// job short of its planned attempts).
+	res.Retries = len(res.Attempts) - 1
+	res.DelayCause = js.sched.Cause()
+	res.FairShareBlocks = js.sched.FairShareBlocks
+	res.FragBlocks = js.sched.FragBlocks
+	res.OutOfOrderStart = js.sched.OutOfOrderStart
+	res.Overtaken = js.sched.Overtaken
+	for _, a := range res.Attempts {
+		if a.Servers > res.MaxServers {
+			res.MaxServers = a.Servers
+		}
+		res.LastServers = a.Servers
+		if a.Colocated {
+			res.EverColocated = true
+		}
+	}
+	res.MeanUtil = s.rec.JobUsageOf(js.sched.ID).MeanUtil()
+	if js.spec.LogsConvergence && res.Outcome != failures.Unsuccessful {
+		res.Convergence = s.convergence(js)
+	}
+	s.pending--
+	if s.pending == 0 {
+		s.engine.Stop()
+	}
+}
+
+// convergence realizes the job's loss curve, renders it through the
+// training-log generator, parses it back, and summarizes — the same
+// text-mediated path the paper's pipeline uses for its ~2.5k jobs.
+func (s *Study) convergence(js *jobState) *ConvergenceResult {
+	epochs := js.spec.Train.Epochs
+	if js.spec.Plan.Outcome == failures.Killed {
+		epochs = int(float64(epochs)*js.spec.Plan.KillFraction + 0.5)
+		if epochs < 1 {
+			epochs = 1
+		}
+	}
+	curve, err := training.SampleCurve(epochs, s.curveRNG)
+	if err != nil {
+		panic(fmt.Sprintf("core: convergence curve: %v", err))
+	}
+	losses := curve.Losses
+	if s.cfg.GenerateLogs {
+		log := s.logGen.TrainingLog(curve.Losses, js.spec.GPUs, s.logRNG)
+		losses = joblog.ParseLossCurve(log)
+	}
+	parsed := training.Curve{Losses: losses}
+	return &ConvergenceResult{
+		EpochsRun:           parsed.Epochs(),
+		FractionForLowest:   parsed.FractionForLowest(),
+		FractionWithinTenth: parsed.FractionWithin(0.001),
+	}
+}
+
+// sampleTelemetry records one per-minute observation of the whole cluster.
+func (s *Study) sampleTelemetry(now simulation.Time) {
+	for _, js := range s.running {
+		if !js.running {
+			continue
+		}
+		s.rec.RecordJobMinute(js.meta, s.util.MinuteUtil(js.baseUtil, s.utilRNG))
+	}
+	for _, srv := range s.cluster.Servers() {
+		cpu, mem := s.host.Sample(srv.UsedGPUs(), len(srv.GPUs), s.hostRNG)
+		s.rec.RecordHostMinute(cpu, mem)
+	}
+	s.occ = append(s.occ, OccupancySample{
+		At:           now,
+		Occupancy:    s.cluster.Occupancy(),
+		EmptyServers: float64(s.cluster.EmptyServers()) / float64(s.cluster.NumServers()),
+	})
+}

@@ -1,0 +1,193 @@
+// Package core is the study driver: it wires the workload generator, the
+// cluster, the scheduler, the performance model, the telemetry recorder,
+// and the log pipeline into one deterministic discrete-event simulation,
+// and produces the StudyResult that internal/analysis turns into every
+// table and figure of the paper.
+//
+// The control flow mirrors the lifecycle of Figure 1: jobs arrive into
+// per-VC queues; the scheduler gang-schedules them under locality
+// constraints; running jobs emit per-minute telemetry; attempts fail per
+// the failure plan, producing stderr logs that are classified back to root
+// causes; failed jobs are retried a fixed number of times; preempted jobs
+// resume from checkpoints.
+package core
+
+import (
+	"fmt"
+
+	"philly/internal/cluster"
+	"philly/internal/perfmodel"
+	"philly/internal/scheduler"
+	"philly/internal/simulation"
+	"philly/internal/workload"
+)
+
+// Config parameterizes a study run.
+type Config struct {
+	// Seed drives every random stream; equal seeds give identical results.
+	Seed uint64
+	// Cluster is the machine inventory.
+	Cluster cluster.Config
+	// Workload generates the job trace.
+	Workload workload.Config
+	// Scheduler configures the scheduling policy.
+	Scheduler scheduler.Config
+	// Util calibrates the GPU-utilization model.
+	Util perfmodel.UtilParams
+	// Host calibrates the host-resource model.
+	Host perfmodel.HostParams
+	// TelemetryInterval is the hardware-counter sampling period (the paper
+	// uses per-minute Ganglia reports).
+	TelemetryInterval simulation.Time
+	// CheckpointRetention is the fraction of in-progress work retained
+	// when a checkpointing job is preempted and later resumed.
+	CheckpointRetention float64
+	// HorizonFactor stops the simulation at Workload.Duration multiplied
+	// by this factor, so late-arriving jobs get time to drain.
+	HorizonFactor float64
+	// MaxEvents bounds the event loop as a runaway guard.
+	MaxEvents uint64
+	// GenerateLogs routes failure attribution through synthetic stderr
+	// logs and the signature classifier (the Table 7 path). Disabling it
+	// makes the classified reason equal to the planned one.
+	GenerateLogs bool
+
+	// AdaptiveRetry enables the paper's §5 guideline of classifying
+	// failures online and not retrying deterministic ones ("the scheduler
+	// could stop retrying for failure categories like incorrect inputs and
+	// continue retrying for network timeouts"). Off by default — Philly as
+	// measured retries a fixed number of times.
+	AdaptiveRetry bool
+
+	// Defrag configures §5's migration-based defragmentation proposal.
+	Defrag DefragConfig
+}
+
+// DefragConfig controls checkpoint-migration of small jobs to consolidate
+// free GPUs into whole servers (§5: "support for job migration to
+// defragment the cluster, especially applied to smaller jobs").
+type DefragConfig struct {
+	// Enabled turns the defragmenter on. Off by default: the measured
+	// Philly had no migration support.
+	Enabled bool
+	// Interval is how often the defragmenter sweeps.
+	Interval simulation.Time
+	// MaxWidth bounds which jobs may be migrated (the paper suggests
+	// applying migration to smaller jobs).
+	MaxWidth int
+	// MaxMovesPerSweep bounds churn per sweep.
+	MaxMovesPerSweep int
+	// PauseSeconds is the wall-time a migrated job loses to the
+	// checkpoint-restore cycle.
+	PauseSeconds float64
+}
+
+// DefaultDefragConfig returns sensible parameters for the ablation.
+func DefaultDefragConfig() DefragConfig {
+	return DefragConfig{
+		Enabled:          false,
+		Interval:         10 * simulation.Minute,
+		MaxWidth:         2,
+		MaxMovesPerSweep: 8,
+		PauseSeconds:     60,
+	}
+}
+
+// DefaultConfig returns a paper-scale configuration: ~2050 GPUs, 96,260
+// jobs over 75 days, 14 VCs. The GPU count is chosen so the trace's total
+// GPU-time demand (implied by Table 7's failure budget and Table 6's
+// status shares) runs the cluster at the high occupancy the paper
+// describes.
+func DefaultConfig() Config {
+	racks := make([]cluster.RackConfig, 0, 21)
+	for i := 0; i < 15; i++ {
+		racks = append(racks, cluster.RackConfig{Servers: 16, SKU: cluster.SKU8GPU})
+	}
+	for i := 0; i < 2; i++ {
+		racks = append(racks, cluster.RackConfig{Servers: 32, SKU: cluster.SKU2GPU})
+	}
+	wl := workload.DefaultConfig()
+	return Config{
+		Seed:                1,
+		Cluster:             cluster.Config{Racks: racks},
+		Workload:            wl,
+		Scheduler:           scheduler.DefaultConfig(),
+		Util:                perfmodel.DefaultUtilParams(),
+		Host:                perfmodel.DefaultHostParams(),
+		TelemetryInterval:   simulation.Minute,
+		CheckpointRetention: 0.9,
+		HorizonFactor:       1.6,
+		MaxEvents:           500_000_000,
+		GenerateLogs:        true,
+		Defrag:              DefaultDefragConfig(),
+	}
+}
+
+// SmallConfig returns a reduced configuration for tests and examples:
+// ~230 GPUs, a few thousand jobs over 8 days, same distributions (so the
+// paper's shapes still emerge), minute-level telemetry. The runtime cap is
+// tightened so the trace drains within the horizon.
+func SmallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Cluster = cluster.Config{Racks: []cluster.RackConfig{
+		{Servers: 9, SKU: cluster.SKU8GPU},
+		{Servers: 9, SKU: cluster.SKU8GPU},
+		{Servers: 9, SKU: cluster.SKU8GPU},
+		{Servers: 12, SKU: cluster.SKU2GPU},
+	}}
+	cfg.Workload.TotalJobs = 3300
+	cfg.Workload.Duration = 8 * simulation.Day
+	cfg.Workload.MaxRuntimeMinutes = 2 * 24 * 60
+	cfg.Workload.VCs = smallVCs()
+	cfg.HorizonFactor = 2.0
+	return cfg
+}
+
+// smallVCs scales the default 14-VC quota set down to a ~230-GPU cluster,
+// keeping the heterogeneous load factors (see workload.DefaultVCs).
+func smallVCs() []workload.VirtualCluster {
+	quotas := []int{90, 72, 55, 44, 24, 20, 18, 17, 24, 21, 5, 5, 4, 3}
+	factors := []float64{0.5, 0.5, 0.5, 0.5, 1.43, 0.8, 0.8, 0.8, 0.5, 0.5, 1.33, 1.33, 1.33, 1.33}
+	vcs := make([]workload.VirtualCluster, len(quotas))
+	for i, q := range quotas {
+		vcs[i] = workload.VirtualCluster{Name: fmt.Sprintf("vc%d", i+1), QuotaGPUs: q, LoadFactor: factors[i]}
+	}
+	return vcs
+}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	if err := c.Workload.Validate(); err != nil {
+		return err
+	}
+	if err := c.Scheduler.Validate(); err != nil {
+		return err
+	}
+	if err := c.Util.Validate(); err != nil {
+		return err
+	}
+	if c.TelemetryInterval <= 0 {
+		return fmt.Errorf("core: TelemetryInterval must be positive")
+	}
+	if c.CheckpointRetention < 0 || c.CheckpointRetention > 1 {
+		return fmt.Errorf("core: CheckpointRetention %v out of [0, 1]", c.CheckpointRetention)
+	}
+	if c.HorizonFactor < 1 {
+		return fmt.Errorf("core: HorizonFactor must be >= 1, got %v", c.HorizonFactor)
+	}
+	if c.MaxEvents == 0 {
+		return fmt.Errorf("core: MaxEvents must be positive")
+	}
+	if c.Defrag.Enabled {
+		if c.Defrag.Interval <= 0 {
+			return fmt.Errorf("core: defrag interval must be positive")
+		}
+		if c.Defrag.MaxWidth <= 0 || c.Defrag.MaxMovesPerSweep <= 0 {
+			return fmt.Errorf("core: defrag width and move bounds must be positive")
+		}
+		if c.Defrag.PauseSeconds < 0 {
+			return fmt.Errorf("core: defrag pause must be >= 0")
+		}
+	}
+	return nil
+}

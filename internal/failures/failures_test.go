@@ -1,0 +1,459 @@
+package failures
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"philly/internal/stats"
+)
+
+func TestTaxonomyIntegrity(t *testing.T) {
+	tax := Taxonomy()
+	if len(tax) != 21 {
+		t.Fatalf("taxonomy has %d reasons, want 21 (Table 7 rows minus no-signature)", len(tax))
+	}
+	codes := map[string]bool{}
+	for _, r := range tax {
+		if r.Code == "" || r.Name == "" {
+			t.Errorf("reason with empty code/name: %+v", r)
+		}
+		if codes[r.Code] {
+			t.Errorf("duplicate code %q", r.Code)
+		}
+		codes[r.Code] = true
+		if r.Categories == 0 {
+			t.Errorf("%s has no category", r.Code)
+		}
+		if r.TrialWeight <= 0 {
+			t.Errorf("%s has non-positive trial weight", r.Code)
+		}
+		if r.RTFMedianMin <= 0 || r.RTFP90Min < r.RTFMedianMin || r.RTFP95Min < r.RTFP90Min {
+			t.Errorf("%s has inconsistent RTF percentiles: %v/%v/%v", r.Code, r.RTFMedianMin, r.RTFP90Min, r.RTFP95Min)
+		}
+		sum := r.DemandWeights[0] + r.DemandWeights[1] + r.DemandWeights[2]
+		if sum <= 0 {
+			t.Errorf("%s has no demand weight", r.Code)
+		}
+	}
+	// Spot-check the dominant rows against Table 7.
+	m := ByCode()
+	if m[CodeCPUOOM].TrialWeight != 12076 {
+		t.Errorf("CPU OOM trial weight = %v, want 12076", m[CodeCPUOOM].TrialWeight)
+	}
+	if m[CodeIncorrectInputs].PaperUsers != 208 {
+		t.Errorf("incorrect inputs users = %v, want 208", m[CodeIncorrectInputs].PaperUsers)
+	}
+	if !m[CodeModelCkptError].Categories.Has(Infrastructure) {
+		t.Error("model ckpt error should be an infrastructure failure")
+	}
+	if m[CodeModelCkptError].Deterministic {
+		t.Error("model ckpt error should be transient (HDFS)")
+	}
+	if !m[CodeSyntaxError].Deterministic {
+		t.Error("syntax error must be deterministic")
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if got := (Infrastructure | AIEngine | User).String(); got != "IF|AE|U" {
+		t.Errorf("category string = %q", got)
+	}
+	if got := Category(0).String(); got != "-" {
+		t.Errorf("empty category string = %q", got)
+	}
+	if !User.Has(User) || User.Has(AIEngine) {
+		t.Error("Has() misbehaves")
+	}
+}
+
+func TestBuckets(t *testing.T) {
+	cases := []struct {
+		gpus   int
+		demand DemandBucket
+		size   SizeBucket
+	}{
+		{1, Demand1, Size1},
+		{2, Demand2to4, Size2to4},
+		{4, Demand2to4, Size2to4},
+		{5, DemandOver4, Size5to8},
+		{8, DemandOver4, Size5to8},
+		{16, DemandOver4, SizeOver8},
+	}
+	for _, c := range cases {
+		if got := BucketFor(c.gpus); got != c.demand {
+			t.Errorf("BucketFor(%d) = %v, want %v", c.gpus, got, c.demand)
+		}
+		if got := SizeBucketFor(c.gpus); got != c.size {
+			t.Errorf("SizeBucketFor(%d) = %v, want %v", c.gpus, got, c.size)
+		}
+	}
+	if Size2to4.String() != "2-4 GPU" || DemandOver4.String() != ">4" {
+		t.Error("bucket names wrong")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if Passed.String() != "Passed" || Killed.String() != "Killed" || Unsuccessful.String() != "Unsuccessful" {
+		t.Error("outcome names wrong")
+	}
+}
+
+func TestPlannerConfigValidation(t *testing.T) {
+	if err := DefaultPlannerConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultPlannerConfig()
+	bad.UnsuccessfulProb[0] = 0.9
+	bad.KilledProb[0] = 0.3
+	if err := bad.Validate(); err == nil {
+		t.Error("want error when probs sum > 1")
+	}
+	bad2 := DefaultPlannerConfig()
+	bad2.MaxRetries = -1
+	if err := bad2.Validate(); err == nil {
+		t.Error("want error for negative retries")
+	}
+	bad3 := DefaultPlannerConfig()
+	bad3.UserFavoriteBias = 1.5
+	if err := bad3.Validate(); err == nil {
+		t.Error("want error for bias > 1")
+	}
+}
+
+func TestStatusMixCalibration(t *testing.T) {
+	p, err := NewPlanner(DefaultPlannerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := stats.NewRNG(42)
+	// Size mix close to the workload generator's default.
+	sizes := []int{1, 1, 1, 1, 1, 1, 2, 4, 4, 8, 8, 16}
+	counts := map[Outcome]int{}
+	n := 60000
+	for i := 0; i < n; i++ {
+		plan := p.PlanJob(sizes[i%len(sizes)], nil, g)
+		counts[plan.Outcome]++
+	}
+	passed := float64(counts[Passed]) / float64(n)
+	killed := float64(counts[Killed]) / float64(n)
+	unsucc := float64(counts[Unsuccessful]) / float64(n)
+	// Table 6: 69.3% / 13.5% / 17.2%. Allow a few points of tolerance: the
+	// exact mix also depends on the workload size distribution.
+	if math.Abs(passed-0.693) > 0.06 {
+		t.Errorf("passed fraction = %.3f, want ~0.693", passed)
+	}
+	if math.Abs(killed-0.135) > 0.05 {
+		t.Errorf("killed fraction = %.3f, want ~0.135", killed)
+	}
+	if math.Abs(unsucc-0.172) > 0.06 {
+		t.Errorf("unsuccessful fraction = %.3f, want ~0.172", unsucc)
+	}
+}
+
+func TestLargerJobsFailMore(t *testing.T) {
+	p, err := NewPlanner(DefaultPlannerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := stats.NewRNG(3)
+	rate := func(gpus int) float64 {
+		bad := 0
+		n := 20000
+		for i := 0; i < n; i++ {
+			if p.PlanJob(gpus, nil, g).Outcome == Unsuccessful {
+				bad++
+			}
+		}
+		return float64(bad) / float64(n)
+	}
+	r1, r16 := rate(1), rate(16)
+	if r16 <= r1 {
+		t.Errorf("unsuccessful rate should grow with size: 1 GPU %.3f vs 16 GPU %.3f", r1, r16)
+	}
+	if r16 < 2*r1 {
+		t.Errorf("Figure 9b wants a strong effect; got 1 GPU %.3f vs 16 GPU %.3f", r1, r16)
+	}
+}
+
+func TestUnsuccessfulPlanStructure(t *testing.T) {
+	cfg := DefaultPlannerConfig()
+	cfg.UnsuccessfulProb = [NumSizeBuckets]float64{1, 1, 1, 1} // force unsuccessful
+	cfg.KilledProb = [NumSizeBuckets]float64{0, 0, 0, 0}
+	p, err := NewPlanner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := stats.NewRNG(4)
+	for i := 0; i < 200; i++ {
+		plan := p.PlanJob(4, nil, g)
+		if plan.Outcome != Unsuccessful {
+			t.Fatal("forced unsuccessful outcome not honored")
+		}
+		if got := len(plan.FailedAttempts); got != cfg.MaxRetries+1 {
+			t.Fatalf("attempts = %d, want %d", got, cfg.MaxRetries+1)
+		}
+		if plan.Retries() != cfg.MaxRetries {
+			t.Fatalf("Retries = %d, want %d", plan.Retries(), cfg.MaxRetries)
+		}
+		if plan.TotalAttempts() != cfg.MaxRetries+1 {
+			t.Fatalf("TotalAttempts = %d", plan.TotalAttempts())
+		}
+		reason := plan.FailedAttempts[0].Reason
+		for _, a := range plan.FailedAttempts {
+			if a.Reason != reason {
+				t.Fatal("unsuccessful attempts should share one reason")
+			}
+			if a.RTFMinutes <= 0 {
+				t.Fatalf("non-positive RTF %v", a.RTFMinutes)
+			}
+		}
+		// Deterministic reasons reproduce at nearly the same RTF.
+		if reason.Deterministic && len(plan.FailedAttempts) >= 2 {
+			r0, r1 := plan.FailedAttempts[0].RTFMinutes, plan.FailedAttempts[1].RTFMinutes
+			if r1 < r0*0.8 || r1 > r0*1.2 {
+				t.Fatalf("deterministic retry RTF drifted: %v -> %v", r0, r1)
+			}
+		}
+	}
+}
+
+func TestKilledPlanStructure(t *testing.T) {
+	cfg := DefaultPlannerConfig()
+	cfg.UnsuccessfulProb = [NumSizeBuckets]float64{0, 0, 0, 0}
+	cfg.KilledProb = [NumSizeBuckets]float64{1, 1, 1, 1}
+	cfg.TransientFailureProb = [NumSizeBuckets]float64{0, 0, 0, 0}
+	p, err := NewPlanner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := stats.NewRNG(5)
+	for i := 0; i < 100; i++ {
+		plan := p.PlanJob(1, nil, g)
+		if plan.Outcome != Killed {
+			t.Fatal("forced killed outcome not honored")
+		}
+		if plan.KillFraction < 0.3 || plan.KillFraction > 1 {
+			t.Fatalf("KillFraction = %v out of [0.3, 1]", plan.KillFraction)
+		}
+		if len(plan.FailedAttempts) != 0 {
+			t.Fatal("transient failures disabled but plan has failed attempts")
+		}
+		if plan.Retries() != 0 || plan.TotalAttempts() != 1 {
+			t.Fatal("killed job without transients should have exactly 1 attempt")
+		}
+	}
+}
+
+func TestTransientFailuresAreRetryable(t *testing.T) {
+	cfg := DefaultPlannerConfig()
+	cfg.UnsuccessfulProb = [NumSizeBuckets]float64{0, 0, 0, 0}
+	cfg.KilledProb = [NumSizeBuckets]float64{0, 0, 0, 0}
+	cfg.TransientFailureProb = [NumSizeBuckets]float64{1, 1, 1, 1}
+	p, err := NewPlanner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := stats.NewRNG(6)
+	for i := 0; i < 200; i++ {
+		plan := p.PlanJob(8, nil, g)
+		if plan.Outcome != Passed {
+			t.Fatal("want passed outcome")
+		}
+		if len(plan.FailedAttempts) == 0 {
+			t.Fatal("forced transient failure missing")
+		}
+		for _, a := range plan.FailedAttempts {
+			if a.Reason.Deterministic {
+				t.Fatalf("transient attempt used deterministic reason %s", a.Reason.Code)
+			}
+		}
+		if plan.Retries() != len(plan.FailedAttempts) {
+			t.Fatal("retries for passed job should equal failed attempts")
+		}
+	}
+}
+
+func TestDemandConditioning(t *testing.T) {
+	p, err := NewPlanner(DefaultPlannerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := stats.NewRNG(7)
+	count := func(gpus int, code string, n int) float64 {
+		hits := 0
+		for i := 0; i < n; i++ {
+			if p.SampleReason(gpus, g).Code == code {
+				hits++
+			}
+		}
+		return float64(hits) / float64(n)
+	}
+	// CPU OOM is overwhelmingly a 1-GPU phenomenon in Table 7
+	// (11465 / 235 / 376).
+	oom1 := count(1, CodeCPUOOM, 20000)
+	oom16 := count(16, CodeCPUOOM, 20000)
+	if oom1 <= oom16 {
+		t.Errorf("CPU OOM should concentrate on 1-GPU jobs: %v vs %v", oom1, oom16)
+	}
+	// CUDA ver. mismatch is a >4 GPU phenomenon (1 / 1 / 47).
+	ver16 := count(16, CodeCUDAVerMismatch, 20000)
+	ver1 := count(1, CodeCUDAVerMismatch, 20000)
+	if ver16 <= ver1 {
+		t.Errorf("CUDA ver mismatch should concentrate on >4 GPU: %v vs %v", ver1, ver16)
+	}
+}
+
+func TestRTFCalibration(t *testing.T) {
+	p, err := NewPlanner(DefaultPlannerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := stats.NewRNG(8)
+	m := ByCode()
+	// Reasons without a demand-RTF tilt reproduce their marginals at any
+	// demand; sloped reasons (ckpt, incorrect inputs, ...) are recentred at
+	// the mean demand and are checked by the demand-trend tests instead.
+	for _, code := range []string{CodeCPUOOM, CodeGPUOOM, CodeSyntaxError} {
+		r := m[code]
+		if r.DemandRTFSlope != 0 {
+			t.Fatalf("%s unexpectedly has a demand tilt; pick another test reason", code)
+		}
+		var vals []float64
+		for i := 0; i < 20000; i++ {
+			vals = append(vals, p.SampleRTFMinutes(r, 1, g))
+		}
+		med := stats.Percentile(vals, 50)
+		if med < r.RTFMedianMin*0.8 || med > r.RTFMedianMin*1.25 {
+			t.Errorf("%s sampled median %v, want ~%v", code, med, r.RTFMedianMin)
+		}
+		p90 := stats.Percentile(vals, 90)
+		if p90 < r.RTFP90Min*0.7 || p90 > r.RTFP90Min*1.4 {
+			t.Errorf("%s sampled p90 %v, want ~%v", code, p90, r.RTFP90Min)
+		}
+	}
+}
+
+func TestRTFCapAtP95(t *testing.T) {
+	p, err := NewPlanner(DefaultPlannerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := stats.NewRNG(21)
+	r := ByCode()[CodeIncorrectInputs]
+	for i := 0; i < 50000; i++ {
+		if v := p.SampleRTFMinutes(r, 2, g); v > 1.5*r.RTFP95Min {
+			t.Fatalf("RTF draw %v exceeds 1.5x p95 cap %v", v, 1.5*r.RTFP95Min)
+		}
+	}
+}
+
+func TestHeavyTransientsFailFasterAtScale(t *testing.T) {
+	// Figure 10 (a, c, d): for incorrect inputs / ckpt error / MPI runtime,
+	// large-demand trials fail sooner than small-demand ones.
+	p, err := NewPlanner(DefaultPlannerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := stats.NewRNG(22)
+	for _, code := range []string{CodeIncorrectInputs, CodeModelCkptError, CodeMPIRuntime} {
+		r := ByCode()[code]
+		med := func(gpus int) float64 {
+			var vals []float64
+			for i := 0; i < 10000; i++ {
+				vals = append(vals, p.SampleRTFMinutes(r, gpus, g))
+			}
+			return stats.Percentile(vals, 50)
+		}
+		if m1, m16 := med(1), med(16); m16 >= m1 {
+			t.Errorf("%s: 16-GPU median RTF %v should be below 1-GPU %v", code, m16, m1)
+		}
+	}
+}
+
+func TestSemanticErrorRTFGrowsWithDemand(t *testing.T) {
+	p, err := NewPlanner(DefaultPlannerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := stats.NewRNG(9)
+	r := ByCode()[CodeSemanticError]
+	median := func(gpus int) float64 {
+		var vals []float64
+		for i := 0; i < 10000; i++ {
+			vals = append(vals, p.SampleRTFMinutes(r, gpus, g))
+		}
+		return stats.Percentile(vals, 50)
+	}
+	m1, m16 := median(1), median(16)
+	if m16 <= 2*m1 {
+		t.Errorf("Figure 10: semantic-error RTF should grow strongly with demand; 1 GPU %v vs 16 GPU %v", m1, m16)
+	}
+}
+
+func TestUserFavoriteBias(t *testing.T) {
+	cfg := DefaultPlannerConfig()
+	cfg.UnsuccessfulProb = [NumSizeBuckets]float64{1, 1, 1, 1}
+	cfg.KilledProb = [NumSizeBuckets]float64{0, 0, 0, 0}
+	cfg.UserFavoriteBias = 1.0
+	p, err := NewPlanner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := stats.NewRNG(10)
+	fav := ByCode()[CodeGPUOOM]
+	for i := 0; i < 50; i++ {
+		plan := p.PlanJob(1, fav, g)
+		if plan.FailedAttempts[0].Reason.Code != CodeGPUOOM {
+			t.Fatal("full favorite bias should pin the reason")
+		}
+	}
+}
+
+func TestPlannerReasonsIncludeNoSignature(t *testing.T) {
+	p, err := NewPlanner(DefaultPlannerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range p.Reasons() {
+		if r.Code == CodeNoSignature {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("planner reason set must include the no-signature pseudo-reason")
+	}
+}
+
+// Property: every plan is internally consistent.
+func TestPlanConsistencyProperty(t *testing.T) {
+	p, err := NewPlanner(DefaultPlannerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64, gpusRaw uint8) bool {
+		g := stats.NewRNG(seed)
+		gpus := 1 + int(gpusRaw)%32
+		plan := p.PlanJob(gpus, nil, g)
+		switch plan.Outcome {
+		case Unsuccessful:
+			if len(plan.FailedAttempts) == 0 {
+				return false
+			}
+		case Killed:
+			if plan.KillFraction <= 0 || plan.KillFraction > 1 {
+				return false
+			}
+		}
+		for _, a := range plan.FailedAttempts {
+			if a.Reason == nil || a.RTFMinutes <= 0 {
+				return false
+			}
+		}
+		return plan.TotalAttempts() >= 1 && plan.Retries() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

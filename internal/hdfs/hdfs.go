@@ -1,0 +1,173 @@
+// Package hdfs simulates the distributed store Philly uses for training
+// inputs and model checkpoints (§2.2). The simulation captures the two
+// behaviours the paper's failure analysis depends on: reads of input data
+// that can surface corrupt/missing blocks deep into a job's runtime
+// ("incorrect inputs" failures with a heavy RTF tail), and checkpoint
+// writes that fail transiently during name-node recovery windows ("model
+// ckpt error", the failure class with the longest runtime-to-failure).
+package hdfs
+
+import (
+	"fmt"
+	"sort"
+
+	"philly/internal/simulation"
+	"philly/internal/stats"
+)
+
+// Config parameterizes the simulated store.
+type Config struct {
+	// Datasets maps dataset paths to their health. Reads of corrupt
+	// datasets fail when the reader reaches the corrupt region.
+	Datasets map[string]Dataset
+	// TransientWriteFailureProb is the probability a checkpoint write
+	// fails outside recovery windows (lease churn, slow datanodes).
+	TransientWriteFailureProb float64
+	// RecoveryWindows are [start, end) intervals of simulated time during
+	// which the name node is recovering and writes fail.
+	RecoveryWindows []Window
+}
+
+// Window is a half-open simulated-time interval.
+type Window struct {
+	Start, End simulation.Time
+}
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t simulation.Time) bool { return t >= w.Start && t < w.End }
+
+// Dataset describes one stored dataset.
+type Dataset struct {
+	// Blocks is the number of HDFS blocks.
+	Blocks int
+	// CorruptBlock is the index of a corrupt block, or -1 for a healthy
+	// dataset.
+	CorruptBlock int
+}
+
+// DefaultConfig returns a healthy store with a low transient failure rate
+// and no scheduled recovery windows.
+func DefaultConfig() Config {
+	return Config{
+		Datasets:                  map[string]Dataset{},
+		TransientWriteFailureProb: 0.002,
+	}
+}
+
+// Store is the simulated file system.
+type Store struct {
+	cfg Config
+	rng *stats.RNG
+}
+
+// New builds a store. It returns an error for invalid configurations.
+func New(cfg Config, rng *stats.RNG) (*Store, error) {
+	if cfg.TransientWriteFailureProb < 0 || cfg.TransientWriteFailureProb > 1 {
+		return nil, fmt.Errorf("hdfs: transient failure prob %v out of [0, 1]", cfg.TransientWriteFailureProb)
+	}
+	for path, ds := range cfg.Datasets {
+		if ds.Blocks <= 0 {
+			return nil, fmt.Errorf("hdfs: dataset %q has %d blocks", path, ds.Blocks)
+		}
+		if ds.CorruptBlock >= ds.Blocks {
+			return nil, fmt.Errorf("hdfs: dataset %q corrupt block %d out of range", path, ds.CorruptBlock)
+		}
+	}
+	for i, w := range cfg.RecoveryWindows {
+		if w.End <= w.Start {
+			return nil, fmt.Errorf("hdfs: recovery window %d is empty or inverted", i)
+		}
+	}
+	// Sort windows for deterministic reporting.
+	sort.Slice(cfg.RecoveryWindows, func(i, j int) bool {
+		return cfg.RecoveryWindows[i].Start < cfg.RecoveryWindows[j].Start
+	})
+	return &Store{cfg: cfg, rng: rng}, nil
+}
+
+// AddDataset registers a dataset.
+func (s *Store) AddDataset(path string, ds Dataset) error {
+	if ds.Blocks <= 0 {
+		return fmt.Errorf("hdfs: dataset %q has %d blocks", path, ds.Blocks)
+	}
+	if ds.CorruptBlock >= ds.Blocks {
+		return fmt.Errorf("hdfs: dataset %q corrupt block %d out of range", path, ds.CorruptBlock)
+	}
+	s.cfg.Datasets[path] = ds
+	return nil
+}
+
+// ReadError describes a failed read.
+type ReadError struct {
+	Path  string
+	Block int
+	Kind  string // "missing" or "corrupt"
+}
+
+// Error implements error.
+func (e *ReadError) Error() string {
+	return fmt.Sprintf("hdfs: %s dataset %q at block %d", e.Kind, e.Path, e.Block)
+}
+
+// ReadBlock simulates reading one block of a dataset. It returns an error
+// for unknown datasets or when the block is the corrupt one — the latter is
+// how "incorrect inputs" failures surface only once the reader reaches the
+// bad region, explaining the paper's heavy RTF tail for that class.
+func (s *Store) ReadBlock(path string, block int) error {
+	ds, ok := s.cfg.Datasets[path]
+	if !ok {
+		return &ReadError{Path: path, Block: block, Kind: "missing"}
+	}
+	if block < 0 || block >= ds.Blocks {
+		return &ReadError{Path: path, Block: block, Kind: "missing"}
+	}
+	if block == ds.CorruptBlock {
+		return &ReadError{Path: path, Block: block, Kind: "corrupt"}
+	}
+	return nil
+}
+
+// EpochOfFirstReadFailure returns the 1-based epoch at which a job reading
+// the dataset sequentially (blocksPerEpoch blocks per epoch, restarting each
+// epoch) first hits a read failure, or 0 if it never fails.
+func (s *Store) EpochOfFirstReadFailure(path string, blocksPerEpoch int) int {
+	ds, ok := s.cfg.Datasets[path]
+	if !ok {
+		return 1 // missing dataset fails on the first read
+	}
+	if ds.CorruptBlock < 0 {
+		return 0
+	}
+	if blocksPerEpoch <= 0 {
+		return 0
+	}
+	// Sequential epoch reads cover the dataset start-to-end each epoch, so
+	// a corrupt block within the per-epoch window fails in epoch 1; blocks
+	// beyond it fail in the epoch that reaches them.
+	return ds.CorruptBlock/blocksPerEpoch + 1
+}
+
+// WriteCheckpoint simulates writing a model checkpoint at time now. It
+// fails during name-node recovery windows and, with the configured small
+// probability, transiently at any time.
+func (s *Store) WriteCheckpoint(path string, now simulation.Time) error {
+	for _, w := range s.cfg.RecoveryWindows {
+		if w.Contains(now) {
+			return fmt.Errorf("hdfs: namenode is in safe mode (recovery window), cannot write %q", path)
+		}
+	}
+	if s.rng != nil && s.rng.Bool(s.cfg.TransientWriteFailureProb) {
+		return fmt.Errorf("hdfs: transient failure writing checkpoint %q: lease expired", path)
+	}
+	return nil
+}
+
+// InRecovery reports whether the name node is recovering at time t.
+func (s *Store) InRecovery(t simulation.Time) bool {
+	for _, w := range s.cfg.RecoveryWindows {
+		if w.Contains(t) {
+			return true
+		}
+	}
+	return false
+}

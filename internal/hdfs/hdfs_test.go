@@ -1,0 +1,136 @@
+package hdfs
+
+import (
+	"strings"
+	"testing"
+
+	"philly/internal/simulation"
+	"philly/internal/stats"
+)
+
+func TestNewValidation(t *testing.T) {
+	g := stats.NewRNG(1)
+	if _, err := New(Config{TransientWriteFailureProb: 1.5}, g); err == nil {
+		t.Error("want error for prob > 1")
+	}
+	if _, err := New(Config{Datasets: map[string]Dataset{"x": {Blocks: 0}}}, g); err == nil {
+		t.Error("want error for zero blocks")
+	}
+	if _, err := New(Config{Datasets: map[string]Dataset{"x": {Blocks: 5, CorruptBlock: 5}}}, g); err == nil {
+		t.Error("want error for corrupt block out of range")
+	}
+	if _, err := New(Config{RecoveryWindows: []Window{{Start: 10, End: 10}}}, g); err == nil {
+		t.Error("want error for empty window")
+	}
+}
+
+func TestReadBlock(t *testing.T) {
+	g := stats.NewRNG(2)
+	s, err := New(Config{Datasets: map[string]Dataset{
+		"/data/imagenet": {Blocks: 100, CorruptBlock: 42},
+		"/data/speech":   {Blocks: 10, CorruptBlock: -1},
+	}}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReadBlock("/data/speech", 5); err != nil {
+		t.Errorf("healthy read failed: %v", err)
+	}
+	err = s.ReadBlock("/data/imagenet", 42)
+	if err == nil {
+		t.Fatal("corrupt block read succeeded")
+	}
+	re, ok := err.(*ReadError)
+	if !ok || re.Kind != "corrupt" {
+		t.Errorf("error = %v", err)
+	}
+	if !strings.Contains(err.Error(), "corrupt") {
+		t.Errorf("error text: %v", err)
+	}
+	if err := s.ReadBlock("/data/missing", 0); err == nil {
+		t.Error("missing dataset read succeeded")
+	}
+	if err := s.ReadBlock("/data/speech", 99); err == nil {
+		t.Error("out-of-range block read succeeded")
+	}
+}
+
+func TestEpochOfFirstReadFailure(t *testing.T) {
+	g := stats.NewRNG(3)
+	s, err := New(Config{Datasets: map[string]Dataset{
+		"/d": {Blocks: 100, CorruptBlock: 55},
+		"/h": {Blocks: 100, CorruptBlock: -1},
+	}}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 blocks/epoch: block 55 is read during epoch 6.
+	if got := s.EpochOfFirstReadFailure("/d", 10); got != 6 {
+		t.Errorf("epoch = %d, want 6", got)
+	}
+	if got := s.EpochOfFirstReadFailure("/h", 10); got != 0 {
+		t.Errorf("healthy dataset epoch = %d, want 0", got)
+	}
+	if got := s.EpochOfFirstReadFailure("/missing", 10); got != 1 {
+		t.Errorf("missing dataset epoch = %d, want 1", got)
+	}
+	if got := s.EpochOfFirstReadFailure("/d", 0); got != 0 {
+		t.Errorf("zero blocks/epoch = %d, want 0", got)
+	}
+}
+
+func TestCheckpointRecoveryWindows(t *testing.T) {
+	g := stats.NewRNG(4)
+	s, err := New(Config{
+		RecoveryWindows: []Window{{Start: 100, End: 200}},
+	}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteCheckpoint("/ckpt/m", 50); err != nil {
+		t.Errorf("write outside window failed: %v", err)
+	}
+	if err := s.WriteCheckpoint("/ckpt/m", 150); err == nil {
+		t.Error("write inside recovery window succeeded")
+	}
+	if !s.InRecovery(150) || s.InRecovery(250) {
+		t.Error("InRecovery wrong")
+	}
+}
+
+func TestTransientWriteFailures(t *testing.T) {
+	g := stats.NewRNG(5)
+	s, err := New(Config{TransientWriteFailureProb: 0.5}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failures := 0
+	for i := 0; i < 1000; i++ {
+		if err := s.WriteCheckpoint("/c", simulation.Time(i)); err != nil {
+			failures++
+		}
+	}
+	if failures < 400 || failures > 600 {
+		t.Errorf("transient failures = %d/1000, want ~500", failures)
+	}
+}
+
+func TestAddDataset(t *testing.T) {
+	g := stats.NewRNG(6)
+	s, err := New(DefaultConfig(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddDataset("/new", Dataset{Blocks: 10, CorruptBlock: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReadBlock("/new", 3); err != nil {
+		t.Errorf("read after add failed: %v", err)
+	}
+	if err := s.AddDataset("/bad", Dataset{Blocks: 0}); err == nil {
+		t.Error("want error for invalid dataset")
+	}
+	if err := s.AddDataset("/bad2", Dataset{Blocks: 3, CorruptBlock: 9}); err == nil {
+		t.Error("want error for out-of-range corrupt block")
+	}
+}

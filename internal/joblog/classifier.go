@@ -1,0 +1,61 @@
+package joblog
+
+import (
+	"strings"
+)
+
+// NoSignature is the classification returned when no rule matches a failed
+// job's log (Table 7's "No signature" row; 4.2% of failures in the paper).
+const NoSignature = "no_signature"
+
+// Classifier attributes a failure log to a root-cause reason code using the
+// compiled signature rules. The zero value is not usable; call NewClassifier.
+type Classifier struct {
+	rules []Rule
+}
+
+// NewClassifier builds a classifier over the full rule set.
+func NewClassifier() *Classifier {
+	return &Classifier{rules: compiledRules}
+}
+
+// Classify scans the log and returns the reason code of the best-priority
+// matching rule, or NoSignature when nothing matches. Matching is
+// case-insensitive. Rules closer to the root cause (explicit signatures)
+// shadow implicit ones such as bare tracebacks, mirroring the paper's
+// "identifying signatures of failure reasons closer to the root cause".
+func (c *Classifier) Classify(log string) string {
+	if log == "" {
+		return NoSignature
+	}
+	lower := strings.ToLower(log)
+	// Rules are pre-sorted by (priority asc, pattern length desc), so the
+	// first match is the best-priority, most-specific attribution.
+	for _, r := range c.rules {
+		if strings.Contains(lower, r.Pattern) {
+			return r.Reason
+		}
+	}
+	return NoSignature
+}
+
+// ClassifyAll classifies a batch of logs and returns per-reason counts.
+func (c *Classifier) ClassifyAll(logs []string) map[string]int {
+	counts := make(map[string]int)
+	for _, l := range logs {
+		counts[c.Classify(l)]++
+	}
+	return counts
+}
+
+// MatchingRule returns the rule that Classify would apply to the log, and
+// whether any rule matched; useful for classifier debugging and tests.
+func (c *Classifier) MatchingRule(log string) (Rule, bool) {
+	lower := strings.ToLower(log)
+	for _, r := range c.rules {
+		if strings.Contains(lower, r.Pattern) {
+			return r, true
+		}
+	}
+	return Rule{}, false
+}

@@ -1,0 +1,155 @@
+package joblog
+
+import (
+	"fmt"
+	"strings"
+
+	"philly/internal/stats"
+)
+
+// Generator synthesizes framework stdout/stderr logs. Logs are what the
+// production pipeline actually has to work with, so this reproduction
+// routes failure attribution (Table 7) and convergence analysis (Figure 8)
+// through generated text rather than through the simulator's ground truth.
+type Generator struct {
+	// perReason maps a reason code to its candidate explicit signatures
+	// (each formatted into a full log line when emitted).
+	perReason map[string][]string
+}
+
+// NewGenerator builds a generator sharing the classifier's signature
+// vocabulary: every reason's emitted signatures come from the same pattern
+// set the classifier knows, plus surrounding noise that must not confuse it.
+func NewGenerator() *Generator {
+	per := make(map[string][]string)
+	for _, spec := range ruleSpecs {
+		per[spec.reason] = append(per[spec.reason], spec.patterns...)
+	}
+	return &Generator{perReason: per}
+}
+
+// frameworks the cluster runs (paper §2.1).
+var frameworks = []string{"tensorflow", "cntk", "caffe", "pytorch"}
+
+// Framework returns a deterministic pseudo-random framework name.
+func Framework(g *stats.RNG) string { return frameworks[g.IntN(len(frameworks))] }
+
+// preamble lines common to all jobs.
+func preamble(fw string, gpus int, g *stats.RNG) []string {
+	lines := []string{
+		fmt.Sprintf("[launcher] starting container, framework=%s requested_gpus=%d", fw, gpus),
+		"[launcher] mounting /hdfs/input and /hdfs/output",
+		fmt.Sprintf("[%s] session initialized, visible devices: %d", fw, gpus),
+	}
+	if gpus > 1 {
+		lines = append(lines, fmt.Sprintf("[%s] initializing %d workers for data-parallel training", fw, gpus))
+	}
+	if g.Bool(0.5) {
+		lines = append(lines, "[launcher] docker image pulled in 42s")
+	}
+	return lines
+}
+
+// progressLines emits n benign per-iteration lines.
+func progressLines(fw string, n int, g *stats.RNG) []string {
+	lines := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		step := (i + 1) * 100
+		lines = append(lines, fmt.Sprintf("[%s] step %d: images/sec=%.1f", fw, step, 40+g.Float64()*200))
+	}
+	return lines
+}
+
+// FailureLog renders a log for an attempt that failed with the given reason
+// code. For the pseudo-reason "no_signature" (or an unknown code) the log
+// contains only noise, so the classifier's fallback path is exercised.
+// Crash-type failures additionally embed an implicit generic traceback
+// *after* the explicit signature would normally appear — the classifier
+// must still attribute the root cause, as the paper's does.
+func (gen *Generator) FailureLog(reason string, gpus int, g *stats.RNG) string {
+	fw := Framework(g)
+	var b strings.Builder
+	write := func(lines ...string) {
+		for _, l := range lines {
+			b.WriteString(l)
+			b.WriteByte('\n')
+		}
+	}
+	write(preamble(fw, gpus, g)...)
+	write(progressLines(fw, 1+g.IntN(4), g)...)
+
+	sigs := gen.perReason[reason]
+	if len(sigs) == 0 || reason == NoSignature {
+		// Unattributable failure: the process just dies.
+		write(fmt.Sprintf("[%s] worker 0 exited with code %d", fw, 1+g.IntN(254)))
+		return b.String()
+	}
+	sig := sigs[g.IntN(len(sigs))]
+	write(fmt.Sprintf("[%s] E %s", fw, decorateSignature(sig, g)))
+	// Many user/engine errors surface a Python traceback as a consequence
+	// of the root cause; emit one so the classifier has to prefer the
+	// explicit signature over the implicit one.
+	if g.Bool(0.6) && reason != "traceback_from_crash" {
+		write("Traceback (most recent call last):",
+			fmt.Sprintf("  File \"train.py\", line %d, in <module>", 10+g.IntN(400)),
+			"    main()",
+			fmt.Sprintf("  File \"train.py\", line %d, in main", 10+g.IntN(400)),
+			"    run_epoch(sess, model)")
+	}
+	write(fmt.Sprintf("[launcher] job attempt failed, exit code %d", 1+g.IntN(254)))
+	return b.String()
+}
+
+// decorateSignature wraps a bare signature pattern in plausible context so
+// logs are not literally just the rule strings.
+func decorateSignature(sig string, g *stats.RNG) string {
+	switch g.IntN(3) {
+	case 0:
+		return sig
+	case 1:
+		return fmt.Sprintf("worker %d: %s", g.IntN(16), sig)
+	default:
+		return fmt.Sprintf("%s (see attempt logs for details)", sig)
+	}
+}
+
+// TrainingLog renders the log of a (partially) successful run that reports
+// per-epoch loss values — the convergence information Figure 8 parses.
+// losses[i] is the loss after epoch i+1.
+func (gen *Generator) TrainingLog(losses []float64, gpus int, g *stats.RNG) string {
+	fw := Framework(g)
+	var b strings.Builder
+	for _, l := range preamble(fw, gpus, g) {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	for i, loss := range losses {
+		fmt.Fprintf(&b, "[%s] Epoch %d/%d finished: loss=%.9f\n", fw, i+1, len(losses), loss)
+		if g.Bool(0.2) {
+			fmt.Fprintf(&b, "[%s] validation accuracy: %.4f\n", fw, 0.5+0.5*float64(i+1)/float64(len(losses)+1))
+		}
+	}
+	b.WriteString("[launcher] job attempt finished\n")
+	return b.String()
+}
+
+// ParseLossCurve extracts per-epoch losses from a training log produced by
+// TrainingLog (or any log with "Epoch k/n ... loss=v" lines). It returns
+// losses in epoch order; missing epochs simply do not appear.
+func ParseLossCurve(log string) []float64 {
+	var losses []float64
+	for _, line := range strings.Split(log, "\n") {
+		idx := strings.Index(line, "loss=")
+		if idx < 0 {
+			continue
+		}
+		if !strings.Contains(line, "Epoch ") {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(line[idx:], "loss=%f", &v); err == nil {
+			losses = append(losses, v)
+		}
+	}
+	return losses
+}

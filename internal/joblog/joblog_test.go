@@ -1,0 +1,237 @@
+package joblog
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"philly/internal/failures"
+	"philly/internal/stats"
+)
+
+func TestRuleCountMatchesPaperScale(t *testing.T) {
+	// Paper §4.2.1: "our classifier has in total more than 230 rules".
+	if n := NumRules(); n < 230 {
+		t.Fatalf("classifier has %d rules, paper requires > 230", n)
+	}
+}
+
+func TestRulesCoverEveryTaxonomyReason(t *testing.T) {
+	byReason := map[string]int{}
+	for _, r := range Rules() {
+		byReason[r.Reason]++
+	}
+	for _, reason := range failures.Taxonomy() {
+		if byReason[reason.Code] == 0 {
+			t.Errorf("no classifier rules for reason %s", reason.Code)
+		}
+	}
+}
+
+func TestRulesAreLowercaseAndOrdered(t *testing.T) {
+	rules := Rules()
+	for i, r := range rules {
+		if r.Pattern != strings.ToLower(r.Pattern) {
+			t.Errorf("rule %d pattern not lowercase: %q", i, r.Pattern)
+		}
+		if i > 0 {
+			prev := rules[i-1]
+			if prev.Priority > r.Priority {
+				t.Fatalf("rules not sorted by priority at %d", i)
+			}
+			if prev.Priority == r.Priority && len(prev.Pattern) < len(r.Pattern) {
+				t.Fatalf("rules not sorted by specificity at %d", i)
+			}
+		}
+	}
+}
+
+func TestClassifyExplicitSignatures(t *testing.T) {
+	c := NewClassifier()
+	cases := []struct {
+		log  string
+		want string
+	}{
+		{"RuntimeError: CUDA out of memory. Tried to allocate 2.00 GiB", failures.CodeGPUOOM},
+		{"train.py: SyntaxError: invalid syntax", failures.CodeSyntaxError},
+		{"ImportError: No module named 'cntk'", failures.CodeImportError},
+		{"FileNotFoundError: [Errno 2] no such file", failures.CodeIncorrectInputs},
+		{"terminate called after throwing an instance of 'std::bad_alloc'", failures.CodeCPUOOM},
+		{"MPI_ABORT was invoked on rank 3", failures.CodeMPIError},
+		{"mpirun noticed that process rank 2 exited on signal 9", failures.CodeMPIRuntime},
+		{"org.apache.hadoop.security.AccessControlException: denied", failures.CodePermissionError},
+		{"Loss is NaN at iteration 4000, stopping", failures.CodeModelDiverged},
+		{"Failed to save model checkpoint after epoch 12", failures.CodeModelCkptError},
+		{"CUDA error: an illegal memory access was encountered", failures.CodeInvalidMemAccess},
+		{"failed call to cuInit: CUDA_ERROR_NO_DEVICE", failures.CodeCUDAInitFailed},
+		{"Uncorrectable ECC error encountered on device 3", failures.CodeGPUECCError},
+		{"error while loading shared libraries: libcudart.so.8.0", failures.CodeCannotLoadLibs},
+		{"container preempted by scheduler at 2017-11-02", failures.CodeJobPreempted},
+	}
+	for _, tc := range cases {
+		if got := c.Classify(tc.log); got != tc.want {
+			t.Errorf("Classify(%q) = %s, want %s", tc.log, got, tc.want)
+		}
+	}
+}
+
+func TestClassifyPrefersRootCauseOverTraceback(t *testing.T) {
+	c := NewClassifier()
+	log := strings.Join([]string{
+		"[pytorch] step 100: images/sec=120",
+		"Traceback (most recent call last):",
+		"  File \"train.py\", line 42, in <module>",
+		"ValueError: dimensions must be equal, got 128 and 256",
+	}, "\n")
+	if got := c.Classify(log); got != failures.CodeSemanticError {
+		t.Errorf("Classify = %s, want semantic_error (root cause over traceback)", got)
+	}
+	// A bare traceback with no explicit signature falls back to the
+	// implicit class.
+	bare := "Traceback (most recent call last):\n  File \"x.py\", line 1\n    boom()"
+	if got := c.Classify(bare); got != failures.CodeTraceback {
+		t.Errorf("Classify(bare traceback) = %s, want traceback_from_crash", got)
+	}
+}
+
+func TestClassifyCaseInsensitive(t *testing.T) {
+	c := NewClassifier()
+	if got := c.Classify("CUDA OUT OF MEMORY"); got != failures.CodeGPUOOM {
+		t.Errorf("uppercase log: got %s", got)
+	}
+}
+
+func TestClassifyNoSignature(t *testing.T) {
+	c := NewClassifier()
+	if got := c.Classify(""); got != NoSignature {
+		t.Errorf("empty log: got %s", got)
+	}
+	if got := c.Classify("everything is fine, worker exited"); got != NoSignature {
+		t.Errorf("benign log: got %s", got)
+	}
+}
+
+func TestClassifySpecificityWithinPriority(t *testing.T) {
+	c := NewClassifier()
+	// "segmentation fault (core dumped)" matches both the core_dump strong
+	// rule and the implicit "segmentation fault"; strong must win.
+	if got := c.Classify("Segmentation fault (core dumped)"); got != failures.CodeCoreDump {
+		t.Errorf("got %s, want core_dump", got)
+	}
+	// The invalid-mem-access explicit rule beats the core-dump strong rule
+	// when both appear.
+	log := "CUDA error: an illegal memory access was encountered\nAborted (core dumped)"
+	if got := c.Classify(log); got != failures.CodeInvalidMemAccess {
+		t.Errorf("got %s, want invalid_mem_access", got)
+	}
+}
+
+func TestMatchingRule(t *testing.T) {
+	c := NewClassifier()
+	r, ok := c.MatchingRule("CUDA out of memory")
+	if !ok || r.Reason != failures.CodeGPUOOM {
+		t.Errorf("MatchingRule = %+v, %v", r, ok)
+	}
+	if _, ok := c.MatchingRule("nothing here"); ok {
+		t.Error("MatchingRule matched a benign log")
+	}
+}
+
+func TestClassifyAll(t *testing.T) {
+	c := NewClassifier()
+	counts := c.ClassifyAll([]string{
+		"CUDA out of memory",
+		"cuda out of memory again",
+		"all good",
+	})
+	if counts[failures.CodeGPUOOM] != 2 || counts[NoSignature] != 1 {
+		t.Errorf("ClassifyAll = %v", counts)
+	}
+}
+
+// End-to-end round trip: for every reason in the taxonomy, generated logs
+// classify back to the same reason. This is the pipeline Table 7 depends on.
+func TestGenerateClassifyRoundTrip(t *testing.T) {
+	gen := NewGenerator()
+	c := NewClassifier()
+	g := stats.NewRNG(11)
+	for _, reason := range failures.Taxonomy() {
+		misses := 0
+		const trials = 100
+		for i := 0; i < trials; i++ {
+			log := gen.FailureLog(reason.Code, 4, g)
+			if got := c.Classify(log); got != reason.Code {
+				misses++
+				if misses == 1 {
+					t.Logf("first miss for %s -> %s; log:\n%s", reason.Code, got, log)
+				}
+			}
+		}
+		if misses > 0 {
+			t.Errorf("reason %s: %d/%d generated logs misclassified", reason.Code, misses, trials)
+		}
+	}
+}
+
+func TestNoSignatureLogsClassifyAsNoSignature(t *testing.T) {
+	gen := NewGenerator()
+	c := NewClassifier()
+	g := stats.NewRNG(12)
+	for i := 0; i < 100; i++ {
+		log := gen.FailureLog(NoSignature, 2, g)
+		if got := c.Classify(log); got != NoSignature {
+			t.Fatalf("no-signature log classified as %s:\n%s", got, log)
+		}
+	}
+}
+
+func TestFailureLogLooksLikeALog(t *testing.T) {
+	gen := NewGenerator()
+	g := stats.NewRNG(13)
+	log := gen.FailureLog(failures.CodeGPUOOM, 8, g)
+	if !strings.Contains(log, "[launcher] starting container") {
+		t.Error("missing preamble")
+	}
+	if !strings.Contains(log, "requested_gpus=8") {
+		t.Error("missing gpu count")
+	}
+	if len(strings.Split(log, "\n")) < 5 {
+		t.Error("log too short to be realistic")
+	}
+}
+
+func TestTrainingLogRoundTrip(t *testing.T) {
+	gen := NewGenerator()
+	g := stats.NewRNG(14)
+	losses := []float64{2.5, 1.75, 1.2, 0.9, 0.85}
+	log := gen.TrainingLog(losses, 4, g)
+	parsed := ParseLossCurve(log)
+	if len(parsed) != len(losses) {
+		t.Fatalf("parsed %d losses, want %d", len(parsed), len(losses))
+	}
+	for i := range losses {
+		if math.Abs(parsed[i]-losses[i]) > 1e-5 {
+			t.Errorf("loss %d = %v, want %v", i, parsed[i], losses[i])
+		}
+	}
+}
+
+func TestParseLossCurveIgnoresJunk(t *testing.T) {
+	log := "noise\nloss=abc\nEpoch 1/2 finished: loss=0.5\nvalidation loss=9 without epoch marker... actually has loss=\n"
+	parsed := ParseLossCurve(log)
+	if len(parsed) != 1 || parsed[0] != 0.5 {
+		t.Errorf("parsed = %v, want [0.5]", parsed)
+	}
+	if got := ParseLossCurve(""); got != nil {
+		t.Errorf("empty log parsed to %v", got)
+	}
+}
+
+func TestFrameworkDeterministic(t *testing.T) {
+	a, b := stats.NewRNG(99), stats.NewRNG(99)
+	for i := 0; i < 20; i++ {
+		if Framework(a) != Framework(b) {
+			t.Fatal("Framework not deterministic under equal seeds")
+		}
+	}
+}

@@ -1,0 +1,388 @@
+// Package joblog synthesizes the stdout/stderr logs that DNN training
+// frameworks emit and implements the signature classifier the paper built
+// to attribute failures to root causes (§4.2.1: "our classifier has in
+// total more than 230 rules to find both explicit signatures and implicit
+// signatures").
+//
+// Failure attribution is deliberately end-to-end in this reproduction: the
+// failure planner picks a reason, the log generator buries one of that
+// reason's signatures inside realistic framework noise (often alongside
+// *implicit* signatures like generic tracebacks), and the classifier must
+// recover the root cause from text alone. Table 7 is computed from the
+// classifier's output, not from the planner's ground truth, and the
+// pipeline's confusion matrix is part of the test suite.
+package joblog
+
+import (
+	"sort"
+	"strings"
+)
+
+// Rule maps a log signature to a failure-reason code. Rules are checked in
+// ascending Priority order; within a priority level, longer (more specific)
+// patterns win. Patterns are matched case-insensitively as substrings.
+type Rule struct {
+	// Pattern is the substring to search for (stored lowercase).
+	Pattern string
+	// Reason is the failure-reason code attributed on a match.
+	Reason string
+	// Priority orders rule application: lower values are root-cause
+	// signatures checked first; higher values are implicit signatures
+	// (e.g. a bare traceback) that only apply when nothing closer to the
+	// root cause matched.
+	Priority int
+}
+
+// Priorities: explicit root-cause signatures, then secondary signals, then
+// implicit catch-alls.
+const (
+	prioExplicit = 0
+	prioStrong   = 1
+	prioWeak     = 2
+	prioImplicit = 3
+)
+
+// ruleSpec is the static rule table, grouped by reason for readability.
+// Each entry expands to one Rule. The variants mirror the phrasings of
+// TensorFlow, PyTorch, Caffe, CNTK, CUDA, MPI, HDFS and glibc, since the
+// production cluster ran all of these (paper §2.1).
+type ruleSpec struct {
+	reason   string
+	priority int
+	patterns []string
+}
+
+var ruleSpecs = []ruleSpec{
+	// ---- CPU out of memory -------------------------------------------------
+	{reason: "cpu_oom", priority: prioExplicit, patterns: []string{
+		"container killed on request. exit code is 137",
+		"container is running beyond physical memory limits",
+		"killed process", // oom-killer kernel line
+		"out of memory: kill process",
+		"oom-killer invoked",
+		"memoryerror",
+		"cannot allocate memory",
+		"std::bad_alloc",
+		"terminate called after throwing an instance of 'std::bad_alloc'",
+		"malloc: memory exhausted",
+		"mmap failed: out of memory",
+		"virtual memory exhausted",
+		"exceeded memory limit of container",
+		"current usage: 64.2 gb of 64 gb physical memory used",
+		"fork: retry: resource temporarily unavailable",
+		"unable to fork new process: out of memory",
+		"allocator ran out of host memory",
+		"swap space exhausted during tensor staging",
+		"rss limit exceeded, terminating worker",
+	}},
+	// ---- Incorrect inputs --------------------------------------------------
+	{reason: "incorrect_inputs", priority: prioExplicit, patterns: []string{
+		"no such file or directory: 'hdfs://",
+		"input path does not exist",
+		"filenotfounderror",
+		"could not open training data file",
+		"failed to read sample from input dataset",
+		"error parsing record: truncated",
+		"corrupted record at offset",
+		"unexpected number of columns in sample",
+		"label out of range for dataset",
+		"data format mismatch: expected",
+		"hdfs_read failed for block",
+		"blockmissingexception",
+		"could not obtain block",
+		"invalid tfrecord: bad length crc",
+		"lmdb: corrupted entry",
+		"unable to deserialize minibatch source",
+		"error reading model file from hdfs",
+		"checksum mismatch while reading input",
+		"premature eof reading from input stream",
+		"ioerror: could not read bytes from dataset",
+		"sample index out of bounds for epoch manifest",
+		"vocabulary file missing token column",
+		"image decode failed: not a jpeg file",
+		"feature dimension 0 in input batch",
+		"empty input split assigned to reader",
+	}},
+	// ---- Semantic error ----------------------------------------------------
+	{reason: "semantic_error", priority: prioExplicit, patterns: []string{
+		"typeerror:",
+		"valueerror:",
+		"keyerror:",
+		"attributeerror:",
+		"indexerror:",
+		"shape mismatch between tensors",
+		"dimensions must be equal",
+		"incompatible shapes:",
+		"expected tensor of rank",
+		"cannot feed value of shape",
+		"tensor shapes do not match in allreduce",
+		"inconsistent tensor size across replicas",
+		"version mismatch between library",
+		"this program requires version",
+		"undefined symbol:",
+		"incompatible protobuf version",
+		"runtimeerror: expected type",
+		"mismatched parameter count during model update",
+		"zerodivisionerror:",
+		"assertionerror:",
+		"notimplementederror:",
+		"unboundlocalerror:",
+		"nameerror: name",
+		"graph contains a cycle",
+		"duplicate node name in graph",
+		"gradient for variable is none",
+		"loss tensor must be scalar",
+		"batch dimension mismatch between input and label",
+	}},
+	// ---- Core dump ---------------------------------------------------------
+	{reason: "core_dump", priority: prioStrong, patterns: []string{
+		"core dumped",
+		"aborted (core dumped)",
+		"segmentation fault (core dumped)", // still core dump class per paper
+		"dumping core",
+		"coredump written to",
+		"signal 6 (sigabrt)",
+		"assertion failed, aborting",
+		"*** aborted at",
+		"fatal signal received: sigabrt",
+	}},
+	// ---- Invalid memory access ----------------------------------------------
+	{reason: "invalid_mem_access", priority: prioExplicit, patterns: []string{
+		"invalid memory access",
+		"illegal memory access was encountered",
+		"cuda error: an illegal memory access",
+		"invalid pointer dereference",
+		"sigsegv: invalid memory reference",
+		"signal 11 (sigsegv)",
+		"access violation reading location",
+		"invalid device pointer",
+		"double free or corruption",
+		"free(): invalid pointer",
+		"race condition detected while copying tensor",
+		"heap corruption detected",
+	}},
+	// ---- Model checkpoint error ---------------------------------------------
+	{reason: "model_ckpt_error", priority: prioExplicit, patterns: []string{
+		"failed to save model checkpoint",
+		"error writing checkpoint to hdfs",
+		"checkpoint write failed",
+		"could not create checkpoint directory",
+		"lease expired on checkpoint file",
+		"namenode is in safe mode",
+		"failed to rename temporary checkpoint",
+		"hdfs: all datanodes are bad",
+		"unable to close checkpoint file",
+		"checkpointing aborted: quota exceeded",
+		"error serializing model state to",
+		"save op failed: rpc timed out",
+	}},
+	// ---- CUDA failure --------------------------------------------------------
+	{reason: "cuda_failure", priority: prioStrong, patterns: []string{
+		"cuda error: unspecified launch failure",
+		"cudnn_status_execution_failed",
+		"cudnn_status_internal_error",
+		"cublas_status_execution_failed",
+		"cuda error: launch timed out",
+		"cuda runtime error (4)",
+		"cuda kernel launch failure",
+		"misaligned address", // cuda error
+		"cufft_exec_failed",
+		"nccl error: unhandled cuda error",
+		"curand_status_launch_failure",
+		"cuda error: device-side assert triggered",
+		"cudastreamsynchronize returned error",
+		"cudnn_status_not_supported",
+		"cuda error 77",
+		"gpu kernel execution failed",
+		"cudaeventsynchronize failed",
+	}},
+	// ---- Syntax error --------------------------------------------------------
+	{reason: "syntax_error", priority: prioExplicit, patterns: []string{
+		"syntaxerror:",
+		"indentationerror:",
+		"invalid syntax",
+		"unexpected eof while parsing",
+		"unexpected indent",
+		"taberror: inconsistent use of tabs",
+		"missing parentheses in call to",
+		"unexpected end of file while looking for matching",
+		"bash: syntax error near unexpected token",
+		"unterminated string literal",
+	}},
+	// ---- MPI error -----------------------------------------------------------
+	{reason: "mpi_error", priority: prioExplicit, patterns: []string{
+		"mpi_abort was invoked",
+		"mpi_allreduce failed",
+		"mpi communicator error",
+		"mpi error code",
+		"error in mpi_bcast",
+		"invalid communicator in mpi call",
+		"mpi_comm_world rank mismatch",
+		"mpi datatype error",
+	}},
+	// ---- GPU out of memory ----------------------------------------------------
+	{reason: "gpu_oom", priority: prioExplicit, patterns: []string{
+		"cuda out of memory",
+		"cuda error: out of memory",
+		"cuda_error_out_of_memory",
+		"gpu ran out of memory",
+		"failed to allocate device memory",
+		"cudamalloc failed: out of memory",
+		"cudnn_status_alloc_failed",
+		"resource exhausted: oom when allocating tensor",
+		"tried to allocate more gpu memory than available",
+		"cnmem_status_out_of_memory",
+		"check failed: error == cudasuccess (2 vs. 0) out of memory",
+		"insufficient workspace memory on device",
+		"gpu memory pool exhausted",
+		"failed to reserve device arena",
+		"out of memory trying to allocate activation buffers",
+	}},
+	// ---- MPI runtime failure ---------------------------------------------------
+	{reason: "mpi_runtime_failure", priority: prioExplicit, patterns: []string{
+		"connection to peer mpi process lost",
+		"orted daemon died unexpectedly",
+		"mpirun noticed that process rank",
+		"communication timeout with rank",
+		"socket closed by remote mpi peer",
+		"ib verbs retry exceeded while reaching rank",
+		"fatal: readv failed on fd connected to rank",
+		"smpd daemon terminated",
+		"heartbeat lost to mpi daemon",
+		"tcp connection reset by rank",
+		"pml add procs failed",
+		"btl_tcp_endpoint lost connection",
+		"one or more mpi processes are unreachable",
+		"hydra_pmi_proxy: unexpected exit of proxy",
+		"rank terminated without calling mpi_finalize",
+	}},
+	// ---- Permission error --------------------------------------------------------
+	{reason: "permission_error", priority: prioExplicit, patterns: []string{
+		"permission denied",
+		"permissionerror:",
+		"access denied for user",
+		"org.apache.hadoop.security.accesscontrolexception",
+		"operation not permitted",
+		"cannot open file for writing: eacces",
+		"insufficient privileges to access",
+	}},
+	// ---- Import error --------------------------------------------------------------
+	{reason: "import_error", priority: prioExplicit, patterns: []string{
+		"importerror:",
+		"modulenotfounderror:",
+		"no module named",
+		"cannot import name",
+		"dll load failed while importing",
+		"dynamic module does not define module export function",
+	}},
+	// ---- Job preempted ---------------------------------------------------------------
+	{reason: "job_preempted", priority: prioExplicit, patterns: []string{
+		"container preempted by scheduler",
+		"preemption message received from resourcemanager",
+		"yarn container released: preempted",
+		"job preempted to honor resource shares",
+		"received sigterm from scheduler: preemption",
+		"container exited with status -102", // YARN preemption exit code
+	}},
+	// ---- CUDA init failed ---------------------------------------------------------------
+	{reason: "cuda_init_failed", priority: prioExplicit, patterns: []string{
+		"cuda_error_not_initialized",
+		"failed call to cuinit",
+		"cuda driver version is insufficient for cuda runtime version",
+		"no cuda-capable device is detected",
+		"cuda error: initialization error",
+		"unable to initialize nvml",
+		"nvml: driver/library version mismatch",
+		"cudagetdevicecount returned 3",
+	}},
+	// ---- Model diverged --------------------------------------------------------------------
+	{reason: "model_diverged", priority: prioExplicit, patterns: []string{
+		"loss is nan",
+		"loss = nan",
+		"nan or inf found in gradients",
+		"model diverged with loss",
+		"training diverged: loss exploded",
+		"gradient overflow detected repeatedly",
+		"inf loss encountered; stopping",
+	}},
+	// ---- CUDA version mismatch ----------------------------------------------------------------
+	{reason: "cuda_ver_mismatch", priority: prioExplicit, patterns: []string{
+		"cuda version mismatch",
+		"the installed cuda toolkit version does not match",
+		"compiled with cuda 8.0 but runtime is",
+		"cudnn library version mismatch",
+		"driver does not support the requested cuda version",
+	}},
+	// ---- GPU ECC error ----------------------------------------------------------------------------
+	{reason: "gpu_ecc_error", priority: prioExplicit, patterns: []string{
+		"uncorrectable ecc error encountered",
+		"double bit ecc error",
+		"gpu has fallen off the bus",
+		"xid 48", // NVIDIA Xid for DBE
+		"ecc page retirement limit reached",
+	}},
+	// ---- Output node error -----------------------------------------------------------------------
+	{reason: "output_node_error", priority: prioExplicit, patterns: []string{
+		"output node not found in graph",
+		"requested output tensor does not exist",
+		"fetch target is not in the graph",
+	}},
+	// ---- Cannot load libs ----------------------------------------------------------------------------
+	{reason: "cannot_load_libs", priority: prioExplicit, patterns: []string{
+		"error while loading shared libraries",
+		"cannot open shared object file",
+		"libcudart.so: cannot open",
+		"ld.so: object could not be loaded",
+	}},
+	// ---- Traceback from crash (implicit signature; only when nothing more
+	// specific matched) ---------------------------------------------------------
+	{reason: "traceback_from_crash", priority: prioImplicit, patterns: []string{
+		"traceback (most recent call last)",
+		"segmentation fault",
+		"unhandled exception at",
+		"fatal python error",
+		"stack trace:",
+		"backtrace:",
+		"what():",
+		"terminate called without an active exception",
+		"exception in thread",
+		"caught signal",
+		"fatal error detected by the runtime",
+	}},
+}
+
+// compiledRules is the flattened, ordered rule list (built once).
+var compiledRules = compileRules()
+
+func compileRules() []Rule {
+	var rules []Rule
+	for _, spec := range ruleSpecs {
+		for _, p := range spec.patterns {
+			rules = append(rules, Rule{
+				Pattern:  strings.ToLower(p),
+				Reason:   spec.reason,
+				Priority: spec.priority,
+			})
+		}
+	}
+	// Order: priority ascending, then longer patterns first (specificity),
+	// then lexicographic for determinism.
+	sort.SliceStable(rules, func(i, j int) bool {
+		if rules[i].Priority != rules[j].Priority {
+			return rules[i].Priority < rules[j].Priority
+		}
+		if len(rules[i].Pattern) != len(rules[j].Pattern) {
+			return len(rules[i].Pattern) > len(rules[j].Pattern)
+		}
+		return rules[i].Pattern < rules[j].Pattern
+	})
+	return rules
+}
+
+// Rules returns a copy of the compiled rule set, ordered by application
+// priority.
+func Rules() []Rule { return append([]Rule(nil), compiledRules...) }
+
+// NumRules returns the size of the rule set (the paper's classifier has
+// "more than 230 rules").
+func NumRules() int { return len(compiledRules) }

@@ -1,0 +1,280 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"philly/internal/failures"
+	"philly/internal/stats"
+)
+
+func TestResNet50MatchesTable4(t *testing.T) {
+	results, err := ResNet50Table(DefaultResNet50Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper := PaperTable4()
+	for _, r := range results {
+		want := paper[r.Config]
+		if math.Abs(r.GPUUtil-want[0]) > 2.0 {
+			t.Errorf("%s: model util %.1f, paper %.1f (tolerance 2.0)", r.Config, r.GPUUtil, want[0])
+		}
+		if math.Abs(r.ImagesPerSec-want[1]) > 4.0 {
+			t.Errorf("%s: model %.1f img/s, paper %.1f (tolerance 4.0)", r.Config, r.ImagesPerSec, want[1])
+		}
+	}
+}
+
+func TestResNet50Ordering(t *testing.T) {
+	results, err := ResNet50Table(DefaultResNet50Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 4's qualitative finding: SameServer > DiffServer > IntraServer
+	// > InterServer for both metrics.
+	for i := 1; i < len(results); i++ {
+		if results[i].GPUUtil >= results[i-1].GPUUtil {
+			t.Errorf("utilization ordering violated: %s (%.1f) >= %s (%.1f)",
+				results[i].Config, results[i].GPUUtil, results[i-1].Config, results[i-1].GPUUtil)
+		}
+		if results[i].ImagesPerSec >= results[i-1].ImagesPerSec {
+			t.Errorf("throughput ordering violated at %s", results[i].Config)
+		}
+	}
+}
+
+func TestResNet50BatchScaling(t *testing.T) {
+	// Paper §3.2.1: batch 64 lifts SameServer utilization to ~71.1%, and
+	// larger batches improve only marginally.
+	p := DefaultResNet50Params()
+	p.BatchPerGPU = 64
+	r, err := ResNet50(SameServer, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.GPUUtil-71.1) > 3 {
+		t.Errorf("batch-64 SameServer util %.1f, paper reports ~71.1", r.GPUUtil)
+	}
+	p.BatchPerGPU = 256
+	r256, err := ResNet50(SameServer, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r256.GPUUtil-r.GPUUtil > 20 {
+		t.Errorf("batch 256 should improve only marginally: %.1f -> %.1f", r.GPUUtil, r256.GPUUtil)
+	}
+}
+
+func TestResNet50UtilThroughputConsistency(t *testing.T) {
+	// In the paper, images/s tracks utilization almost exactly (both are
+	// compute-fraction proxies): img/s ~= 2 * peak * util/100.
+	p := DefaultResNet50Params()
+	results, err := ResNet50Table(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		predicted := 2 * p.PeakImagesPerSecPerGPU * r.GPUUtil / 100
+		if math.Abs(predicted-r.ImagesPerSec) > 1 {
+			t.Errorf("%s: throughput %.1f inconsistent with util-derived %.1f", r.Config, r.ImagesPerSec, predicted)
+		}
+	}
+}
+
+func TestResNet50Validation(t *testing.T) {
+	bad := DefaultResNet50Params()
+	bad.BatchPerGPU = 0
+	if _, err := ResNet50(SameServer, bad); err == nil {
+		t.Error("want error for zero batch")
+	}
+	bad2 := DefaultResNet50Params()
+	bad2.PCIeContention = 0.5
+	if _, err := ResNet50(IntraServer, bad2); err == nil {
+		t.Error("want error for contention < 1")
+	}
+	if _, err := ResNet50(PlacementConfig(99), DefaultResNet50Params()); err == nil {
+		t.Error("want error for unknown config")
+	}
+	if PlacementConfig(99).String() != "unknown" {
+		t.Error("unknown config String")
+	}
+}
+
+func TestUtilParamsValidation(t *testing.T) {
+	if err := DefaultUtilParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	cases := []func(*UtilParams){
+		func(p *UtilParams) { p.HealthyBase = 0 },
+		func(p *UtilParams) { p.HealthyBase = 150 },
+		func(p *UtilParams) { p.StalledBase = p.HealthyBase + 1 },
+		func(p *UtilParams) { p.StalledProb = 1.5 },
+		func(p *UtilParams) { p.ColocationFactor = 0 },
+		func(p *UtilParams) { p.MultiGPUFactor = 1.5 },
+		func(p *UtilParams) { p.KilledFactor = -1 },
+	}
+	for i, mutate := range cases {
+		p := DefaultUtilParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: want validation error", i)
+		}
+	}
+}
+
+func meanBase(t *testing.T, m *Model, shape JobShape, outcome failures.Outcome, seed uint64) float64 {
+	t.Helper()
+	g := stats.NewRNG(seed)
+	sum := 0.0
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += m.JobBaseUtil(shape, outcome, g)
+	}
+	return sum / float64(n)
+}
+
+func TestUtilizationSizeOrdering(t *testing.T) {
+	m := MustNewModel(DefaultUtilParams())
+	u8 := meanBase(t, m, JobShape{GPUs: 8, Servers: 1}, failures.Passed, 1)
+	u16d := meanBase(t, m, JobShape{GPUs: 16, Servers: 2}, failures.Passed, 2)
+	u16s := meanBase(t, m, JobShape{GPUs: 16, Servers: 8, Colocated: true}, failures.Passed, 3)
+	// Figure 6: dedicated 8-GPU well above dedicated 16-GPU.
+	if u8-u16d < 8 {
+		t.Errorf("8-GPU dedicated (%.1f) should exceed 16-GPU 2-server (%.1f) clearly", u8, u16d)
+	}
+	// Table 5: spreading a 16-GPU job over 8 shared servers costs a lot.
+	if u16d-u16s < 8 {
+		t.Errorf("16-GPU on 2 servers (%.1f) should exceed 16-GPU on 8 shared servers (%.1f)", u16d, u16s)
+	}
+}
+
+func TestUtilizationTable5Calibration(t *testing.T) {
+	m := MustNewModel(DefaultUtilParams())
+	// Paper Table 5 means for 16-GPU jobs: 2 servers 43.66, 4 servers
+	// 40.94, 8 servers 28.56. The 4- and 8-server spreads are shared.
+	cases := []struct {
+		servers  int
+		coloc    bool
+		wantMean float64
+		tol      float64
+	}{
+		{2, false, 43.66, 6},
+		{4, true, 40.94, 6},
+		{8, true, 28.56, 6},
+	}
+	for i, c := range cases {
+		got := meanBase(t, m, JobShape{GPUs: 16, Servers: c.servers, Colocated: c.coloc}, failures.Passed, uint64(10+i))
+		if math.Abs(got-c.wantMean) > c.tol {
+			t.Errorf("16 GPU on %d servers: mean %.1f, paper %.1f (tol %.0f)", c.servers, got, c.wantMean, c.tol)
+		}
+	}
+}
+
+func TestStatusFactors(t *testing.T) {
+	m := MustNewModel(DefaultUtilParams())
+	shape := JobShape{GPUs: 1, Servers: 1}
+	passed := meanBase(t, m, shape, failures.Passed, 4)
+	killed := meanBase(t, m, shape, failures.Killed, 5)
+	unsucc := meanBase(t, m, shape, failures.Unsuccessful, 6)
+	// Table 3: killed < passed < unsuccessful for 1-GPU jobs.
+	if !(killed < passed && passed < unsucc) {
+		t.Errorf("status ordering wrong: killed %.1f, passed %.1f, unsuccessful %.1f", killed, passed, unsucc)
+	}
+}
+
+func TestMinuteUtilBounded(t *testing.T) {
+	m := MustNewModel(DefaultUtilParams())
+	g := stats.NewRNG(7)
+	for i := 0; i < 2000; i++ {
+		v := m.MinuteUtil(50, g)
+		if v < 0 || v > 100 {
+			t.Fatalf("minute util out of range: %v", v)
+		}
+	}
+}
+
+func TestSlowdownSemantics(t *testing.T) {
+	m := MustNewModel(DefaultUtilParams())
+	// A well-placed dedicated job has unit slowdown.
+	if s := m.Slowdown(JobShape{GPUs: 8, Servers: 1}); s != 1 {
+		t.Errorf("ideal placement slowdown = %v, want 1", s)
+	}
+	// Worse placements slow the job down, monotonically.
+	s2 := m.Slowdown(JobShape{GPUs: 16, Servers: 2})
+	s8 := m.Slowdown(JobShape{GPUs: 16, Servers: 8})
+	s8c := m.Slowdown(JobShape{GPUs: 16, Servers: 8, Colocated: true, CrossRack: true})
+	if s2 != 1 {
+		t.Errorf("16 GPU on its minimum 2 servers should have slowdown 1, got %v", s2)
+	}
+	if !(s8 > s2) || !(s8c > s8) {
+		t.Errorf("slowdown not monotone: s2=%v s8=%v s8c=%v", s2, s8, s8c)
+	}
+	if s8c > 4 {
+		t.Errorf("slowdown %v exceeds the saturation bound", s8c)
+	}
+	// A 1-GPU job colocated with others still runs slower than dedicated.
+	if s := m.Slowdown(JobShape{GPUs: 1, Servers: 1, Colocated: true}); s <= 1 {
+		t.Errorf("colocated 1-GPU slowdown = %v, want > 1", s)
+	}
+}
+
+func TestHostModelShape(t *testing.T) {
+	h := NewHostModel(DefaultHostParams())
+	g := stats.NewRNG(9)
+	var cpus, mems []float64
+	for i := 0; i < 5000; i++ {
+		c, m := h.Sample(6, 8, g)
+		cpus = append(cpus, c)
+		mems = append(mems, m)
+	}
+	cpuMed := stats.Percentile(cpus, 50)
+	memMed := stats.Percentile(mems, 50)
+	// Figure 7: CPU underutilized, memory highly utilized.
+	if cpuMed > 40 {
+		t.Errorf("CPU median %.1f too high; Figure 7 shows underutilized CPUs", cpuMed)
+	}
+	if memMed < 55 {
+		t.Errorf("memory median %.1f too low; Figure 7 shows high memory use", memMed)
+	}
+	if memMed-cpuMed < 20 {
+		t.Errorf("memory (%.1f) should clearly exceed CPU (%.1f)", memMed, cpuMed)
+	}
+}
+
+func TestHostModelBounds(t *testing.T) {
+	h := NewHostModel(DefaultHostParams())
+	g := stats.NewRNG(10)
+	for i := 0; i < 2000; i++ {
+		c, m := h.Sample(8, 8, g)
+		if c < 0 || c > 100 || m < 0 || m > 100 {
+			t.Fatalf("host sample out of range: cpu=%v mem=%v", c, m)
+		}
+	}
+}
+
+func TestLog2Int(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 1, 4: 2, 8: 3, 16: 4, 31: 4, 32: 5}
+	for n, want := range cases {
+		if got := log2int(n); got != want {
+			t.Errorf("log2int(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// Property: base utilization is always a valid percentage, for any shape.
+func TestJobBaseUtilBoundsProperty(t *testing.T) {
+	m := MustNewModel(DefaultUtilParams())
+	f := func(seed uint64, gpusRaw, serversRaw uint8, coloc, cross bool, outcomeRaw uint8) bool {
+		g := stats.NewRNG(seed)
+		gpus := 1 + int(gpusRaw)%64
+		servers := 1 + int(serversRaw)%16
+		outcome := failures.Outcome(int(outcomeRaw) % 3)
+		shape := JobShape{GPUs: gpus, Servers: servers, Colocated: coloc, CrossRack: cross}
+		v := m.JobBaseUtil(shape, outcome, g)
+		return v >= 0 && v <= 100
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,286 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"philly/internal/failures"
+	"philly/internal/stats"
+)
+
+// JobShape is the placement-derived context the utilization model needs
+// about a running job.
+type JobShape struct {
+	// GPUs is the job's GPU count.
+	GPUs int
+	// Servers is how many machines the placement spans.
+	Servers int
+	// Colocated reports whether the job shares at least one server with
+	// another job.
+	Colocated bool
+	// CrossRack reports whether the placement spans RDMA domains (sync
+	// falls back to Ethernet).
+	CrossRack bool
+}
+
+// UtilParams calibrate the statistical utilization model. Jobs are a
+// mixture of "healthy" (compute-bound) and "stalled" (input- or code-bound)
+// populations — this is what produces the paper's left-skewed distributions
+// (8-GPU jobs: mean 56.9 but median 73.1, Figure 6). Placement quality
+// scales both populations multiplicatively and shifts the mixture.
+type UtilParams struct {
+	// HealthyBase is the mean utilization (percent) of a compute-bound
+	// job on an ideal placement.
+	HealthyBase float64
+	// StalledBase is the mean utilization of a stalled job.
+	StalledBase float64
+	// StalledProb is the probability a single-server job is stalled.
+	StalledProb float64
+	// StallBumpPerDoubling raises the stall probability for each doubling
+	// of server spread (distributed sync amplifies every other bottleneck).
+	StallBumpPerDoubling float64
+	// MultiGPUFactor scales utilization per doubling of GPU count
+	// (intra-server PCIe/NVLink sync).
+	MultiGPUFactor float64
+	// DistributedFactor scales utilization when the job crosses servers at
+	// all (the model-aggregation step of distributed training).
+	DistributedFactor float64
+	// SpreadFactor scales utilization per doubling of server count beyond
+	// the first crossing.
+	SpreadFactor float64
+	// CrossRackFactor scales utilization when sync leaves the RDMA domain.
+	CrossRackFactor float64
+	// ColocationFactor scales utilization when the job shares servers with
+	// other jobs (PCIe/NIC interference, §3.2.1).
+	ColocationFactor float64
+	// KilledFactor and UnsuccessfulFactor shift per-job base utilization by
+	// final status, encoding Table 3's status columns.
+	KilledFactor       float64
+	UnsuccessfulFactor float64
+	// MinuteSigma is the per-minute sampling noise around the job's base.
+	MinuteSigma float64
+	// JobSigma is the per-job dispersion around the population base.
+	JobSigma float64
+}
+
+// DefaultUtilParams returns parameters calibrated against Table 3 (mean
+// utilization by size and status), Table 5 (16-GPU jobs by spread), and
+// Figures 5-6.
+func DefaultUtilParams() UtilParams {
+	return UtilParams{
+		HealthyBase:          78,
+		StalledBase:          22,
+		StalledProb:          0.33,
+		StallBumpPerDoubling: 0.06,
+		MultiGPUFactor:       0.97,
+		DistributedFactor:    0.88,
+		SpreadFactor:         0.95,
+		CrossRackFactor:      0.96,
+		ColocationFactor:     0.93,
+		KilledFactor:         0.82,
+		UnsuccessfulFactor:   1.16,
+		MinuteSigma:          9,
+		JobSigma:             13,
+	}
+}
+
+// Validate checks the parameters.
+func (u UtilParams) Validate() error {
+	if u.HealthyBase <= 0 || u.HealthyBase > 100 {
+		return fmt.Errorf("perfmodel: HealthyBase %v out of (0, 100]", u.HealthyBase)
+	}
+	if u.StalledBase < 0 || u.StalledBase >= u.HealthyBase {
+		return fmt.Errorf("perfmodel: StalledBase %v must be in [0, HealthyBase)", u.StalledBase)
+	}
+	if u.StalledProb < 0 || u.StalledProb > 1 {
+		return fmt.Errorf("perfmodel: StalledProb %v out of [0, 1]", u.StalledProb)
+	}
+	for name, f := range map[string]float64{
+		"MultiGPUFactor":    u.MultiGPUFactor,
+		"DistributedFactor": u.DistributedFactor,
+		"SpreadFactor":      u.SpreadFactor,
+		"CrossRackFactor":   u.CrossRackFactor,
+		"ColocationFactor":  u.ColocationFactor,
+	} {
+		if f <= 0 || f > 1 {
+			return fmt.Errorf("perfmodel: %s %v out of (0, 1]", name, f)
+		}
+	}
+	if u.KilledFactor <= 0 || u.UnsuccessfulFactor <= 0 {
+		return fmt.Errorf("perfmodel: status factors must be positive")
+	}
+	return nil
+}
+
+// Model samples per-job and per-minute GPU utilization.
+type Model struct {
+	p UtilParams
+}
+
+// NewModel builds a utilization model.
+func NewModel(p UtilParams) (*Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{p: p}, nil
+}
+
+// MustNewModel is NewModel but panics on error.
+func MustNewModel(p UtilParams) *Model {
+	m, err := NewModel(p)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// placementFactor is the multiplicative efficiency of a shape relative to a
+// 1-GPU ideal placement.
+func (m *Model) placementFactor(shape JobShape) float64 {
+	p := m.p
+	f := 1.0
+	if shape.GPUs > 1 {
+		f *= math.Pow(p.MultiGPUFactor, float64(log2int(shape.GPUs)))
+	}
+	if shape.Servers > 1 {
+		f *= p.DistributedFactor
+		f *= math.Pow(p.SpreadFactor, float64(log2int(shape.Servers)-1))
+	}
+	if shape.CrossRack {
+		f *= p.CrossRackFactor
+	}
+	if shape.Colocated {
+		f *= p.ColocationFactor
+	}
+	return f
+}
+
+// stallProb is the stall probability for a shape.
+func (m *Model) stallProb(shape JobShape) float64 {
+	p := m.p.StalledProb
+	if shape.Servers > 1 {
+		p += m.p.StallBumpPerDoubling * float64(log2int(shape.Servers))
+	}
+	return math.Min(0.95, p)
+}
+
+// JobBaseUtil draws the job-level mean utilization (percent) for a job with
+// the given shape and final outcome. Per-minute samples jitter around this
+// base via MinuteUtil.
+func (m *Model) JobBaseUtil(shape JobShape, outcome failures.Outcome, g *stats.RNG) float64 {
+	p := m.p
+	base := p.HealthyBase
+	if g.Bool(m.stallProb(shape)) {
+		base = p.StalledBase
+	}
+	base *= m.placementFactor(shape)
+	switch outcome {
+	case failures.Killed:
+		base *= p.KilledFactor
+	case failures.Unsuccessful:
+		base *= p.UnsuccessfulFactor
+	}
+	base += p.JobSigma * g.NormFloat64()
+	return clampPct(base)
+}
+
+// MinuteUtil draws one per-minute utilization sample (percent) around the
+// job's base utilization.
+func (m *Model) MinuteUtil(base float64, g *stats.RNG) float64 {
+	return clampPct(base + m.p.MinuteSigma*g.NormFloat64())
+}
+
+// Slowdown converts a job's base utilization into a throughput slowdown
+// factor >= 1 relative to a fully local, interference-free run of the same
+// job. Utilization is (to first order) inversely proportional to iteration
+// time under a fixed compute demand, so slowdown = idealFactor/actualFactor
+// for the placement alone; the job's intrinsic health does not slow it down
+// relative to its own ideal-placement run.
+func (m *Model) Slowdown(shape JobShape) float64 {
+	ideal := shape
+	ideal.Colocated = false
+	ideal.CrossRack = false
+	ideal.Servers = minServersFor(shape.GPUs)
+	s := m.placementFactor(ideal) / m.placementFactor(shape)
+	if s < 1 {
+		s = 1
+	}
+	if s > 4 {
+		s = 4
+	}
+	return s
+}
+
+// minServersFor assumes the common 8-GPU SKU for the ideal spread.
+func minServersFor(gpus int) int {
+	if gpus <= 8 {
+		return 1
+	}
+	return (gpus + 7) / 8
+}
+
+// HostParams calibrate the host-resource model (Figure 7): CPUs are mostly
+// underutilized while memory runs high (input caching, aggregation buffers).
+type HostParams struct {
+	// CPUIdleBase is the CPU utilization of a server with no training job.
+	CPUIdleBase float64
+	// CPUPerGPU is the CPU utilization contributed per allocated GPU.
+	CPUPerGPU float64
+	// CPUSigma is sampling noise.
+	CPUSigma float64
+	// MemIdleBase is memory utilization of an idle server.
+	MemIdleBase float64
+	// MemPerGPU is memory utilization contributed per allocated GPU.
+	MemPerGPU float64
+	// MemSigma is sampling noise.
+	MemSigma float64
+}
+
+// DefaultHostParams returns Figure 7-calibrated defaults for 8-GPU servers.
+func DefaultHostParams() HostParams {
+	return HostParams{
+		CPUIdleBase: 3,
+		CPUPerGPU:   3.4,
+		CPUSigma:    7,
+		MemIdleBase: 28,
+		MemPerGPU:   7.5,
+		MemSigma:    10,
+	}
+}
+
+// HostModel samples per-server host-resource utilization.
+type HostModel struct {
+	p HostParams
+}
+
+// NewHostModel builds a host model.
+func NewHostModel(p HostParams) *HostModel { return &HostModel{p: p} }
+
+// Sample returns (cpuUtil, memUtil) percentages for a server with the given
+// number of allocated GPUs out of total.
+func (h *HostModel) Sample(allocatedGPUs, totalGPUs int, g *stats.RNG) (cpu, mem float64) {
+	p := h.p
+	cpu = p.CPUIdleBase + p.CPUPerGPU*float64(allocatedGPUs) + p.CPUSigma*g.NormFloat64()
+	mem = p.MemIdleBase + p.MemPerGPU*float64(allocatedGPUs) + p.MemSigma*g.NormFloat64()
+	return clampPct(cpu), clampPct(mem)
+}
+
+func clampPct(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 100 {
+		return 100
+	}
+	return v
+}
+
+// log2int returns floor(log2(n)) for n >= 1.
+func log2int(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}

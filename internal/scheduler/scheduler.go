@@ -1,0 +1,813 @@
+// Package scheduler implements Philly's cluster scheduler as described in
+// §2.3 of the paper, plus the baseline policies of Table 1 behind the same
+// interface.
+//
+// Philly's mechanism, reproduced here:
+//
+//   - One queue per virtual cluster, managed fair-share: a VC is entitled
+//     to its GPU quota, and unused GPUs are lent to queues with additional
+//     demand (work-conserving borrowing).
+//   - Gang scheduling: a job starts only when all its GPUs can be acquired
+//     at once.
+//   - Locality-aware placement: the scheduler ranks racks (RDMA domains) by
+//     increasing occupancy and packs each job onto the smallest number of
+//     servers inside one rack. If the constraint cannot be met, the attempt
+//     is retried after a back-off (2 minutes in the paper), and after a
+//     fixed number of retries the constraint is progressively relaxed —
+//     first to rack-level, then to anywhere — to avoid starvation.
+//   - Preemption: when at least 90% of cluster GPUs are in use, jobs from
+//     VCs exceeding their quota are preempted (via model checkpoint) to
+//     make room for jobs within quota.
+//
+// The scheduler also attributes every blocked attempt to one of the paper's
+// two queueing-delay causes — fair-share (VC out of quota) vs fragmentation
+// (quota available but no placement satisfies the constraint) — and tracks
+// out-of-order scheduling decisions, both needed for §3.1.
+//
+// One simplification: the paper's scheduler holds partially acquired GPUs
+// for a 2-3 minute timeout before releasing them; here a blocked job holds
+// nothing and simply retries after the back-off. The queueing dynamics are
+// equivalent at the trace level (both appear as "job waited n back-off
+// rounds, then started"), and not holding GPUs strictly understates
+// fragmentation, making our fragmentation-delay results conservative.
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+
+	"philly/internal/cluster"
+	"philly/internal/simulation"
+)
+
+// Policy selects the queue ordering / preemption discipline (Table 1).
+type Policy int
+
+const (
+	// PolicyPhilly is the paper's scheduler: arrival order within VC
+	// queues, locality-based placement, fair-share preemption.
+	PolicyPhilly Policy = iota
+	// PolicyFIFO is strict arrival order with no out-of-order starts: a
+	// blocked head blocks its whole VC queue.
+	PolicyFIFO
+	// PolicySRTF approximates Optimus: shortest-remaining-time-first
+	// ordering with preemption of longer jobs, using remaining-time
+	// estimates from the convergence curve.
+	PolicySRTF
+	// PolicyTiresias approximates Tiresias's discretized 2D-LAS: least
+	// attained service (GPU-seconds) first, with preemption.
+	PolicyTiresias
+	// PolicyGandiva approximates Gandiva: arrival order plus time-slicing
+	// — running jobs are suspended after a quantum when jobs are waiting.
+	PolicyGandiva
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyPhilly:
+		return "philly"
+	case PolicyFIFO:
+		return "fifo"
+	case PolicySRTF:
+		return "srtf"
+	case PolicyTiresias:
+		return "tiresias"
+	case PolicyGandiva:
+		return "gandiva"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes the scheduler.
+type Config struct {
+	// Backoff is the delay before a blocked job retries (paper: 2 min).
+	Backoff simulation.Time
+	// RelaxToRackAfter is the number of failed attempts before the
+	// locality constraint drops from packed to rack-level.
+	RelaxToRackAfter int
+	// RelaxToAnyAfter is the number of failed attempts before placement is
+	// allowed anywhere.
+	RelaxToAnyAfter int
+	// PreemptionOccupancy is the cluster occupancy at which fair-share
+	// preemption activates (paper: 0.90).
+	PreemptionOccupancy float64
+	// Policy is the scheduling discipline.
+	Policy Policy
+	// PreemptMinRun protects young jobs from policy preemption (SRTF /
+	// Tiresias / Gandiva): a job must have run at least this long in its
+	// current episode to be a victim.
+	PreemptMinRun simulation.Time
+	// GandivaQuantum is the time-slice for PolicyGandiva.
+	GandivaQuantum simulation.Time
+}
+
+// DefaultConfig returns the paper's operating point.
+func DefaultConfig() Config {
+	return Config{
+		Backoff:             2 * simulation.Minute,
+		RelaxToRackAfter:    4,
+		RelaxToAnyAfter:     8,
+		PreemptionOccupancy: 0.90,
+		Policy:              PolicyPhilly,
+		PreemptMinRun:       10 * simulation.Minute,
+		GandivaQuantum:      30 * simulation.Minute,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Backoff <= 0 {
+		return fmt.Errorf("scheduler: Backoff must be positive, got %v", c.Backoff)
+	}
+	if c.RelaxToRackAfter < 0 || c.RelaxToAnyAfter < c.RelaxToRackAfter {
+		return fmt.Errorf("scheduler: relax thresholds must satisfy 0 <= rack (%d) <= any (%d)",
+			c.RelaxToRackAfter, c.RelaxToAnyAfter)
+	}
+	if c.PreemptionOccupancy <= 0 || c.PreemptionOccupancy > 1 {
+		return fmt.Errorf("scheduler: PreemptionOccupancy %v out of (0, 1]", c.PreemptionOccupancy)
+	}
+	if c.Policy == PolicyGandiva && c.GandivaQuantum <= 0 {
+		return fmt.Errorf("scheduler: Gandiva policy needs a positive quantum")
+	}
+	return nil
+}
+
+// VC is a virtual cluster with a GPU quota.
+type VC struct {
+	Name  string
+	Quota int
+}
+
+// State is a job's scheduling state.
+type State int
+
+const (
+	// StateQueued means waiting for GPUs.
+	StateQueued State = iota
+	// StateRunning means holding GPUs.
+	StateRunning
+	// StateFinished means released (may be re-submitted for a retry).
+	StateFinished
+)
+
+// Job is the scheduler's view of one execution episode stream. The same Job
+// is re-submitted for retries so queueing statistics accumulate across
+// episodes.
+type Job struct {
+	// ID is the cluster-wide job ID.
+	ID cluster.JobID
+	// VCName is the job's virtual cluster.
+	VCName string
+	// GPUs is the gang width.
+	GPUs int
+	// SubmitAt is the original submission time (fixed across episodes).
+	SubmitAt simulation.Time
+	// RemainingSeconds estimates remaining work (SRTF input; core updates
+	// it between episodes).
+	RemainingSeconds float64
+
+	// State machine.
+	State State
+	// EnqueuedAt is when the current queueing episode began.
+	EnqueuedAt simulation.Time
+	// StartedAt is when the current running episode began.
+	StartedAt simulation.Time
+	// NextAttempt gates placement retries (back-off).
+	NextAttempt simulation.Time
+	// Attempts counts failed placement attempts in the current episode.
+	Attempts int
+	// Placement is the current allocation while running.
+	Placement cluster.Placement
+
+	// Episodes counts scheduling episodes (1 + retries + preemption
+	// resumptions).
+	Episodes int
+	// FirstStartAt is when the job first began running (or 0).
+	FirstStartAt simulation.Time
+	// FirstQueueDelay is the queueing delay of the first episode — the
+	// paper's Figure 3 metric. Negative means not yet started.
+	FirstQueueDelay simulation.Time
+	// TotalQueueDelay accumulates queueing delay across episodes.
+	TotalQueueDelay simulation.Time
+	// FairShareBlocks and FragBlocks count blocked attempts by cause.
+	FairShareBlocks, FragBlocks int
+	// OutOfOrderStart marks that this job ever started ahead of an
+	// earlier-submitted job in its VC.
+	OutOfOrderStart bool
+	// Overtaken marks that some later-submitted job in the VC started
+	// while this one waited.
+	Overtaken bool
+	// PriorAttainedGPUSeconds is the attained service from earlier
+	// episodes (Tiresias input).
+	PriorAttainedGPUSeconds float64
+	// Preemptions counts times this job was preempted.
+	Preemptions int
+}
+
+// NewJob constructs a queued job. The caller owns the struct.
+func NewJob(id cluster.JobID, vc string, gpus int, submit simulation.Time) *Job {
+	return &Job{
+		ID:              id,
+		VCName:          vc,
+		GPUs:            gpus,
+		SubmitAt:        submit,
+		FirstQueueDelay: -1,
+	}
+}
+
+// AttainedGPUSeconds returns total attained service as of now.
+func (j *Job) AttainedGPUSeconds(now simulation.Time) float64 {
+	a := j.PriorAttainedGPUSeconds
+	if j.State == StateRunning {
+		a += float64(now-j.StartedAt) * float64(j.GPUs)
+	}
+	return a
+}
+
+// DelayCause is the paper's queueing-delay taxonomy (§3.1.1).
+type DelayCause int
+
+const (
+	// DelayNone means the job never had a blocked attempt.
+	DelayNone DelayCause = iota
+	// DelayFairShare means the VC was out of quota.
+	DelayFairShare
+	// DelayFragmentation means quota was available but no placement
+	// satisfied the locality constraint.
+	DelayFragmentation
+)
+
+// String names the cause.
+func (d DelayCause) String() string {
+	switch d {
+	case DelayNone:
+		return "none"
+	case DelayFairShare:
+		return "fair-share"
+	case DelayFragmentation:
+		return "fragmentation"
+	default:
+		return "unknown"
+	}
+}
+
+// Cause classifies the job's dominant queueing-delay cause.
+func (j *Job) Cause() DelayCause {
+	if j.FairShareBlocks == 0 && j.FragBlocks == 0 {
+		return DelayNone
+	}
+	if j.FairShareBlocks > j.FragBlocks {
+		return DelayFairShare
+	}
+	return DelayFragmentation
+}
+
+// vcState is the per-VC runtime state.
+type vcState struct {
+	VC
+	queue   []*Job
+	running map[cluster.JobID]*Job
+	used    int
+}
+
+// Stats are cluster-wide scheduling counters.
+type Stats struct {
+	// Starts is the number of scheduling decisions (episode starts).
+	Starts int
+	// OutOfOrderStarts counts starts that jumped ahead of an
+	// earlier-submitted queued job in the same VC.
+	OutOfOrderStarts int
+	// HarmlessOutOfOrder counts out-of-order starts where the overtaken
+	// job could not have used the GPUs anyway (paper: 85% of
+	// out-of-order occurrences for large jobs).
+	HarmlessOutOfOrder int
+	// BlockedAttempts counts failed placement attempts.
+	BlockedAttempts int
+	// FairSharePreemptions counts preemptions triggered by quota
+	// enforcement; PolicyPreemptions counts SRTF/Tiresias/Gandiva ones.
+	FairSharePreemptions int
+	PolicyPreemptions    int
+	// Migrations counts defragmentation moves (§5's migration guideline).
+	Migrations int
+}
+
+// StartEvent reports a job start from Pump.
+type StartEvent struct {
+	Job        *Job
+	Placement  cluster.Placement
+	OutOfOrder bool
+	// Harmless is meaningful when OutOfOrder: the overtaken job could not
+	// have been placed even with this job's GPUs free.
+	Harmless bool
+	// Locality is the constraint level the placement satisfied.
+	Locality cluster.Locality
+	// Seq orders this event against preemptions within the same Pump: a
+	// job can start and then be preempted in one scheduling round, and the
+	// consumer must replay the two in causal order.
+	Seq int
+}
+
+// PreemptEvent reports a preemption from Pump.
+type PreemptEvent struct {
+	Job *Job
+	// FairShare distinguishes quota preemption from policy preemption.
+	FairShare bool
+	// Seq orders this event against starts within the same Pump.
+	Seq int
+}
+
+// PumpResult is everything that happened during one Pump.
+type PumpResult struct {
+	Starts      []StartEvent
+	Preemptions []PreemptEvent
+	// NextWake is the earliest future time at which a queued job becomes
+	// eligible to retry, or 0 when no queued job is waiting on back-off.
+	NextWake simulation.Time
+
+	seq int // event sequencer
+}
+
+// nextSeq hands out per-Pump event sequence numbers.
+func (r *PumpResult) nextSeq() int {
+	r.seq++
+	return r.seq
+}
+
+// Scheduler is the cluster scheduler. Not safe for concurrent use; the
+// simulator is single-threaded.
+type Scheduler struct {
+	cfg     Config
+	cluster *cluster.Cluster
+	vcs     map[string]*vcState
+	vcOrder []string
+	stats   Stats
+}
+
+// New builds a scheduler over the cluster with the given virtual clusters.
+func New(cfg Config, cl *cluster.Cluster, vcs []VC) (*Scheduler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cl == nil {
+		return nil, fmt.Errorf("scheduler: nil cluster")
+	}
+	if len(vcs) == 0 {
+		return nil, fmt.Errorf("scheduler: at least one VC required")
+	}
+	s := &Scheduler{cfg: cfg, cluster: cl, vcs: map[string]*vcState{}}
+	for _, vc := range vcs {
+		if vc.Name == "" || vc.Quota <= 0 {
+			return nil, fmt.Errorf("scheduler: invalid VC %+v", vc)
+		}
+		if _, dup := s.vcs[vc.Name]; dup {
+			return nil, fmt.Errorf("scheduler: duplicate VC %q", vc.Name)
+		}
+		s.vcs[vc.Name] = &vcState{VC: vc, running: map[cluster.JobID]*Job{}}
+		s.vcOrder = append(s.vcOrder, vc.Name)
+	}
+	sort.Strings(s.vcOrder)
+	return s, nil
+}
+
+// Stats returns a copy of the counters.
+func (s *Scheduler) Stats() Stats { return s.stats }
+
+// VCUsage returns the GPUs currently used by the VC.
+func (s *Scheduler) VCUsage(name string) int {
+	if vc := s.vcs[name]; vc != nil {
+		return vc.used
+	}
+	return 0
+}
+
+// QueueLen returns the number of queued jobs in the VC.
+func (s *Scheduler) QueueLen(name string) int {
+	if vc := s.vcs[name]; vc != nil {
+		return len(vc.queue)
+	}
+	return 0
+}
+
+// Submit enqueues a job (first episode or retry). The job must not be
+// queued or running.
+func (s *Scheduler) Submit(j *Job, now simulation.Time) error {
+	vc := s.vcs[j.VCName]
+	if vc == nil {
+		return fmt.Errorf("scheduler: job %d references unknown VC %q", j.ID, j.VCName)
+	}
+	if j.GPUs <= 0 {
+		return fmt.Errorf("scheduler: job %d requests %d GPUs", j.ID, j.GPUs)
+	}
+	if j.GPUs > s.cluster.TotalGPUs() {
+		return fmt.Errorf("scheduler: job %d requests %d GPUs but the cluster has %d",
+			j.ID, j.GPUs, s.cluster.TotalGPUs())
+	}
+	if j.State == StateRunning {
+		return fmt.Errorf("scheduler: job %d is running; cannot submit", j.ID)
+	}
+	for _, q := range vc.queue {
+		if q.ID == j.ID {
+			return fmt.Errorf("scheduler: job %d already queued", j.ID)
+		}
+	}
+	j.State = StateQueued
+	j.EnqueuedAt = now
+	j.NextAttempt = now
+	j.Attempts = 0
+	j.Episodes++
+	vc.queue = append(vc.queue, j)
+	return nil
+}
+
+// Release frees a running job's GPUs (episode finished).
+func (s *Scheduler) Release(id cluster.JobID, now simulation.Time) error {
+	for _, name := range s.vcOrder {
+		vc := s.vcs[name]
+		if j, ok := vc.running[id]; ok {
+			return s.release(vc, j, now)
+		}
+	}
+	return fmt.Errorf("scheduler: job %d is not running", id)
+}
+
+func (s *Scheduler) release(vc *vcState, j *Job, now simulation.Time) error {
+	if err := s.cluster.Release(j.ID); err != nil {
+		return err
+	}
+	j.PriorAttainedGPUSeconds += float64(now-j.StartedAt) * float64(j.GPUs)
+	j.State = StateFinished
+	j.Placement = cluster.Placement{}
+	vc.used -= j.GPUs
+	delete(vc.running, j.ID)
+	return nil
+}
+
+// localityFor returns the constraint level for the job's attempt count,
+// clamped to what the topology can ever satisfy: a gang wider than the
+// largest rack can never meet a single-RDMA-domain constraint, so making it
+// wait through relaxation rounds would be pure starvation.
+func (s *Scheduler) localityFor(j *Job) cluster.Locality {
+	if j.GPUs > s.cluster.MaxRackGPUs() {
+		return cluster.LocalityRelaxed
+	}
+	switch {
+	case j.Attempts < s.cfg.RelaxToRackAfter:
+		return cluster.LocalityPacked
+	case j.Attempts < s.cfg.RelaxToAnyAfter:
+		return cluster.LocalityRack
+	default:
+		return cluster.LocalityRelaxed
+	}
+}
+
+// orderQueue returns the VC's queue in the policy's scheduling order.
+func (s *Scheduler) orderQueue(vc *vcState, now simulation.Time) []*Job {
+	q := append([]*Job(nil), vc.queue...)
+	switch s.cfg.Policy {
+	case PolicySRTF:
+		sort.SliceStable(q, func(i, k int) bool {
+			if q[i].RemainingSeconds != q[k].RemainingSeconds {
+				return q[i].RemainingSeconds < q[k].RemainingSeconds
+			}
+			return q[i].SubmitAt < q[k].SubmitAt
+		})
+	case PolicyTiresias:
+		sort.SliceStable(q, func(i, k int) bool {
+			ai, ak := q[i].AttainedGPUSeconds(now), q[k].AttainedGPUSeconds(now)
+			if ai != ak {
+				return ai < ak
+			}
+			return q[i].SubmitAt < q[k].SubmitAt
+		})
+	default:
+		// Arrival order (queue is already FIFO).
+	}
+	return q
+}
+
+// Pump runs scheduling to a fixpoint at the current time. Core calls it on
+// job arrival, job completion, and at NextWake times.
+func (s *Scheduler) Pump(now simulation.Time) PumpResult {
+	var res PumpResult
+	for {
+		started := s.pumpOnce(now, &res)
+		if !started {
+			break
+		}
+	}
+	if s.cfg.Policy != PolicyFIFO && s.cfg.Policy != PolicyPhilly {
+		s.policyPreempt(now, &res)
+	}
+	if s.cluster.Occupancy() >= s.cfg.PreemptionOccupancy {
+		s.fairSharePreempt(now, &res)
+	}
+	// Compute the next wake-up among blocked queued jobs.
+	for _, name := range s.vcOrder {
+		for _, j := range s.vcs[name].queue {
+			if j.NextAttempt > now && (res.NextWake == 0 || j.NextAttempt < res.NextWake) {
+				res.NextWake = j.NextAttempt
+			}
+		}
+	}
+	return res
+}
+
+// pumpOnce makes one pass over all queues; returns whether any job started.
+func (s *Scheduler) pumpOnce(now simulation.Time, res *PumpResult) bool {
+	any := false
+	for _, name := range s.vcOrder {
+		vc := s.vcs[name]
+		for _, j := range s.orderQueue(vc, now) {
+			if j.State != StateQueued || j.NextAttempt > now {
+				if s.cfg.Policy == PolicyFIFO {
+					break // a blocked head blocks the whole queue
+				}
+				continue
+			}
+			if s.tryStart(vc, j, now, res) {
+				any = true
+			} else if s.cfg.Policy == PolicyFIFO {
+				break
+			}
+		}
+	}
+	return any
+}
+
+// tryStart attempts to place and start one job.
+func (s *Scheduler) tryStart(vc *vcState, j *Job, now simulation.Time, res *PumpResult) bool {
+	level := s.localityFor(j)
+	p, ok := s.cluster.FindPlacement(j.GPUs, level)
+	if !ok {
+		// Blocked: attribute the delay cause (§3.1.1). Fair-share delay
+		// "happens when the virtual cluster uses up its assigned quota";
+		// a job arriving while its VC is within quota but unplaceable is
+		// fragmentation delay.
+		if vc.used >= vc.Quota {
+			j.FairShareBlocks++
+		} else {
+			j.FragBlocks++
+		}
+		j.Attempts++
+		j.NextAttempt = now + s.cfg.Backoff
+		s.stats.BlockedAttempts++
+		return false
+	}
+
+	// Out-of-order bookkeeping: does this start overtake an
+	// earlier-submitted job still queued in the same VC?
+	ooo := false
+	harmless := false
+	for _, other := range vc.queue {
+		if other.ID == j.ID || other.SubmitAt >= j.SubmitAt {
+			continue
+		}
+		ooo = true
+		other.Overtaken = true
+		if !harmless {
+			// Could the overtaken job have used these GPUs? Test before we
+			// take them: if it cannot be placed now at its own level, the
+			// idle GPUs are used "without prolonging the waiting job".
+			if _, can := s.cluster.FindPlacement(other.GPUs, s.localityFor(other)); !can {
+				harmless = true
+			}
+		}
+	}
+
+	if err := s.cluster.Allocate(j.ID, p); err != nil {
+		// FindPlacement over live state makes this unreachable; surfacing
+		// it as a panic would hide scheduler bugs less than limping on.
+		panic(fmt.Sprintf("scheduler: allocation failed after successful search: %v", err))
+	}
+	s.dequeue(vc, j.ID)
+	j.State = StateRunning
+	j.StartedAt = now
+	j.Placement = p
+	delay := now - j.EnqueuedAt
+	j.TotalQueueDelay += delay
+	if j.FirstStartAt == 0 && j.FirstQueueDelay < 0 {
+		j.FirstStartAt = now
+		j.FirstQueueDelay = delay
+	}
+	j.OutOfOrderStart = j.OutOfOrderStart || ooo
+	vc.running[j.ID] = j
+	vc.used += j.GPUs
+
+	s.stats.Starts++
+	if ooo {
+		s.stats.OutOfOrderStarts++
+		if harmless {
+			s.stats.HarmlessOutOfOrder++
+		}
+	}
+	res.Starts = append(res.Starts, StartEvent{
+		Job: j, Placement: p, OutOfOrder: ooo, Harmless: harmless, Locality: level,
+		Seq: res.nextSeq(),
+	})
+	return true
+}
+
+func (s *Scheduler) dequeue(vc *vcState, id cluster.JobID) {
+	for i, q := range vc.queue {
+		if q.ID == id {
+			vc.queue = append(vc.queue[:i], vc.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// preempt releases a victim and requeues it with back-off.
+func (s *Scheduler) preempt(vc *vcState, victim *Job, now simulation.Time, fairShare bool, res *PumpResult) {
+	if err := s.release(vc, victim, now); err != nil {
+		panic(fmt.Sprintf("scheduler: preempting running job failed: %v", err))
+	}
+	victim.Preemptions++
+	victim.State = StateQueued
+	victim.EnqueuedAt = now
+	victim.NextAttempt = now + s.cfg.Backoff
+	victim.Attempts = 0
+	victim.Episodes++
+	vc.queue = append(vc.queue, victim)
+	if fairShare {
+		s.stats.FairSharePreemptions++
+	} else {
+		s.stats.PolicyPreemptions++
+	}
+	res.Preemptions = append(res.Preemptions, PreemptEvent{
+		Job: victim, FairShare: fairShare, Seq: res.nextSeq(),
+	})
+}
+
+// fairSharePreempt implements quota enforcement: when the cluster is nearly
+// full, entitled jobs (within quota) reclaim GPUs from VCs running over
+// quota.
+func (s *Scheduler) fairSharePreempt(now simulation.Time, res *PumpResult) {
+	for _, name := range s.vcOrder {
+		vc := s.vcs[name]
+		// Find the first entitled queued job that is actually waiting.
+		var entitled *Job
+		for _, j := range s.orderQueue(vc, now) {
+			if j.State == StateQueued && vc.used+j.GPUs <= vc.Quota {
+				entitled = j
+				break
+			}
+		}
+		if entitled == nil {
+			continue
+		}
+		// Gather victims from over-quota VCs, youngest episodes first
+		// (least progress lost to the checkpoint restore).
+		type victimRef struct {
+			vc *vcState
+			j  *Job
+		}
+		var victims []victimRef
+		freed := s.cluster.FreeGPUs()
+		for _, vn := range s.vcOrder {
+			ovc := s.vcs[vn]
+			if ovc.used <= ovc.Quota {
+				continue
+			}
+			var candidates []*Job
+			for _, r := range ovc.running {
+				candidates = append(candidates, r)
+			}
+			sort.Slice(candidates, func(i, k int) bool {
+				if candidates[i].StartedAt != candidates[k].StartedAt {
+					return candidates[i].StartedAt > candidates[k].StartedAt
+				}
+				return candidates[i].ID < candidates[k].ID
+			})
+			overBy := ovc.used - ovc.Quota
+			for _, c := range candidates {
+				if freed >= entitled.GPUs || overBy <= 0 {
+					break
+				}
+				victims = append(victims, victimRef{ovc, c})
+				freed += c.GPUs
+				overBy -= c.GPUs
+			}
+			if freed >= entitled.GPUs {
+				break
+			}
+		}
+		if freed < entitled.GPUs || len(victims) == 0 {
+			continue
+		}
+		for _, v := range victims {
+			s.preempt(v.vc, v.j, now, true, res)
+		}
+		// Start the entitled job on the reclaimed GPUs (relaxed placement:
+		// reclaimed capacity is fragmented by construction).
+		entitled.Attempts = s.cfg.RelaxToAnyAfter
+		s.tryStart(vc, entitled, now, res)
+	}
+}
+
+// policyPreempt implements the preemptive disciplines of the baseline
+// policies (SRTF / Tiresias / Gandiva).
+func (s *Scheduler) policyPreempt(now simulation.Time, res *PumpResult) {
+	for _, name := range s.vcOrder {
+		vc := s.vcs[name]
+		for _, waiting := range s.orderQueue(vc, now) {
+			// Preemptive disciplines act regardless of the waiting job's
+			// placement back-off: rotation/priority decisions are about the
+			// running set, not about retrying a failed placement.
+			if waiting.State != StateQueued {
+				continue
+			}
+			victim := s.pickVictim(vc, waiting, now)
+			if victim == nil {
+				continue
+			}
+			s.preempt(vc, victim, now, false, res)
+			// Give the waiting job an immediate relaxed shot at the GPUs.
+			waiting.Attempts = s.cfg.RelaxToAnyAfter
+			s.tryStart(vc, waiting, now, res)
+		}
+	}
+}
+
+// pickVictim selects a running job in the VC to preempt in favor of
+// waiting, per the policy's discipline. Returns nil when no preemption is
+// warranted.
+func (s *Scheduler) pickVictim(vc *vcState, waiting *Job, now simulation.Time) *Job {
+	var candidates []*Job
+	for _, r := range vc.running {
+		if now-r.StartedAt < s.cfg.PreemptMinRun {
+			continue
+		}
+		if r.GPUs < waiting.GPUs {
+			continue // preempting smaller jobs cannot free enough capacity
+		}
+		candidates = append(candidates, r)
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	sort.Slice(candidates, func(i, k int) bool { return candidates[i].ID < candidates[k].ID })
+	switch s.cfg.Policy {
+	case PolicySRTF:
+		// Preempt the job with the most remaining work, if the waiting job
+		// has strictly less.
+		var worst *Job
+		for _, c := range candidates {
+			if worst == nil || c.RemainingSeconds > worst.RemainingSeconds {
+				worst = c
+			}
+		}
+		if worst != nil && waiting.RemainingSeconds < worst.RemainingSeconds {
+			return worst
+		}
+	case PolicyTiresias:
+		// Preempt the job with the most attained service, if the waiting
+		// job has strictly less (LAS).
+		var worst *Job
+		for _, c := range candidates {
+			if worst == nil || c.AttainedGPUSeconds(now) > worst.AttainedGPUSeconds(now) {
+				worst = c
+			}
+		}
+		if worst != nil && waiting.AttainedGPUSeconds(now) < worst.AttainedGPUSeconds(now) {
+			return worst
+		}
+	case PolicyGandiva:
+		// Time-slice: rotate out the job that has held GPUs the longest
+		// past its quantum.
+		var worst *Job
+		for _, c := range candidates {
+			if now-c.StartedAt < s.cfg.GandivaQuantum {
+				continue
+			}
+			if worst == nil || c.StartedAt < worst.StartedAt {
+				worst = c
+			}
+		}
+		return worst
+	}
+	return nil
+}
+
+// RunningJobs returns all running jobs, ordered by ID (deterministic).
+func (s *Scheduler) RunningJobs() []*Job {
+	var out []*Job
+	for _, name := range s.vcOrder {
+		for _, j := range s.vcs[name].running {
+			out = append(out, j)
+		}
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// QueuedJobs returns all queued jobs, ordered by ID.
+func (s *Scheduler) QueuedJobs() []*Job {
+	var out []*Job
+	for _, name := range s.vcOrder {
+		out = append(out, s.vcs[name].queue...)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}

@@ -1,0 +1,192 @@
+// Package simulation implements the deterministic discrete-event engine the
+// cluster simulator runs on: a virtual clock with second resolution and a
+// binary-heap event queue with stable FIFO ordering for simultaneous events.
+//
+// The engine is intentionally single-threaded. Determinism — identical
+// results for identical seeds — is a design requirement (every figure in
+// EXPERIMENTS.md must be regenerable bit-for-bit), and a single event loop
+// is the simplest way to guarantee it.
+package simulation
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is simulated time in seconds since the start of the run.
+type Time int64
+
+// Common durations in simulated seconds.
+const (
+	Second Time = 1
+	Minute Time = 60
+	Hour   Time = 3600
+	Day    Time = 24 * Hour
+)
+
+// Minutes converts a Time to floating-point minutes, the unit the paper
+// reports queueing delays and runtimes in.
+func (t Time) Minutes() float64 { return float64(t) / 60 }
+
+// Hours converts a Time to floating-point hours.
+func (t Time) Hours() float64 { return float64(t) / 3600 }
+
+// Duration converts a Time to a time.Duration for formatting.
+func (t Time) Duration() time.Duration { return time.Duration(t) * time.Second }
+
+// String formats the time as d.hh:mm:ss.
+func (t Time) String() string {
+	neg := ""
+	if t < 0 {
+		neg = "-"
+		t = -t
+	}
+	d := t / Day
+	h := (t % Day) / Hour
+	m := (t % Hour) / Minute
+	s := t % Minute
+	return fmt.Sprintf("%s%d.%02d:%02d:%02d", neg, d, h, m, s)
+}
+
+// FromMinutes builds a Time from floating-point minutes, rounding to the
+// nearest second.
+func FromMinutes(m float64) Time { return Time(m*60 + 0.5) }
+
+// Event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-break: FIFO among events at the same instant
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the discrete-event loop. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+	// processed counts executed events, useful for progress reporting and
+	// as a safety valve in tests.
+	processed uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns how many events have been executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns how many events are waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at the absolute simulated time at. Scheduling in
+// the past (before Now) panics: it always indicates a logic bug and letting
+// it pass would silently reorder causality.
+func (e *Engine) At(at Time, fn func()) {
+	if fn == nil {
+		panic("simulation: scheduling nil event")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("simulation: scheduling event in the past (%v < now %v)", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// Stop halts the run loop after the currently executing event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in order until the queue drains or the clock would
+// pass horizon (events at exactly horizon still run). It returns the number
+// of events executed during this call.
+func (e *Engine) Run(horizon Time) uint64 {
+	e.stopped = false
+	start := e.processed
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > horizon {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		next.fn()
+		e.processed++
+	}
+	// Advance the clock to the horizon even if we ran out of events, so
+	// callers measuring elapsed simulated time see a consistent value.
+	if !e.stopped && e.now < horizon && len(e.queue) == 0 {
+		e.now = horizon
+	}
+	return e.processed - start
+}
+
+// RunUntilIdle executes events until the queue is empty, with no horizon.
+// maxEvents guards against runaway self-scheduling loops; it returns an
+// error if the budget is exhausted.
+func (e *Engine) RunUntilIdle(maxEvents uint64) error {
+	e.stopped = false
+	for n := uint64(0); len(e.queue) > 0 && !e.stopped; n++ {
+		if n >= maxEvents {
+			return fmt.Errorf("simulation: exceeded %d events without draining (possible self-scheduling loop)", maxEvents)
+		}
+		next := heap.Pop(&e.queue).(*event)
+		e.now = next.at
+		next.fn()
+		e.processed++
+	}
+	return nil
+}
+
+// Ticker invokes fn every interval seconds, starting at start, until fn
+// returns false or the engine stops. It is used for telemetry sampling and
+// scheduler retry sweeps.
+func (e *Engine) Ticker(start, interval Time, fn func(now Time) bool) {
+	if interval <= 0 {
+		panic("simulation: ticker interval must be positive")
+	}
+	var tick func()
+	at := start
+	tick = func() {
+		if !fn(e.now) {
+			return
+		}
+		at += interval
+		e.At(at, tick)
+	}
+	e.At(start, tick)
+}

@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Categorical is a weighted discrete distribution over indexes 0..n-1.
+// The zero value is unusable; build one with NewCategorical.
+type Categorical struct {
+	cum []float64 // cumulative weights, last element == total
+}
+
+// NewCategorical builds a categorical distribution from non-negative
+// weights. At least one weight must be positive.
+func NewCategorical(weights []float64) (*Categorical, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("stats: categorical needs at least one weight")
+	}
+	cum := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("stats: categorical weight %d is invalid (%v)", i, w)
+		}
+		total += w
+		cum[i] = total
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("stats: categorical weights sum to zero")
+	}
+	return &Categorical{cum: cum}, nil
+}
+
+// MustCategorical is NewCategorical but panics on error; for statically
+// known weight tables.
+func MustCategorical(weights []float64) *Categorical {
+	c, err := NewCategorical(weights)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Sample draws an index with probability proportional to its weight.
+func (c *Categorical) Sample(g *RNG) int {
+	total := c.cum[len(c.cum)-1]
+	x := g.Float64() * total
+	// Binary search for the first cumulative weight > x.
+	return sort.SearchFloat64s(c.cum, math.Nextafter(x, math.MaxFloat64))
+}
+
+// Len returns the number of categories.
+func (c *Categorical) Len() int { return len(c.cum) }
+
+// Zipf is a Zipf-distributed sampler over 1..N with exponent s, used to
+// model skewed user activity (a few users submit most jobs).
+type Zipf struct {
+	cat *Categorical
+}
+
+// NewZipf builds a Zipf distribution over n ranks with exponent s > 0.
+func NewZipf(n int, s float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("stats: zipf needs n > 0, got %d", n)
+	}
+	if s <= 0 {
+		return nil, fmt.Errorf("stats: zipf needs s > 0, got %v", s)
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+	}
+	cat, err := NewCategorical(w)
+	if err != nil {
+		return nil, err
+	}
+	return &Zipf{cat: cat}, nil
+}
+
+// Sample draws a rank in [0, n).
+func (z *Zipf) Sample(g *RNG) int { return z.cat.Sample(g) }
+
+// LogNormalSpec describes a log-normal distribution by its median and an
+// upper quantile, which is how the paper reports runtime-to-failure
+// distributions (p50/p90/p95). FromQuantiles solves for (mu, sigma).
+type LogNormalSpec struct {
+	Mu    float64
+	Sigma float64
+}
+
+// LogNormalFromQuantiles returns the log-normal whose median is p50 and
+// whose q-quantile is pq (e.g. q=0.9, pq = the reported 90th percentile).
+// Both values must be positive and pq >= p50.
+func LogNormalFromQuantiles(p50 float64, q, pq float64) (LogNormalSpec, error) {
+	if p50 <= 0 || pq <= 0 {
+		return LogNormalSpec{}, fmt.Errorf("stats: quantiles must be positive (p50=%v, pq=%v)", p50, pq)
+	}
+	if q <= 0.5 || q >= 1 {
+		return LogNormalSpec{}, fmt.Errorf("stats: upper quantile level must be in (0.5, 1), got %v", q)
+	}
+	if pq < p50 {
+		return LogNormalSpec{}, fmt.Errorf("stats: upper quantile %v below median %v", pq, p50)
+	}
+	mu := math.Log(p50)
+	z := NormalQuantile(q)
+	sigma := 0.0
+	if pq > p50 {
+		sigma = (math.Log(pq) - mu) / z
+	}
+	return LogNormalSpec{Mu: mu, Sigma: sigma}, nil
+}
+
+// Sample draws from the distribution.
+func (s LogNormalSpec) Sample(g *RNG) float64 { return g.LogNormal(s.Mu, s.Sigma) }
+
+// Quantile returns the value at probability p in (0, 1).
+func (s LogNormalSpec) Quantile(p float64) float64 {
+	return math.Exp(s.Mu + s.Sigma*NormalQuantile(p))
+}
+
+// NormalQuantile returns the standard normal quantile (inverse CDF) at p in
+// (0, 1), using the Acklam rational approximation (relative error < 1.15e-9),
+// which is plenty for calibrating synthetic distributions.
+func NormalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		if p == 0.5 {
+			return 0
+		}
+		panic(fmt.Sprintf("stats: NormalQuantile needs p in (0,1), got %v", p))
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const plow = 0.02425
+	const phigh = 1 - plow
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > phigh:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}

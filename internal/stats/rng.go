@@ -1,0 +1,121 @@
+// Package stats provides the deterministic random-number plumbing and the
+// probability distributions used throughout the simulator: seeded PCG
+// streams, log-normal / exponential / Pareto / Zipf samplers, weighted
+// categorical choice, and summary statistics (percentiles, CDFs, means).
+//
+// Every stochastic decision in the repository draws from a *stats.RNG that
+// was derived from the study's master seed, so whole-study results are
+// bit-reproducible.
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// RNG is a deterministic random source. It wraps math/rand/v2's PCG
+// generator and adds the samplers the workload and failure models need.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a generator seeded from seed. Two RNGs built from the same
+// seed produce identical streams.
+func NewRNG(seed uint64) *RNG {
+	// Mix the single user-facing seed into the two PCG words with
+	// splitmix64 so that nearby seeds give unrelated streams.
+	s1 := splitmix64(seed)
+	s2 := splitmix64(s1)
+	return &RNG{r: rand.New(rand.NewPCG(s1, s2))}
+}
+
+// Split derives an independent child stream. The label keeps derivations
+// for different concerns (arrival times, failure draws, ...) decoupled:
+// adding draws to one stream does not perturb the others.
+func (g *RNG) Split(label string) *RNG {
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	h ^= g.r.Uint64()
+	return NewRNG(h)
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// IntN returns a uniform sample in [0, n). It panics if n <= 0.
+func (g *RNG) IntN(n int) int { return g.r.IntN(n) }
+
+// Int63 returns a uniform non-negative int64.
+func (g *RNG) Int63() int64 { return int64(g.r.Uint64() >> 1) }
+
+// Uint64 returns a uniform 64-bit value.
+func (g *RNG) Uint64() uint64 { return g.r.Uint64() }
+
+// NormFloat64 returns a standard normal sample.
+func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool { return g.r.Float64() < p }
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle permutes a slice in place using swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// Exponential samples Exp(rate); the mean of the distribution is 1/rate.
+// It panics if rate <= 0.
+func (g *RNG) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("stats: Exponential rate must be positive")
+	}
+	return g.r.ExpFloat64() / rate
+}
+
+// LogNormal samples exp(N(mu, sigma^2)). The median of the distribution is
+// exp(mu); sigma controls tail heaviness.
+func (g *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*g.r.NormFloat64())
+}
+
+// Pareto samples a Pareto distribution with the given minimum value xm and
+// shape alpha. Smaller alpha means a heavier tail. It panics if xm <= 0 or
+// alpha <= 0.
+func (g *RNG) Pareto(xm, alpha float64) float64 {
+	if xm <= 0 || alpha <= 0 {
+		panic("stats: Pareto parameters must be positive")
+	}
+	u := g.r.Float64()
+	for u == 0 {
+		u = g.r.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Uniform samples uniformly from [lo, hi).
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// TruncNormal samples N(mu, sigma^2) truncated to [lo, hi] by rejection,
+// falling back to clamping after a bounded number of attempts so that the
+// call always terminates.
+func (g *RNG) TruncNormal(mu, sigma, lo, hi float64) float64 {
+	for i := 0; i < 64; i++ {
+		x := mu + sigma*g.r.NormFloat64()
+		if x >= lo && x <= hi {
+			return x
+		}
+	}
+	return math.Min(hi, math.Max(lo, mu))
+}

@@ -1,0 +1,222 @@
+// Package trace exports simulated studies in a Philly-traces-like format —
+// the paper's authors released their scheduler trace as per-job records with
+// submission, placement and status information (https://github.com/
+// msr-fiddle/philly-traces); this package writes and reads the analogous
+// records for simulated runs, in CSV and JSON.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"philly/internal/core"
+)
+
+// JobRecord is one job's trace row. Times are minutes since trace start.
+type JobRecord struct {
+	JobID     int64   `json:"jobid"`
+	VC        string  `json:"vc"`
+	User      string  `json:"user"`
+	GPUs      int     `json:"num_gpus"`
+	SubmitMin float64 `json:"submitted_time"`
+	StartMin  float64 `json:"started_time"`
+	EndMin    float64 `json:"finished_time"`
+	Status    string  `json:"status"`
+	// QueueDelayMin is the first-episode queueing delay.
+	QueueDelayMin float64 `json:"queue_delay"`
+	// RunMin is total time holding GPUs across attempts.
+	RunMin float64 `json:"run_time"`
+	// GPUMin is RunMin x GPUs (GPU-minutes consumed).
+	GPUMin float64 `json:"gpu_time"`
+	// Retries is the number of re-executions after failures.
+	Retries int `json:"retries"`
+	// Servers is the final attempt's server spread.
+	Servers int `json:"num_servers"`
+	// MeanUtil is mean per-minute GPU utilization.
+	MeanUtil float64 `json:"mean_gpu_util"`
+	// DelayCause is "none", "fair-share" or "fragmentation".
+	DelayCause string `json:"delay_cause"`
+	// FailureReason is the log-classified reason of the final failed
+	// attempt, if any.
+	FailureReason string `json:"failure_reason,omitempty"`
+}
+
+// AttemptRecord is one execution attempt.
+type AttemptRecord struct {
+	JobID      int64   `json:"jobid"`
+	Attempt    int     `json:"attempt"`
+	StartMin   float64 `json:"start_time"`
+	EndMin     float64 `json:"end_time"`
+	Servers    int     `json:"num_servers"`
+	Colocated  bool    `json:"colocated"`
+	CrossRack  bool    `json:"cross_rack"`
+	Failed     bool    `json:"failed"`
+	Reason     string  `json:"reason,omitempty"`
+	RunMinutes float64 `json:"run_minutes"`
+}
+
+// Trace is the exported study.
+type Trace struct {
+	Jobs     []JobRecord     `json:"jobs"`
+	Attempts []AttemptRecord `json:"attempts"`
+}
+
+// FromStudy converts a study result into trace records. Only completed jobs
+// are exported, matching what a real trace collection would contain.
+func FromStudy(res *core.StudyResult) *Trace {
+	t := &Trace{}
+	for i := range res.Jobs {
+		j := &res.Jobs[i]
+		if !j.Completed {
+			continue
+		}
+		rec := JobRecord{
+			JobID:         j.Spec.ID,
+			VC:            j.Spec.VC,
+			User:          j.Spec.User,
+			GPUs:          j.Spec.GPUs,
+			SubmitMin:     j.Spec.SubmitAt.Minutes(),
+			StartMin:      j.FirstStartAt.Minutes(),
+			EndMin:        j.EndAt.Minutes(),
+			Status:        j.Outcome.String(),
+			QueueDelayMin: j.FirstQueueDelay.Minutes(),
+			RunMin:        j.RunMinutes,
+			GPUMin:        j.GPUMinutes,
+			Retries:       j.Retries,
+			Servers:       j.LastServers,
+			MeanUtil:      j.MeanUtil,
+			DelayCause:    j.DelayCause.String(),
+		}
+		for _, a := range j.Attempts {
+			if a.Failed {
+				rec.FailureReason = a.ClassifiedReason
+			}
+			t.Attempts = append(t.Attempts, AttemptRecord{
+				JobID:      j.Spec.ID,
+				Attempt:    a.Index,
+				StartMin:   a.StartAt.Minutes(),
+				EndMin:     a.EndAt.Minutes(),
+				Servers:    a.Servers,
+				Colocated:  a.Colocated,
+				CrossRack:  a.CrossRack,
+				Failed:     a.Failed,
+				Reason:     a.ClassifiedReason,
+				RunMinutes: a.RuntimeMinutes,
+			})
+		}
+		t.Jobs = append(t.Jobs, rec)
+	}
+	return t
+}
+
+var jobHeader = []string{
+	"jobid", "vc", "user", "num_gpus", "submitted_time", "started_time",
+	"finished_time", "status", "queue_delay", "run_time", "gpu_time",
+	"retries", "num_servers", "mean_gpu_util", "delay_cause", "failure_reason",
+}
+
+// WriteJobsCSV writes the job table.
+func (t *Trace) WriteJobsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(jobHeader); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, j := range t.Jobs {
+		rec := []string{
+			strconv.FormatInt(j.JobID, 10), j.VC, j.User, strconv.Itoa(j.GPUs),
+			fmtF(j.SubmitMin), fmtF(j.StartMin), fmtF(j.EndMin), j.Status,
+			fmtF(j.QueueDelayMin), fmtF(j.RunMin), fmtF(j.GPUMin),
+			strconv.Itoa(j.Retries), strconv.Itoa(j.Servers), fmtF(j.MeanUtil),
+			j.DelayCause, j.FailureReason,
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: write job %d: %w", j.JobID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+
+// ReadJobsCSV parses a job table written by WriteJobsCSV.
+func ReadJobsCSV(r io.Reader) ([]JobRecord, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty csv")
+	}
+	if len(rows[0]) != len(jobHeader) {
+		return nil, fmt.Errorf("trace: header has %d columns, want %d", len(rows[0]), len(jobHeader))
+	}
+	var out []JobRecord
+	for i, row := range rows[1:] {
+		rec, err := parseJobRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d: %w", i+1, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+func parseJobRow(row []string) (JobRecord, error) {
+	var rec JobRecord
+	if len(row) != len(jobHeader) {
+		return rec, fmt.Errorf("have %d columns, want %d", len(row), len(jobHeader))
+	}
+	var err error
+	if rec.JobID, err = strconv.ParseInt(row[0], 10, 64); err != nil {
+		return rec, fmt.Errorf("jobid: %w", err)
+	}
+	rec.VC, rec.User = row[1], row[2]
+	if rec.GPUs, err = strconv.Atoi(row[3]); err != nil {
+		return rec, fmt.Errorf("num_gpus: %w", err)
+	}
+	floats := []struct {
+		idx int
+		dst *float64
+	}{
+		{4, &rec.SubmitMin}, {5, &rec.StartMin}, {6, &rec.EndMin},
+		{8, &rec.QueueDelayMin}, {9, &rec.RunMin}, {10, &rec.GPUMin}, {13, &rec.MeanUtil},
+	}
+	for _, f := range floats {
+		if *f.dst, err = strconv.ParseFloat(row[f.idx], 64); err != nil {
+			return rec, fmt.Errorf("%s: %w", jobHeader[f.idx], err)
+		}
+	}
+	rec.Status = row[7]
+	if rec.Retries, err = strconv.Atoi(row[11]); err != nil {
+		return rec, fmt.Errorf("retries: %w", err)
+	}
+	if rec.Servers, err = strconv.Atoi(row[12]); err != nil {
+		return rec, fmt.Errorf("num_servers: %w", err)
+	}
+	rec.DelayCause, rec.FailureReason = row[14], row[15]
+	return rec, nil
+}
+
+// WriteJSON writes the full trace (jobs + attempts) as JSON.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(t); err != nil {
+		return fmt.Errorf("trace: encode json: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses a trace written by WriteJSON.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode json: %w", err)
+	}
+	return &t, nil
+}

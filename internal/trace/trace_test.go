@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"philly/internal/core"
+)
+
+var (
+	once   sync.Once
+	result *core.StudyResult
+	resErr error
+)
+
+func studyResult(t *testing.T) *core.StudyResult {
+	t.Helper()
+	once.Do(func() {
+		cfg := core.SmallConfig()
+		cfg.Workload.TotalJobs = 400
+		cfg.Workload.Duration = cfg.Workload.Duration / 4
+		st, err := core.NewStudy(cfg)
+		if err != nil {
+			resErr = err
+			return
+		}
+		result, resErr = st.Run()
+	})
+	if resErr != nil {
+		t.Fatal(resErr)
+	}
+	return result
+}
+
+func TestFromStudy(t *testing.T) {
+	res := studyResult(t)
+	tr := FromStudy(res)
+	if len(tr.Jobs) == 0 {
+		t.Fatal("no jobs exported")
+	}
+	completed := 0
+	for i := range res.Jobs {
+		if res.Jobs[i].Completed {
+			completed++
+		}
+	}
+	if len(tr.Jobs) != completed {
+		t.Errorf("exported %d jobs, want %d completed", len(tr.Jobs), completed)
+	}
+	if len(tr.Attempts) < len(tr.Jobs) {
+		t.Errorf("attempts (%d) < jobs (%d)", len(tr.Attempts), len(tr.Jobs))
+	}
+	for _, j := range tr.Jobs {
+		if j.Status != "Passed" && j.Status != "Killed" && j.Status != "Unsuccessful" {
+			t.Fatalf("job %d bad status %q", j.JobID, j.Status)
+		}
+		if j.EndMin < j.StartMin || j.StartMin < j.SubmitMin {
+			t.Fatalf("job %d time ordering broken", j.JobID)
+		}
+		if j.Status == "Unsuccessful" && j.FailureReason == "" {
+			t.Fatalf("unsuccessful job %d lacks failure reason", j.JobID)
+		}
+	}
+}
+
+func TestJobsCSVRoundTrip(t *testing.T) {
+	tr := FromStudy(studyResult(t))
+	var buf bytes.Buffer
+	if err := tr.WriteJobsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJobsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tr.Jobs) {
+		t.Fatalf("read %d jobs, wrote %d", len(got), len(tr.Jobs))
+	}
+	for i := range got {
+		a, b := got[i], tr.Jobs[i]
+		if a.JobID != b.JobID || a.VC != b.VC || a.User != b.User || a.GPUs != b.GPUs ||
+			a.Status != b.Status || a.Retries != b.Retries || a.DelayCause != b.DelayCause ||
+			a.FailureReason != b.FailureReason {
+			t.Fatalf("row %d mismatch:\n%+v\n%+v", i, a, b)
+		}
+		if diff := a.RunMin - b.RunMin; diff > 0.001 || diff < -0.001 {
+			t.Fatalf("row %d RunMin %v vs %v", i, a.RunMin, b.RunMin)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := FromStudy(studyResult(t))
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Jobs) != len(tr.Jobs) || len(got.Attempts) != len(tr.Attempts) {
+		t.Fatalf("round trip lost records: %d/%d jobs, %d/%d attempts",
+			len(got.Jobs), len(tr.Jobs), len(got.Attempts), len(tr.Attempts))
+	}
+	if got.Jobs[0] != tr.Jobs[0] {
+		t.Errorf("first job differs: %+v vs %+v", got.Jobs[0], tr.Jobs[0])
+	}
+}
+
+func TestReadJobsCSVErrors(t *testing.T) {
+	if _, err := ReadJobsCSV(strings.NewReader("")); err == nil {
+		t.Error("want error for empty input")
+	}
+	if _, err := ReadJobsCSV(strings.NewReader("a,b,c\n")); err == nil {
+		t.Error("want error for wrong header")
+	}
+	header := strings.Join(jobHeader, ",")
+	bad := header + "\nnot-a-number,vc1,u,1,0,0,0,Passed,0,0,0,0,1,0,none,\n"
+	if _, err := ReadJobsCSV(strings.NewReader(bad)); err == nil {
+		t.Error("want error for bad jobid")
+	}
+}
+
+func TestReadJSONError(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{nope")); err == nil {
+		t.Error("want error for invalid json")
+	}
+}

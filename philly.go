@@ -1,0 +1,203 @@
+// Package philly is a discrete-event reproduction of "Analysis of
+// Large-Scale Multi-Tenant GPU Clusters for DNN Training Workloads"
+// (Jeon et al., USENIX ATC 2019) — the Philly trace study.
+//
+// The package simulates the production system the paper measures: a
+// multi-tenant GPU cluster (racks as RDMA domains, 2- and 8-GPU server
+// SKUs), a YARN-like fair-share scheduler with gang scheduling and
+// locality-aware placement, per-minute hardware telemetry, a 22-reason
+// failure model with log generation and signature classification, and a
+// workload generator calibrated to every aggregate the paper publishes.
+// Running a Study and feeding the result through Analyze regenerates the
+// paper's tables and figures.
+//
+// Quick start:
+//
+//	cfg := philly.SmallConfig()
+//	cfg.Seed = 42
+//	res, err := philly.Run(cfg)
+//	if err != nil { ... }
+//	report := philly.Analyze(res)
+//	fmt.Println(report.RenderAll())
+//
+// The heavy lifting lives in internal packages (internal/core,
+// internal/scheduler, internal/analysis, ...); this package is the stable
+// surface. The exported names below are type aliases onto the internal
+// implementations so that the full configuration surface remains available
+// without duplicating it.
+package philly
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"philly/internal/analysis"
+	"philly/internal/core"
+	"philly/internal/failures"
+	"philly/internal/joblog"
+	"philly/internal/perfmodel"
+	"philly/internal/scheduler"
+	"philly/internal/trace"
+)
+
+// Config is the full study configuration: cluster topology, workload,
+// scheduler policy, performance-model calibration, telemetry cadence.
+type Config = core.Config
+
+// StudyResult is everything a simulation produces: per-job results,
+// telemetry aggregates, scheduler counters.
+type StudyResult = core.StudyResult
+
+// JobResult is one job's outcome.
+type JobResult = core.JobResult
+
+// Trace is the Philly-traces-style export of a study.
+type Trace = trace.Trace
+
+// Policy names a scheduling discipline for Config.Scheduler.Policy.
+type Policy = scheduler.Policy
+
+// Scheduling policies (Table 1): Philly's locality-based scheduler and the
+// comparison baselines.
+const (
+	PolicyPhilly   = scheduler.PolicyPhilly
+	PolicyFIFO     = scheduler.PolicyFIFO
+	PolicySRTF     = scheduler.PolicySRTF
+	PolicyTiresias = scheduler.PolicyTiresias
+	PolicyGandiva  = scheduler.PolicyGandiva
+)
+
+// DefaultConfig returns the paper-scale configuration: ~2300 GPUs, 96,260
+// jobs over 75 days, 14 virtual clusters. A full run takes minutes and is
+// what EXPERIMENTS.md records.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// SmallConfig returns a laptop-scale configuration (~230 GPUs, 3,300 jobs
+// over 8 days) that exhibits the same qualitative behaviour; the test
+// suite's calibration assertions run against it.
+func SmallConfig() Config { return core.SmallConfig() }
+
+// Run executes a study to completion.
+func Run(cfg Config) (*StudyResult, error) {
+	st, err := core.NewStudy(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("philly: %w", err)
+	}
+	return st.Run()
+}
+
+// NewTrace exports a study result in the Philly-traces-like format.
+func NewTrace(res *StudyResult) *Trace { return trace.FromStudy(res) }
+
+// Report bundles every reproduced table and figure for one study.
+type Report struct {
+	Figure2  analysis.Figure2
+	Figure3  analysis.Figure3
+	Figure4  analysis.Figure4
+	Table2   analysis.Table2
+	Figure5  analysis.Figure5
+	Table3   analysis.Table3
+	Table4   []perfmodel.ResNet50Result
+	Figure6  analysis.Figure6
+	Figure7  analysis.Figure7
+	Table5   analysis.Table5
+	Table6   analysis.Table6
+	Figure8  analysis.Figure8
+	Figure9  analysis.Figure9
+	Table7   analysis.Table7
+	Figure10 analysis.Figure10
+	Sched    analysis.SchedulingStats
+}
+
+// Analyze computes every experiment from a study result. Table 4 (the
+// controlled ResNet-50 experiment) comes from the analytical placement
+// model and does not depend on the trace.
+func Analyze(res *StudyResult) *Report {
+	table4, err := perfmodel.ResNet50Table(perfmodel.DefaultResNet50Params())
+	if err != nil {
+		// Default parameters are statically valid; this is unreachable
+		// short of a programming error.
+		panic(err)
+	}
+	return &Report{
+		Figure2:  analysis.ComputeFigure2(res),
+		Figure3:  analysis.ComputeFigure3(res),
+		Figure4:  analysis.ComputeFigure4(res),
+		Table2:   analysis.ComputeTable2(res),
+		Figure5:  analysis.ComputeFigure5(res),
+		Table3:   analysis.ComputeTable3(res),
+		Table4:   table4,
+		Figure6:  analysis.ComputeFigure6(res),
+		Figure7:  analysis.ComputeFigure7(res),
+		Table5:   analysis.ComputeTable5(res),
+		Table6:   analysis.ComputeTable6(res),
+		Figure8:  analysis.ComputeFigure8(res),
+		Figure9:  analysis.ComputeFigure9(res),
+		Table7:   analysis.ComputeTable7(res),
+		Figure10: analysis.ComputeFigure10(res),
+		Sched:    analysis.ComputeSchedulingStats(res),
+	}
+}
+
+// RenderTable4 prints the ResNet-50 placement experiment with the paper's
+// measured values alongside.
+func RenderTable4(rows []perfmodel.ResNet50Result) string {
+	var b strings.Builder
+	b.WriteString("Table 4: ResNet-50 placement experiment (2 GPUs, batch 32)\n")
+	paper := perfmodel.PaperTable4()
+	fmt.Fprintf(&b, "%-12s  %10s  %10s  %10s  %10s\n", "config", "util %", "paper", "images/s", "paper")
+	for _, r := range rows {
+		p := paper[r.Config]
+		fmt.Fprintf(&b, "%-12s  %10.1f  %10.1f  %10.1f  %10.1f\n",
+			r.Config, r.GPUUtil, p[0], r.ImagesPerSec, p[1])
+	}
+	return b.String()
+}
+
+// RenderAll prints every experiment in paper order.
+func (r *Report) RenderAll() string {
+	sections := []string{
+		r.Figure2.Render(),
+		r.Figure3.Render(),
+		r.Figure4.Render(),
+		r.Table2.Render(),
+		r.Sched.Render(),
+		r.Figure5.Render(),
+		r.Table3.Render(),
+		RenderTable4(r.Table4),
+		r.Figure6.Render(),
+		r.Figure7.Render(),
+		r.Table5.Render(),
+		r.Table6.Render(),
+		r.Figure8.Render(),
+		r.Figure9.Render(),
+		r.Table7.Render(),
+		r.Figure10.Render(),
+	}
+	return strings.Join(sections, "\n")
+}
+
+// WriteAll writes the rendered report to w.
+func (r *Report) WriteAll(w io.Writer) error {
+	_, err := io.WriteString(w, r.RenderAll())
+	return err
+}
+
+// FailureReason is one class from the paper's Table 7 failure taxonomy.
+type FailureReason = failures.Reason
+
+// FailureTaxonomy returns the paper's 21 named failure reasons with their
+// category flags, occurrence weights and runtime-to-failure distributions.
+func FailureTaxonomy() []FailureReason { return failures.Taxonomy() }
+
+// ClassifyFailureLog attributes a training job's stdout/stderr text to a
+// root-cause failure reason code using the signature classifier (the
+// paper's classifier has >230 rules; see internal/joblog). It returns
+// "no_signature" when nothing matches.
+func ClassifyFailureLog(log string) string {
+	return joblog.NewClassifier().Classify(log)
+}
+
+// NumClassifierRules reports the size of the failure-signature rule set.
+func NumClassifierRules() int { return joblog.NumRules() }

@@ -1,0 +1,116 @@
+package philly_test
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"philly"
+)
+
+var (
+	facadeOnce sync.Once
+	facadeRes  *philly.StudyResult
+	facadeErr  error
+)
+
+func facadeResult(t *testing.T) *philly.StudyResult {
+	t.Helper()
+	facadeOnce.Do(func() {
+		cfg := philly.SmallConfig()
+		cfg.Workload.TotalJobs = 800
+		cfg.Workload.Duration /= 2
+		facadeRes, facadeErr = philly.Run(cfg)
+	})
+	if facadeErr != nil {
+		t.Fatal(facadeErr)
+	}
+	return facadeRes
+}
+
+func TestRunAndAnalyze(t *testing.T) {
+	res := facadeResult(t)
+	if len(res.Jobs) != 800 {
+		t.Fatalf("jobs = %d", len(res.Jobs))
+	}
+	report := philly.Analyze(res)
+	out := report.RenderAll()
+	for _, want := range []string{
+		"Figure 2", "Figure 3", "Figure 4", "Table 2", "Figure 5", "Table 3",
+		"Table 4", "Figure 6", "Figure 7", "Table 5", "Table 6", "Figure 8",
+		"Figure 9", "Table 7", "Figure 10", "Scheduling behaviour",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing section %q", want)
+		}
+	}
+	var buf bytes.Buffer
+	if err := report.WriteAll(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("WriteAll produced nothing")
+	}
+}
+
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	cfg := philly.SmallConfig()
+	cfg.Workload.TotalJobs = -1
+	if _, err := philly.Run(cfg); err == nil {
+		t.Error("want error for invalid config")
+	}
+}
+
+func TestTraceExport(t *testing.T) {
+	res := facadeResult(t)
+	tr := philly.NewTrace(res)
+	if len(tr.Jobs) == 0 {
+		t.Fatal("empty trace")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJobsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(tr.Jobs)+1 {
+		t.Errorf("csv has %d lines, want %d", lines, len(tr.Jobs)+1)
+	}
+}
+
+func TestClassifierFacade(t *testing.T) {
+	if philly.NumClassifierRules() < 230 {
+		t.Errorf("rules = %d, want > 230", philly.NumClassifierRules())
+	}
+	if got := philly.ClassifyFailureLog("CUDA out of memory"); got != "gpu_oom" {
+		t.Errorf("Classify = %q", got)
+	}
+	if got := philly.ClassifyFailureLog("nothing to see"); got != "no_signature" {
+		t.Errorf("Classify = %q", got)
+	}
+	if len(philly.FailureTaxonomy()) != 21 {
+		t.Errorf("taxonomy size = %d", len(philly.FailureTaxonomy()))
+	}
+}
+
+func TestPolicyConstantsDistinct(t *testing.T) {
+	seen := map[philly.Policy]bool{}
+	for _, p := range []philly.Policy{
+		philly.PolicyPhilly, philly.PolicyFIFO, philly.PolicySRTF,
+		philly.PolicyTiresias, philly.PolicyGandiva,
+	} {
+		if seen[p] {
+			t.Fatalf("duplicate policy constant %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestRenderTable4(t *testing.T) {
+	report := philly.Analyze(facadeResult(t))
+	s := philly.RenderTable4(report.Table4)
+	for _, cfgName := range []string{"SameServer", "DiffServer", "IntraServer", "InterServer"} {
+		if !strings.Contains(s, cfgName) {
+			t.Errorf("Table 4 render missing %s", cfgName)
+		}
+	}
+}
