@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: check vet build test race bench bench-sweep
+
+# check is the CI gate: vet, build everything, then the full test suite
+# under the race detector (the sweep harness is the only concurrent code,
+# but -race also guards the examples and cmds against regressions).
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs every benchmark once per reporting interval; pipe to a file to
+# record a BENCH_*.json-style trajectory for the PR log.
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# bench-sweep is just the harness scaling curve (workers=1,2,4,8).
+bench-sweep:
+	$(GO) test -bench BenchmarkSweepWorkerScaling -run '^$$' .

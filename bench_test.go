@@ -19,6 +19,7 @@ import (
 	"philly/internal/failures"
 	"philly/internal/perfmodel"
 	"philly/internal/stats"
+	"philly/internal/sweep"
 )
 
 // metricKey makes a bucket label usable as a benchmark metric unit
@@ -437,6 +438,42 @@ func BenchmarkAblationDefrag(b *testing.B) {
 			b.ReportMetric(stats.Percentile(bigDelays, 90), "p90DelayMinOver8_"+name)
 			b.ReportMetric(float64(res.Sched.Migrations), "migrations_"+name)
 		}
+	}
+}
+
+// BenchmarkSweepWorkerScaling runs a fixed 2-axis × 2-value matrix with 4
+// seed replicas (16 studies) at increasing worker counts. On a multi-core
+// box ns/op should fall as workers rise; the sweep test suite separately
+// guarantees the aggregated results are bit-identical at every worker
+// count, so this benchmark is purely a wall-clock trajectory.
+func BenchmarkSweepWorkerScaling(b *testing.B) {
+	base := philly.SmallConfig()
+	base.Workload.TotalJobs = 600
+	base.Workload.Duration /= 2
+	var axes []sweep.Axis
+	for _, spec := range []string{"sched.policy=philly,fifo", "defrag=off,on"} {
+		ax, err := sweep.ParseAxis(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		axes = append(axes, ax)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var res *sweep.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = sweep.Matrix{Base: base, Axes: axes}.
+					Run(sweep.Options{Replicas: 4, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(res.Scenarios)*res.Replicas), "studiesPerSweep")
+			if jct, ok := res.Scenarios[0].Summary.ByName("JCT p50 (min)"); ok {
+				b.ReportMetric(jct.Mean, "jctP50Min_scenario0")
+			}
+		})
 	}
 }
 

@@ -3,26 +3,36 @@
 //
 // Usage:
 //
-//	philly-repro [-scale small|medium|full] [-seed N] [-policy philly|fifo|srtf|tiresias|gandiva] [-o report.txt]
+//	philly-repro [-scale small|medium|full] [-seed N] [-policy philly|fifo|srtf|tiresias|gandiva]
+//	             [-replicas N] [-o report.txt]
 //
 // small  (~230 GPUs, 3.3k jobs) finishes in under a second;
 // medium (~2300 GPUs, 24k jobs) in tens of seconds;
 // full   (paper scale: ~2300 GPUs, 96,260 jobs over 75 days) in minutes.
+//
+// -policy also accepts a comma-separated list; with several policies (or
+// with -replicas > 1) the multi-run loop goes through the internal/sweep
+// harness and prints a cross-scenario comparison table instead of the full
+// report — replicated over seeds, with 95% confidence intervals.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"philly"
+	"philly/internal/sweep"
 )
 
 func main() {
 	scale := flag.String("scale", "small", "study scale: small, medium or full")
 	seed := flag.Uint64("seed", 1, "master random seed")
-	policy := flag.String("policy", "philly", "scheduling policy: philly, fifo, srtf, tiresias, gandiva")
+	policy := flag.String("policy", "philly", "scheduling policy (comma-separated list sweeps): philly, fifo, srtf, tiresias, gandiva")
+	replicas := flag.Int("replicas", 1, "seed replicas; > 1 switches to the sweep comparison table")
+	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
 	out := flag.String("o", "", "also write the report to this file")
 	flag.Parse()
 
@@ -32,6 +42,15 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Seed = *seed
+
+	if strings.Contains(*policy, ",") || *replicas > 1 {
+		if err := runSweep(cfg, *scale, *policy, *replicas, *workers, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "philly-repro:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	cfg.Scheduler.Policy, err = parsePolicy(*policy)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -63,16 +82,39 @@ func main() {
 	}
 }
 
+// runSweep drives the multi-run path — several policies and/or several
+// seed replicas — through the sweep harness and prints its comparison
+// table. Per-run seeds derive from (seed, scenario, replica), so the table
+// is reproducible independent of worker count.
+func runSweep(cfg philly.Config, scale, policies string, replicas, workers int, out string) error {
+	m := sweep.Matrix{Base: cfg}
+	ax, err := sweep.ParseAxis("sched.policy=" + policies)
+	if err != nil {
+		return err
+	}
+	m.Axes = append(m.Axes, ax)
+	start := time.Now()
+	res, err := m.Run(sweep.Options{Replicas: replicas, Workers: workers})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scale=%s seed=%d: policy comparison via sweep harness\n", scale, cfg.Seed)
+	fmt.Print(res.RenderTable())
+	fmt.Printf("wall: %v\n", time.Since(start).Round(time.Millisecond))
+	if out != "" {
+		if err := os.WriteFile(out, []byte(res.RenderTable()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func configFor(scale string) (philly.Config, error) {
 	switch scale {
 	case "small":
 		return philly.SmallConfig(), nil
 	case "medium":
-		cfg := philly.DefaultConfig()
-		cfg.Workload.TotalJobs /= 4
-		cfg.Workload.Duration /= 4
-		cfg.Workload.MaxRuntimeMinutes = 7 * 24 * 60
-		return cfg, nil
+		return philly.MediumConfig(), nil
 	case "full":
 		return philly.DefaultConfig(), nil
 	default:

@@ -2,6 +2,11 @@
 // scheduler and the Table 1 baselines (FIFO, Optimus-style SRTF,
 // Tiresias-style LAS, Gandiva-style time-slicing) and compare job
 // completion times — turning the paper's qualitative Table 1 into numbers.
+//
+// The five policy runs go through the internal/sweep harness: one policy
+// axis, executed in parallel across GOMAXPROCS workers, with two seed
+// replicas each so the table carries 95% confidence intervals. The output
+// is bit-identical however many workers run it.
 package main
 
 import (
@@ -9,50 +14,26 @@ import (
 	"log"
 
 	"philly"
-	"philly/internal/stats"
+	"philly/internal/sweep"
 )
 
 func main() {
-	policies := []struct {
-		name   string
-		policy philly.Policy
-	}{
-		{"philly", philly.PolicyPhilly},
-		{"fifo", philly.PolicyFIFO},
-		{"srtf", philly.PolicySRTF},
-		{"tiresias", philly.PolicyTiresias},
-		{"gandiva", philly.PolicyGandiva},
+	base := philly.SmallConfig()
+	base.Seed = 11
+	base.Workload.TotalJobs = 3600
+
+	policyAxis, err := sweep.ParseAxis("sched.policy=philly,fifo,srtf,tiresias,gandiva")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sweep.Matrix{Base: base, Axes: []sweep.Axis{policyAxis}}.
+		Run(sweep.Options{Replicas: 2})
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	fmt.Println("Table 1 made quantitative: same workload, five schedulers")
-	fmt.Printf("%-10s %10s %10s %12s %12s %10s\n",
-		"policy", "JCT p50", "JCT mean", "delay p50", "delay p90", "preempts")
-
-	for _, p := range policies {
-		cfg := philly.SmallConfig()
-		cfg.Seed = 11
-		cfg.Workload.TotalJobs = 3600
-		cfg.Scheduler.Policy = p.policy
-
-		res, err := philly.Run(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		var jct, delay []float64
-		for i := range res.Jobs {
-			j := &res.Jobs[i]
-			if !j.Completed {
-				continue
-			}
-			jct = append(jct, (j.EndAt - j.Spec.SubmitAt).Minutes())
-			delay = append(delay, j.FirstQueueDelay.Minutes())
-		}
-		fmt.Printf("%-10s %9.1fm %9.1fm %11.1fm %11.1fm %10d\n",
-			p.name,
-			stats.Percentile(jct, 50), stats.Mean(jct),
-			stats.Percentile(delay, 50), stats.Percentile(delay, 90),
-			res.Sched.FairSharePreemptions+res.Sched.PolicyPreemptions)
-	}
+	fmt.Print(res.RenderTable())
 	fmt.Println("\nSRTF/Tiresias trade long-job completion for short-job latency;")
 	fmt.Println("FIFO head-of-line blocking inflates every percentile under load.")
 }

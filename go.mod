@@ -1,0 +1,3 @@
+module philly
+
+go 1.24

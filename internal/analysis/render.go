@@ -10,20 +10,24 @@ import (
 	"philly/internal/telemetry"
 )
 
-// table is a minimal aligned-column text renderer.
-type table struct {
-	header []string
-	rows   [][]string
+// Table is a minimal aligned-column text renderer. Every table the package
+// prints goes through it, and other packages (internal/sweep's comparison
+// tables) reuse it so all reports share one look.
+type Table struct {
+	Header []string
+	Rows   [][]string
 }
 
-func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+// Add appends one row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
 
-func (t *table) String() string {
-	widths := make([]int, len(t.header))
-	for i, h := range t.header {
+// String renders the table with aligned columns and a dashed separator.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
 		widths[i] = len(h)
 	}
-	for _, r := range t.rows {
+	for _, r := range t.Rows {
 		for i, c := range r {
 			if i < len(widths) && len(c) > widths[i] {
 				widths[i] = len(c)
@@ -36,17 +40,23 @@ func (t *table) String() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[i], c)
+			// Cells beyond the header get no padding rather than a panic,
+			// matching the width loop's tolerance of ragged rows.
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s", w, c)
 		}
 		b.WriteByte('\n')
 	}
-	line(t.header)
-	sep := make([]string, len(t.header))
+	line(t.Header)
+	sep := make([]string, len(t.Header))
 	for i, w := range widths {
 		sep[i] = strings.Repeat("-", w)
 	}
 	line(sep)
-	for _, r := range t.rows {
+	for _, r := range t.Rows {
 		line(r)
 	}
 	return b.String()
@@ -110,10 +120,10 @@ func asciiCDF(name string, at func(x float64) float64, minX, maxX float64, logX 
 func (f Figure2) Render() string {
 	var b strings.Builder
 	b.WriteString("Figure 2: CDF of job run times by size bucket (minutes)\n")
-	t := &table{header: []string{"bucket", "jobs", "p50", "p90", "p99", "max"}}
+	t := &Table{Header: []string{"bucket", "jobs", "p50", "p90", "p99", "max"}}
 	for bkt := failures.SizeBucket(0); bkt < failures.NumSizeBuckets; bkt++ {
 		c := f.BySize[bkt]
-		t.add(bkt.String(), fmt.Sprintf("%d", c.Len()),
+		t.Add(bkt.String(), fmt.Sprintf("%d", c.Len()),
 			f1(c.Percentile(50)), f1(c.Percentile(90)), f1(c.Percentile(99)), f1(c.Max()))
 	}
 	b.WriteString(t.String())
@@ -128,14 +138,14 @@ func (f Figure2) Render() string {
 func (f Figure3) Render() string {
 	var b strings.Builder
 	b.WriteString("Figure 3: queueing delay by VC and size bucket (minutes)\n")
-	t := &table{header: []string{"vc", "jobs", "bucket", "p50", "p90", "p99"}}
+	t := &Table{Header: []string{"vc", "jobs", "bucket", "p50", "p90", "p99"}}
 	for _, vc := range f.VCs {
 		for bkt := failures.SizeBucket(0); bkt < failures.NumSizeBuckets; bkt++ {
 			c := vc.BySize[bkt]
 			if c.Len() == 0 {
 				continue
 			}
-			t.add(vc.VC, fmt.Sprintf("%d", vc.Jobs), bkt.String(),
+			t.Add(vc.VC, fmt.Sprintf("%d", vc.Jobs), bkt.String(),
 				f1(c.Percentile(50)), f1(c.Percentile(90)), f1(c.Percentile(99)))
 		}
 	}
@@ -147,12 +157,12 @@ func (f Figure3) Render() string {
 func (f Figure4) Render() string {
 	var b strings.Builder
 	b.WriteString("Figure 4: locality relaxation vs queueing delay\n")
-	t := &table{header: []string{"series", "servers", "jobs", "median delay (min)"}}
+	t := &Table{Header: []string{"series", "servers", "jobs", "median delay (min)"}}
 	for _, r := range f.Dist5to8 {
-		t.add("5-8 GPU", fmt.Sprintf("%d", r.Servers), fmt.Sprintf("%d", r.Jobs), f1(r.MedianDelayMin))
+		t.Add("5-8 GPU", fmt.Sprintf("%d", r.Servers), fmt.Sprintf("%d", r.Jobs), f1(r.MedianDelayMin))
 	}
 	for _, r := range f.DistOver8 {
-		t.add(">8 GPU", fmt.Sprintf("%d", r.Servers), fmt.Sprintf("%d", r.Jobs), f1(r.MedianDelayMin))
+		t.Add(">8 GPU", fmt.Sprintf("%d", r.Servers), fmt.Sprintf("%d", r.Jobs), f1(r.MedianDelayMin))
 	}
 	b.WriteString(t.String())
 	return b.String()
@@ -162,9 +172,9 @@ func (f Figure4) Render() string {
 func (t Table2) Render() string {
 	var b strings.Builder
 	b.WriteString("Table 2: frequencies of fair-share vs fragmentation delay\n")
-	tb := &table{header: []string{"bucket", "fair-share", "fragmentation", "fair-share %", "paper %"}}
+	tb := &Table{Header: []string{"bucket", "fair-share", "fragmentation", "fair-share %", "paper %"}}
 	for _, r := range t.Rows {
-		tb.add(r.Bucket.String(), fmt.Sprintf("%d", r.FairShare), fmt.Sprintf("%d", r.Fragmentation),
+		tb.Add(r.Bucket.String(), fmt.Sprintf("%d", r.FairShare), fmt.Sprintf("%d", r.Fragmentation),
 			f1(r.FairSharePct()), f1(t.PaperFairSharePct[r.Bucket]))
 	}
 	b.WriteString(tb.String())
@@ -177,14 +187,14 @@ func (t Table2) Render() string {
 func (f Figure5) Render() string {
 	var b strings.Builder
 	b.WriteString("Figure 5: per-minute GPU utilization by status and size\n")
-	tb := &table{header: []string{"status", "size", "samples", "p10", "p50", "p90", "mean"}}
+	tb := &Table{Header: []string{"status", "size", "samples", "p10", "p50", "p90", "mean"}}
 	for o := 0; o < 3; o++ {
 		for _, c := range []telemetry.SizeClass{telemetry.Size1GPU, telemetry.Size4GPU, telemetry.Size8GPU, telemetry.Size16GPU} {
 			h := f.Rec.SizeStatus(c, failures.Outcome(o))
 			if h.Count() == 0 {
 				continue
 			}
-			tb.add(failures.Outcome(o).String(), c.String(), fmt.Sprintf("%d", h.Count()),
+			tb.Add(failures.Outcome(o).String(), c.String(), fmt.Sprintf("%d", h.Count()),
 				f1(h.Percentile(10)), f1(h.Percentile(50)), f1(h.Percentile(90)), f1(h.Mean()))
 		}
 	}
@@ -196,11 +206,11 @@ func (f Figure5) Render() string {
 func (t Table3) Render() string {
 	var b strings.Builder
 	b.WriteString("Table 3: mean GPU utilization by size and status (percent)\n")
-	tb := &table{header: []string{"size", "Passed", "Killed", "Unsuccessful", "All"}}
+	tb := &Table{Header: []string{"size", "Passed", "Killed", "Unsuccessful", "All"}}
 	for _, c := range []telemetry.SizeClass{telemetry.Size1GPU, telemetry.Size4GPU, telemetry.Size8GPU, telemetry.Size16GPU} {
-		tb.add(c.String(), f2(t.Mean[c][0]), f2(t.Mean[c][1]), f2(t.Mean[c][2]), f2(t.AllBySize[c]))
+		tb.Add(c.String(), f2(t.Mean[c][0]), f2(t.Mean[c][1]), f2(t.Mean[c][2]), f2(t.AllBySize[c]))
 	}
-	tb.add("All", f2(t.AllByStatus[0]), f2(t.AllByStatus[1]), f2(t.AllByStatus[2]), f2(t.Overall))
+	tb.Add("All", f2(t.AllByStatus[0]), f2(t.AllByStatus[1]), f2(t.AllByStatus[2]), f2(t.Overall))
 	b.WriteString(tb.String())
 	fmt.Fprintf(&b, "paper: 1 GPU 52.38, 4 GPU 45.18, 8 GPU 58.99, 16 GPU 40.39, All 52.32\n")
 	return b.String()
@@ -210,9 +220,9 @@ func (t Table3) Render() string {
 func (f Figure6) Render() string {
 	var b strings.Builder
 	b.WriteString("Figure 6: GPU utilization on dedicated servers\n")
-	tb := &table{header: []string{"series", "samples", "mean", "median"}}
-	tb.add("8 GPU (1 server)", fmt.Sprintf("%d", f.Hist8.Count()), f2(f.Mean8), f2(f.Median8))
-	tb.add("16 GPU (2 servers)", fmt.Sprintf("%d", f.Hist16.Count()), f2(f.Mean16), f2(f.Median16))
+	tb := &Table{Header: []string{"series", "samples", "mean", "median"}}
+	tb.Add("8 GPU (1 server)", fmt.Sprintf("%d", f.Hist8.Count()), f2(f.Mean8), f2(f.Median8))
+	tb.Add("16 GPU (2 servers)", fmt.Sprintf("%d", f.Hist16.Count()), f2(f.Mean16), f2(f.Median16))
 	b.WriteString(tb.String())
 	fmt.Fprintf(&b, "paper: 8 GPU mean 56.9 median 73.12; 16 GPU mean 34.3 (Table 5: 43.66) median ~43.7\n")
 	return b.String()
@@ -222,9 +232,9 @@ func (f Figure6) Render() string {
 func (f Figure7) Render() string {
 	var b strings.Builder
 	b.WriteString("Figure 7: host resource utilization (per-server, per-minute)\n")
-	tb := &table{header: []string{"resource", "p10", "p50", "p90", "mean"}}
-	tb.add("CPU", f1(f.CPU.Percentile(10)), f1(f.CPU.Percentile(50)), f1(f.CPU.Percentile(90)), f1(f.CPU.Mean()))
-	tb.add("Memory", f1(f.Mem.Percentile(10)), f1(f.Mem.Percentile(50)), f1(f.Mem.Percentile(90)), f1(f.Mem.Mean()))
+	tb := &Table{Header: []string{"resource", "p10", "p50", "p90", "mean"}}
+	tb.Add("CPU", f1(f.CPU.Percentile(10)), f1(f.CPU.Percentile(50)), f1(f.CPU.Percentile(90)), f1(f.CPU.Mean()))
+	tb.Add("Memory", f1(f.Mem.Percentile(10)), f1(f.Mem.Percentile(50)), f1(f.Mem.Percentile(90)), f1(f.Mem.Mean()))
 	b.WriteString(tb.String())
 	b.WriteString("paper: CPUs underutilized, memory highly utilized\n")
 	return b.String()
@@ -234,13 +244,13 @@ func (f Figure7) Render() string {
 func (t Table5) Render() string {
 	var b strings.Builder
 	b.WriteString("Table 5: 16-GPU job utilization by server spread\n")
-	tb := &table{header: []string{"servers", "samples", "mean", "p50", "p90", "p95", "paper mean"}}
+	tb := &Table{Header: []string{"servers", "samples", "mean", "p50", "p90", "p95", "paper mean"}}
 	for _, r := range t.Rows {
 		paper := "-"
 		if p, ok := t.Paper[r.Servers]; ok {
 			paper = f2(p[0])
 		}
-		tb.add(fmt.Sprintf("%d", r.Servers), fmt.Sprintf("%d", r.Samples),
+		tb.Add(fmt.Sprintf("%d", r.Servers), fmt.Sprintf("%d", r.Samples),
 			f2(r.Mean), f2(r.P50), f2(r.P90), f2(r.P95), paper)
 	}
 	b.WriteString(tb.String())
@@ -251,12 +261,12 @@ func (t Table5) Render() string {
 func (t Table6) Render() string {
 	var b strings.Builder
 	b.WriteString("Table 6: distribution of jobs by final status\n")
-	tb := &table{header: []string{"status", "count", "count %", "paper %", "GPU-time %", "paper %"}}
+	tb := &Table{Header: []string{"status", "count", "count %", "paper %", "GPU-time %", "paper %"}}
 	for o := 0; o < 3; o++ {
-		tb.add(failures.Outcome(o).String(), fmt.Sprintf("%d", t.Counts[o]),
+		tb.Add(failures.Outcome(o).String(), fmt.Sprintf("%d", t.Counts[o]),
 			f1(t.CountPct[o]), f1(t.Paper[o][0]), f1(t.GPUTimeShares[o]), f1(t.Paper[o][1]))
 	}
-	tb.add("Total", fmt.Sprintf("%d", t.Total), "100.0", "100.0", "100.0", "100.0")
+	tb.Add("Total", fmt.Sprintf("%d", t.Total), "100.0", "100.0", "100.0", "100.0")
 	b.WriteString(tb.String())
 	return b.String()
 }
@@ -265,14 +275,14 @@ func (t Table6) Render() string {
 func (f Figure8) Render() string {
 	var b strings.Builder
 	b.WriteString("Figure 8: fraction of epochs to reach loss thresholds\n")
-	tb := &table{header: []string{"series", "jobs", "p25", "p50", "p75", "frac jobs needing all epochs"}}
+	tb := &Table{Header: []string{"series", "jobs", "p25", "p50", "p75", "frac jobs needing all epochs"}}
 	row := func(name string, c *stats.CDF) {
 		if c.Len() == 0 {
-			tb.add(name, "0", "-", "-", "-", "-")
+			tb.Add(name, "0", "-", "-", "-", "-")
 			return
 		}
 		needAll := 1 - c.At(0.99)
-		tb.add(name, fmt.Sprintf("%d", c.Len()),
+		tb.Add(name, fmt.Sprintf("%d", c.Len()),
 			f2(c.Percentile(25)), f2(c.Percentile(50)), f2(c.Percentile(75)), f2(needAll))
 	}
 	row("passed / lowest loss", f.LowestPassed)
@@ -290,11 +300,11 @@ func (f Figure8) Render() string {
 func (f Figure9) Render() string {
 	var b strings.Builder
 	b.WriteString("Figure 9: retries and unsuccessful rate by size bucket\n")
-	tb := &table{header: []string{"bucket", "mean retries", "unsuccessful rate"}}
+	tb := &Table{Header: []string{"bucket", "mean retries", "unsuccessful rate"}}
 	for bkt := failures.SizeBucket(0); bkt < failures.NumSizeBuckets; bkt++ {
-		tb.add(bkt.String(), f2(f.MeanRetries[bkt]), f2(f.UnsuccessfulRate[bkt]))
+		tb.Add(bkt.String(), f2(f.MeanRetries[bkt]), f2(f.UnsuccessfulRate[bkt]))
 	}
-	tb.add("All", f2(f.AllMeanRetries), f2(f.AllUnsuccessful))
+	tb.Add("All", f2(f.AllMeanRetries), f2(f.AllUnsuccessful))
 	b.WriteString(tb.String())
 	return b.String()
 }
@@ -303,11 +313,11 @@ func (f Figure9) Render() string {
 func (t Table7) Render() string {
 	var b strings.Builder
 	b.WriteString("Table 7: failures classified from job logs\n")
-	tb := &table{header: []string{
+	tb := &Table{Header: []string{
 		"reason", "cat", "trials", "jobs", "users", "p50", "p90", "p95", "RTF%", "d:1", "d:2-4", "d:>4", "GPUtime%",
 	}}
 	for _, r := range t.Rows {
-		tb.add(r.Name, r.Categories.String(),
+		tb.Add(r.Name, r.Categories.String(),
 			fmt.Sprintf("%d", r.Trials), fmt.Sprintf("%d", r.Jobs), fmt.Sprintf("%d", r.Users),
 			f2(r.RTFP50), f2(r.RTFP90), f2(r.RTFP95), f2(r.TotalRTFPct),
 			fmt.Sprintf("%d", r.Demand[0]), fmt.Sprintf("%d", r.Demand[1]), fmt.Sprintf("%d", r.Demand[2]),
@@ -323,9 +333,9 @@ func (t Table7) Render() string {
 func (f Figure10) Render() string {
 	var b strings.Builder
 	b.WriteString("Figure 10: RTF vs GPU demand for RTF-dominant failure reasons\n")
-	tb := &table{header: []string{"reason", "trials", "median RTF <=4 GPU", "median RTF >4 GPU"}}
+	tb := &Table{Header: []string{"reason", "trials", "median RTF <=4 GPU", "median RTF >4 GPU"}}
 	for _, s := range f.Series {
-		tb.add(s.Reason, fmt.Sprintf("%d", len(s.Points)), f1(s.MedianSmall), f1(s.MedianLarge))
+		tb.Add(s.Reason, fmt.Sprintf("%d", len(s.Points)), f1(s.MedianSmall), f1(s.MedianLarge))
 	}
 	b.WriteString(tb.String())
 	b.WriteString("paper: only semantic error grows with demand; others dominated by small-demand long tails\n")

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// determinismConfig is SmallConfig scaled down so two full runs stay fast.
+func determinismConfig() Config {
+	cfg := SmallConfig()
+	cfg.Workload.TotalJobs = 250
+	cfg.Workload.Duration = SmallConfig().Workload.Duration / 4
+	return cfg
+}
+
+func runStudy(t *testing.T, cfg Config) *StudyResult {
+	t.Helper()
+	st, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestDeterminismDeepEqual locks down the simulator's core contract at full
+// strength: two runs of the same configuration must agree on every field of
+// the StudyResult — every job, every attempt, every telemetry histogram
+// bucket — not just the spot-checked metrics of TestDeterminism. The sweep
+// harness's worker-count invariance rests on this.
+func TestDeterminismDeepEqual(t *testing.T) {
+	cfg := determinismConfig()
+	a, b := runStudy(t, cfg), runStudy(t, cfg)
+	if !reflect.DeepEqual(a.Jobs, b.Jobs) {
+		for i := range a.Jobs {
+			if !reflect.DeepEqual(a.Jobs[i], b.Jobs[i]) {
+				t.Fatalf("job %d diverged between identical runs:\n%+v\nvs\n%+v",
+					a.Jobs[i].Spec.ID, a.Jobs[i], b.Jobs[i])
+			}
+		}
+		t.Fatal("job slices diverged")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("StudyResults diverged between identical runs (outside Jobs)")
+	}
+}
+
+// TestDeterminismSeedSensitivity is the converse guard: a different seed
+// must actually change the result, or the seed plumbing is dead.
+func TestDeterminismSeedSensitivity(t *testing.T) {
+	cfg := determinismConfig()
+	a := runStudy(t, cfg)
+	cfg.Seed = cfg.Seed + 1
+	b := runStudy(t, cfg)
+	if reflect.DeepEqual(a.Jobs, b.Jobs) {
+		t.Fatal("different seeds produced identical job results")
+	}
+}

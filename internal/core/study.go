@@ -123,6 +123,18 @@ func DefaultConfig() Config {
 	}
 }
 
+// MediumConfig returns a quarter-scale paper configuration (~2300 GPUs,
+// ~24k jobs over ~19 days) with a one-week runtime cap so the shortened
+// window still drains. It is the shared definition behind every CLI's
+// "-scale medium": the divisors are calibration, and live in one place.
+func MediumConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Workload.TotalJobs /= 4
+	cfg.Workload.Duration /= 4
+	cfg.Workload.MaxRuntimeMinutes = 7 * 24 * 60
+	return cfg
+}
+
 // SmallConfig returns a reduced configuration for tests and examples:
 // ~230 GPUs, a few thousand jobs over 8 days, same distributions (so the
 // paper's shapes still emerge), minute-level telemetry. The runtime cap is

@@ -1,0 +1,183 @@
+package simulation
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestEngineEdgeCases pins down the event-loop corners the study driver and
+// the sweep harness lean on: stopping from inside an event, tickers that
+// decline their first tick, negative After clamping, and FIFO ordering of
+// simultaneous events.
+func TestEngineEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t *testing.T, e *Engine)
+	}{
+		{
+			// Stop() from inside an event must halt after that event
+			// returns: later events stay queued, and Now stays put instead
+			// of advancing to the horizon.
+			name: "stop inside event during run",
+			run: func(t *testing.T, e *Engine) {
+				var ran []string
+				e.At(10, func() {
+					ran = append(ran, "stopper")
+					e.Stop()
+				})
+				e.At(10, func() { ran = append(ran, "same-instant-after-stop") })
+				e.At(20, func() { ran = append(ran, "later") })
+				n := e.Run(100)
+				if want := []string{"stopper"}; !reflect.DeepEqual(ran, want) {
+					t.Fatalf("ran %v, want %v", ran, want)
+				}
+				if n != 1 {
+					t.Fatalf("executed %d events, want 1", n)
+				}
+				if e.Now() != 10 {
+					t.Fatalf("clock advanced to %v after Stop, want 10", e.Now())
+				}
+				if e.Pending() != 2 {
+					t.Fatalf("%d events pending after Stop, want 2", e.Pending())
+				}
+			},
+		},
+		{
+			// A ticker whose callback returns false on the very first tick
+			// must fire exactly once and leave nothing queued.
+			name: "ticker declines first tick",
+			run: func(t *testing.T, e *Engine) {
+				ticks := 0
+				e.Ticker(5, 10, func(now Time) bool {
+					ticks++
+					if now != 5 {
+						t.Fatalf("first tick at %v, want 5", now)
+					}
+					return false
+				})
+				e.Run(1000)
+				if ticks != 1 {
+					t.Fatalf("ticker fired %d times, want 1", ticks)
+				}
+				if e.Pending() != 0 {
+					t.Fatalf("%d events still pending after declined ticker", e.Pending())
+				}
+			},
+		},
+		{
+			// After with a negative delay clamps to now — and the clamped
+			// event still queues FIFO behind events already scheduled for
+			// the current instant.
+			name: "negative After clamps to now",
+			run: func(t *testing.T, e *Engine) {
+				var ran []string
+				var at Time = -1
+				e.At(7, func() {
+					e.After(3, func() { ran = append(ran, "future") })
+					e.After(-50, func() {
+						at = e.Now()
+						ran = append(ran, "clamped")
+					})
+					e.After(-1, func() { ran = append(ran, "clamped-second") })
+				})
+				e.Run(100)
+				want := []string{"clamped", "clamped-second", "future"}
+				if !reflect.DeepEqual(ran, want) {
+					t.Fatalf("ran %v, want %v", ran, want)
+				}
+				if at != 7 {
+					t.Fatalf("clamped event ran at %v, want 7", at)
+				}
+			},
+		},
+		{
+			// Many events at the same instant run in scheduling order, even
+			// interleaved with events scheduled for other instants.
+			name: "FIFO among many simultaneous events",
+			run: func(t *testing.T, e *Engine) {
+				const n = 200
+				var ran []int
+				for i := 0; i < n; i++ {
+					i := i
+					// Interleave another instant so heap reshuffling gets a
+					// chance to break a buggy ordering.
+					if i%3 == 0 {
+						e.At(99, func() {})
+					}
+					e.At(42, func() { ran = append(ran, i) })
+				}
+				e.Run(100)
+				if len(ran) != n {
+					t.Fatalf("%d events ran, want %d", len(ran), n)
+				}
+				for i, v := range ran {
+					if v != i {
+						t.Fatalf("event %d ran at position %d: same-instant order not FIFO", v, i)
+					}
+				}
+			},
+		},
+		{
+			// Stop inside a ticker callback: the ticker must not re-arm.
+			name: "stop inside ticker",
+			run: func(t *testing.T, e *Engine) {
+				ticks := 0
+				e.Ticker(0, 10, func(now Time) bool {
+					ticks++
+					if ticks == 3 {
+						e.Stop()
+					}
+					return true
+				})
+				e.Run(1000)
+				if ticks != 3 {
+					t.Fatalf("ticker fired %d times, want 3", ticks)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.run(t, NewEngine())
+		})
+	}
+}
+
+// TestRunAfterStopResumes verifies Run can be called again after a Stop and
+// picks up the still-queued events (the study driver relies on Stop being a
+// pause of the loop, not a poison pill).
+func TestRunAfterStopResumes(t *testing.T) {
+	e := NewEngine()
+	var ran []string
+	e.At(1, func() {
+		ran = append(ran, "first")
+		e.Stop()
+	})
+	e.At(2, func() { ran = append(ran, "second") })
+	e.Run(10)
+	e.Run(10)
+	if want := []string{"first", "second"}; !reflect.DeepEqual(ran, want) {
+		t.Fatalf("ran %v, want %v", ran, want)
+	}
+}
+
+// TestSameInstantFIFOAcrossSources checks that At, After(0) and a ticker
+// tick landing on the same instant keep their relative scheduling order.
+func TestSameInstantFIFOAcrossSources(t *testing.T) {
+	e := NewEngine()
+	var ran []string
+	e.At(10, func() { ran = append(ran, "at") })
+	e.At(0, func() {
+		e.At(10, func() { ran = append(ran, "nested-at") })
+	})
+	e.Ticker(10, 10, func(now Time) bool {
+		ran = append(ran, fmt.Sprintf("tick@%d", now))
+		return false
+	})
+	e.Run(10)
+	want := []string{"at", "tick@10", "nested-at"}
+	if !reflect.DeepEqual(ran, want) {
+		t.Fatalf("ran %v, want %v", ran, want)
+	}
+}

@@ -24,8 +24,8 @@ type RNG struct {
 func NewRNG(seed uint64) *RNG {
 	// Mix the single user-facing seed into the two PCG words with
 	// splitmix64 so that nearby seeds give unrelated streams.
-	s1 := splitmix64(seed)
-	s2 := splitmix64(s1)
+	s1 := SplitMix64(seed)
+	s2 := SplitMix64(s1)
 	return &RNG{r: rand.New(rand.NewPCG(s1, s2))}
 }
 
@@ -42,7 +42,12 @@ func (g *RNG) Split(label string) *RNG {
 	return NewRNG(h)
 }
 
-func splitmix64(x uint64) uint64 {
+// SplitMix64 is the standard splitmix64 finalizer: a bijective mixer that
+// sends nearby inputs to unrelated outputs. Seed plumbing throughout the
+// repository (RNG construction here, per-run seed derivation in
+// internal/sweep) shares this one definition, because recorded results
+// depend on it bit-for-bit.
+func SplitMix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb

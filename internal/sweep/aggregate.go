@@ -1,0 +1,134 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"philly/internal/analysis"
+	"philly/internal/stats"
+)
+
+// Agg summarizes one metric across a scenario's replicas.
+type Agg struct {
+	// N is the replica count.
+	N int
+	// Mean, P50 and P95 summarize the replica values.
+	Mean, P50, P95 float64
+	// Min and Max bound the replica values.
+	Min, Max float64
+	// CI95 is the half-width of the 95% confidence interval of the mean,
+	// t(0.975, n-1) · s/√n; 0 for a single replica. The Student-t critical
+	// value matters at the harness's typical replica counts: at n=4 it is
+	// 3.18, not the asymptotic 1.96.
+	CI95 float64
+}
+
+// tCrit95 holds two-sided 95% Student-t critical values for 1..30 degrees
+// of freedom; larger samples fall back to the normal approximation.
+var tCrit95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+func tCrit(df int) float64 {
+	if df < 1 {
+		return 0
+	}
+	if df <= len(tCrit95) {
+		return tCrit95[df-1]
+	}
+	return 1.96
+}
+
+// aggregate folds one metric's replica values.
+func aggregate(values []float64) Agg {
+	a := Agg{
+		N:    len(values),
+		Mean: stats.Mean(values),
+		P50:  stats.Percentile(values, 50),
+		P95:  stats.Percentile(values, 95),
+		Min:  math.Inf(1),
+		Max:  math.Inf(-1),
+	}
+	for _, v := range values {
+		a.Min = math.Min(a.Min, v)
+		a.Max = math.Max(a.Max, v)
+	}
+	if len(values) > 1 {
+		var ss float64
+		for _, v := range values {
+			d := v - a.Mean
+			ss += d * d
+		}
+		sd := math.Sqrt(ss / float64(len(values)-1))
+		a.CI95 = tCrit(len(values)-1) * sd / math.Sqrt(float64(len(values)))
+	}
+	return a
+}
+
+// Summary holds one Agg per default metric, in Metrics() order.
+type Summary struct {
+	// Metrics is indexed like Metrics(); ByName finds a column by header.
+	Metrics []Agg
+}
+
+// Summarize folds a scenario's replicas into per-metric aggregates.
+func Summarize(replicas []ReplicaMetrics) Summary {
+	defs := Metrics()
+	s := Summary{Metrics: make([]Agg, len(defs))}
+	values := make([]float64, len(replicas))
+	for i, def := range defs {
+		for j := range replicas {
+			values[j] = def.Get(replicas[j])
+		}
+		s.Metrics[i] = aggregate(values)
+	}
+	return s
+}
+
+// ByName returns the aggregate for a metric column header, or false.
+func (s Summary) ByName(name string) (Agg, bool) {
+	for i, def := range Metrics() {
+		if def.Name == name && i < len(s.Metrics) {
+			return s.Metrics[i], true
+		}
+	}
+	return Agg{}, false
+}
+
+// fmtAgg renders "mean±ci" when replicated, else just the value.
+func fmtAgg(a Agg) string {
+	if math.IsNaN(a.Mean) {
+		return "-"
+	}
+	if a.N > 1 {
+		return fmt.Sprintf("%.1f±%.1f", a.Mean, a.CI95)
+	}
+	return fmt.Sprintf("%.1f", a.Mean)
+}
+
+// RenderTable renders the cross-scenario comparison: one row per scenario,
+// one "mean±95%CI" column per metric, using the shared analysis renderer.
+func (r *Result) RenderTable() string {
+	defs := Metrics()
+	header := []string{"scenario", "replicas"}
+	for _, d := range defs {
+		header = append(header, d.Name)
+	}
+	t := &analysis.Table{Header: header}
+	for i := range r.Scenarios {
+		sc := &r.Scenarios[i]
+		row := []string{sc.Scenario.Name, fmt.Sprintf("%d", len(sc.Replicas))}
+		for j := range defs {
+			row = append(row, fmtAgg(sc.Summary.Metrics[j]))
+		}
+		t.Add(row...)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sweep: %d scenario(s) × %d replica(s), base seed %d\n",
+		len(r.Scenarios), r.Replicas, r.BaseSeed)
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,295 @@
+// Package sweep is the parallel study-sweep harness: it expands named
+// configuration axes into a cross-product of core.Config scenarios, runs
+// scenario × seed replicas across a worker pool, and folds the replicas
+// into per-scenario summaries with confidence intervals.
+//
+// The paper's headline results are comparisons across configurations
+// (queueing delay vs. locality relaxation, utilization with and without
+// interference, failure cost with and without adaptive retry), and related
+// characterization studies sweep policies and replicate over seeds the same
+// way. The harness makes those comparisons one call instead of N
+// hand-driven runs — and keeps them trustworthy: per-run seeds are derived
+// purely from (baseSeed, scenarioIdx, replicaIdx), so aggregated output is
+// bit-identical regardless of worker count or completion order.
+package sweep
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"philly/internal/cluster"
+	"philly/internal/core"
+	"philly/internal/scheduler"
+	"philly/internal/simulation"
+	"philly/internal/workload"
+)
+
+// Value is one setting of an axis: a human-readable label plus the config
+// mutation it stands for.
+type Value struct {
+	// Label names the setting in scenario names and tables ("fifo", "on").
+	Label string
+	// Apply mutates a copy of the base configuration.
+	Apply func(*core.Config)
+}
+
+// Axis is one named configuration dimension with the values to sweep.
+type Axis struct {
+	// Name is the axis name ("sched.policy", "defrag").
+	Name string
+	// Values are the settings to cross with every other axis.
+	Values []Value
+}
+
+// Matrix is a sweep specification: a base configuration plus the axes whose
+// cross-product defines the scenarios.
+type Matrix struct {
+	// Base is the configuration every scenario starts from. Base.Seed is
+	// the default base seed for replica derivation (see Options.BaseSeed).
+	Base core.Config
+	// Axes are crossed in order; scenario names join "axis=label" pairs.
+	Axes []Axis
+}
+
+// Scenario is one expanded cell of the matrix.
+type Scenario struct {
+	// Index is the scenario's position in expansion order (row-major over
+	// the axes, first axis slowest). Seed derivation uses it, so scenario
+	// order — not completion order — defines the random streams.
+	Index int
+	// Name joins the axis settings, e.g. "sched.policy=fifo defrag=on".
+	// For an empty matrix (no axes) it is "base".
+	Name string
+	// Labels holds the per-axis value labels in axis order.
+	Labels []string
+	// Config is the fully-applied configuration (Seed still unset; the
+	// runner overwrites it per replica).
+	Config core.Config
+}
+
+// Scenarios expands the cross-product. An axis with no values is an error:
+// it would silently zero the whole product.
+func (m Matrix) Scenarios() ([]Scenario, error) {
+	for _, ax := range m.Axes {
+		if ax.Name == "" {
+			return nil, fmt.Errorf("sweep: axis with empty name")
+		}
+		if len(ax.Values) == 0 {
+			return nil, fmt.Errorf("sweep: axis %q has no values", ax.Name)
+		}
+	}
+	total := 1
+	for _, ax := range m.Axes {
+		total *= len(ax.Values)
+	}
+	scenarios := make([]Scenario, 0, total)
+	idx := make([]int, len(m.Axes))
+	for i := 0; i < total; i++ {
+		cfg := cloneConfig(m.Base)
+		labels := make([]string, len(m.Axes))
+		parts := make([]string, len(m.Axes))
+		for a, ax := range m.Axes {
+			v := ax.Values[idx[a]]
+			v.Apply(&cfg)
+			labels[a] = v.Label
+			parts[a] = ax.Name + "=" + v.Label
+		}
+		name := strings.Join(parts, " ")
+		if name == "" {
+			name = "base"
+		}
+		scenarios = append(scenarios, Scenario{
+			Index:  i,
+			Name:   name,
+			Labels: labels,
+			Config: cfg,
+		})
+		// Odometer increment, last axis fastest.
+		for a := len(idx) - 1; a >= 0; a-- {
+			idx[a]++
+			if idx[a] < len(m.Axes[a].Values) {
+				break
+			}
+			idx[a] = 0
+		}
+	}
+	return scenarios, nil
+}
+
+// cloneConfig copies the base configuration deeply enough that an Apply
+// mutating any reference-typed field — rack sizes, VC quotas, the job-size
+// weight map — cannot alias across scenarios. core.Config's only other
+// nested fields are value types.
+func cloneConfig(c core.Config) core.Config {
+	c.Cluster.Racks = append([]cluster.RackConfig(nil), c.Cluster.Racks...)
+	c.Workload.VCs = append([]workload.VirtualCluster(nil), c.Workload.VCs...)
+	if c.Workload.SizeWeights != nil {
+		w := make(map[int]float64, len(c.Workload.SizeWeights))
+		for k, v := range c.Workload.SizeWeights {
+			w[k] = v
+		}
+		c.Workload.SizeWeights = w
+	}
+	return c
+}
+
+// axisParser builds the Apply function for one value of a named knob.
+type axisParser func(value string) (func(*core.Config), error)
+
+// knobs is the registry of axis names ParseAxis understands. Each knob
+// parses one comma-separated value into a config mutation.
+var knobs = map[string]axisParser{
+	"sched.policy": func(v string) (func(*core.Config), error) {
+		var p scheduler.Policy
+		switch v {
+		case "philly":
+			p = scheduler.PolicyPhilly
+		case "fifo":
+			p = scheduler.PolicyFIFO
+		case "srtf":
+			p = scheduler.PolicySRTF
+		case "tiresias":
+			p = scheduler.PolicyTiresias
+		case "gandiva":
+			p = scheduler.PolicyGandiva
+		default:
+			return nil, fmt.Errorf("unknown policy %q (want philly, fifo, srtf, tiresias or gandiva)", v)
+		}
+		return func(c *core.Config) { c.Scheduler.Policy = p }, nil
+	},
+	"defrag": func(v string) (func(*core.Config), error) {
+		on, err := parseOnOff(v)
+		if err != nil {
+			return nil, err
+		}
+		return func(c *core.Config) { c.Defrag.Enabled = on }, nil
+	},
+	"adaptive-retry": func(v string) (func(*core.Config), error) {
+		on, err := parseOnOff(v)
+		if err != nil {
+			return nil, err
+		}
+		return func(c *core.Config) { c.AdaptiveRetry = on }, nil
+	},
+	"checkpoint.retention": func(v string) (func(*core.Config), error) {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint.retention %q: %v", v, err)
+		}
+		return func(c *core.Config) { c.CheckpointRetention = f }, nil
+	},
+	"sched.backoff-min": func(v string) (func(*core.Config), error) {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sched.backoff-min %q: %v", v, err)
+		}
+		return func(c *core.Config) { c.Scheduler.Backoff = simulation.FromMinutes(f) }, nil
+	},
+	// locality.relax takes "rack:any" attempt thresholds, e.g. "4:8";
+	// "0:0" is the impatient scheduler that relaxes immediately.
+	"locality.relax": func(v string) (func(*core.Config), error) {
+		rack, any, ok := strings.Cut(v, ":")
+		if !ok {
+			return nil, fmt.Errorf("locality.relax %q: want rackAfter:anyAfter", v)
+		}
+		r, err1 := strconv.Atoi(rack)
+		a, err2 := strconv.Atoi(any)
+		if err1 != nil || err2 != nil || r < 0 || a < 0 {
+			return nil, fmt.Errorf("locality.relax %q: want two non-negative ints", v)
+		}
+		return func(c *core.Config) {
+			c.Scheduler.RelaxToRackAfter = r
+			c.Scheduler.RelaxToAnyAfter = a
+		}, nil
+	},
+	"jobs": func(v string) (func(*core.Config), error) {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("jobs %q: want a positive int", v)
+		}
+		return func(c *core.Config) { c.Workload.TotalJobs = n }, nil
+	},
+	// cluster.scale multiplies servers per rack, VC quotas, and the job
+	// count by the same factor, holding contention roughly constant.
+	"cluster.scale": func(v string) (func(*core.Config), error) {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 {
+			return nil, fmt.Errorf("cluster.scale %q: want a positive float", v)
+		}
+		return func(c *core.Config) {
+			// Scenarios clones the rack and VC slices, so in-place element
+			// mutation cannot alias other scenarios.
+			for i := range c.Cluster.Racks {
+				s := int(float64(c.Cluster.Racks[i].Servers)*f + 0.5)
+				if s < 1 {
+					s = 1
+				}
+				c.Cluster.Racks[i].Servers = s
+			}
+			for i := range c.Workload.VCs {
+				q := int(float64(c.Workload.VCs[i].QuotaGPUs)*f + 0.5)
+				if q < 1 {
+					q = 1
+				}
+				c.Workload.VCs[i].QuotaGPUs = q
+			}
+			n := int(float64(c.Workload.TotalJobs)*f + 0.5)
+			if n < 1 {
+				n = 1
+			}
+			c.Workload.TotalJobs = n
+		}, nil
+	},
+}
+
+// KnownAxes lists the axis names ParseAxis accepts, sorted.
+func KnownAxes() []string {
+	names := make([]string, 0, len(knobs))
+	for name := range knobs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseAxis parses a "name=v1,v2,..." axis specification against the knob
+// registry, as the philly-sweep CLI accepts it.
+func ParseAxis(spec string) (Axis, error) {
+	name, vals, ok := strings.Cut(spec, "=")
+	if !ok || name == "" {
+		return Axis{}, fmt.Errorf("sweep: axis spec %q: want name=v1,v2,...", spec)
+	}
+	parse, ok := knobs[name]
+	if !ok {
+		return Axis{}, fmt.Errorf("sweep: unknown axis %q (known: %s)", name, strings.Join(KnownAxes(), ", "))
+	}
+	var ax Axis
+	ax.Name = name
+	for _, v := range strings.Split(vals, ",") {
+		v = strings.TrimSpace(v)
+		if v == "" {
+			continue
+		}
+		apply, err := parse(v)
+		if err != nil {
+			return Axis{}, fmt.Errorf("sweep: axis %s: %v", name, err)
+		}
+		ax.Values = append(ax.Values, Value{Label: v, Apply: apply})
+	}
+	if len(ax.Values) == 0 {
+		return Axis{}, fmt.Errorf("sweep: axis %q has no values", name)
+	}
+	return ax, nil
+}
+
+func parseOnOff(v string) (bool, error) {
+	switch v {
+	case "on", "true", "1":
+		return true, nil
+	case "off", "false", "0":
+		return false, nil
+	}
+	return false, fmt.Errorf("%q: want on or off", v)
+}

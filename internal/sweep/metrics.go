@@ -1,0 +1,96 @@
+package sweep
+
+import (
+	"philly/internal/core"
+	"philly/internal/failures"
+	"philly/internal/stats"
+)
+
+// ReplicaMetrics is the scalar reduction of one study run. The runner keeps
+// these instead of whole StudyResults so a wide sweep stays memory-bounded,
+// and every field is a pure function of the run — no wall-clock, no worker
+// identity — so aggregated output is bit-identical across worker counts.
+type ReplicaMetrics struct {
+	// Seed is the derived per-run seed (recorded for reproducing one cell).
+	Seed uint64
+	// Jobs and Completed count generated and horizon-completed jobs.
+	Jobs, Completed int
+	// JCTp50 and JCTMean summarize completed jobs' completion times
+	// (submit to end, minutes).
+	JCTp50, JCTMean float64
+	// DelayP50 and DelayP95 summarize first-episode queueing delay
+	// (minutes), the paper's §3.1 metric.
+	DelayP50, DelayP95 float64
+	// MeanUtilPct is the cluster-wide mean per-minute GPU utilization.
+	MeanUtilPct float64
+	// Preemptions sums fair-share and policy preemptions; Migrations
+	// counts defragmentation moves.
+	Preemptions, Migrations int
+	// GPUHours is total GPU time charged; FailedGPUHours the share burnt
+	// on failed attempts (the Table 7 waste metric).
+	GPUHours, FailedGPUHours float64
+	// UnsuccessfulPct is the fraction of completed jobs that exhausted
+	// retries, in percent.
+	UnsuccessfulPct float64
+}
+
+// Reduce computes a replica's metrics from its study result.
+func Reduce(res *core.StudyResult) ReplicaMetrics {
+	m := ReplicaMetrics{
+		Seed: res.Config.Seed,
+		Jobs: len(res.Jobs),
+	}
+	var jct, delay []float64
+	unsuccessful := 0
+	for i := range res.Jobs {
+		j := &res.Jobs[i]
+		m.GPUHours += j.GPUMinutes / 60
+		for _, a := range j.Attempts {
+			if a.Failed {
+				m.FailedGPUHours += a.RuntimeMinutes * float64(j.Spec.GPUs) / 60
+			}
+		}
+		if !j.Completed {
+			continue
+		}
+		m.Completed++
+		jct = append(jct, (j.EndAt - j.Spec.SubmitAt).Minutes())
+		delay = append(delay, j.FirstQueueDelay.Minutes())
+		if j.Outcome == failures.Unsuccessful {
+			unsuccessful++
+		}
+	}
+	m.JCTp50 = stats.Percentile(jct, 50)
+	m.JCTMean = stats.Mean(jct)
+	m.DelayP50 = stats.Percentile(delay, 50)
+	m.DelayP95 = stats.Percentile(delay, 95)
+	m.MeanUtilPct = res.Telemetry.All().Mean()
+	m.Preemptions = res.Sched.FairSharePreemptions + res.Sched.PolicyPreemptions
+	m.Migrations = res.Sched.Migrations
+	if m.Completed > 0 {
+		m.UnsuccessfulPct = 100 * float64(unsuccessful) / float64(m.Completed)
+	}
+	return m
+}
+
+// MetricDef names one scalar column of the comparison table.
+type MetricDef struct {
+	// Name heads the table column.
+	Name string
+	// Get extracts the metric from a replica.
+	Get func(ReplicaMetrics) float64
+}
+
+// Metrics is the default comparison-table column set, in render order.
+func Metrics() []MetricDef {
+	return []MetricDef{
+		{"JCT p50 (min)", func(m ReplicaMetrics) float64 { return m.JCTp50 }},
+		{"JCT mean (min)", func(m ReplicaMetrics) float64 { return m.JCTMean }},
+		{"delay p50 (min)", func(m ReplicaMetrics) float64 { return m.DelayP50 }},
+		{"delay p95 (min)", func(m ReplicaMetrics) float64 { return m.DelayP95 }},
+		{"util %", func(m ReplicaMetrics) float64 { return m.MeanUtilPct }},
+		{"preempts", func(m ReplicaMetrics) float64 { return float64(m.Preemptions) }},
+		{"failed GPU-h", func(m ReplicaMetrics) float64 { return m.FailedGPUHours }},
+		{"unsucc %", func(m ReplicaMetrics) float64 { return m.UnsuccessfulPct }},
+	}
+}

@@ -1,0 +1,172 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"philly/internal/core"
+	"philly/internal/stats"
+)
+
+// Options parameterizes a sweep run.
+type Options struct {
+	// Replicas is the number of seed replicas per scenario (default 1).
+	Replicas int
+	// Workers bounds pool concurrency; 0 means GOMAXPROCS. Worker count
+	// never affects results, only wall-clock.
+	Workers int
+	// BaseSeed roots per-run seed derivation; 0 means Matrix.Base.Seed.
+	BaseSeed uint64
+	// Progress, when non-nil, is called after each completed run with
+	// (done, total). Calls come from worker goroutines, possibly
+	// concurrently; it must be safe for that.
+	Progress func(done, total int)
+}
+
+// Result is a completed sweep.
+type Result struct {
+	// Scenarios holds one entry per matrix cell, in expansion order.
+	Scenarios []ScenarioResult
+	// Replicas echoes Options.Replicas; BaseSeed the effective base seed.
+	Replicas int
+	BaseSeed uint64
+}
+
+// ScenarioResult pairs a scenario with its replica metrics and summary.
+type ScenarioResult struct {
+	// Scenario echoes the matrix cell.
+	Scenario Scenario
+	// Replicas holds per-replica metrics indexed by replica number — the
+	// order is derivation order, never completion order.
+	Replicas []ReplicaMetrics
+	// Summary folds the replicas (see Summarize).
+	Summary Summary
+}
+
+// DeriveSeed maps (baseSeed, scenarioIdx, replicaIdx) to a run seed with
+// splitmix64 steps, so each cell of the sweep gets an unrelated stream and
+// the mapping is stable across harness versions, worker counts, and
+// completion order. TestDeriveSeedStability pins golden values.
+func DeriveSeed(baseSeed uint64, scenarioIdx, replicaIdx int) uint64 {
+	h := stats.SplitMix64(baseSeed ^ 0x517cc1b727220a95)
+	h = stats.SplitMix64(h ^ (uint64(scenarioIdx)+1)*0x9e3779b97f4a7c15)
+	h = stats.SplitMix64(h ^ (uint64(replicaIdx)+1)*0xbf58476d1ce4e5b9)
+	return h
+}
+
+// runUnit is one scenario × replica cell.
+type runUnit struct {
+	scenario int
+	replica  int
+}
+
+// Run expands the matrix and executes every scenario × replica across the
+// worker pool. Any run error (including a scenario whose configuration
+// fails validation) cancels the remaining queue and is returned; the pool
+// never hangs on a bad cell.
+func (m Matrix) Run(opts Options) (*Result, error) {
+	scenarios, err := m.Scenarios()
+	if err != nil {
+		return nil, err
+	}
+	replicas := opts.Replicas
+	if replicas <= 0 {
+		replicas = 1
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	baseSeed := opts.BaseSeed
+	if baseSeed == 0 {
+		baseSeed = m.Base.Seed
+	}
+
+	// Validate every scenario before spending any simulation time: a typo'd
+	// axis value should fail the sweep instantly, not after N-1 cells ran.
+	for i := range scenarios {
+		if err := scenarios[i].Config.Validate(); err != nil {
+			return nil, fmt.Errorf("sweep: scenario %q: %w", scenarios[i].Name, err)
+		}
+	}
+
+	total := len(scenarios) * replicas
+	metrics := make([][]ReplicaMetrics, len(scenarios))
+	for i := range metrics {
+		metrics[i] = make([]ReplicaMetrics, replicas)
+	}
+
+	units := make(chan runUnit)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		done     int
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range units {
+				if failed() {
+					continue // drain the queue so the feeder never blocks
+				}
+				cfg := cloneConfig(scenarios[u.scenario].Config)
+				cfg.Seed = DeriveSeed(baseSeed, u.scenario, u.replica)
+				st, err := core.NewStudy(cfg)
+				if err != nil {
+					fail(fmt.Errorf("sweep: scenario %q replica %d: %w",
+						scenarios[u.scenario].Name, u.replica, err))
+					continue
+				}
+				res, err := st.Run()
+				if err != nil {
+					fail(fmt.Errorf("sweep: scenario %q replica %d: %w",
+						scenarios[u.scenario].Name, u.replica, err))
+					continue
+				}
+				metrics[u.scenario][u.replica] = Reduce(res)
+				if opts.Progress != nil {
+					mu.Lock()
+					done++
+					d := done
+					mu.Unlock()
+					opts.Progress(d, total)
+				}
+			}
+		}()
+	}
+	for s := range scenarios {
+		for r := 0; r < replicas; r++ {
+			units <- runUnit{scenario: s, replica: r}
+		}
+	}
+	close(units)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	out := &Result{Replicas: replicas, BaseSeed: baseSeed}
+	for i := range scenarios {
+		out.Scenarios = append(out.Scenarios, ScenarioResult{
+			Scenario: scenarios[i],
+			Replicas: metrics[i],
+			Summary:  Summarize(metrics[i]),
+		})
+	}
+	return out, nil
+}

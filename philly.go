@@ -73,6 +73,10 @@ const (
 // what EXPERIMENTS.md records.
 func DefaultConfig() Config { return core.DefaultConfig() }
 
+// MediumConfig returns a quarter-scale paper configuration (~2300 GPUs,
+// ~24k jobs) — tens of seconds per run, paper-like contention.
+func MediumConfig() Config { return core.MediumConfig() }
+
 // SmallConfig returns a laptop-scale configuration (~230 GPUs, 3,300 jobs
 // over 8 days) that exhibits the same qualitative behaviour; the test
 // suite's calibration assertions run against it.
