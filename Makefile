@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-sweep
+.PHONY: check vet build test race bench bench-sweep bench-json bench-smoke
 
 # check is the CI gate: vet, build everything, then the full test suite
 # under the race detector (the sweep harness is the only concurrent code,
-# but -race also guards the examples and cmds against regressions).
-check: vet build race
+# but -race also guards the examples and cmds against regressions), and a
+# one-iteration benchmark smoke so the bench path itself cannot rot.
+check: vet build race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -27,3 +28,19 @@ bench:
 # bench-sweep is just the harness scaling curve (workers=1,2,4,8).
 bench-sweep:
 	$(GO) test -bench BenchmarkSweepWorkerScaling -run '^$$' .
+
+# bench-smoke runs the throughput benchmark for a single iteration; it is
+# part of `make check` so the benchmark path cannot silently rot.
+bench-smoke:
+	$(GO) test -bench=SimulationThroughput -benchtime=1x -run '^$$' .
+
+# bench-json records a machine-readable benchmark baseline. Usage:
+#   make bench-json OUT=BENCH_PR2_after.json [BENCH=.] [COUNT=3]
+# The output is the go test -json event stream (one JSON object per line),
+# which embeds every benchmark's ns/op, B/op, allocs/op and the domain
+# metrics reported via b.ReportMetric — diffable across PRs with jq.
+BENCH ?= .
+COUNT ?= 3
+OUT ?= bench.json
+bench-json:
+	$(GO) test -json -run '^$$' -bench '$(BENCH)' -benchmem -count $(COUNT) . > $(OUT)

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	philly-sweep [-scale small|medium|full] [-seed N] [-replicas N] [-workers N]
-//	             [-jobs N] [-axis name=v1,v2]... [-v]
+//	             [-jobs N] [-axis name=v1,v2]... [-o table|json] [-v]
 //
 // Each -axis flag adds one swept dimension; the scenarios are the
 // cross-product of all axes. Example — the §4.1 locality/fragmentation
@@ -15,6 +15,11 @@
 //
 // Results are bit-identical for any -workers value: per-run seeds derive
 // only from (seed, scenario index, replica index).
+//
+// -o json emits the machine-readable sweep.Result export (format_version 1:
+// per-replica metrics, per-metric aggregates, and each scenario's applied
+// configuration) for CI diffing and plotting hooks; the comparison table is
+// recoverable from it via sweep.DecodeJSON.
 package main
 
 import (
@@ -49,6 +54,7 @@ func main() {
 	replicas := flag.Int("replicas", 4, "seed replicas per scenario")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	jobs := flag.Int("jobs", 0, "override base workload job count (0 = scale default)")
+	output := flag.String("o", "table", "output format: table or json (machine-readable sweep.Result export)")
 	verbose := flag.Bool("v", false, "print per-run progress")
 	flag.Var(&axes, "axis", "axis spec name=v1,v2 (repeatable); known: "+strings.Join(sweep.KnownAxes(), ", "))
 	flag.Parse()
@@ -74,11 +80,24 @@ func main() {
 		}
 	}
 
+	if *output != "table" && *output != "json" {
+		fmt.Fprintf(os.Stderr, "philly-sweep: unknown output format %q (want table or json)\n", *output)
+		os.Exit(2)
+	}
+
 	start := time.Now()
 	res, err := m.Run(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "philly-sweep:", err)
 		os.Exit(1)
+	}
+	if *output == "json" {
+		if err := res.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "philly-sweep:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wall: %v\n", time.Since(start).Round(time.Millisecond))
+		return
 	}
 	fmt.Print(res.RenderTable())
 	fmt.Printf("wall: %v\n", time.Since(start).Round(time.Millisecond))

@@ -54,9 +54,24 @@ type Server struct {
 	GPUs []GPU
 
 	free int // cached count of free GPUs
+	// local is the server's index within its rack (ascending ID order),
+	// which is also its bit position in the rack's free-count buckets.
+	local int
+	// bucketFree is the free count the cluster's bucket indexes currently
+	// reflect for this server; it trails free within Allocate/Release and is
+	// re-synced before they return.
+	bucketFree int
 	// jobs tracks how many GPUs each job holds on this server, to detect
-	// colocation and compute per-job spread.
-	jobs map[JobID]int
+	// colocation and compute per-job spread. At most a handful of jobs share
+	// a server, so a small slice beats a map: no hashing on the allocation
+	// path and deterministic iteration for free.
+	jobs []jobShare
+}
+
+// jobShare is one job's GPU count on a server.
+type jobShare struct {
+	id   JobID
+	gpus int
 }
 
 // FreeGPUs returns the number of unallocated GPUs on the server.
@@ -69,15 +84,46 @@ func (s *Server) UsedGPUs() int { return len(s.GPUs) - s.free }
 // ascending order (deterministic iteration for the simulator).
 func (s *Server) Jobs() []JobID {
 	ids := make([]JobID, 0, len(s.jobs))
-	for id := range s.jobs {
-		ids = append(ids, id)
+	for _, js := range s.jobs {
+		ids = append(ids, js.id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 
 // JobGPUs returns how many GPUs the given job holds on this server.
-func (s *Server) JobGPUs(id JobID) int { return s.jobs[id] }
+func (s *Server) JobGPUs(id JobID) int {
+	for _, js := range s.jobs {
+		if js.id == id {
+			return js.gpus
+		}
+	}
+	return 0
+}
+
+// addJobGPU charges one GPU on this server to the job.
+func (s *Server) addJobGPU(id JobID) {
+	for i := range s.jobs {
+		if s.jobs[i].id == id {
+			s.jobs[i].gpus++
+			return
+		}
+	}
+	s.jobs = append(s.jobs, jobShare{id: id, gpus: 1})
+}
+
+// removeJobGPU releases one GPU held by the job.
+func (s *Server) removeJobGPU(id JobID) {
+	for i := range s.jobs {
+		if s.jobs[i].id == id {
+			s.jobs[i].gpus--
+			if s.jobs[i].gpus == 0 {
+				s.jobs = append(s.jobs[:i], s.jobs[i+1:]...)
+			}
+			return
+		}
+	}
+}
 
 // Colocated reports whether more than one distinct job holds GPUs here.
 func (s *Server) Colocated() bool { return len(s.jobs) > 1 }
@@ -91,16 +137,17 @@ type Rack struct {
 	Servers []*Server
 	// SKU is the hardware class of every server in the rack.
 	SKU SKU
+
+	// free is the rack's total free GPUs, maintained incrementally.
+	free int
+	// buckets[f] is a bitmap (over local server index) of servers with
+	// exactly f free GPUs, f in [0, SKU.GPUsPerServer]. It yields "servers
+	// by free descending, ties by ID" as a bucket walk with no sorting.
+	buckets [][]uint64
 }
 
 // FreeGPUs returns the total free GPUs in the rack.
-func (r *Rack) FreeGPUs() int {
-	n := 0
-	for _, s := range r.Servers {
-		n += s.free
-	}
-	return n
-}
+func (r *Rack) FreeGPUs() int { return r.free }
 
 // TotalGPUs returns the rack's GPU capacity.
 func (r *Rack) TotalGPUs() int { return len(r.Servers) * r.SKU.GPUsPerServer }
@@ -143,6 +190,24 @@ type Cluster struct {
 	totalGPUs int
 	freeGPUs  int
 
+	// maxPerServer is the largest per-server GPU count, bounding the
+	// free-count bucket range.
+	maxPerServer int
+	// freeBuckets[f] is a bitmap over global server IDs of servers with
+	// exactly f free GPUs; best-fit queries are first-set-bit scans.
+	freeBuckets [][]uint64
+	// emptyServers counts servers with zero allocated GPUs, maintained on
+	// alloc/free so fragmentation sampling is O(1) instead of a full walk.
+	emptyServers int
+	// srvUsed[id] is the allocated-GPU count per server and srvCap[id] the
+	// capacity — flat arrays for the per-tick telemetry walk.
+	srvUsed []int32
+	srvCap  []int32
+
+	// rackScratch and picks are reused placement-search buffers.
+	rackScratch []*Rack
+	picks       []pick
+
 	// placements tracks the live placement of each job for release and for
 	// locality/interference queries.
 	placements map[JobID]Placement
@@ -166,12 +231,13 @@ func New(cfg Config) (*Cluster, error) {
 		rack := &Rack{ID: rackID, SKU: rc.SKU}
 		for i := 0; i < rc.Servers; i++ {
 			srv := &Server{
-				ID:   serverID,
-				Rack: rackID,
-				SKU:  rc.SKU,
-				GPUs: make([]GPU, rc.SKU.GPUsPerServer),
-				free: rc.SKU.GPUsPerServer,
-				jobs: make(map[JobID]int),
+				ID:         serverID,
+				Rack:       rackID,
+				SKU:        rc.SKU,
+				GPUs:       make([]GPU, rc.SKU.GPUsPerServer),
+				free:       rc.SKU.GPUsPerServer,
+				bucketFree: rc.SKU.GPUsPerServer,
+				local:      i,
 			}
 			for g := range srv.GPUs {
 				srv.GPUs[g].Index = g
@@ -184,8 +250,66 @@ func New(cfg Config) (*Cluster, error) {
 		c.Racks = append(c.Racks, rack)
 	}
 	c.freeGPUs = c.totalGPUs
+	c.buildIndexes()
 	return c, nil
 }
+
+// buildIndexes initializes the incremental free-count bucket bitmaps and
+// telemetry arrays from a freshly built (fully free) inventory.
+func (c *Cluster) buildIndexes() {
+	for _, r := range c.Racks {
+		if r.SKU.GPUsPerServer > c.maxPerServer {
+			c.maxPerServer = r.SKU.GPUsPerServer
+		}
+	}
+	words := (len(c.servers) + 63) / 64
+	c.freeBuckets = make([][]uint64, c.maxPerServer+1)
+	for f := range c.freeBuckets {
+		c.freeBuckets[f] = make([]uint64, words)
+	}
+	c.srvUsed = make([]int32, len(c.servers))
+	c.srvCap = make([]int32, len(c.servers))
+	for _, r := range c.Racks {
+		rackWords := (len(r.Servers) + 63) / 64
+		r.buckets = make([][]uint64, r.SKU.GPUsPerServer+1)
+		for f := range r.buckets {
+			r.buckets[f] = make([]uint64, rackWords)
+		}
+		r.free = len(r.Servers) * r.SKU.GPUsPerServer
+		for _, s := range r.Servers {
+			setBit(r.buckets[s.free], s.local)
+			setBit(c.freeBuckets[s.free], s.ID)
+			c.srvCap[s.ID] = int32(len(s.GPUs))
+		}
+	}
+	c.emptyServers = len(c.servers)
+}
+
+// syncServerIndexes moves a server whose free count changed into its new
+// bucket and updates the rack/cluster aggregates. Callers batch it once per
+// touched server after applying all of a placement's slots.
+func (c *Cluster) syncServerIndexes(s *Server) {
+	old, nw := s.bucketFree, s.free
+	if old == nw {
+		return
+	}
+	r := c.Racks[s.Rack]
+	clearBit(r.buckets[old], s.local)
+	setBit(r.buckets[nw], s.local)
+	clearBit(c.freeBuckets[old], s.ID)
+	setBit(c.freeBuckets[nw], s.ID)
+	r.free += nw - old
+	c.srvUsed[s.ID] = int32(len(s.GPUs) - nw)
+	if cap := len(s.GPUs); old == cap {
+		c.emptyServers--
+	} else if nw == cap {
+		c.emptyServers++
+	}
+	s.bucketFree = nw
+}
+
+func setBit(words []uint64, i int)   { words[i/64] |= 1 << (uint(i) % 64) }
+func clearBit(words []uint64, i int) { words[i/64] &^= 1 << (uint(i) % 64) }
 
 // MustNew is New but panics on error, for statically known configs.
 func MustNew(cfg Config) *Cluster {
@@ -229,16 +353,18 @@ func (c *Cluster) NumServers() int { return len(c.servers) }
 
 // EmptyServers returns the count of servers with zero allocated GPUs. The
 // paper uses this to quantify fragmentation ("when two thirds of GPUs are
-// in use, under 4.5% of servers are completely empty").
-func (c *Cluster) EmptyServers() int {
-	n := 0
-	for _, s := range c.servers {
-		if s.free == len(s.GPUs) {
-			n++
-		}
-	}
-	return n
-}
+// in use, under 4.5% of servers are completely empty"). The count is
+// maintained incrementally on alloc/free, so sampling it per telemetry tick
+// costs O(1) instead of a full server walk.
+func (c *Cluster) EmptyServers() int { return c.emptyServers }
+
+// UsedBySrv returns per-server allocated-GPU counts indexed by server ID.
+// The slice is a live, incrementally maintained view — callers must treat it
+// as read-only and not retain it across allocations.
+func (c *Cluster) UsedBySrv() []int32 { return c.srvUsed }
+
+// CapBySrv returns per-server GPU capacities indexed by server ID, read-only.
+func (c *Cluster) CapBySrv() []int32 { return c.srvCap }
 
 // Placement records which GPU slots a job occupies.
 type Placement struct {
@@ -255,40 +381,63 @@ type Slot struct {
 // NumGPUs returns the number of allocated GPUs.
 func (p Placement) NumGPUs() int { return len(p.Slots) }
 
-// ServerIDs returns the distinct servers used, ascending.
+// ServerIDs returns the distinct servers used, ascending. Placements span a
+// handful of servers, so dedup is a linear scan rather than a map.
 func (p Placement) ServerIDs() []int {
-	seen := map[int]bool{}
-	var ids []int
+	ids := make([]int, 0, 8)
 	for _, s := range p.Slots {
-		if !seen[s.Server] {
-			seen[s.Server] = true
-			ids = append(ids, s.Server)
-		}
+		ids = appendDistinct(ids, s.Server)
 	}
 	sort.Ints(ids)
 	return ids
 }
 
-// NumServers returns the number of distinct servers used.
-func (p Placement) NumServers() int { return len(p.ServerIDs()) }
+// NumServers returns the number of distinct servers used. Unlike ServerIDs
+// it does not allocate: it counts distinct IDs through a small stack buffer
+// (placement construction groups slots by server, so the distinct count is
+// small even for wide gangs).
+func (p Placement) NumServers() int {
+	var buf [16]int
+	seen := buf[:0]
+	for _, s := range p.Slots {
+		seen = appendDistinct(seen, s.Server)
+	}
+	return len(seen)
+}
+
+// appendDistinct appends v unless already present.
+func appendDistinct(ids []int, v int) []int {
+	for _, id := range ids {
+		if id == v {
+			return ids
+		}
+	}
+	return append(ids, v)
+}
 
 // RackIDs returns the distinct racks used, ascending, resolved against c.
 func (p Placement) RackIDs(c *Cluster) []int {
-	seen := map[int]bool{}
-	var ids []int
+	ids := make([]int, 0, 4)
 	for _, s := range p.Slots {
-		r := c.Server(s.Server).Rack
-		if !seen[r] {
-			seen[r] = true
-			ids = append(ids, r)
-		}
+		ids = appendDistinct(ids, c.Server(s.Server).Rack)
 	}
 	sort.Ints(ids)
 	return ids
 }
 
 // CrossRack reports whether the placement spans more than one RDMA domain.
-func (p Placement) CrossRack(c *Cluster) bool { return len(p.RackIDs(c)) > 1 }
+func (p Placement) CrossRack(c *Cluster) bool {
+	if len(p.Slots) == 0 {
+		return false
+	}
+	first := c.Server(p.Slots[0].Server).Rack
+	for _, s := range p.Slots[1:] {
+		if c.Server(s.Server).Rack != first {
+			return true
+		}
+	}
+	return false
+}
 
 // Allocate assigns the placement's GPU slots to job. Every slot must be
 // free; on error nothing is allocated. Allocating for a job that already
@@ -303,9 +452,11 @@ func (c *Cluster) Allocate(job JobID, p Placement) error {
 	if _, exists := c.placements[job]; exists {
 		return fmt.Errorf("cluster: job %d already has an allocation", job)
 	}
-	// Validate first so failure leaves no partial state.
-	seen := map[Slot]bool{}
-	for _, sl := range p.Slots {
+	// Validate first so failure leaves no partial state. Duplicate detection
+	// is a quadratic scan for the gang widths the simulator produces (it
+	// beats a map allocation well past any realistic width) with a map
+	// fallback for pathological placements.
+	for i, sl := range p.Slots {
 		srv := c.Server(sl.Server)
 		if srv == nil {
 			return fmt.Errorf("cluster: placement references unknown server %d", sl.Server)
@@ -316,16 +467,31 @@ func (c *Cluster) Allocate(job JobID, p Placement) error {
 		if srv.GPUs[sl.GPU].Owner != 0 {
 			return fmt.Errorf("cluster: GPU %d on server %d already owned by job %d", sl.GPU, sl.Server, srv.GPUs[sl.GPU].Owner)
 		}
-		if seen[sl] {
-			return fmt.Errorf("cluster: duplicate slot %+v in placement", sl)
+		if len(p.Slots) <= 128 {
+			for _, prev := range p.Slots[:i] {
+				if prev == sl {
+					return fmt.Errorf("cluster: duplicate slot %+v in placement", sl)
+				}
+			}
 		}
-		seen[sl] = true
+	}
+	if len(p.Slots) > 128 {
+		seen := make(map[Slot]bool, len(p.Slots))
+		for _, sl := range p.Slots {
+			if seen[sl] {
+				return fmt.Errorf("cluster: duplicate slot %+v in placement", sl)
+			}
+			seen[sl] = true
+		}
 	}
 	for _, sl := range p.Slots {
 		srv := c.servers[sl.Server]
 		srv.GPUs[sl.GPU].Owner = job
 		srv.free--
-		srv.jobs[job]++
+		srv.addJobGPU(job)
+	}
+	for _, sl := range p.Slots {
+		c.syncServerIndexes(c.servers[sl.Server])
 	}
 	c.freeGPUs -= len(p.Slots)
 	// Store a defensive copy.
@@ -345,10 +511,10 @@ func (c *Cluster) Release(job JobID) error {
 		srv := c.servers[sl.Server]
 		srv.GPUs[sl.GPU].Owner = 0
 		srv.free++
-		srv.jobs[job]--
-		if srv.jobs[job] == 0 {
-			delete(srv.jobs, job)
-		}
+		srv.removeJobGPU(job)
+	}
+	for _, sl := range p.Slots {
+		c.syncServerIndexes(c.servers[sl.Server])
 	}
 	c.freeGPUs += len(p.Slots)
 	delete(c.placements, job)
@@ -378,9 +544,8 @@ func (c *Cluster) SharesServers(job JobID) bool {
 	if !ok {
 		return false
 	}
-	for _, sid := range p.ServerIDs() {
-		srv := c.servers[sid]
-		if len(srv.jobs) > 1 {
+	for _, sl := range p.Slots {
+		if len(c.servers[sl.Server].jobs) > 1 {
 			return true
 		}
 	}

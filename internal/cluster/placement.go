@@ -1,7 +1,7 @@
 package cluster
 
 import (
-	"sort"
+	"math/bits"
 )
 
 // Locality is the constraint level a placement search must satisfy. The
@@ -36,6 +36,17 @@ func (l Locality) String() string {
 		return "unknown"
 	}
 }
+
+// The placement search used to re-sort every rack's server list (and the
+// rack list itself) on each attempt, allocating the sorted copies each time.
+// At one search per blocked-job retry that was the scheduler's hottest
+// allocation site. The cluster now maintains free-count buckets — one bitmap
+// of servers per free-GPU count, per rack and cluster-wide (see cluster.go)
+// — so "servers by free GPUs descending, ties by ID" is a bucket walk and
+// "best fit" is a first-set-bit query. The visit order is identical to what
+// the sorts produced, so placements are bit-for-bit the same; the search
+// itself no longer allocates (candidate picks go to a reused scratch, and
+// slots materialize only for the returned placement).
 
 // FindPlacement searches for n free GPUs satisfying the locality level.
 // It returns the placement and true on success, or a zero placement and
@@ -76,12 +87,14 @@ func (c *Cluster) findPacked(n int) (Placement, bool) {
 	// Multi-server case: the job must span servers. Require the minimal
 	// server count for the rack's SKU and a single rack.
 	for _, rack := range c.racksByFreeDesc() {
+		if rack.free < n {
+			continue
+		}
 		per := rack.SKU.GPUsPerServer
 		minServers := (n + per - 1) / per
-		servers := serversByFreeDesc(rack.Servers)
-		p, used := takeFromServers(servers, n)
-		if used > 0 && used <= minServers && len(p.Slots) == n {
-			return p, true
+		c.picks = c.picks[:0]
+		if rem, used := c.gatherFromRack(rack, n); rem == 0 && used <= minServers {
+			return c.materializePicks(n), true
 		}
 	}
 	return Placement{}, false
@@ -93,123 +106,131 @@ func (c *Cluster) findWithinRack(n int) (Placement, bool) {
 		return p, true
 	}
 	for _, rack := range c.racksByFreeDesc() {
-		if rack.FreeGPUs() < n {
+		if rack.free < n {
 			continue
 		}
-		servers := serversByFreeDesc(rack.Servers)
-		p, _ := takeFromServers(servers, n)
-		if len(p.Slots) == n {
-			return p, true
+		c.picks = c.picks[:0]
+		if rem, _ := c.gatherFromRack(rack, n); rem == 0 {
+			return c.materializePicks(n), true
 		}
 	}
 	return Placement{}, false
 }
 
-// findAnywhere places on any free GPUs, preferring fuller racks... no:
-// preferring emptier racks first to keep the job as compact as the free
-// space allows, then spilling across racks.
+// findAnywhere places on any free GPUs, preferring emptier racks first to
+// keep the job as compact as the free space allows, then spilling across
+// racks.
 func (c *Cluster) findAnywhere(n int) (Placement, bool) {
 	if p, ok := c.bestFitSingleServer(n); ok {
 		return p, true
 	}
-	var servers []*Server
+	c.picks = c.picks[:0]
+	need := n
 	for _, rack := range c.racksByFreeDesc() {
-		servers = append(servers, serversByFreeDesc(rack.Servers)...)
-	}
-	p, _ := takeFromServers(servers, n)
-	if len(p.Slots) == n {
-		return p, true
+		need, _ = c.gatherFromRack(rack, need)
+		if need == 0 {
+			return c.materializePicks(n), true
+		}
 	}
 	return Placement{}, false
+}
+
+type pick struct {
+	srv  *Server
+	take int
+}
+
+// gatherFromRack appends (server, take) picks for up to need GPUs from the
+// rack, visiting servers by free GPUs descending with ties by server ID —
+// exactly the order the former per-attempt sort produced. It returns the
+// remaining need and the number of servers picked from this rack.
+func (c *Cluster) gatherFromRack(rack *Rack, need int) (int, int) {
+	used := 0
+	for f := rack.SKU.GPUsPerServer; f >= 1 && need > 0; f-- {
+		for w, word := range rack.buckets[f] {
+			for word != 0 {
+				local := w*64 + bits.TrailingZeros64(word)
+				word &= word - 1
+				srv := rack.Servers[local]
+				take := srv.free
+				if take > need {
+					take = need
+				}
+				c.picks = append(c.picks, pick{srv: srv, take: take})
+				used++
+				need -= take
+				if need == 0 {
+					return 0, used
+				}
+			}
+		}
+	}
+	return need, used
+}
+
+// materializePicks builds the placement for the current pick scratch,
+// taking each picked server's free GPUs in ascending device order.
+func (c *Cluster) materializePicks(n int) Placement {
+	slots := make([]Slot, 0, n)
+	for _, pk := range c.picks {
+		taken := 0
+		for g := range pk.srv.GPUs {
+			if taken == pk.take {
+				break
+			}
+			if pk.srv.GPUs[g].Owner == 0 {
+				slots = append(slots, Slot{Server: pk.srv.ID, GPU: g})
+				taken++
+			}
+		}
+	}
+	return Placement{Slots: slots}
 }
 
 // bestFitSingleServer finds the server whose free-GPU count is the smallest
 // value >= n (ties broken by lowest server ID for determinism).
 func (c *Cluster) bestFitSingleServer(n int) (Placement, bool) {
-	var best *Server
-	for _, s := range c.servers {
-		if s.free < n || n > len(s.GPUs) {
-			continue
-		}
-		if best == nil || s.free < best.free || (s.free == best.free && s.ID < best.ID) {
-			best = s
+	for f := n; f <= c.maxPerServer; f++ {
+		if id := firstBit(c.freeBuckets[f]); id >= 0 {
+			srv := c.servers[id]
+			c.picks = append(c.picks[:0], pick{srv: srv, take: n})
+			return c.materializePicks(n), true
 		}
 	}
-	if best == nil {
-		return Placement{}, false
-	}
-	return takeFromServer(best, n), true
+	return Placement{}, false
 }
 
 // racksByFreeDesc returns racks sorted by free GPUs descending (i.e.
-// increasing occupancy), ties by rack ID.
+// increasing occupancy), ties by rack ID. The result is a reused scratch
+// ordered by insertion sort — rack counts are small and the (free desc, ID)
+// key is a total order, so the output matches the former stable sort.
 func (c *Cluster) racksByFreeDesc() []*Rack {
-	racks := append([]*Rack(nil), c.Racks...)
-	sort.SliceStable(racks, func(i, j int) bool {
-		fi, fj := racks[i].FreeGPUs(), racks[j].FreeGPUs()
-		if fi != fj {
-			return fi > fj
+	racks := c.rackScratch[:0]
+	for _, r := range c.Racks {
+		i := len(racks)
+		racks = append(racks, r)
+		for i > 0 {
+			p := racks[i-1]
+			if p.free > r.free || (p.free == r.free && p.ID < r.ID) {
+				break
+			}
+			racks[i] = p
+			i--
 		}
-		return racks[i].ID < racks[j].ID
-	})
+		racks[i] = r
+	}
+	c.rackScratch = racks
 	return racks
 }
 
-// serversByFreeDesc returns servers sorted by free GPUs descending, ties by
-// server ID.
-func serversByFreeDesc(servers []*Server) []*Server {
-	out := append([]*Server(nil), servers...)
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].free != out[j].free {
-			return out[i].free > out[j].free
-		}
-		return out[i].ID < out[j].ID
-	})
-	return out
-}
-
-// takeFromServer builds a placement of n free GPUs from a single server.
-// The caller must ensure s.free >= n.
-func takeFromServer(s *Server, n int) Placement {
-	var p Placement
-	for g := range s.GPUs {
-		if len(p.Slots) == n {
-			break
-		}
-		if s.GPUs[g].Owner == 0 {
-			p.Slots = append(p.Slots, Slot{Server: s.ID, GPU: g})
+// firstBit returns the index of the lowest set bit, or -1 when none is set.
+func firstBit(words []uint64) int {
+	for w, word := range words {
+		if word != 0 {
+			return w*64 + bits.TrailingZeros64(word)
 		}
 	}
-	return p
-}
-
-// takeFromServers greedily takes free GPUs from servers in order until n
-// slots are gathered. It returns the placement (possibly short) and the
-// number of servers actually used.
-func takeFromServers(servers []*Server, n int) (Placement, int) {
-	var p Placement
-	used := 0
-	for _, s := range servers {
-		if len(p.Slots) == n {
-			break
-		}
-		if s.free == 0 {
-			continue
-		}
-		before := len(p.Slots)
-		for g := range s.GPUs {
-			if len(p.Slots) == n {
-				break
-			}
-			if s.GPUs[g].Owner == 0 {
-				p.Slots = append(p.Slots, Slot{Server: s.ID, GPU: g})
-			}
-		}
-		if len(p.Slots) > before {
-			used++
-		}
-	}
-	return p, used
+	return -1
 }
 
 // MaxRackGPUs returns the largest rack capacity — the widest gang that can

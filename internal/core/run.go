@@ -148,8 +148,15 @@ type jobState struct {
 	attemptOpen bool
 	// attemptStartAt is when the current attempt first started running.
 	attemptStartAt simulation.Time
+	// idx is the job's index in Study.jobs / StudyResult.Jobs.
+	idx int
 	// meta is the telemetry grouping key for the current episode.
 	meta telemetry.JobMeta
+	// usage is the job's telemetry accumulator handle, created lazily on the
+	// first sampled minute (matching the recorder's map-based semantics).
+	usage *telemetry.JobUsage
+	// runIdx is the job's slot in the study's running list, -1 when absent.
+	runIdx int
 	// finishSeq guards stale finish events after a preemption.
 	finishSeq int
 	running   bool
@@ -191,16 +198,43 @@ type Study struct {
 	// deployment would).
 	detReason map[string]bool
 
-	jobs    []workload.JobSpec
-	states  map[cluster.JobID]*jobState
-	running []*jobState // insertion-ordered running set for telemetry
-	results []JobResult
-	occ     []OccupancySample
+	jobs   []workload.JobSpec
+	states map[cluster.JobID]*jobState
+	// running is the insertion-ordered running set for telemetry. Removal
+	// tombstones the slot (nil) and compaction preserves order, so the
+	// telemetry walk draws per-job RNG samples in exactly the order the
+	// remove-by-scan implementation produced, while removal itself is O(1)
+	// via jobState.runIdx.
+	running     []*jobState
+	runningLive int
+	results     []JobResult
+	occ         []OccupancySample
+
+	// lossScratch is the reused parse buffer for convergence curves.
+	lossScratch []float64
+
+	// jobObserver, when set, streams each job's completed result out of the
+	// study (see StreamJobs).
+	jobObserver func(i int, r *JobResult)
 
 	pending   int // jobs not yet finalized
 	wakeAt    simulation.Time
 	wakeArmed bool
 }
+
+// NumJobs returns the number of generated jobs in the study.
+func (s *Study) NumJobs() int { return len(s.jobs) }
+
+// StreamJobs registers fn to be called once per job, at the moment the job
+// reaches its terminal state, with the job's index in StudyResult.Jobs and
+// its fully populated result. After fn returns, the record's variable-size
+// parts (per-attempt list, convergence curve summary) are released so a
+// paper-scale run's peak memory tracks the running set, not the whole
+// workload — the scalar fields remain in StudyResult.Jobs. Jobs that never
+// complete before the horizon are not streamed and keep full records.
+//
+// Must be called before Run; fn runs on the simulation goroutine.
+func (s *Study) StreamJobs(fn func(i int, r *JobResult)) { s.jobObserver = fn }
 
 // NewStudy builds a study from the configuration.
 func NewStudy(cfg Config) (*Study, error) {
@@ -268,7 +302,9 @@ func (s *Study) Run() (*StudyResult, error) {
 		js := &jobState{
 			spec:             spec,
 			res:              res,
+			idx:              i,
 			remainingWorkSec: s.cleanWorkSeconds(spec),
+			runIdx:           -1,
 			sched: scheduler.NewJob(cluster.JobID(spec.ID), spec.VC,
 				spec.GPUs, spec.SubmitAt),
 		}
@@ -283,7 +319,9 @@ func (s *Study) Run() (*StudyResult, error) {
 		})
 	}
 
-	// Telemetry ticker.
+	// Telemetry ticker. Preallocate the occupancy series for the expected
+	// tick count so per-tick appends never regrow it.
+	s.occ = make([]OccupancySample, 0, int(horizon/s.cfg.TelemetryInterval)+2)
 	s.engine.Ticker(0, s.cfg.TelemetryInterval, func(now simulation.Time) bool {
 		s.sampleTelemetry(now)
 		return now < horizon && s.pending > 0
@@ -396,14 +434,21 @@ func (s *Study) onStart(ev scheduler.StartEvent, now simulation.Time) {
 	js.baseUtil = s.util.JobBaseUtil(shape, js.spec.Plan.Outcome, s.utilRNG)
 	js.episodeStart = now
 	js.running = true
-	if !s.inRunning(js) {
+	if js.runIdx < 0 {
+		js.runIdx = len(s.running)
 		s.running = append(s.running, js)
+		s.runningLive++
 	}
 
 	// New attempt (vs resumption after preemption)?
 	if !js.attemptOpen {
 		js.attemptOpen = true
 		js.attemptStartAt = now
+		if js.res.Attempts == nil {
+			// The failure plan fixes the attempt count up front; size the
+			// record once instead of regrowing per retry.
+			js.res.Attempts = make([]AttemptResult, 0, js.plannedAttempts())
+		}
 		js.res.Attempts = append(js.res.Attempts, AttemptResult{
 			Index:      js.attemptIdx,
 			StartAt:    now,
@@ -434,15 +479,6 @@ func (s *Study) onStart(ev scheduler.StartEvent, now simulation.Time) {
 			s.onFinish(js)
 		}
 	})
-}
-
-func (s *Study) inRunning(js *jobState) bool {
-	for _, r := range s.running {
-		if r == js {
-			return true
-		}
-	}
-	return false
 }
 
 // onPreempt suspends a running episode; the scheduler has already requeued
@@ -533,12 +569,28 @@ func (s *Study) onMigrate(ev scheduler.MigrationEvent, now simulation.Time) {
 	})
 }
 
+// removeRunning drops the job from the running set in O(1) by tombstoning
+// its slot; the slice is compacted (order-preserving) once mostly dead.
 func (s *Study) removeRunning(js *jobState) {
-	for i, r := range s.running {
-		if r == js {
-			s.running = append(s.running[:i], s.running[i+1:]...)
-			return
+	if js.runIdx < 0 {
+		return
+	}
+	s.running[js.runIdx] = nil
+	js.runIdx = -1
+	s.runningLive--
+	if len(s.running) > 64 && s.runningLive*2 < len(s.running) {
+		live := s.running[:0]
+		for _, r := range s.running {
+			if r != nil {
+				r.runIdx = len(live)
+				live = append(live, r)
+			}
 		}
+		// Clear the tail so dropped jobs are not retained.
+		for i := len(live); i < len(s.running); i++ {
+			s.running[i] = nil
+		}
+		s.running = live
 	}
 }
 
@@ -605,13 +657,15 @@ func (s *Study) onFinish(js *jobState) {
 // treated as possibly transient and stay retryable).
 func (s *Study) isDeterministicReason(code string) bool { return s.detReason[code] }
 
-// classify routes failure attribution through the log pipeline.
+// classify routes failure attribution through the log pipeline. The log is
+// rendered into the generator's reuse buffer and classified in place — the
+// same text-mediated path, with no per-failure string materialization.
 func (s *Study) classify(reasonCode string, gpus int) string {
 	if !s.cfg.GenerateLogs {
 		return reasonCode
 	}
-	log := s.logGen.FailureLog(reasonCode, gpus, s.logRNG)
-	return s.clf.Classify(log)
+	log := s.logGen.FailureLogBytes(reasonCode, gpus, s.logRNG)
+	return s.clf.ClassifyBytes(log)
 }
 
 // finalize records the job's terminal state.
@@ -640,9 +694,20 @@ func (s *Study) finalize(js *jobState, now simulation.Time) {
 			res.EverColocated = true
 		}
 	}
-	res.MeanUtil = s.rec.JobUsageOf(js.sched.ID).MeanUtil()
+	if js.usage != nil {
+		res.MeanUtil = js.usage.MeanUtil()
+	} else {
+		res.MeanUtil = s.rec.JobUsageOf(js.sched.ID).MeanUtil()
+	}
 	if js.spec.LogsConvergence && res.Outcome != failures.Unsuccessful {
 		res.Convergence = s.convergence(js)
+	}
+	if s.jobObserver != nil {
+		s.jobObserver(js.idx, res)
+		// The observer has consumed the full record; release the
+		// variable-size parts so completed jobs stop holding memory.
+		res.Attempts = nil
+		res.Convergence = nil
 	}
 	s.pending--
 	if s.pending == 0 {
@@ -667,8 +732,9 @@ func (s *Study) convergence(js *jobState) *ConvergenceResult {
 	}
 	losses := curve.Losses
 	if s.cfg.GenerateLogs {
-		log := s.logGen.TrainingLog(curve.Losses, js.spec.GPUs, s.logRNG)
-		losses = joblog.ParseLossCurve(log)
+		log := s.logGen.TrainingLogBytes(curve.Losses, js.spec.GPUs, s.logRNG)
+		losses = joblog.ParseLossCurveBytes(log, s.lossScratch[:0])
+		s.lossScratch = losses
 	}
 	parsed := training.Curve{Losses: losses}
 	return &ConvergenceResult{
@@ -679,17 +745,21 @@ func (s *Study) convergence(js *jobState) *ConvergenceResult {
 }
 
 // sampleTelemetry records one per-minute observation of the whole cluster.
+// The walk is batched over flat state — the tombstoned running list for job
+// samples and the cluster's incrementally maintained per-server used-GPU
+// array for host samples — but draws every RNG sample in the same order as
+// the original per-object walk, so recorded telemetry is bit-identical.
 func (s *Study) sampleTelemetry(now simulation.Time) {
 	for _, js := range s.running {
-		if !js.running {
+		if js == nil || !js.running {
 			continue
 		}
-		s.rec.RecordJobMinute(js.meta, s.util.MinuteUtil(js.baseUtil, s.utilRNG))
+		if js.usage == nil {
+			js.usage = s.rec.EnsureJob(js.sched.ID)
+		}
+		s.rec.RecordJobMinuteInto(js.usage, js.meta, s.util.MinuteUtil(js.baseUtil, s.utilRNG))
 	}
-	for _, srv := range s.cluster.Servers() {
-		cpu, mem := s.host.Sample(srv.UsedGPUs(), len(srv.GPUs), s.hostRNG)
-		s.rec.RecordHostMinute(cpu, mem)
-	}
+	s.rec.RecordHostMinutes(s.host, s.cluster.UsedBySrv(), s.cluster.CapBySrv(), s.hostRNG)
 	s.occ = append(s.occ, OccupancySample{
 		At:           now,
 		Occupancy:    s.cluster.Occupancy(),

@@ -1,9 +1,5 @@
 package joblog
 
-import (
-	"strings"
-)
-
 // NoSignature is the classification returned when no rule matches a failed
 // job's log (Table 7's "No signature" row; 4.2% of failures in the paper).
 const NoSignature = "no_signature"
@@ -12,11 +8,12 @@ const NoSignature = "no_signature"
 // compiled signature rules. The zero value is not usable; call NewClassifier.
 type Classifier struct {
 	rules []Rule
+	m     *matcher
 }
 
 // NewClassifier builds a classifier over the full rule set.
 func NewClassifier() *Classifier {
-	return &Classifier{rules: compiledRules}
+	return &Classifier{rules: compiledRules, m: compiledMatcher}
 }
 
 // Classify scans the log and returns the reason code of the best-priority
@@ -24,17 +21,30 @@ func NewClassifier() *Classifier {
 // case-insensitive. Rules closer to the root cause (explicit signatures)
 // shadow implicit ones such as bare tracebacks, mirroring the paper's
 // "identifying signatures of failure reasons closer to the root cause".
+//
+// Rules are pre-sorted by (priority asc, pattern length desc), so the
+// winning rule is the best-priority, most-specific attribution. The scan is
+// a single Aho-Corasick pass over the log (see match.go); it returns exactly
+// what checking each rule in order with strings.Contains would.
 func (c *Classifier) Classify(log string) string {
 	if log == "" {
 		return NoSignature
 	}
-	lower := strings.ToLower(log)
-	// Rules are pre-sorted by (priority asc, pattern length desc), so the
-	// first match is the best-priority, most-specific attribution.
-	for _, r := range c.rules {
-		if strings.Contains(lower, r.Pattern) {
-			return r.Reason
-		}
+	if i := matchRules(c.rules, c.m, log); i >= 0 {
+		return c.rules[i].Reason
+	}
+	return NoSignature
+}
+
+// ClassifyBytes is Classify for a caller-owned byte buffer (e.g. the log
+// generator's render buffer), avoiding the string conversion on the
+// simulator's per-failure path. Semantics are identical to Classify.
+func (c *Classifier) ClassifyBytes(log []byte) string {
+	if len(log) == 0 {
+		return NoSignature
+	}
+	if i := matchRulesBytes(c.rules, c.m, log); i >= 0 {
+		return c.rules[i].Reason
 	}
 	return NoSignature
 }
@@ -51,11 +61,8 @@ func (c *Classifier) ClassifyAll(logs []string) map[string]int {
 // MatchingRule returns the rule that Classify would apply to the log, and
 // whether any rule matched; useful for classifier debugging and tests.
 func (c *Classifier) MatchingRule(log string) (Rule, bool) {
-	lower := strings.ToLower(log)
-	for _, r := range c.rules {
-		if strings.Contains(lower, r.Pattern) {
-			return r, true
-		}
+	if i := matchRules(c.rules, c.m, log); i >= 0 {
+		return c.rules[i], true
 	}
 	return Rule{}, false
 }

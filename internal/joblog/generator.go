@@ -1,8 +1,8 @@
 package joblog
 
 import (
-	"fmt"
-	"strings"
+	"bytes"
+	"strconv"
 
 	"philly/internal/stats"
 )
@@ -11,10 +11,19 @@ import (
 // production pipeline actually has to work with, so this reproduction
 // routes failure attribution (Table 7) and convergence analysis (Figure 8)
 // through generated text rather than through the simulator's ground truth.
+//
+// Rendering appends into a buffer the generator owns and reuses across
+// calls (a study generates one log per failed attempt plus one per
+// convergence curve — enough that per-line fmt.Sprintf allocations used to
+// show up in whole-study allocation profiles). The emitted bytes and the
+// RNG draw order are identical to the previous fmt-based renderer: every
+// numeric format below is the strconv call fmt itself would have made.
 type Generator struct {
 	// perReason maps a reason code to its candidate explicit signatures
 	// (each formatted into a full log line when emitted).
 	perReason map[string][]string
+	// buf is the reused render buffer; the returned log is a copy.
+	buf []byte
 }
 
 // NewGenerator builds a generator sharing the classifier's signature
@@ -34,30 +43,48 @@ var frameworks = []string{"tensorflow", "cntk", "caffe", "pytorch"}
 // Framework returns a deterministic pseudo-random framework name.
 func Framework(g *stats.RNG) string { return frameworks[g.IntN(len(frameworks))] }
 
-// preamble lines common to all jobs.
-func preamble(fw string, gpus int, g *stats.RNG) []string {
-	lines := []string{
-		fmt.Sprintf("[launcher] starting container, framework=%s requested_gpus=%d", fw, gpus),
-		"[launcher] mounting /hdfs/input and /hdfs/output",
-		fmt.Sprintf("[%s] session initialized, visible devices: %d", fw, gpus),
-	}
-	if gpus > 1 {
-		lines = append(lines, fmt.Sprintf("[%s] initializing %d workers for data-parallel training", fw, gpus))
-	}
-	if g.Bool(0.5) {
-		lines = append(lines, "[launcher] docker image pulled in 42s")
-	}
-	return lines
+// appendInt / appendFloat are the strconv equivalents of fmt's %d and %.Nf.
+func appendInt(b []byte, v int) []byte { return strconv.AppendInt(b, int64(v), 10) }
+func appendFloat(b []byte, v float64, prec int) []byte {
+	return strconv.AppendFloat(b, v, 'f', prec, 64)
 }
 
-// progressLines emits n benign per-iteration lines.
-func progressLines(fw string, n int, g *stats.RNG) []string {
-	lines := make([]string, 0, n)
-	for i := 0; i < n; i++ {
-		step := (i + 1) * 100
-		lines = append(lines, fmt.Sprintf("[%s] step %d: images/sec=%.1f", fw, step, 40+g.Float64()*200))
+// appendPreamble renders the lines common to all jobs.
+func appendPreamble(b []byte, fw string, gpus int, g *stats.RNG) []byte {
+	b = append(b, "[launcher] starting container, framework="...)
+	b = append(b, fw...)
+	b = append(b, " requested_gpus="...)
+	b = appendInt(b, gpus)
+	b = append(b, "\n[launcher] mounting /hdfs/input and /hdfs/output\n["...)
+	b = append(b, fw...)
+	b = append(b, "] session initialized, visible devices: "...)
+	b = appendInt(b, gpus)
+	b = append(b, '\n')
+	if gpus > 1 {
+		b = append(b, '[')
+		b = append(b, fw...)
+		b = append(b, "] initializing "...)
+		b = appendInt(b, gpus)
+		b = append(b, " workers for data-parallel training\n"...)
 	}
-	return lines
+	if g.Bool(0.5) {
+		b = append(b, "[launcher] docker image pulled in 42s\n"...)
+	}
+	return b
+}
+
+// appendProgress renders n benign per-iteration lines.
+func appendProgress(b []byte, fw string, n int, g *stats.RNG) []byte {
+	for i := 0; i < n; i++ {
+		b = append(b, '[')
+		b = append(b, fw...)
+		b = append(b, "] step "...)
+		b = appendInt(b, (i+1)*100)
+		b = append(b, ": images/sec="...)
+		b = appendFloat(b, 40+g.Float64()*200, 1)
+		b = append(b, '\n')
+	}
+	return b
 }
 
 // FailureLog renders a log for an attempt that failed with the given reason
@@ -67,49 +94,67 @@ func progressLines(fw string, n int, g *stats.RNG) []string {
 // *after* the explicit signature would normally appear — the classifier
 // must still attribute the root cause, as the paper's does.
 func (gen *Generator) FailureLog(reason string, gpus int, g *stats.RNG) string {
+	return string(gen.FailureLogBytes(reason, gpus, g))
+}
+
+// FailureLogBytes is FailureLog without the final string copy. The returned
+// slice aliases the generator's reuse buffer and is only valid until the
+// next render call; the simulator classifies it and moves on, which makes
+// the per-failure log round-trip allocation-free.
+func (gen *Generator) FailureLogBytes(reason string, gpus int, g *stats.RNG) []byte {
 	fw := Framework(g)
-	var b strings.Builder
-	write := func(lines ...string) {
-		for _, l := range lines {
-			b.WriteString(l)
-			b.WriteByte('\n')
-		}
-	}
-	write(preamble(fw, gpus, g)...)
-	write(progressLines(fw, 1+g.IntN(4), g)...)
+	b := gen.buf[:0]
+	b = appendPreamble(b, fw, gpus, g)
+	b = appendProgress(b, fw, 1+g.IntN(4), g)
 
 	sigs := gen.perReason[reason]
 	if len(sigs) == 0 || reason == NoSignature {
 		// Unattributable failure: the process just dies.
-		write(fmt.Sprintf("[%s] worker 0 exited with code %d", fw, 1+g.IntN(254)))
-		return b.String()
+		b = append(b, '[')
+		b = append(b, fw...)
+		b = append(b, "] worker 0 exited with code "...)
+		b = appendInt(b, 1+g.IntN(254))
+		b = append(b, '\n')
+		gen.buf = b
+		return b
 	}
 	sig := sigs[g.IntN(len(sigs))]
-	write(fmt.Sprintf("[%s] E %s", fw, decorateSignature(sig, g)))
+	b = append(b, '[')
+	b = append(b, fw...)
+	b = append(b, "] E "...)
+	b = appendSignature(b, sig, g)
+	b = append(b, '\n')
 	// Many user/engine errors surface a Python traceback as a consequence
 	// of the root cause; emit one so the classifier has to prefer the
 	// explicit signature over the implicit one.
 	if g.Bool(0.6) && reason != "traceback_from_crash" {
-		write("Traceback (most recent call last):",
-			fmt.Sprintf("  File \"train.py\", line %d, in <module>", 10+g.IntN(400)),
-			"    main()",
-			fmt.Sprintf("  File \"train.py\", line %d, in main", 10+g.IntN(400)),
-			"    run_epoch(sess, model)")
+		b = append(b, "Traceback (most recent call last):\n  File \"train.py\", line "...)
+		b = appendInt(b, 10+g.IntN(400))
+		b = append(b, ", in <module>\n    main()\n  File \"train.py\", line "...)
+		b = appendInt(b, 10+g.IntN(400))
+		b = append(b, ", in main\n    run_epoch(sess, model)\n"...)
 	}
-	write(fmt.Sprintf("[launcher] job attempt failed, exit code %d", 1+g.IntN(254)))
-	return b.String()
+	b = append(b, "[launcher] job attempt failed, exit code "...)
+	b = appendInt(b, 1+g.IntN(254))
+	b = append(b, '\n')
+	gen.buf = b
+	return b
 }
 
-// decorateSignature wraps a bare signature pattern in plausible context so
+// appendSignature wraps a bare signature pattern in plausible context so
 // logs are not literally just the rule strings.
-func decorateSignature(sig string, g *stats.RNG) string {
+func appendSignature(b []byte, sig string, g *stats.RNG) []byte {
 	switch g.IntN(3) {
 	case 0:
-		return sig
+		return append(b, sig...)
 	case 1:
-		return fmt.Sprintf("worker %d: %s", g.IntN(16), sig)
+		b = append(b, "worker "...)
+		b = appendInt(b, g.IntN(16))
+		b = append(b, ": "...)
+		return append(b, sig...)
 	default:
-		return fmt.Sprintf("%s (see attempt logs for details)", sig)
+		b = append(b, sig...)
+		return append(b, " (see attempt logs for details)"...)
 	}
 }
 
@@ -117,39 +162,120 @@ func decorateSignature(sig string, g *stats.RNG) string {
 // per-epoch loss values — the convergence information Figure 8 parses.
 // losses[i] is the loss after epoch i+1.
 func (gen *Generator) TrainingLog(losses []float64, gpus int, g *stats.RNG) string {
+	return string(gen.TrainingLogBytes(losses, gpus, g))
+}
+
+// TrainingLogBytes is TrainingLog without the final string copy; the result
+// aliases the generator's reuse buffer until the next render call.
+func (gen *Generator) TrainingLogBytes(losses []float64, gpus int, g *stats.RNG) []byte {
 	fw := Framework(g)
-	var b strings.Builder
-	for _, l := range preamble(fw, gpus, g) {
-		b.WriteString(l)
-		b.WriteByte('\n')
-	}
+	b := appendPreamble(gen.buf[:0], fw, gpus, g)
 	for i, loss := range losses {
-		fmt.Fprintf(&b, "[%s] Epoch %d/%d finished: loss=%.9f\n", fw, i+1, len(losses), loss)
+		b = append(b, '[')
+		b = append(b, fw...)
+		b = append(b, "] Epoch "...)
+		b = appendInt(b, i+1)
+		b = append(b, '/')
+		b = appendInt(b, len(losses))
+		b = append(b, " finished: loss="...)
+		b = appendFloat(b, loss, 9)
+		b = append(b, '\n')
 		if g.Bool(0.2) {
-			fmt.Fprintf(&b, "[%s] validation accuracy: %.4f\n", fw, 0.5+0.5*float64(i+1)/float64(len(losses)+1))
+			b = append(b, '[')
+			b = append(b, fw...)
+			b = append(b, "] validation accuracy: "...)
+			b = appendFloat(b, 0.5+0.5*float64(i+1)/float64(len(losses)+1), 4)
+			b = append(b, '\n')
 		}
 	}
-	b.WriteString("[launcher] job attempt finished\n")
-	return b.String()
+	b = append(b, "[launcher] job attempt finished\n"...)
+	gen.buf = b
+	return b
 }
 
 // ParseLossCurve extracts per-epoch losses from a training log produced by
 // TrainingLog (or any log with "Epoch k/n ... loss=v" lines). It returns
-// losses in epoch order; missing epochs simply do not appear.
+// losses in epoch order; missing epochs simply do not appear. Parsing walks
+// the log in place — no line splitting, no fmt scanner state — taking after
+// "loss=" the longest run of float-syntax characters, as Sscanf's token
+// scanner did.
 func ParseLossCurve(log string) []float64 {
-	var losses []float64
-	for _, line := range strings.Split(log, "\n") {
-		idx := strings.Index(line, "loss=")
-		if idx < 0 {
-			continue
+	return ParseLossCurveBytes([]byte(log), nil)
+}
+
+// ParseLossCurveBytes is ParseLossCurve over a byte buffer, appending into
+// dst (which may be nil or a reused slice re-sliced to zero length).
+func ParseLossCurveBytes(log []byte, dst []float64) []float64 {
+	losses := dst
+	for start := 0; start < len(log); {
+		end := bytes.IndexByte(log[start:], '\n')
+		var line []byte
+		if end < 0 {
+			line = log[start:]
+			start = len(log)
+		} else {
+			line = log[start : start+end]
+			start += end + 1
 		}
-		if !strings.Contains(line, "Epoch ") {
-			continue
-		}
-		var v float64
-		if _, err := fmt.Sscanf(line[idx:], "loss=%f", &v); err == nil {
+		// The line fragments below are pure ASCII views; unsafe-free string
+		// conversion is avoided by a dedicated byte-wise parse.
+		if v, ok := parseLossLineBytes(line); ok {
 			losses = append(losses, v)
 		}
 	}
 	return losses
 }
+
+// parseLossLineBytes extracts the loss from one "Epoch k/n ... loss=v"
+// line, taking after "loss=" the longest syntactically valid decimal float
+// prefix — like the Sscanf %f scanner it replaced, trailing junk after a
+// valid float ("loss=0.5-resumed") truncates rather than invalidates.
+func parseLossLineBytes(line []byte) (float64, bool) {
+	idx := bytes.Index(line, lossPrefix)
+	if idx < 0 || !bytes.Contains(line, epochMark) {
+		return 0, false
+	}
+	tok := line[idx+len(lossPrefix):]
+	v, err := strconv.ParseFloat(string(tok[:floatTokenLen(tok)]), 64)
+	return v, err == nil
+}
+
+// floatTokenLen returns the length of the longest prefix of tok that is a
+// valid decimal float: [sign] digits [. digits] [e|E [sign] digits].
+func floatTokenLen(tok []byte) int {
+	i, n := 0, len(tok)
+	if i < n && (tok[i] == '+' || tok[i] == '-') {
+		i++
+	}
+	digits := false
+	for i < n && tok[i] >= '0' && tok[i] <= '9' {
+		i++
+		digits = true
+	}
+	if i < n && tok[i] == '.' {
+		i++
+		for i < n && tok[i] >= '0' && tok[i] <= '9' {
+			i++
+			digits = true
+		}
+	}
+	if digits && i < n && (tok[i] == 'e' || tok[i] == 'E') {
+		j := i + 1
+		if j < n && (tok[j] == '+' || tok[j] == '-') {
+			j++
+		}
+		k := j
+		for k < n && tok[k] >= '0' && tok[k] <= '9' {
+			k++
+		}
+		if k > j { // exponent counts only when it has digits
+			i = k
+		}
+	}
+	return i
+}
+
+var (
+	lossPrefix = []byte("loss=")
+	epochMark  = []byte("Epoch ")
+)

@@ -1,0 +1,185 @@
+package joblog
+
+// Single-pass signature matching. The classifier's rule set is a few hundred
+// case-insensitive substring patterns, and a failure log is scanned for every
+// one of them on each Classify call. Doing that with strings.Contains per
+// rule made Classify the hottest function in whole-study CPU profiles
+// (~30% of simulation time). This file compiles the rule set into an
+// Aho-Corasick automaton once, so Classify scans the log exactly once
+// regardless of rule count.
+//
+// Semantics are identical to the sequential scan: Classify must return the
+// first rule in compiled order (priority asc, pattern length desc, lex) that
+// occurs anywhere in the lowercased log. The automaton reports every rule
+// that matches; taking the minimum compiled-order index reproduces the
+// sequential answer exactly.
+//
+// Case folding: patterns are ASCII, and the generator emits ASCII logs, so
+// the automaton folds A-Z to a-z on the fly. strings.ToLower, which the
+// sequential path used, additionally folds non-ASCII runes (e.g. the Kelvin
+// sign U+212A lowercases to 'k'); to keep behavior bit-identical for
+// arbitrary inputs, any log containing a non-ASCII byte falls back to the
+// sequential scan.
+
+import (
+	"strings"
+	"unicode/utf8"
+)
+
+// noRule marks "no rule matched" in automaton outputs.
+const noRule = int32(1 << 30)
+
+// matcher is an Aho-Corasick automaton over the compiled rule patterns,
+// flattened into a dense transition table over the reduced alphabet of bytes
+// that actually occur in patterns.
+type matcher struct {
+	// byteSym maps an input byte (already ASCII-lowercased) to a symbol in
+	// [0, numSyms); bytes not present in any pattern map to symbol 0.
+	byteSym [256]uint8
+	numSyms int
+	// next is the full goto function: next[state*numSyms + sym]. Fail links
+	// are pre-resolved into it, so matching is one lookup per input byte.
+	next []int32
+	// minRule[state] is the smallest compiled-rule index whose pattern ends
+	// at this state or at any state on its fail chain, or noRule.
+	minRule []int32
+}
+
+// compiledMatcher is built once alongside compiledRules.
+var compiledMatcher = newMatcher(compiledRules)
+
+// newMatcher builds the automaton for the given rules (patterns must be
+// lowercase ASCII).
+func newMatcher(rules []Rule) *matcher {
+	m := &matcher{}
+	// Reduced alphabet: symbol 0 is "byte absent from every pattern".
+	seen := [256]bool{}
+	for _, r := range rules {
+		for i := 0; i < len(r.Pattern); i++ {
+			seen[r.Pattern[i]] = true
+		}
+	}
+	m.numSyms = 1
+	for b := 0; b < 256; b++ {
+		if seen[b] {
+			m.byteSym[b] = uint8(m.numSyms)
+			m.numSyms++
+		}
+	}
+
+	// Trie construction over symbols.
+	type node struct {
+		children map[uint8]int32
+		fail     int32
+		minRule  int32
+	}
+	nodes := []node{{children: map[uint8]int32{}, minRule: noRule}}
+	for ri, r := range rules {
+		cur := int32(0)
+		for i := 0; i < len(r.Pattern); i++ {
+			sym := m.byteSym[r.Pattern[i]]
+			nxt, ok := nodes[cur].children[sym]
+			if !ok {
+				nxt = int32(len(nodes))
+				nodes = append(nodes, node{children: map[uint8]int32{}, minRule: noRule})
+				nodes[cur].children[sym] = nxt
+			}
+			cur = nxt
+		}
+		if int32(ri) < nodes[cur].minRule {
+			nodes[cur].minRule = int32(ri)
+		}
+	}
+
+	// BFS: compute fail links, merge fail-chain outputs, and flatten the
+	// goto function into a dense table with fails resolved.
+	m.next = make([]int32, len(nodes)*m.numSyms)
+	m.minRule = make([]int32, len(nodes))
+	queue := make([]int32, 0, len(nodes))
+	for sym := uint8(0); int(sym) < m.numSyms; sym++ {
+		if c, ok := nodes[0].children[sym]; ok {
+			nodes[c].fail = 0
+			m.next[int(sym)] = c
+			queue = append(queue, c)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		fail := nodes[cur].fail
+		if nodes[fail].minRule < nodes[cur].minRule {
+			nodes[cur].minRule = nodes[fail].minRule
+		}
+		base := int(cur) * m.numSyms
+		failBase := int(fail) * m.numSyms
+		for sym := 0; sym < m.numSyms; sym++ {
+			if c, ok := nodes[cur].children[uint8(sym)]; ok {
+				nodes[c].fail = m.next[failBase+sym]
+				m.next[base+sym] = c
+				queue = append(queue, c)
+			} else {
+				m.next[base+sym] = m.next[failBase+sym]
+			}
+		}
+	}
+	for i := range nodes {
+		m.minRule[i] = nodes[i].minRule
+	}
+	return m
+}
+
+// matchBytes scans the log once and returns the smallest compiled-rule
+// index that occurs in it, or -1 when no rule matches, or -2 when the log
+// contains a non-ASCII byte and the caller must use the sequential
+// Unicode-aware path. It works on bytes so the hot path — classifying the
+// generator's render buffer — never pays a string conversion; the string
+// API converts once (a cold path used by tests and external callers).
+func (m *matcher) matchBytes(log []byte) int32 {
+	best := noRule
+	state := int32(0)
+	syms := int32(m.numSyms)
+	next, minRule := m.next, m.minRule
+	for i := 0; i < len(log); i++ {
+		c := log[i]
+		if c >= utf8.RuneSelf {
+			return -2
+		}
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		state = next[state*syms+int32(m.byteSym[c])]
+		if r := minRule[state]; r < best {
+			best = r
+		}
+	}
+	if best == noRule {
+		return -1
+	}
+	return best
+}
+
+// matchSlow is the sequential scan the automaton replaced, kept for
+// non-ASCII inputs where Unicode case folding can differ.
+func matchSlow(rules []Rule, log string) int32 {
+	lower := strings.ToLower(log)
+	for i, r := range rules {
+		if strings.Contains(lower, r.Pattern) {
+			return int32(i)
+		}
+	}
+	return -1
+}
+
+// matchRulesBytes resolves a log to a compiled-rule index (-1 for no match)
+// with semantics identical to scanning rules in order with strings.Contains
+// over strings.ToLower(log).
+func matchRulesBytes(rules []Rule, m *matcher, log []byte) int32 {
+	if r := m.matchBytes(log); r != -2 {
+		return r
+	}
+	return matchSlow(rules, string(log))
+}
+
+// matchRules is matchRulesBytes for a string log.
+func matchRules(rules []Rule, m *matcher, log string) int32 {
+	return matchRulesBytes(rules, m, []byte(log))
+}

@@ -1,0 +1,73 @@
+package joblog
+
+import (
+	"strings"
+	"testing"
+
+	"philly/internal/stats"
+)
+
+// sequentialMatch is the reference implementation the automaton must
+// reproduce exactly.
+func sequentialMatch(rules []Rule, log string) int32 {
+	lower := strings.ToLower(log)
+	for i, r := range rules {
+		if strings.Contains(lower, r.Pattern) {
+			return int32(i)
+		}
+	}
+	return -1
+}
+
+// TestMatcherEquivalentToSequentialScan drives both implementations over
+// generated failure and training logs for every reason code, plus adversarial
+// corner cases, and requires identical rule attribution.
+func TestMatcherEquivalentToSequentialScan(t *testing.T) {
+	g := NewGenerator()
+	rng := stats.NewRNG(99)
+	var logs []string
+	for _, r := range Rules() {
+		for _, gpus := range []int{1, 8} {
+			logs = append(logs, g.FailureLog(r.Reason, gpus, rng))
+		}
+	}
+	logs = append(logs,
+		"",
+		"clean run, nothing to see",
+		"CUDA OUT OF MEMORY", // case folding
+		"cuda out of memor",  // near miss
+		"prefix cuda error: out of memorycuda out of memory suffix", // overlapping
+		strings.Repeat("x", 4096)+"traceback (most recent call last)",
+		"typeerror: raised then cuda out of memory", // two matches, priority pick
+		"Killed process", "KILLED PROCESS 1234",
+	)
+	for _, l := range logs {
+		want := sequentialMatch(compiledRules, l)
+		got := matchRules(compiledRules, compiledMatcher, l)
+		if got != want {
+			t.Fatalf("match mismatch on %q: automaton %d, sequential %d", truncate(l), got, want)
+		}
+	}
+}
+
+// TestMatcherNonASCIIFallsBack pins the Unicode-compatibility path: the
+// Kelvin sign lowercases to 'k' under strings.ToLower, which the byte
+// automaton cannot see; matchRules must agree with the sequential scan.
+func TestMatcherNonASCIIFallsBack(t *testing.T) {
+	log := "Killed process" // ToLower -> "killed process" (cpu_oom)
+	want := sequentialMatch(compiledRules, log)
+	got := matchRules(compiledRules, compiledMatcher, log)
+	if got != want {
+		t.Fatalf("non-ASCII log: automaton %d, sequential %d", got, want)
+	}
+	if want < 0 || compiledRules[want].Reason != "cpu_oom" {
+		t.Fatalf("expected kelvin-sign log to classify as cpu_oom, got rule %d", want)
+	}
+}
+
+func truncate(s string) string {
+	if len(s) > 80 {
+		return s[:80] + "..."
+	}
+	return s
+}

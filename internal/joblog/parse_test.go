@@ -1,0 +1,37 @@
+package joblog
+
+import (
+	"math"
+	"testing"
+)
+
+// TestParseLossCurveTokenEdges pins the float-token scanner against the
+// Sscanf-style behavior it replaced: a valid float followed by junk parses
+// to the leading float instead of being dropped.
+func TestParseLossCurveTokenEdges(t *testing.T) {
+	cases := []struct {
+		line string
+		want []float64
+	}{
+		{"[tf] Epoch 3/10 finished: loss=0.5-resumed", []float64{0.5}},
+		{"[tf] Epoch 3/10 finished: loss=0.5.3", []float64{0.5}},
+		{"[tf] Epoch 3/10 finished: loss=1e-3", []float64{0.001}},
+		{"[tf] Epoch 3/10 finished: loss=2.5e", []float64{2.5}}, // bare 'e', no exponent digits
+		{"[tf] Epoch 3/10 finished: loss=-0.25", []float64{-0.25}},
+		{"[tf] Epoch 3/10 finished: loss=abc", nil},
+		{"[tf] Epoch 3/10 finished: loss=", nil},
+		{"[tf] Epoch 3/10 finished: loss=.75", []float64{0.75}},
+	}
+	for _, c := range cases {
+		got := ParseLossCurve(c.line)
+		if len(got) != len(c.want) {
+			t.Errorf("%q: parsed %v, want %v", c.line, got, c.want)
+			continue
+		}
+		for i := range got {
+			if math.Abs(got[i]-c.want[i]) > 1e-12 {
+				t.Errorf("%q: parsed %v, want %v", c.line, got, c.want)
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package scheduler
+
+import (
+	"fmt"
+	"testing"
+
+	"philly/internal/cluster"
+	"philly/internal/simulation"
+)
+
+// allocTestSetup builds a full cluster with one queued job that cannot be
+// placed, so every Pump exercises the ordering, placement-search, and
+// back-off paths without starting anything.
+func allocTestSetup(t *testing.T, policy Policy) *Scheduler {
+	t.Helper()
+	cl := cluster.MustNew(cluster.Config{Racks: []cluster.RackConfig{
+		{Servers: 4, SKU: cluster.SKU8GPU},
+		{Servers: 4, SKU: cluster.SKU8GPU},
+	}})
+	cfg := DefaultConfig()
+	cfg.Policy = policy
+	// Keep the preemptive policies from rotating jobs (a legitimate start
+	// allocates its placement); this guard measures the no-placement path.
+	cfg.PreemptMinRun = 1 << 40
+	s, err := New(cfg, cl, []VC{{Name: "vc1", Quota: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the cluster with 8-GPU gangs so later jobs block on placement.
+	for i := 0; i < 8; i++ {
+		j := NewJob(cluster.JobID(i+1), "vc1", 8, 0)
+		if err := s.Submit(j, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if res := s.Pump(0); len(res.Starts) != 8 {
+		t.Fatalf("expected 8 starts filling the cluster, got %d", len(res.Starts))
+	}
+	// The blocked job: no free GPUs anywhere.
+	blocked := NewJob(100, "vc1", 8, 0)
+	if err := s.Submit(blocked, 0); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestPumpCycleAllocations guards the scheduler's hot path: a Pump cycle
+// that places nothing — the overwhelmingly common case while jobs wait out
+// their back-off — must not allocate. This pins the PR 2 optimizations
+// (cached queue ordering instead of per-call copy+sort, bucket-indexed
+// placement search instead of per-attempt sorting, reused preemption and
+// event buffers); reintroducing a per-Pump allocation fails here.
+func TestPumpCycleAllocations(t *testing.T) {
+	for _, policy := range []Policy{PolicyPhilly, PolicyFIFO, PolicySRTF, PolicyTiresias} {
+		t.Run(fmt.Sprint(policy), func(t *testing.T) {
+			s := allocTestSetup(t, policy)
+			now := int64(1)
+			avg := testing.AllocsPerRun(200, func() {
+				// Advance past the back-off each round so the blocked job
+				// genuinely attempts (and fails) placement every Pump.
+				now += int64(s.cfg.Backoff) + 1
+				s.Pump(simulation.Time(now))
+			})
+			if avg > 0.05 {
+				t.Errorf("policy %v: blocked Pump cycle allocates %.2f/op, want 0", policy, avg)
+			}
+		})
+	}
+}
+
+// TestIdlePumpAllocations: pumping with nothing queued must be free.
+func TestIdlePumpAllocations(t *testing.T) {
+	cl := cluster.MustNew(cluster.Config{Racks: []cluster.RackConfig{{Servers: 2, SKU: cluster.SKU8GPU}}})
+	s, err := New(DefaultConfig(), cl, []VC{{Name: "vc1", Quota: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := int64(0)
+	avg := testing.AllocsPerRun(200, func() {
+		now++
+		s.Pump(simulation.Time(now))
+	})
+	if avg > 0.05 {
+		t.Errorf("idle Pump allocates %.2f/op, want 0", avg)
+	}
+}

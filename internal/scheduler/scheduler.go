@@ -270,6 +270,47 @@ type vcState struct {
 	queue   []*Job
 	running map[cluster.JobID]*Job
 	used    int
+
+	// ordered is the policy-ordered snapshot of queue that orderQueue hands
+	// out, reused across calls. orderedValid marks it current: scheduling
+	// keys are frozen while a Pump runs (queued jobs' remaining work and
+	// attained service only change between Pumps), so the snapshot stays
+	// valid until queue membership changes or the Pump ends.
+	ordered      []*Job
+	orderedValid bool
+	// sorter is the preallocated sort.Interface adapter for the policies
+	// that order by a dynamic key (SRTF, Tiresias).
+	sorter queueSorter
+}
+
+// invalidateOrder discards the cached queue ordering.
+func (vc *vcState) invalidateOrder() { vc.orderedValid = false }
+
+// queueSorter sorts a job slice by the configured policy's key. It lives on
+// vcState so sort.Stable receives an already-heap-allocated interface value
+// — the former sort.SliceStable closures allocated on every Pump.
+type queueSorter struct {
+	jobs   []*Job
+	now    simulation.Time
+	policy Policy
+}
+
+func (q *queueSorter) Len() int      { return len(q.jobs) }
+func (q *queueSorter) Swap(i, k int) { q.jobs[i], q.jobs[k] = q.jobs[k], q.jobs[i] }
+func (q *queueSorter) Less(i, k int) bool {
+	a, b := q.jobs[i], q.jobs[k]
+	switch q.policy {
+	case PolicySRTF:
+		if a.RemainingSeconds != b.RemainingSeconds {
+			return a.RemainingSeconds < b.RemainingSeconds
+		}
+	case PolicyTiresias:
+		ai, ak := a.AttainedGPUSeconds(q.now), b.AttainedGPUSeconds(q.now)
+		if ai != ak {
+			return ai < ak
+		}
+	}
+	return a.SubmitAt < b.SubmitAt
 }
 
 // Stats are cluster-wide scheduling counters.
@@ -318,7 +359,10 @@ type PreemptEvent struct {
 	Seq int
 }
 
-// PumpResult is everything that happened during one Pump.
+// PumpResult is everything that happened during one Pump. The event slices
+// are backed by scheduler-owned buffers reused across Pumps: a result is
+// valid until the next Pump call, which is the contract the single-threaded
+// driver relies on (it fully consumes each result before pumping again).
 type PumpResult struct {
 	Starts      []StartEvent
 	Preemptions []PreemptEvent
@@ -342,7 +386,41 @@ type Scheduler struct {
 	cluster *cluster.Cluster
 	vcs     map[string]*vcState
 	vcOrder []string
-	stats   Stats
+	// vcList holds the VCs in vcOrder, resolved once: the scheduling loops
+	// run on every Pump and previously paid a string-map lookup per VC.
+	vcList []*vcState
+	stats  Stats
+
+	// candScratch and victimScratch are reused preemption-search buffers;
+	// candSorter and idSorter are the preallocated sort adapters over
+	// candScratch.
+	candScratch   []*Job
+	victimScratch []victimRef
+	candSorter    candidateSorter
+	idSorter      jobIDSorter
+	// startsBuf and preemptBuf back PumpResult's event slices across Pumps.
+	startsBuf  []StartEvent
+	preemptBuf []PreemptEvent
+}
+
+// victimRef pairs a preemption victim with its VC.
+type victimRef struct {
+	vc *vcState
+	j  *Job
+}
+
+// candidateSorter orders preemption candidates youngest-episode-first
+// (StartedAt descending, ties by ID ascending) — the same total order the
+// former per-call sort.Slice closure produced.
+type candidateSorter struct{ jobs []*Job }
+
+func (c *candidateSorter) Len() int      { return len(c.jobs) }
+func (c *candidateSorter) Swap(i, k int) { c.jobs[i], c.jobs[k] = c.jobs[k], c.jobs[i] }
+func (c *candidateSorter) Less(i, k int) bool {
+	if c.jobs[i].StartedAt != c.jobs[k].StartedAt {
+		return c.jobs[i].StartedAt > c.jobs[k].StartedAt
+	}
+	return c.jobs[i].ID < c.jobs[k].ID
 }
 
 // New builds a scheduler over the cluster with the given virtual clusters.
@@ -368,6 +446,9 @@ func New(cfg Config, cl *cluster.Cluster, vcs []VC) (*Scheduler, error) {
 		s.vcOrder = append(s.vcOrder, vc.Name)
 	}
 	sort.Strings(s.vcOrder)
+	for _, name := range s.vcOrder {
+		s.vcList = append(s.vcList, s.vcs[name])
+	}
 	return s, nil
 }
 
@@ -418,13 +499,13 @@ func (s *Scheduler) Submit(j *Job, now simulation.Time) error {
 	j.Attempts = 0
 	j.Episodes++
 	vc.queue = append(vc.queue, j)
+	vc.invalidateOrder()
 	return nil
 }
 
 // Release frees a running job's GPUs (episode finished).
 func (s *Scheduler) Release(id cluster.JobID, now simulation.Time) error {
-	for _, name := range s.vcOrder {
-		vc := s.vcs[name]
+	for _, vc := range s.vcList {
 		if j, ok := vc.running[id]; ok {
 			return s.release(vc, j, now)
 		}
@@ -462,35 +543,41 @@ func (s *Scheduler) localityFor(j *Job) cluster.Locality {
 	}
 }
 
-// orderQueue returns the VC's queue in the policy's scheduling order.
+// orderQueue returns the VC's queue in the policy's scheduling order. The
+// returned slice is a cached snapshot owned by the VC: it is rebuilt only
+// when queue membership changed since the last call (or a new Pump began),
+// not on every scheduling pass. Queued jobs' ordering keys cannot change
+// while a Pump runs — remaining work and attained service are updated by
+// the driver between Pumps, and a queued job accrues no service — so a
+// membership-stable snapshot is identical to a fresh re-sort. Stable sort
+// on an identical comparator yields a unique order, so the cached snapshot
+// is bit-for-bit what the former per-call sort.SliceStable produced.
 func (s *Scheduler) orderQueue(vc *vcState, now simulation.Time) []*Job {
-	q := append([]*Job(nil), vc.queue...)
+	if vc.orderedValid {
+		return vc.ordered
+	}
+	vc.ordered = append(vc.ordered[:0], vc.queue...)
 	switch s.cfg.Policy {
-	case PolicySRTF:
-		sort.SliceStable(q, func(i, k int) bool {
-			if q[i].RemainingSeconds != q[k].RemainingSeconds {
-				return q[i].RemainingSeconds < q[k].RemainingSeconds
-			}
-			return q[i].SubmitAt < q[k].SubmitAt
-		})
-	case PolicyTiresias:
-		sort.SliceStable(q, func(i, k int) bool {
-			ai, ak := q[i].AttainedGPUSeconds(now), q[k].AttainedGPUSeconds(now)
-			if ai != ak {
-				return ai < ak
-			}
-			return q[i].SubmitAt < q[k].SubmitAt
-		})
+	case PolicySRTF, PolicyTiresias:
+		vc.sorter = queueSorter{jobs: vc.ordered, now: now, policy: s.cfg.Policy}
+		sort.Stable(&vc.sorter)
 	default:
 		// Arrival order (queue is already FIFO).
 	}
-	return q
+	vc.orderedValid = true
+	return vc.ordered
 }
 
 // Pump runs scheduling to a fixpoint at the current time. Core calls it on
 // job arrival, job completion, and at NextWake times.
 func (s *Scheduler) Pump(now simulation.Time) PumpResult {
-	var res PumpResult
+	// Queued jobs' ordering keys may have been updated by the driver since
+	// the previous Pump (e.g. remaining-work estimates after a preemption),
+	// so cached queue orderings are stale at entry.
+	for _, vc := range s.vcList {
+		vc.invalidateOrder()
+	}
+	res := PumpResult{Starts: s.startsBuf[:0], Preemptions: s.preemptBuf[:0]}
 	for {
 		started := s.pumpOnce(now, &res)
 		if !started {
@@ -504,21 +591,23 @@ func (s *Scheduler) Pump(now simulation.Time) PumpResult {
 		s.fairSharePreempt(now, &res)
 	}
 	// Compute the next wake-up among blocked queued jobs.
-	for _, name := range s.vcOrder {
-		for _, j := range s.vcs[name].queue {
+	for _, vc := range s.vcList {
+		for _, j := range vc.queue {
 			if j.NextAttempt > now && (res.NextWake == 0 || j.NextAttempt < res.NextWake) {
 				res.NextWake = j.NextAttempt
 			}
 		}
 	}
+	// Keep any growth of the event buffers for the next Pump.
+	s.startsBuf = res.Starts[:0]
+	s.preemptBuf = res.Preemptions[:0]
 	return res
 }
 
 // pumpOnce makes one pass over all queues; returns whether any job started.
 func (s *Scheduler) pumpOnce(now simulation.Time, res *PumpResult) bool {
 	any := false
-	for _, name := range s.vcOrder {
-		vc := s.vcs[name]
+	for _, vc := range s.vcList {
 		for _, j := range s.orderQueue(vc, now) {
 			if j.State != StateQueued || j.NextAttempt > now {
 				if s.cfg.Policy == PolicyFIFO {
@@ -613,6 +702,7 @@ func (s *Scheduler) dequeue(vc *vcState, id cluster.JobID) {
 	for i, q := range vc.queue {
 		if q.ID == id {
 			vc.queue = append(vc.queue[:i], vc.queue[i+1:]...)
+			vc.invalidateOrder()
 			return
 		}
 	}
@@ -630,6 +720,7 @@ func (s *Scheduler) preempt(vc *vcState, victim *Job, now simulation.Time, fairS
 	victim.Attempts = 0
 	victim.Episodes++
 	vc.queue = append(vc.queue, victim)
+	vc.invalidateOrder()
 	if fairShare {
 		s.stats.FairSharePreemptions++
 	} else {
@@ -644,8 +735,7 @@ func (s *Scheduler) preempt(vc *vcState, victim *Job, now simulation.Time, fairS
 // full, entitled jobs (within quota) reclaim GPUs from VCs running over
 // quota.
 func (s *Scheduler) fairSharePreempt(now simulation.Time, res *PumpResult) {
-	for _, name := range s.vcOrder {
-		vc := s.vcs[name]
+	for _, vc := range s.vcList {
 		// Find the first entitled queued job that is actually waiting.
 		var entitled *Job
 		for _, j := range s.orderQueue(vc, now) {
@@ -659,27 +749,19 @@ func (s *Scheduler) fairSharePreempt(now simulation.Time, res *PumpResult) {
 		}
 		// Gather victims from over-quota VCs, youngest episodes first
 		// (least progress lost to the checkpoint restore).
-		type victimRef struct {
-			vc *vcState
-			j  *Job
-		}
-		var victims []victimRef
+		victims := s.victimScratch[:0]
 		freed := s.cluster.FreeGPUs()
-		for _, vn := range s.vcOrder {
-			ovc := s.vcs[vn]
+		for _, ovc := range s.vcList {
 			if ovc.used <= ovc.Quota {
 				continue
 			}
-			var candidates []*Job
+			candidates := s.candScratch[:0]
 			for _, r := range ovc.running {
 				candidates = append(candidates, r)
 			}
-			sort.Slice(candidates, func(i, k int) bool {
-				if candidates[i].StartedAt != candidates[k].StartedAt {
-					return candidates[i].StartedAt > candidates[k].StartedAt
-				}
-				return candidates[i].ID < candidates[k].ID
-			})
+			s.candScratch = candidates
+			s.candSorter.jobs = candidates
+			sort.Sort(&s.candSorter)
 			overBy := ovc.used - ovc.Quota
 			for _, c := range candidates {
 				if freed >= entitled.GPUs || overBy <= 0 {
@@ -693,6 +775,7 @@ func (s *Scheduler) fairSharePreempt(now simulation.Time, res *PumpResult) {
 				break
 			}
 		}
+		s.victimScratch = victims[:0]
 		if freed < entitled.GPUs || len(victims) == 0 {
 			continue
 		}
@@ -709,8 +792,7 @@ func (s *Scheduler) fairSharePreempt(now simulation.Time, res *PumpResult) {
 // policyPreempt implements the preemptive disciplines of the baseline
 // policies (SRTF / Tiresias / Gandiva).
 func (s *Scheduler) policyPreempt(now simulation.Time, res *PumpResult) {
-	for _, name := range s.vcOrder {
-		vc := s.vcs[name]
+	for _, vc := range s.vcList {
 		for _, waiting := range s.orderQueue(vc, now) {
 			// Preemptive disciplines act regardless of the waiting job's
 			// placement back-off: rotation/priority decisions are about the
@@ -734,7 +816,7 @@ func (s *Scheduler) policyPreempt(now simulation.Time, res *PumpResult) {
 // waiting, per the policy's discipline. Returns nil when no preemption is
 // warranted.
 func (s *Scheduler) pickVictim(vc *vcState, waiting *Job, now simulation.Time) *Job {
-	var candidates []*Job
+	candidates := s.candScratch[:0]
 	for _, r := range vc.running {
 		if now-r.StartedAt < s.cfg.PreemptMinRun {
 			continue
@@ -744,10 +826,12 @@ func (s *Scheduler) pickVictim(vc *vcState, waiting *Job, now simulation.Time) *
 		}
 		candidates = append(candidates, r)
 	}
+	s.candScratch = candidates
 	if len(candidates) == 0 {
 		return nil
 	}
-	sort.Slice(candidates, func(i, k int) bool { return candidates[i].ID < candidates[k].ID })
+	s.idSorter.jobs = candidates
+	sort.Sort(&s.idSorter)
 	switch s.cfg.Policy {
 	case PolicySRTF:
 		// Preempt the job with the most remaining work, if the waiting job
@@ -790,11 +874,19 @@ func (s *Scheduler) pickVictim(vc *vcState, waiting *Job, now simulation.Time) *
 	return nil
 }
 
+// jobIDSorter orders jobs by ascending ID. IDs are unique, so the result
+// is the same total order any sort produces.
+type jobIDSorter struct{ jobs []*Job }
+
+func (s *jobIDSorter) Len() int           { return len(s.jobs) }
+func (s *jobIDSorter) Swap(i, k int)      { s.jobs[i], s.jobs[k] = s.jobs[k], s.jobs[i] }
+func (s *jobIDSorter) Less(i, k int) bool { return s.jobs[i].ID < s.jobs[k].ID }
+
 // RunningJobs returns all running jobs, ordered by ID (deterministic).
 func (s *Scheduler) RunningJobs() []*Job {
 	var out []*Job
-	for _, name := range s.vcOrder {
-		for _, j := range s.vcs[name].running {
+	for _, vc := range s.vcList {
+		for _, j := range vc.running {
 			out = append(out, j)
 		}
 	}
@@ -805,8 +897,8 @@ func (s *Scheduler) RunningJobs() []*Job {
 // QueuedJobs returns all queued jobs, ordered by ID.
 func (s *Scheduler) QueuedJobs() []*Job {
 	var out []*Job
-	for _, name := range s.vcOrder {
-		out = append(out, s.vcs[name].queue...)
+	for _, vc := range s.vcList {
+		out = append(out, vc.queue...)
 	}
 	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
 	return out

@@ -1,0 +1,55 @@
+package simulation
+
+import "testing"
+
+// TestSchedulingAllocations guards the engine's hot path: scheduling and
+// draining events must not allocate per event. The event heap is value-typed
+// — only amortized slice growth is allowed, which the warm-up below absorbs.
+// This pins the PR 2 optimization that removed the per-At *event boxing;
+// reintroducing container/heap (or any per-event allocation) fails here.
+func TestSchedulingAllocations(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+
+	// Warm the queue capacity past the batch size used below.
+	for i := 0; i < 512; i++ {
+		e.At(Time(i), fn)
+	}
+	e.Run(Time(1 << 30))
+
+	const batch = 64
+	avg := testing.AllocsPerRun(100, func() {
+		base := e.Now()
+		for i := 0; i < batch; i++ {
+			e.At(base+Time(i), fn)
+		}
+		e.Run(base + batch)
+	})
+	// avg counts allocations per run of the whole batch.
+	if avg > 0.5 {
+		t.Errorf("scheduling+draining %d events allocated %.2f times per batch, want 0", batch, avg)
+	}
+}
+
+// TestTickerAllocations pins the per-tick cost: each tick schedules its
+// successor, which must also stay allocation-free apart from the closure
+// created once at Ticker setup.
+func TestTickerAllocations(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	e.Ticker(0, 10, func(now Time) bool {
+		ticks++
+		return ticks < 10_000
+	})
+	avg := testing.AllocsPerRun(1, func() {
+		e.Run(1_000_000)
+	})
+	if ticks < 10_000 {
+		t.Fatalf("ticker stopped early after %d ticks", ticks)
+	}
+	// ~10k ticks ran inside the measured region; even one allocation per
+	// tick would show up as thousands.
+	if avg > 100 {
+		t.Errorf("ticker run allocated %.0f times for 10k ticks, want ~0", avg)
+	}
+}

@@ -482,3 +482,56 @@ func TestMeanSum(t *testing.T) {
 		t.Errorf("Sum = %v, want 6", got)
 	}
 }
+
+// TestHistogramExtremeValues pins the clamping behavior for samples whose
+// bucket quotient would overflow the float-to-int conversion: the range
+// checks run on the float quotient, so huge positive samples (and +Inf)
+// clamp into the top edge bucket with overhi tracked, and negative/NaN
+// samples clamp into the bottom edge bucket with underlo tracked — no
+// index-out-of-range panic in either direction.
+func TestHistogramExtremeValues(t *testing.T) {
+	h := NewHistogram(0, 1, 10)
+	above := []float64{1e19, 1e300, math.Inf(1)}
+	below := []float64{-1e300, math.Inf(-1), math.NaN()}
+	for _, v := range append(append([]float64(nil), above...), below...) {
+		h.Add(v) // must not panic
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d, want 6", h.Count())
+	}
+	if h.counts[len(h.counts)-1] != uint64(len(above)) || h.overhi != uint64(len(above)) {
+		t.Errorf("top bucket = %d (overhi %d), want %d huge samples clamped high",
+			h.counts[len(h.counts)-1], h.overhi, len(above))
+	}
+	if h.counts[0] != uint64(len(below)) || h.underlo != uint64(len(below)) {
+		t.Errorf("bottom bucket = %d (underlo %d), want %d low/NaN samples clamped low",
+			h.counts[0], h.underlo, len(below))
+	}
+}
+
+// TestHistogramBucketForMatchesAdd pins Add's open-coded bucket selection to
+// BucketFor+AddAt: the telemetry fan-out relies on the two paths choosing
+// identical buckets for every input, including the clamped and degenerate
+// edges.
+func TestHistogramBucketForMatchesAdd(t *testing.T) {
+	values := []float64{
+		-1e300, -5, -0.0001, 0, 0.0001, 0.5, 1, 49.999999, 50, 99.999999,
+		100, 100.0001, 1e19, 1e300, math.Inf(-1), math.Inf(1), math.NaN(),
+	}
+	direct := NewHistogram(0, 100, 100)
+	viaAt := NewHistogram(0, 100, 100)
+	for _, v := range values {
+		direct.Add(v)
+		idx, under, over := viaAt.BucketFor(v)
+		viaAt.AddAt(v, idx, under, over)
+	}
+	for i := 0; i < 100; i++ {
+		if direct.counts[i] != viaAt.counts[i] {
+			t.Fatalf("bucket %d: Add path %d, BucketFor+AddAt path %d", i, direct.counts[i], viaAt.counts[i])
+		}
+	}
+	if direct.underlo != viaAt.underlo || direct.overhi != viaAt.overhi || direct.total != viaAt.total {
+		t.Fatalf("edge trackers diverged: Add {u:%d o:%d n:%d} vs AddAt {u:%d o:%d n:%d}",
+			direct.underlo, direct.overhi, direct.total, viaAt.underlo, viaAt.overhi, viaAt.total)
+	}
+}

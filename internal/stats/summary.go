@@ -141,6 +141,8 @@ type Point struct {
 // of which a paper-scale run produces hundreds of millions.
 type Histogram struct {
 	lo, hi  float64
+	width   float64 // hi - lo, cached for the Add hot path
+	nf      float64 // float64(len(counts)), cached for the Add hot path
 	counts  []uint64
 	total   uint64
 	sum     float64
@@ -154,24 +156,72 @@ func NewHistogram(lo, hi float64, n int) *Histogram {
 	if n <= 0 || hi <= lo {
 		panic(fmt.Sprintf("stats: invalid histogram [%v, %v] with %d buckets", lo, hi, n))
 	}
-	return &Histogram{lo: lo, hi: hi, counts: make([]uint64, n)}
+	return &Histogram{lo: lo, hi: hi, width: hi - lo, nf: float64(n), counts: make([]uint64, n)}
 }
 
 // Add records a sample. Samples outside [lo, hi] are clamped into the edge
 // buckets but tracked so callers can detect miscalibration.
+//
+// Bucket selection computes (v-lo)/(hi-lo)*n with the exact operation order
+// the original math.Floor implementation used (the divisor and bucket count
+// are cached, not algebraically rearranged), so every in-range sample lands
+// in the same bucket bit-for-bit; int truncation equals Floor for the
+// non-negative quotients that reach it. One deliberate divergence: a sample
+// so large its quotient overflows int64 used to wrap negative and land in
+// the low edge bucket — it now clamps into the top edge bucket (overhi),
+// per this method's documented contract.
+// Add open-codes BucketFor+AddAt: composing the two inlinable halves makes
+// Add itself too large to inline into its callers, and Add is the hottest
+// call in whole-study profiles. TestHistogramBucketForMatchesAdd pins the
+// two paths to identical behavior.
+//
+// Range checks run on the float quotient, so the int conversion only ever
+// sees values in [0, nf) — a quotient beyond int64 range (huge sample, +Inf)
+// clamps into the top bucket instead of overflowing the conversion.
 func (h *Histogram) Add(v float64) {
 	h.total++
 	h.sum += v
-	idx := int(math.Floor((v - h.lo) / (h.hi - h.lo) * float64(len(h.counts))))
-	if idx < 0 {
-		idx = 0
-		h.underlo++
-	}
-	if idx >= len(h.counts) {
-		idx = len(h.counts) - 1
+	q := (v - h.lo) / h.width * h.nf
+	if q >= h.nf { // above range (including +Inf and conversion-overflow)
 		if v > h.hi {
 			h.overhi++
 		}
+		h.counts[len(h.counts)-1]++
+		return
+	}
+	if !(q >= 0) { // below range, or NaN
+		h.underlo++
+		h.counts[0]++
+		return
+	}
+	h.counts[int(q)]++
+}
+
+// BucketFor computes the bucket index (and the out-of-range flags) that Add
+// uses for v, exposed so callers recording one sample into several
+// same-shaped histograms can pay for the bucket division once and fan out
+// with AddAt.
+func (h *Histogram) BucketFor(v float64) (idx int, underlo, overhi bool) {
+	q := (v - h.lo) / h.width * h.nf
+	if q >= h.nf { // above range (including +Inf and conversion-overflow)
+		return len(h.counts) - 1, false, v > h.hi
+	}
+	if !(q >= 0) { // below range, or NaN
+		return 0, true, false
+	}
+	return int(q), false, false
+}
+
+// AddAt records a sample whose bucket was precomputed with BucketFor on a
+// histogram of identical shape. Equivalent to Add(v), minus the division.
+func (h *Histogram) AddAt(v float64, idx int, underlo, overhi bool) {
+	h.total++
+	h.sum += v
+	if underlo {
+		h.underlo++
+	}
+	if overhi {
+		h.overhi++
 	}
 	h.counts[idx]++
 }

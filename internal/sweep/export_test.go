@@ -1,0 +1,106 @@
+package sweep
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"philly/internal/core"
+)
+
+// runSmallSweep produces a real Result to round-trip.
+func runSmallSweep(t *testing.T) *Result {
+	t.Helper()
+	base := core.SmallConfig()
+	base.Workload.TotalJobs = 150
+	base.Workload.Duration /= 8
+	ax, err := ParseAxis("sched.policy=philly,fifo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Matrix{Base: base, Axes: []Axis{ax}}.Run(Options{Replicas: 2, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestExportRoundTrip(t *testing.T) {
+	res := runSmallSweep(t)
+
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Replicas != res.Replicas || got.BaseSeed != res.BaseSeed {
+		t.Fatalf("header mismatch: got %d/%d want %d/%d",
+			got.Replicas, got.BaseSeed, res.Replicas, res.BaseSeed)
+	}
+	if len(got.Scenarios) != len(res.Scenarios) {
+		t.Fatalf("scenario count = %d, want %d", len(got.Scenarios), len(res.Scenarios))
+	}
+	for i := range res.Scenarios {
+		want, have := &res.Scenarios[i], &got.Scenarios[i]
+		if have.Scenario.Name != want.Scenario.Name || have.Scenario.Index != want.Scenario.Index {
+			t.Errorf("scenario %d identity mismatch: %+v vs %+v", i, have.Scenario, want.Scenario)
+		}
+		if !reflect.DeepEqual(have.Scenario.Labels, want.Scenario.Labels) {
+			t.Errorf("scenario %d labels = %v, want %v", i, have.Scenario.Labels, want.Scenario.Labels)
+		}
+		if !reflect.DeepEqual(have.Scenario.Config, want.Scenario.Config) {
+			t.Errorf("scenario %d config did not round-trip", i)
+		}
+		if !reflect.DeepEqual(have.Replicas, want.Replicas) {
+			t.Errorf("scenario %d replica metrics did not round-trip exactly:\n got %+v\nwant %+v",
+				i, have.Replicas, want.Replicas)
+		}
+		if !reflect.DeepEqual(have.Summary, want.Summary) {
+			t.Errorf("scenario %d summary did not round-trip exactly", i)
+		}
+	}
+
+	// The decoded result renders the same comparison table.
+	if got.RenderTable() != res.RenderTable() {
+		t.Error("decoded result renders a different table")
+	}
+}
+
+// TestExportNaNEncodesAsNull pins the null convention for undefined metrics.
+func TestExportNaNEncodesAsNull(t *testing.T) {
+	res := &Result{
+		Replicas: 1,
+		BaseSeed: 7,
+		Scenarios: []ScenarioResult{{
+			Scenario: Scenario{Name: "base"},
+			Replicas: []ReplicaMetrics{{Seed: 1, JCTp50: math.NaN()}},
+			Summary:  Summarize([]ReplicaMetrics{{Seed: 1, JCTp50: math.NaN()}}),
+		}},
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatalf("NaN metrics must encode: %v", err)
+	}
+	if !strings.Contains(buf.String(), "\"jct_p50_min\": null") {
+		t.Error("NaN did not encode as null")
+	}
+	got, err := DecodeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(got.Scenarios[0].Replicas[0].JCTp50) {
+		t.Errorf("null did not decode back to NaN: %v", got.Scenarios[0].Replicas[0].JCTp50)
+	}
+}
+
+func TestDecodeRejectsUnknownVersion(t *testing.T) {
+	if _, err := DecodeJSON(strings.NewReader(`{"format_version": 99}`)); err == nil {
+		t.Fatal("expected an error for unknown format version")
+	}
+}

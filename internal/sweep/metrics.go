@@ -34,29 +34,96 @@ type ReplicaMetrics struct {
 	UnsuccessfulPct float64
 }
 
-// Reduce computes a replica's metrics from its study result.
+// Reduce computes a replica's metrics from its study result. It is the
+// batch form of StreamReducer — observing every job in index order and
+// finishing produces, by construction, the exact floating-point fold the
+// original single-pass reduction performed.
 func Reduce(res *core.StudyResult) ReplicaMetrics {
+	r := NewStreamReducer(len(res.Jobs))
+	for i := range res.Jobs {
+		r.ObserveJob(i, &res.Jobs[i])
+	}
+	return r.Finish(res)
+}
+
+// jobAccum is the per-job scalar extraction StreamReducer keeps in place of
+// the full JobResult. It is a few dozen bytes regardless of how many
+// attempts or log-derived records the job accumulated.
+type jobAccum struct {
+	seen      bool
+	completed bool
+	unsucc    bool
+	gpuMin    float64
+	jctMin    float64
+	delayMin  float64
+	// failedGPUh lists the per-failed-attempt GPU-hour costs in attempt
+	// order. They are folded into the metric sum in exactly that order at
+	// Finish, so the result is bit-identical to summing while scanning the
+	// full attempt records.
+	failedGPUh []float64
+}
+
+// StreamReducer reduces a study to ReplicaMetrics incrementally: register
+// ObserveJob with core.Study.StreamJobs and each completed job's record is
+// folded to scalars the moment it finishes, letting the study release the
+// full per-job records in flight. Finish picks up jobs that never completed
+// (their records are still intact in the StudyResult) and produces metrics
+// bit-identical to Reduce over a fully retained result.
+type StreamReducer struct {
+	jobs []jobAccum
+}
+
+// NewStreamReducer sizes a reducer for a study of n jobs.
+func NewStreamReducer(n int) *StreamReducer {
+	return &StreamReducer{jobs: make([]jobAccum, n)}
+}
+
+// ObserveJob folds one job's result; i is the job's index in
+// StudyResult.Jobs. Safe to call from core's StreamJobs observer.
+func (r *StreamReducer) ObserveJob(i int, j *core.JobResult) {
+	a := &r.jobs[i]
+	a.seen = true
+	a.completed = j.Completed
+	a.gpuMin = j.GPUMinutes
+	for _, att := range j.Attempts {
+		if att.Failed {
+			a.failedGPUh = append(a.failedGPUh, att.RuntimeMinutes*float64(j.Spec.GPUs)/60)
+		}
+	}
+	if j.Completed {
+		a.jctMin = (j.EndAt - j.Spec.SubmitAt).Minutes()
+		a.delayMin = j.FirstQueueDelay.Minutes()
+		a.unsucc = j.Outcome == failures.Unsuccessful
+	}
+}
+
+// Finish folds the per-job accumulators (in job order) plus the study-level
+// aggregates into the replica metrics. Jobs never observed — those that did
+// not complete before the horizon — are extracted from res.Jobs, where their
+// records are still whole.
+func (r *StreamReducer) Finish(res *core.StudyResult) ReplicaMetrics {
 	m := ReplicaMetrics{
 		Seed: res.Config.Seed,
 		Jobs: len(res.Jobs),
 	}
 	var jct, delay []float64
 	unsuccessful := 0
-	for i := range res.Jobs {
-		j := &res.Jobs[i]
-		m.GPUHours += j.GPUMinutes / 60
-		for _, a := range j.Attempts {
-			if a.Failed {
-				m.FailedGPUHours += a.RuntimeMinutes * float64(j.Spec.GPUs) / 60
-			}
+	for i := range r.jobs {
+		a := &r.jobs[i]
+		if !a.seen && i < len(res.Jobs) {
+			r.ObserveJob(i, &res.Jobs[i])
 		}
-		if !j.Completed {
+		m.GPUHours += a.gpuMin / 60
+		for _, f := range a.failedGPUh {
+			m.FailedGPUHours += f
+		}
+		if !a.completed {
 			continue
 		}
 		m.Completed++
-		jct = append(jct, (j.EndAt - j.Spec.SubmitAt).Minutes())
-		delay = append(delay, j.FirstQueueDelay.Minutes())
-		if j.Outcome == failures.Unsuccessful {
+		jct = append(jct, a.jctMin)
+		delay = append(delay, a.delayMin)
+		if a.unsucc {
 			unsuccessful++
 		}
 	}

@@ -132,13 +132,19 @@ func (m Matrix) Run(opts Options) (*Result, error) {
 						scenarios[u.scenario].Name, u.replica, err))
 					continue
 				}
+				// Stream per-job results into the reduction as they finish,
+				// so the study releases full job records in flight and the
+				// sweep's peak memory tracks the running set, not the whole
+				// workload (ROADMAP: memory-bound full-scale sweeps).
+				red := NewStreamReducer(st.NumJobs())
+				st.StreamJobs(red.ObserveJob)
 				res, err := st.Run()
 				if err != nil {
 					fail(fmt.Errorf("sweep: scenario %q replica %d: %w",
 						scenarios[u.scenario].Name, u.replica, err))
 					continue
 				}
-				metrics[u.scenario][u.replica] = Reduce(res)
+				metrics[u.scenario][u.replica] = red.Finish(res)
 				if opts.Progress != nil {
 					mu.Lock()
 					done++

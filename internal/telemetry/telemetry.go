@@ -16,6 +16,7 @@ import (
 
 	"philly/internal/cluster"
 	"philly/internal/failures"
+	"philly/internal/perfmodel"
 	"philly/internal/stats"
 )
 
@@ -143,11 +144,33 @@ func NewRecorder() *Recorder {
 // RecordJobMinute records one per-minute GPU-utilization sample (percent,
 // averaged over the job's GPUs) for a running job.
 func (r *Recorder) RecordJobMinute(meta JobMeta, util float64) {
+	r.RecordJobMinuteInto(r.EnsureJob(meta.ID), meta, util)
+}
+
+// EnsureJob returns the job's usage accumulator, creating it on first use.
+// Callers on the per-tick hot path hold the returned handle and pass it to
+// RecordJobMinuteInto, skipping the map lookup every sample would otherwise
+// pay.
+func (r *Recorder) EnsureJob(id cluster.JobID) *JobUsage {
+	u := r.perJob[id]
+	if u == nil {
+		u = &JobUsage{}
+		r.perJob[id] = u
+	}
+	return u
+}
+
+// RecordJobMinuteInto is RecordJobMinute with the per-job accumulator
+// supplied by the caller (see EnsureJob). Every histogram here shares the
+// [0, 100] percent shape, so the bucket index is computed once and fanned
+// out — one division per sample instead of one per histogram.
+func (r *Recorder) RecordJobMinuteInto(u *JobUsage, meta JobMeta, util float64) {
 	class := ClassFor(meta.GPUs)
 	o := int(meta.Outcome)
-	r.bySizeStatus[class][o].Add(util)
-	r.allByStatus[o].Add(util)
-	r.all.Add(util)
+	idx, under, over := r.all.BucketFor(util)
+	r.bySizeStatus[class][o].AddAt(util, idx, under, over)
+	r.allByStatus[o].AddAt(util, idx, under, over)
+	r.all.AddAt(util, idx, under, over)
 
 	if meta.GPUs == 16 {
 		h, ok := r.spread16[meta.Servers]
@@ -155,20 +178,15 @@ func (r *Recorder) RecordJobMinute(meta JobMeta, util float64) {
 			h = newPctHist()
 			r.spread16[meta.Servers] = h
 		}
-		h.Add(util)
+		h.AddAt(util, idx, under, over)
 		if meta.Servers == 2 && !meta.Colocated {
-			r.dedicated16.Add(util)
+			r.dedicated16.AddAt(util, idx, under, over)
 		}
 	}
 	if meta.GPUs == 8 && meta.Servers == 1 && !meta.Colocated {
-		r.dedicated8.Add(util)
+		r.dedicated8.AddAt(util, idx, under, over)
 	}
 
-	u := r.perJob[meta.ID]
-	if u == nil {
-		u = &JobUsage{}
-		r.perJob[meta.ID] = u
-	}
 	u.SumUtil += util
 	u.Minutes++
 }
@@ -177,6 +195,20 @@ func (r *Recorder) RecordJobMinute(meta JobMeta, util float64) {
 func (r *Recorder) RecordHostMinute(cpuUtil, memUtil float64) {
 	r.hostCPU.Add(cpuUtil)
 	r.hostMem.Add(memUtil)
+}
+
+// RecordHostMinutes records one tick's host samples for the whole fleet:
+// servers are visited in ID order (the order of the used/caps arrays) and
+// two model draws are consumed per server, exactly as the per-server
+// RecordHostMinute loop did — one fused walk instead of two calls per
+// server per tick, which whole-study profiles showed as pure overhead.
+func (r *Recorder) RecordHostMinutes(host *perfmodel.HostModel, used, caps []int32, g *stats.RNG) {
+	cpuHist, memHist := r.hostCPU, r.hostMem
+	for i, u := range used {
+		cpu, mem := host.Sample(int(u), int(caps[i]), g)
+		cpuHist.Add(cpu)
+		memHist.Add(mem)
+	}
 }
 
 // SizeStatus returns the utilization histogram for a size class × outcome.
