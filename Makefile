@@ -1,11 +1,13 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-sweep bench-json bench-smoke
+.PHONY: check vet build test race bench bench-sweep bench-json bench-smoke bench-compare
 
 # check is the CI gate: vet, build everything, then the full test suite
-# under the race detector (the sweep harness is the only concurrent code,
-# but -race also guards the examples and cmds against regressions), and a
-# one-iteration benchmark smoke so the bench path itself cannot rot.
+# under the race detector — which now covers the intra-study parallel
+# pipeline end to end, including TestWorkerCountInvariance (full-precision
+# StudyResult equality across intra-study worker counts 1/2/4/8 and the
+# sequential engine) — and a one-iteration benchmark smoke so the bench
+# path itself cannot rot.
 check: vet build race bench-smoke
 
 vet:
@@ -44,3 +46,11 @@ COUNT ?= 3
 OUT ?= bench.json
 bench-json:
 	$(GO) test -json -run '^$$' -bench '$(BENCH)' -benchmem -count $(COUNT) . > $(OUT)
+
+# bench-compare diffs two bench-json baselines and prints per-benchmark
+# ns/op and allocs/op deltas. Usage:
+#   make bench-compare A=BENCH_PR3_before.json B=BENCH_PR3_after.json
+A ?= BENCH_PR3_before.json
+B ?= BENCH_PR3_after.json
+bench-compare:
+	$(GO) run ./cmd/bench-compare $(A) $(B)

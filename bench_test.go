@@ -496,3 +496,35 @@ func BenchmarkSimulationThroughput(b *testing.B) {
 	}
 	b.ReportMetric(800, "jobsPerRun")
 }
+
+// BenchmarkStudyParallel is the intra-study scaling curve: ONE study —
+// paper-scale cluster (~2050 GPUs, 288 servers), minute telemetry — at
+// increasing intra-study worker counts. The telemetry walk dominates
+// whole-study profiles at this shape (see PERFORMANCE.md), which is what
+// the parallel pipeline shards; TestWorkerCountInvariance separately pins
+// the StudyResult bit-identical across all of these worker counts, so this
+// benchmark is purely a wall-clock trajectory. workers=1 is the inline
+// path and doubles as the regression guard against the sequential engine.
+func BenchmarkStudyParallel(b *testing.B) {
+	// A quarter-length window at the paper's full arrival rate and cluster
+	// scale: the running set peaks in the thousands, like the full study.
+	cfg := philly.MediumConfig()
+	cfg.Workload.TotalJobs /= 4
+	cfg.Workload.Duration /= 4
+	cfg.Workload.MaxRuntimeMinutes = 2 * 24 * 60
+	cfg.Seed = 1
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var res *philly.StudyResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = philly.RunParallel(cfg, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(res.Jobs)), "jobsPerRun")
+			b.ReportMetric(res.Telemetry.All().Mean(), "meanUtilPct")
+		})
+	}
+}

@@ -1,0 +1,178 @@
+// Command bench-compare diffs two benchmark baselines recorded with
+// `make bench-json` (the `go test -json` event stream) and prints
+// per-benchmark ns/op, B/op and allocs/op deltas, so perf PRs compare
+// trajectories instead of eyeballing raw JSON.
+//
+// Usage:
+//
+//	bench-compare BENCH_PR3_before.json BENCH_PR3_after.json
+//
+// Each file may contain several runs of the same benchmark (-count N);
+// runs are averaged per benchmark before diffing. Benchmarks present in
+// only one file are listed without a delta.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample accumulates one benchmark's runs from one file.
+type sample struct {
+	n                       int
+	nsOp, bytesOp, allocsOp float64
+}
+
+// benchLine matches a `go test -bench` result line, e.g.
+// "BenchmarkFoo/workers=4-8  	 3	 123456 ns/op	 10 B/op	 2 allocs/op".
+var (
+	benchLine  = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+	bytesOpRe  = regexp.MustCompile(`([0-9.]+) B/op`)
+	allocsOpRe = regexp.MustCompile(`([0-9.]+) allocs/op`)
+)
+
+func parseFile(path string) (map[string]*sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	// First pass: reassemble the plain benchmark text. go test -json splits
+	// one result line across several "output" events (the name is printed
+	// when the benchmark starts, the numbers when it finishes), so events
+	// are concatenated before line-splitting; plain `go test -bench` output
+	// passes through untouched.
+	var text strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) > 0 && line[0] == '{' {
+			var ev struct {
+				Action, Output string
+			}
+			if err := json.Unmarshal(line, &ev); err == nil && ev.Action == "output" {
+				text.WriteString(ev.Output)
+			}
+			continue
+		}
+		text.Write(line)
+		text.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	out := map[string]*sample{}
+	for _, raw := range strings.Split(text.String(), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(raw))
+		if m == nil {
+			continue
+		}
+		// Strip the trailing GOMAXPROCS suffix ("-8") so baselines from
+		// different machines still line up.
+		name := m[1]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		s := out[name]
+		if s == nil {
+			s = &sample{}
+			out[name] = s
+		}
+		ns, _ := strconv.ParseFloat(m[2], 64)
+		s.nsOp += ns
+		s.n++
+		rest := m[3]
+		if bm := bytesOpRe.FindStringSubmatch(rest); bm != nil {
+			b, _ := strconv.ParseFloat(bm[1], 64)
+			s.bytesOp += b
+		}
+		if am := allocsOpRe.FindStringSubmatch(rest); am != nil {
+			a, _ := strconv.ParseFloat(am[1], 64)
+			s.allocsOp += a
+		}
+	}
+	for _, s := range out {
+		s.nsOp /= float64(s.n)
+		s.bytesOp /= float64(s.n)
+		s.allocsOp /= float64(s.n)
+	}
+	return out, nil
+}
+
+func delta(before, after float64) string {
+	if before == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(after-before)/before)
+}
+
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: bench-compare BEFORE.json AFTER.json")
+		os.Exit(2)
+	}
+	before, err := parseFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-compare:", err)
+		os.Exit(1)
+	}
+	after, err := parseFile(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-compare:", err)
+		os.Exit(1)
+	}
+	names := map[string]bool{}
+	for n := range before {
+		names[n] = true
+	}
+	for n := range after {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "%-52s %12s %12s %8s %10s %10s %8s\n",
+		"benchmark", "ns/op before", "ns/op after", "Δns/op", "allocs/op", "allocs'", "Δallocs")
+	for _, n := range sorted {
+		b, a := before[n], after[n]
+		short := strings.TrimPrefix(n, "Benchmark")
+		switch {
+		case b == nil:
+			fmt.Fprintf(w, "%-52s %12s %12s %8s\n", short, "-", fmtNs(a.nsOp), "new")
+		case a == nil:
+			fmt.Fprintf(w, "%-52s %12s %12s %8s\n", short, fmtNs(b.nsOp), "-", "gone")
+		default:
+			fmt.Fprintf(w, "%-52s %12s %12s %8s %10.0f %10.0f %8s\n",
+				short, fmtNs(b.nsOp), fmtNs(a.nsOp), delta(b.nsOp, a.nsOp),
+				b.allocsOp, a.allocsOp, delta(b.allocsOp, a.allocsOp))
+		}
+	}
+}

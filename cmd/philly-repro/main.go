@@ -4,7 +4,7 @@
 // Usage:
 //
 //	philly-repro [-scale small|medium|full] [-seed N] [-policy philly|fifo|srtf|tiresias|gandiva]
-//	             [-replicas N] [-o report.txt]
+//	             [-replicas N] [-workers N] [-o report.txt]
 //
 // small  (~230 GPUs, 3.3k jobs) finishes in under a second;
 // medium (~2300 GPUs, 24k jobs) in tens of seconds;
@@ -14,12 +14,20 @@
 // with -replicas > 1) the multi-run loop goes through the internal/sweep
 // harness and prints a cross-scenario comparison table instead of the full
 // report — replicated over seeds, with 95% confidence intervals.
+//
+// -workers (default: all cores) is one shared parallelism budget. A single
+// run spends it *within* the study (sharded telemetry walk, placement
+// scoring); the multi-run path hands it to the sweep harness, which spends
+// it *across* studies first and lets idle workers accelerate the stragglers
+// — the two layers draw from the same pool and never oversubscribe. Results
+// are bit-identical for any worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -32,7 +40,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "master random seed")
 	policy := flag.String("policy", "philly", "scheduling policy (comma-separated list sweeps): philly, fifo, srtf, tiresias, gandiva")
 	replicas := flag.Int("replicas", 1, "seed replicas; > 1 switches to the sweep comparison table")
-	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"shared worker budget: across studies when sweeping, within the study otherwise")
 	out := flag.String("o", "", "also write the report to this file")
 	flag.Parse()
 
@@ -58,7 +67,7 @@ func main() {
 	}
 
 	start := time.Now()
-	res, err := philly.Run(cfg)
+	res, err := philly.RunParallel(cfg, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "philly-repro:", err)
 		os.Exit(1)

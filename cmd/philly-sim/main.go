@@ -4,7 +4,13 @@
 //
 // Usage:
 //
-//	philly-sim [-scale small|medium|full] [-seed N] [-out DIR]
+//	philly-sim [-scale small|medium|full] [-seed N] [-workers N] [-out DIR]
+//
+// -workers shards the study's telemetry walk and placement scoring across
+// that many cores (default: all). Output is bit-identical for any worker
+// count; only wall-clock changes. To sweep many studies instead, use
+// philly-sweep, whose -workers flag is the same budget spent across
+// studies first.
 package main
 
 import (
@@ -13,6 +19,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"philly"
@@ -21,6 +28,8 @@ import (
 func main() {
 	scale := flag.String("scale", "small", "study scale: small, medium or full")
 	seed := flag.Uint64("seed", 1, "master random seed")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"intra-study worker count (results are identical for any value)")
 	out := flag.String("out", "philly-out", "output directory")
 	flag.Parse()
 
@@ -42,7 +51,7 @@ func main() {
 	cfg.Seed = *seed
 
 	start := time.Now()
-	res, err := philly.Run(cfg)
+	res, err := philly.RunParallel(cfg, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "philly-sim:", err)
 		os.Exit(1)

@@ -14,7 +14,16 @@
 //	philly-sweep -axis sched.policy=philly,fifo -axis locality.relax=0:0,4:8,16:32 -replicas 8
 //
 // Results are bit-identical for any -workers value: per-run seeds derive
-// only from (seed, scenario index, replica index).
+// only from (seed, scenario index, replica index), and intra-study
+// telemetry streams only from (run seed, entity id).
+//
+// -workers is one shared budget for both parallelism layers: the pool runs
+// one study per worker while the queue is full, and workers that go idle
+// near the end pick up the remaining studies' intra-study shards (telemetry
+// chunks, placement scoring) instead of sitting out — never more than
+// -workers tasks in flight in total, and never an idle core while work
+// remains. philly-sim/-repro's -workers is the same budget spent entirely
+// within one study.
 //
 // -o json emits the machine-readable sweep.Result export (format_version 1:
 // per-replica metrics, per-metric aggregates, and each scenario's applied
@@ -52,7 +61,7 @@ func main() {
 	scale := flag.String("scale", "small", "base config scale: small, medium or full")
 	seed := flag.Uint64("seed", 1, "base seed for per-run derivation")
 	replicas := flag.Int("replicas", 4, "seed replicas per scenario")
-	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "shared worker budget across and within studies (0 = GOMAXPROCS)")
 	jobs := flag.Int("jobs", 0, "override base workload job count (0 = scale default)")
 	output := flag.String("o", "table", "output format: table or json (machine-readable sweep.Result export)")
 	verbose := flag.Bool("v", false, "print per-run progress")

@@ -9,6 +9,8 @@ package cluster
 import (
 	"fmt"
 	"sort"
+
+	"philly/internal/par"
 )
 
 // SKU describes a server hardware class. The paper's cluster has two SKUs:
@@ -207,6 +209,11 @@ type Cluster struct {
 	// rackScratch and picks are reused placement-search buffers.
 	rackScratch []*Rack
 	picks       []pick
+
+	// pool, when set, fans multi-rack placement scoring out as fork-join
+	// tasks (see placement.go); feasScratch is the per-rack verdict buffer.
+	pool        *par.Pool
+	feasScratch []rackFeasibility
 
 	// placements tracks the live placement of each job for release and for
 	// locality/interference queries.

@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"philly/internal/par"
+	"philly/internal/stats"
+)
+
+// TestParallelPlacementMatchesSequential drives a 16-rack cluster through a
+// deterministic churn of allocations and releases, asking for a placement
+// both with and without a pool before every allocation. The parallel rack
+// scoring must return the identical placement (same servers, same GPUs,
+// same order) at every step, across all locality levels — it is the same
+// search, only scored concurrently.
+func TestParallelPlacementMatchesSequential(t *testing.T) {
+	mk := func() *Cluster {
+		var racks []RackConfig
+		for i := 0; i < 16; i++ {
+			racks = append(racks, RackConfig{Servers: 4, SKU: SKU8GPU})
+		}
+		c, err := New(Config{Racks: racks})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	seq, par1 := mk(), mk()
+	pool := par.NewPool(4)
+	defer pool.Close()
+	par1.SetPool(pool)
+	if !par1.parallelScoring(par1.racksByFreeDesc()) {
+		t.Fatal("pooled 16-rack cluster did not take the parallel scoring path")
+	}
+
+	rng := stats.NewRNG(7)
+	live := []JobID{}
+	sizes := []int{1, 2, 4, 8, 12, 16, 24, 32, 48}
+	for step := 0; step < 400; step++ {
+		if len(live) > 0 && rng.Bool(0.4) {
+			// Release a random held job from both clusters.
+			i := rng.IntN(len(live))
+			id := live[i]
+			live = append(live[:i], live[i+1:]...)
+			if err := seq.Release(id); err != nil {
+				t.Fatal(err)
+			}
+			if err := par1.Release(id); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		n := sizes[rng.IntN(len(sizes))]
+		level := Locality(rng.IntN(3))
+		ps, oks := seq.FindPlacement(n, level)
+		pp, okp := par1.FindPlacement(n, level)
+		if oks != okp || !reflect.DeepEqual(ps, pp) {
+			t.Fatalf("step %d: n=%d level=%v diverged:\nseq: ok=%v %+v\npar: ok=%v %+v",
+				step, n, level, oks, ps, okp, pp)
+		}
+		if !oks {
+			continue
+		}
+		id := JobID(step + 1)
+		if err := seq.Allocate(id, ps); err != nil {
+			t.Fatal(err)
+		}
+		if err := par1.Allocate(id, pp); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, id)
+	}
+}

@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"math/bits"
+
+	"philly/internal/par"
 )
 
 // Locality is the constraint level a placement search must satisfy. The
@@ -86,7 +88,11 @@ func (c *Cluster) findPacked(n int) (Placement, bool) {
 	}
 	// Multi-server case: the job must span servers. Require the minimal
 	// server count for the rack's SKU and a single rack.
-	for _, rack := range c.racksByFreeDesc() {
+	racks := c.racksByFreeDesc()
+	if c.parallelScoring(racks) {
+		return c.findFirstFeasible(racks, n, true)
+	}
+	for _, rack := range racks {
 		if rack.free < n {
 			continue
 		}
@@ -105,7 +111,11 @@ func (c *Cluster) findWithinRack(n int) (Placement, bool) {
 	if p, ok := c.bestFitSingleServer(n); ok {
 		return p, true
 	}
-	for _, rack := range c.racksByFreeDesc() {
+	racks := c.racksByFreeDesc()
+	if c.parallelScoring(racks) {
+		return c.findFirstFeasible(racks, n, false)
+	}
+	for _, rack := range racks {
 		if rack.free < n {
 			continue
 		}
@@ -115,6 +125,94 @@ func (c *Cluster) findWithinRack(n int) (Placement, bool) {
 		}
 	}
 	return Placement{}, false
+}
+
+// SetPool attaches a fork-join pool for multi-rack placement scoring. A nil
+// pool (the default) keeps the sequential scan; placements are identical
+// either way — the parallel path scores every rack and then selects the
+// first feasible one in the same (free desc, ID) order the scan visits.
+func (c *Cluster) SetPool(p *par.Pool) { c.pool = p }
+
+// minRacksParallel gates parallel scoring: the per-rack feasibility count
+// is microseconds of work, so fan-out only pays when a search must touch
+// many racks (the fully-congested "scan everything, place nothing" case
+// that dominates blocked-queue retries on big clusters).
+const minRacksParallel = 8
+
+func (c *Cluster) parallelScoring(racks []*Rack) bool {
+	return c.pool != nil && len(racks) >= minRacksParallel
+}
+
+// rackFeasibility is one rack's scored verdict for a pending gang.
+type rackFeasibility struct {
+	rem  int // free GPUs still missing after gathering from this rack
+	used int // servers the gather would touch
+}
+
+// findFirstFeasible scores every rack concurrently (a read-only count of
+// the gather walk, no pick recording) and takes the first feasible rack in
+// racks order — exactly the rack the sequential scan would have committed
+// to — then re-gathers picks from that rack alone.
+func (c *Cluster) findFirstFeasible(racks []*Rack, n int, packed bool) (Placement, bool) {
+	if cap(c.feasScratch) < len(racks) {
+		c.feasScratch = make([]rackFeasibility, len(racks))
+	}
+	feas := c.feasScratch[:len(racks)]
+	c.pool.ForkJoin(len(racks), func(i int) {
+		rack := racks[i]
+		if rack.free < n {
+			feas[i] = rackFeasibility{rem: n}
+			return
+		}
+		rem, used := rack.countGather(n)
+		feas[i] = rackFeasibility{rem: rem, used: used}
+	})
+	for i, rack := range racks {
+		if feas[i].rem != 0 {
+			continue
+		}
+		if packed {
+			per := rack.SKU.GPUsPerServer
+			if feas[i].used > (n+per-1)/per {
+				continue
+			}
+		}
+		c.picks = c.picks[:0]
+		if rem, _ := c.gatherFromRack(rack, n); rem != 0 {
+			// The scored walk and the pick walk read the same immutable
+			// snapshot; disagreement means the event loop mutated state
+			// mid-search, which the single-threaded engine forbids.
+			panic("cluster: rack feasibility diverged from gather")
+		}
+		return c.materializePicks(n), true
+	}
+	return Placement{}, false
+}
+
+// countGather is gatherFromRack without pick recording: it walks the same
+// buckets in the same order and returns the same (remaining, used) pair,
+// but touches no shared scratch, so any number of racks can be scored
+// concurrently.
+func (r *Rack) countGather(need int) (int, int) {
+	used := 0
+	for f := r.SKU.GPUsPerServer; f >= 1 && need > 0; f-- {
+		for w, word := range r.buckets[f] {
+			for word != 0 {
+				local := w*64 + bits.TrailingZeros64(word)
+				word &= word - 1
+				take := r.Servers[local].free
+				if take > need {
+					take = need
+				}
+				used++
+				need -= take
+				if need == 0 {
+					return 0, used
+				}
+			}
+		}
+	}
+	return need, used
 }
 
 // findAnywhere places on any free GPUs, preferring emptier racks first to

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"philly/internal/par"
+	"philly/internal/scheduler"
+)
+
+// parallelConfig is a configuration big enough to exercise multi-chunk
+// telemetry sharding (more than jobChunkSize concurrently running jobs,
+// more than hostChunkSize servers) while staying fast enough to run ~30
+// times in this test file.
+func parallelConfig() Config {
+	cfg := SmallConfig()
+	// Triple the 8-GPU racks: 81 servers > hostChunkSize guarantees host
+	// chunking; the widened cluster lets >jobChunkSize 1-GPU jobs run at
+	// once so job chunking engages too.
+	for i := range cfg.Cluster.Racks {
+		cfg.Cluster.Racks[i].Servers *= 3
+	}
+	for i := range cfg.Workload.VCs {
+		cfg.Workload.VCs[i].QuotaGPUs *= 3
+	}
+	cfg.Workload.TotalJobs = 1000
+	cfg.Workload.Duration = SmallConfig().Workload.Duration / 4
+	return cfg
+}
+
+// runWithPool executes one study over a pool of the given size (0 = no
+// pool: the pure sequential engine). It returns the result and the study
+// for white-box inspection.
+func runWithPool(t *testing.T, cfg Config, workers int) (*StudyResult, *Study) {
+	t.Helper()
+	st, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pool *par.Pool
+	if workers > 0 {
+		pool = par.NewPool(workers)
+		defer pool.Close()
+		st.SetPool(pool)
+	}
+	res, err := st.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, st
+}
+
+// lowerTickGate forces every pooled tick through the parallel telemetry
+// pipeline for the duration of a test: at test scale the production gate
+// (tuned for microsecond tick work) would otherwise route all ticks to the
+// fused sequential walk and the pipeline under test would never execute.
+// Bit-identity must hold for any fixed gate value, so lowering it changes
+// only which code path produces the (identical) samples.
+func lowerTickGate(t *testing.T) {
+	t.Helper()
+	old := parallelTickMin
+	parallelTickMin = 1
+	t.Cleanup(func() { parallelTickMin = old })
+}
+
+// TestWorkerCountInvariance is the tentpole's hard bar: the full-precision
+// StudyResult — every float in every job record, every histogram bucket and
+// sum, every occupancy sample — must be bit-identical across intra-study
+// worker counts 1, 2, 4 and 8, and identical to the sequential engine (no
+// pool at all), for 3 seeds × 2 policies. reflect.DeepEqual compares
+// unexported recorder state too, so this is strictly stronger than hashing
+// a rendered report.
+//
+// workers=1 runs the parallel pipeline's code shape inline (draw tasks
+// then fold tasks on one goroutine), so the sequential-vs-1-worker leg
+// pins the fused-walk ≡ draw+fold-groups equivalence; workers ≥ 2 add real
+// concurrency (and, under make check, the race detector).
+func TestWorkerCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run invariance matrix is not a -short test")
+	}
+	lowerTickGate(t)
+	cfg := parallelConfig()
+	for _, policy := range []scheduler.Policy{scheduler.PolicyPhilly, scheduler.PolicyFIFO} {
+		for _, seed := range []uint64{1, 7, 42} {
+			cfg.Scheduler.Policy = policy
+			cfg.Seed = seed
+			seq, seqStudy := runWithPool(t, cfg, 0)
+			// The invariance claim is only interesting if sharding actually
+			// happened: require multiple host chunks (servers) and multiple
+			// job chunks (peak running set) at some tick.
+			if n := seqStudy.cluster.NumServers(); n <= telemetryChunkSize {
+				t.Fatalf("config too small: %d servers never shard the host walk", n)
+			}
+			if seqStudy.maxLiveRunning <= telemetryChunkSize {
+				t.Fatalf("config too small: peak running set %d never shards the job walk",
+					seqStudy.maxLiveRunning)
+			}
+			if seqStudy.jobSamples != nil {
+				t.Fatal("no-pool run must use the fused sequential walk")
+			}
+			for _, workers := range []int{1, 2, 4, 8} {
+				res, st := runWithPool(t, cfg, workers)
+				// Guard against the gate (or a future refactor) silently
+				// routing pooled ticks back to the fused walk: the draw
+				// buffer is allocated only inside sampleTelemetryParallel.
+				if st.jobSamples == nil {
+					t.Fatalf("workers=%d never entered the parallel telemetry pipeline", workers)
+				}
+				if !reflect.DeepEqual(seq, res) {
+					diffStudyResults(t, seq, res)
+					t.Fatalf("policy=%v seed=%d workers=%d diverged from sequential engine",
+						policy, seed, workers)
+				}
+			}
+		}
+	}
+}
+
+// diffStudyResults narrows a DeepEqual failure to the first diverging part.
+func diffStudyResults(t *testing.T, a, b *StudyResult) {
+	t.Helper()
+	for i := range a.Jobs {
+		if i < len(b.Jobs) && !reflect.DeepEqual(a.Jobs[i], b.Jobs[i]) {
+			t.Errorf("first diverging job %d:\n%+v\nvs\n%+v", a.Jobs[i].Spec.ID, a.Jobs[i], b.Jobs[i])
+			return
+		}
+	}
+	if !reflect.DeepEqual(a.Telemetry, b.Telemetry) {
+		t.Errorf("telemetry recorders diverged")
+	}
+	if !reflect.DeepEqual(a.OccupancySamples, b.OccupancySamples) {
+		t.Errorf("occupancy series diverged")
+	}
+	if a.Sched != b.Sched {
+		t.Errorf("scheduler stats diverged: %+v vs %+v", a.Sched, b.Sched)
+	}
+}
+
+// TestPoolStreamingEquivalence checks that StreamJobs (the sweep's path)
+// composes with the pool: streamed-and-released results must match the
+// non-streaming run's scalar fields under parallel telemetry.
+func TestPoolStreamingEquivalence(t *testing.T) {
+	lowerTickGate(t)
+	cfg := parallelConfig()
+	cfg.Workload.TotalJobs = 300
+	plain, _ := runWithPool(t, cfg, 0)
+
+	st, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := par.NewPool(4)
+	defer pool.Close()
+	st.SetPool(pool)
+	streamed := 0
+	st.StreamJobs(func(i int, r *JobResult) {
+		if !reflect.DeepEqual(plain.Jobs[i].Attempts, r.Attempts) {
+			t.Errorf("job %d streamed attempts diverged", r.Spec.ID)
+		}
+		streamed++
+	})
+	res, err := st.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed == 0 {
+		t.Fatal("observer never called")
+	}
+	if st.jobSamples == nil {
+		t.Fatal("pooled run never entered the parallel telemetry pipeline")
+	}
+	for i := range res.Jobs {
+		if res.Jobs[i].MeanUtil != plain.Jobs[i].MeanUtil {
+			t.Fatalf("job %d MeanUtil diverged under streaming+pool", res.Jobs[i].Spec.ID)
+		}
+	}
+}

@@ -2,10 +2,13 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync/atomic"
 
 	"philly/internal/cluster"
 	"philly/internal/failures"
 	"philly/internal/joblog"
+	"philly/internal/par"
 	"philly/internal/perfmodel"
 	"philly/internal/scheduler"
 	"philly/internal/simulation"
@@ -152,9 +155,18 @@ type jobState struct {
 	idx int
 	// meta is the telemetry grouping key for the current episode.
 	meta telemetry.JobMeta
-	// usage is the job's telemetry accumulator handle, created lazily on the
-	// first sampled minute (matching the recorder's map-based semantics).
+	// usage is the job's telemetry accumulator handle, created on first
+	// start. Telemetry shards update it directly: a job belongs to exactly
+	// one chunk per tick, so the handle is never written concurrently.
 	usage *telemetry.JobUsage
+	// stream is the job's pre-split utilization stream — splitmix64-derived
+	// from (studySeed, jobID), seeded in place on first start (streamInit).
+	// Both the per-episode base draw and the per-minute samples come from
+	// it, so the job's utilization trajectory depends only on its own
+	// stream and episode history, never on which worker samples it or
+	// which other jobs run.
+	stream     stats.RNG
+	streamInit bool
 	// runIdx is the job's slot in the study's running list, -1 when absent.
 	runIdx int
 	// finishSeq guards stale finish events after a preemption.
@@ -188,10 +200,32 @@ type Study struct {
 	logGen  *joblog.Generator
 	clf     *joblog.Classifier
 
-	utilRNG  *stats.RNG
-	hostRNG  *stats.RNG
 	logRNG   *stats.RNG
 	curveRNG *stats.RNG
+
+	// hostStreams holds one pre-split stream per server (index = server
+	// ID), splitmix64-derived from (studySeed, serverID): server i's host
+	// samples depend only on its own stream and the tick count, which is
+	// what lets the host walk shard across workers bit-identically.
+	hostStreams []stats.RNG
+
+	// pool is the shared fork-join worker pool (nil = run everything
+	// inline). Parallelism never changes results: shards are cut on fixed,
+	// worker-count-independent boundaries and folded in shard order.
+	pool *par.Pool
+	// jobSamples and hostSamples are the telemetry draw buffers: draw
+	// shards write each entity's sampled values at the entity's own slot,
+	// and fold tasks apply them to the recorder in slot order — the exact
+	// accumulation order of the sequential walk.
+	jobSamples  []telemetry.JobSample
+	hostSamples []telemetry.HostSample
+	// tickFlags[c] is set (atomically) when draw chunk c has been written;
+	// fold tasks spin on it so folding chunk c can start while chunk c+1
+	// is still drawing.
+	tickFlags []atomic.Uint32
+	// maxLiveRunning tracks the high-water mark of the running set, for
+	// tests asserting the job walk actually sharded.
+	maxLiveRunning int
 
 	// detReason marks failure-reason codes that reproduce deterministically
 	// (AdaptiveRetry consults it with the *classified* reason, as a real
@@ -275,12 +309,18 @@ func NewStudy(cfg Config) (*Study, error) {
 		gen:       gen,
 		logGen:    joblog.NewGenerator(),
 		clf:       joblog.NewClassifier(),
-		utilRNG:   master.Split("util"),
-		hostRNG:   master.Split("host"),
 		logRNG:    master.Split("logs"),
 		curveRNG:  master.Split("curves"),
 		states:    map[cluster.JobID]*jobState{},
 		detReason: map[string]bool{},
+	}
+	// Pre-split one host-telemetry stream per server. Utilization streams
+	// are per-job and derived lazily on first start (see onStart); both use
+	// the same stateless (seed, label, id) derivation, so no stream's
+	// content depends on any other stream's draw count.
+	s.hostStreams = make([]stats.RNG, cl.NumServers())
+	for i := range s.hostStreams {
+		s.hostStreams[i].Init(stats.DeriveEntitySeed(cfg.Seed, "host", uint64(i)))
 	}
 	for code, r := range failures.ByCode() {
 		s.detReason[code] = r.Deterministic
@@ -288,6 +328,21 @@ func NewStudy(cfg Config) (*Study, error) {
 	s.jobs = gen.Generate(wlRNG)
 	s.results = make([]JobResult, len(s.jobs))
 	return s, nil
+}
+
+// SetPool attaches a shared fork-join worker pool for intra-study
+// parallelism: the telemetry walk, multi-rack placement scoring, and large
+// log scans shard across it. Must be called before Run. The pool changes
+// wall-clock only — StudyResult is bit-identical for any pool size,
+// including none (see PERFORMANCE.md for the determinism argument).
+//
+// The pool may be shared with other studies and with internal/sweep's
+// across-study workers: shards are handed only to workers that are idle at
+// that instant, so a fully busy pool degrades gracefully to inline
+// execution with zero oversubscription.
+func (s *Study) SetPool(p *par.Pool) {
+	s.pool = p
+	s.cluster.SetPool(p)
 }
 
 // Run executes the study to completion and returns the result.
@@ -430,8 +485,16 @@ func (s *Study) onStart(ev scheduler.StartEvent, now simulation.Time) {
 		Servers:   shape.Servers,
 		Colocated: shape.Colocated,
 	}
+	if !js.streamInit {
+		// First start: seed the job's private utilization stream and make
+		// its usage accumulator. Derivation is stateless in (seed, jobID),
+		// so stream content is independent of start order.
+		js.streamInit = true
+		js.stream.Init(stats.DeriveEntitySeed(s.cfg.Seed, "job-util", uint64(js.spec.ID)))
+		js.usage = s.rec.EnsureJob(js.sched.ID)
+	}
 	js.slowdown = s.util.Slowdown(shape)
-	js.baseUtil = s.util.JobBaseUtil(shape, js.spec.Plan.Outcome, s.utilRNG)
+	js.baseUtil = s.util.JobBaseUtil(shape, js.spec.Plan.Outcome, &js.stream)
 	js.episodeStart = now
 	js.running = true
 	if js.runIdx < 0 {
@@ -545,7 +608,7 @@ func (s *Study) onMigrate(ev scheduler.MigrationEvent, now simulation.Time) {
 		CrossRack: ev.Job.Placement.CrossRack(s.cluster),
 	}
 	js.slowdown = s.util.Slowdown(shape)
-	js.baseUtil = s.util.JobBaseUtil(shape, js.spec.Plan.Outcome, s.utilRNG)
+	js.baseUtil = s.util.JobBaseUtil(shape, js.spec.Plan.Outcome, &js.stream)
 	js.meta.Servers = shape.Servers
 	js.meta.Colocated = shape.Colocated
 	js.episodeStart = now
@@ -665,7 +728,7 @@ func (s *Study) classify(reasonCode string, gpus int) string {
 		return reasonCode
 	}
 	log := s.logGen.FailureLogBytes(reasonCode, gpus, s.logRNG)
-	return s.clf.ClassifyBytes(log)
+	return s.clf.ClassifyBytesPool(log, s.pool)
 }
 
 // finalize records the job's terminal state.
@@ -733,7 +796,7 @@ func (s *Study) convergence(js *jobState) *ConvergenceResult {
 	losses := curve.Losses
 	if s.cfg.GenerateLogs {
 		log := s.logGen.TrainingLogBytes(curve.Losses, js.spec.GPUs, s.logRNG)
-		losses = joblog.ParseLossCurveBytes(log, s.lossScratch[:0])
+		losses = joblog.ParseLossCurveBytesPool(log, s.lossScratch[:0], s.pool)
 		s.lossScratch = losses
 	}
 	parsed := training.Curve{Losses: losses}
@@ -744,25 +807,167 @@ func (s *Study) convergence(js *jobState) *ConvergenceResult {
 	}
 }
 
+// telemetryChunkSize is the shard granularity of the telemetry walk: one
+// draw task covers this many running-list slots or servers, and fold tasks
+// consume the buffers chunk by chunk. It only balances handoff overhead
+// against load spread — results are identical for ANY chunking, because a
+// draw writes nothing but per-entity values into per-entity buffer slots
+// and every fold applies them in slot order.
+const telemetryChunkSize = 64
+
+// foldGroups is the number of fold tasks per tick. The fold is partitioned
+// by *destination*, not by sample: each task owns a disjoint set of
+// histograms (all/by-status; by-size; spread+usage; host CPU; host mem) and
+// walks the sample buffer in slot order, so no histogram is ever touched by
+// two tasks and each histogram's accumulation order is exactly the
+// sequential walk's.
+const foldGroups = 5
+
+// parallelTickMin gates the fork-join on a tick's draw work, in job-draw
+// units (a host draw is two normal deviates to a job draw's one, so each
+// server counts double). Below it the whole walk is a handful of
+// microseconds and the handoff would cost more than it buys; the gate
+// compares list lengths only — worker-count-independent by construction.
+// A variable, not a const, so the invariance tests can lower it and force
+// every tick through the parallel pipeline at test scale; any fixed value
+// preserves bit-identity.
+var parallelTickMin = 1024
+
 // sampleTelemetry records one per-minute observation of the whole cluster.
-// The walk is batched over flat state — the tombstoned running list for job
-// samples and the cluster's incrementally maintained per-server used-GPU
-// array for host samples — but draws every RNG sample in the same order as
-// the original per-object walk, so recorded telemetry is bit-identical.
+//
+// Sequential shape (no pool, or a tick below the parallel gate): one fused
+// walk — every running job draws its minute sample from its own pre-split
+// stream (jobState.rng) and records it, then every server from
+// hostRNGs[serverID].
+//
+// Parallel shape: the same walk split into draw tasks and fold tasks on
+// one fork-join. Draw task c samples chunk c's entities into their buffer
+// slots and releases tickFlags[c]; fold tasks (one per destination group)
+// walk the chunks in ascending slot order, spinning briefly on each
+// chunk's flag, so folding overlaps drawing. Both shapes are bit-identical
+// for every pool size: sampled values are a pure function of the entity's
+// own stream and episode history, and each histogram receives its samples
+// in slot order with identical arithmetic either way (the fold-group
+// methods are AddAt-for-AddAt equal to RecordJobMinuteInto and
+// RecordHostMinute — see internal/telemetry).
 func (s *Study) sampleTelemetry(now simulation.Time) {
-	for _, js := range s.running {
-		if js == nil || !js.running {
-			continue
-		}
-		if js.usage == nil {
-			js.usage = s.rec.EnsureJob(js.sched.ID)
-		}
-		s.rec.RecordJobMinuteInto(js.usage, js.meta, s.util.MinuteUtil(js.baseUtil, s.utilRNG))
+	jobs := s.running
+	used, caps := s.cluster.UsedBySrv(), s.cluster.CapBySrv()
+	if s.runningLive > s.maxLiveRunning {
+		s.maxLiveRunning = s.runningLive
 	}
-	s.rec.RecordHostMinutes(s.host, s.cluster.UsedBySrv(), s.cluster.CapBySrv(), s.hostRNG)
+
+	if s.pool == nil || len(jobs)+2*len(used) < parallelTickMin {
+		for _, js := range jobs {
+			if js != nil && js.running {
+				s.rec.RecordJobMinuteInto(js.usage, js.meta, s.util.MinuteUtil(js.baseUtil, &js.stream))
+			}
+		}
+		s.rec.RecordHostMinutesStreams(s.host, used, caps, s.hostStreams)
+	} else {
+		s.sampleTelemetryParallel(jobs, used, caps)
+	}
+
 	s.occ = append(s.occ, OccupancySample{
 		At:           now,
 		Occupancy:    s.cluster.Occupancy(),
 		EmptyServers: float64(s.cluster.EmptyServers()) / float64(s.cluster.NumServers()),
+	})
+}
+
+// sampleTelemetryParallel is one tick's draw+fold fork-join (see
+// sampleTelemetry).
+func (s *Study) sampleTelemetryParallel(jobs []*jobState, used, caps []int32) {
+	jobChunks := (len(jobs) + telemetryChunkSize - 1) / telemetryChunkSize
+	hostChunks := (len(used) + telemetryChunkSize - 1) / telemetryChunkSize
+	drawTasks := jobChunks + hostChunks
+	if cap(s.jobSamples) < len(jobs) {
+		s.jobSamples = make([]telemetry.JobSample, len(jobs)+len(jobs)/2)
+	}
+	if len(s.hostSamples) < len(used) {
+		s.hostSamples = make([]telemetry.HostSample, len(used))
+	}
+	if len(s.tickFlags) < drawTasks {
+		s.tickFlags = make([]atomic.Uint32, drawTasks)
+	}
+	jobBuf, hostBuf := s.jobSamples[:len(jobs)], s.hostSamples
+	for c := 0; c < drawTasks; c++ {
+		s.tickFlags[c].Store(0)
+	}
+
+	// waitChunks folds buffer chunks [0, n) in order via apply, spinning on
+	// each draw flag (offset by base) until that chunk's slots are written.
+	waitChunks := func(base, n, limit int, apply func(lo, hi int)) {
+		for c := 0; c < n; c++ {
+			for spin := 0; s.tickFlags[base+c].Load() == 0; spin++ {
+				if spin > 128 {
+					runtime.Gosched()
+				}
+			}
+			lo, hi := c*telemetryChunkSize, (c+1)*telemetryChunkSize
+			if hi > limit {
+				hi = limit
+			}
+			apply(lo, hi)
+		}
+	}
+	s.pool.ForkJoin(drawTasks+foldGroups, func(t int) {
+		switch {
+		case t < jobChunks: // draw one job chunk
+			lo, hi := t*telemetryChunkSize, (t+1)*telemetryChunkSize
+			if hi > len(jobs) {
+				hi = len(jobs)
+			}
+			for i := lo; i < hi; i++ {
+				if js := jobs[i]; js != nil && js.running {
+					u := s.util.MinuteUtil(js.baseUtil, &js.stream)
+					jobBuf[i] = telemetry.JobSample{
+						Usage: js.usage, Meta: &js.meta,
+						Util: u, Idx: s.rec.BucketFor(u),
+					}
+				} else {
+					// Zero the whole slot: a stale Usage/Meta pointer would
+					// retain a finished job's state across ticks.
+					jobBuf[i] = telemetry.JobSample{Idx: -1}
+				}
+			}
+			s.tickFlags[t].Store(1)
+		case t < drawTasks: // draw one host chunk
+			lo, hi := (t-jobChunks)*telemetryChunkSize, (t-jobChunks+1)*telemetryChunkSize
+			if hi > len(used) {
+				hi = len(used)
+			}
+			for i := lo; i < hi; i++ {
+				cpu, mem := s.host.Sample(int(used[i]), int(caps[i]), &s.hostStreams[i])
+				hostBuf[i] = telemetry.HostSample{
+					CPU: cpu, Mem: mem,
+					CPUIdx: s.rec.BucketFor(cpu), MemIdx: s.rec.BucketFor(mem),
+				}
+			}
+			s.tickFlags[t].Store(1)
+		default: // fold one destination group over all chunks, in order
+			switch t - drawTasks {
+			case 0:
+				waitChunks(0, jobChunks, len(jobs), func(lo, hi int) {
+					s.rec.FoldJobsAll(jobBuf[lo:hi])
+				})
+			case 1:
+				waitChunks(0, jobChunks, len(jobs), func(lo, hi int) {
+					s.rec.FoldJobsBySize(jobBuf[lo:hi])
+				})
+			case 2:
+				waitChunks(0, jobChunks, len(jobs), func(lo, hi int) {
+					s.rec.FoldJobsSpreadUsage(jobBuf[lo:hi])
+				})
+			case 3:
+				waitChunks(jobChunks, hostChunks, len(used), func(lo, hi int) {
+					s.rec.FoldHostCPU(hostBuf[lo:hi])
+				})
+			case 4:
+				waitChunks(jobChunks, hostChunks, len(used), func(lo, hi int) {
+					s.rec.FoldHostMem(hostBuf[lo:hi])
+				})
+			}
+		}
 	})
 }

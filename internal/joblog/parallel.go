@@ -1,0 +1,142 @@
+package joblog
+
+// Sharded log scanning. Classification and loss-curve parsing are pure
+// functions of the log text, which makes them fork-join friendly: cut the
+// buffer into chunks, scan each chunk independently, and merge with an
+// operation whose result cannot depend on the chunking (minimum rule index
+// for classification; in-order concatenation for parsing). The simulator
+// calls these from the single-threaded event loop and blocks until the
+// join, so scheduling semantics are untouched.
+//
+// Chunk boundaries are deterministic functions of the input length alone —
+// and for classification the merge (min) is order-free anyway — so results
+// are bit-identical to the sequential scan for every worker count.
+
+import (
+	"bytes"
+
+	"philly/internal/par"
+)
+
+// scanChunkSize is the classification shard size. parallelScanMin gates the
+// parallel path: below it, fork-join overhead dwarfs the scan (a typical
+// generated failure log is a few hundred bytes and stays inline).
+const (
+	scanChunkSize   = 64 << 10
+	parallelScanMin = 2 * scanChunkSize
+)
+
+// maxPatternLen is the longest compiled-rule pattern; chunk overlap must
+// cover it so a match straddling a boundary is seen whole by some chunk.
+var maxPatternLen = func() int {
+	max := 0
+	for _, r := range compiledRules {
+		if len(r.Pattern) > max {
+			max = len(r.Pattern)
+		}
+	}
+	return max
+}()
+
+// matchBytesPool is matchBytes sharded across the pool. Each chunk starts
+// maxPatternLen-1 bytes early with a fresh automaton state: any occurrence
+// of a pattern (length ≤ maxPatternLen) lies entirely within at least one
+// extended chunk, so the union of chunk matches equals the full-scan match
+// set, and the minimum rule index over chunks equals the sequential answer.
+// A non-ASCII byte in any chunk returns -2, exactly like the sequential
+// scan's fallback trigger.
+func (m *matcher) matchBytesPool(log []byte, p *par.Pool) int32 {
+	if p == nil || len(log) < parallelScanMin {
+		return m.matchBytes(log)
+	}
+	chunks := (len(log) + scanChunkSize - 1) / scanChunkSize
+	results := make([]int32, chunks)
+	p.ForkJoin(chunks, func(c int) {
+		lo, hi := c*scanChunkSize, (c+1)*scanChunkSize
+		if hi > len(log) {
+			hi = len(log)
+		}
+		if over := maxPatternLen - 1; c > 0 && over > 0 {
+			lo -= over // overlap: matches crossing the cut end in this chunk
+		}
+		results[c] = m.matchBytes(log[lo:hi])
+	})
+	best := noRule
+	for _, r := range results {
+		switch {
+		case r == -2:
+			return -2
+		case r >= 0 && r < best:
+			best = r
+		}
+	}
+	if best == noRule {
+		return -1
+	}
+	return best
+}
+
+// ClassifyBytesPool is Classifier.ClassifyBytes with the scan sharded
+// across the pool for large logs. Semantics and result are identical to
+// ClassifyBytes for any input and any pool size.
+func (c *Classifier) ClassifyBytesPool(log []byte, p *par.Pool) string {
+	if len(log) == 0 {
+		return NoSignature
+	}
+	i := c.m.matchBytesPool(log, p)
+	if i == -2 {
+		return c.ClassifyBytes(log) // non-ASCII: sequential Unicode path
+	}
+	if i >= 0 {
+		return c.rules[i].Reason
+	}
+	return NoSignature
+}
+
+// parseChunkSize is the loss-curve shard size in bytes (cut at line
+// boundaries); parallelParseMin gates the parallel path.
+const (
+	parseChunkSize   = 64 << 10
+	parallelParseMin = 2 * parseChunkSize
+)
+
+// ParseLossCurveBytesPool is ParseLossCurveBytes with the line walk sharded
+// across the pool for large logs. Chunks are cut at the first newline at or
+// after each parseChunkSize boundary — a function of the input alone — and
+// per-chunk results are concatenated in chunk order, so the returned curve
+// is element-for-element identical to the sequential parse.
+func ParseLossCurveBytesPool(log []byte, dst []float64, p *par.Pool) []float64 {
+	if p == nil || len(log) < parallelParseMin {
+		return ParseLossCurveBytes(log, dst)
+	}
+	// Cut points: each chunk ends at the newline that terminates the line
+	// spanning its nominal boundary, so every line belongs to exactly one
+	// chunk.
+	var cuts []int // cuts[i] is the exclusive end of chunk i
+	for pos := 0; pos < len(log); {
+		end := pos + parseChunkSize
+		if end >= len(log) {
+			cuts = append(cuts, len(log))
+			break
+		}
+		if nl := bytes.IndexByte(log[end:], '\n'); nl >= 0 {
+			cuts = append(cuts, end+nl+1)
+		} else {
+			cuts = append(cuts, len(log))
+		}
+		pos = cuts[len(cuts)-1]
+	}
+	parts := make([][]float64, len(cuts))
+	p.ForkJoin(len(cuts), func(c int) {
+		lo := 0
+		if c > 0 {
+			lo = cuts[c-1]
+		}
+		parts[c] = ParseLossCurveBytes(log[lo:cuts[c]], nil)
+	})
+	out := dst
+	for _, part := range parts {
+		out = append(out, part...)
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package joblog
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"philly/internal/par"
+	"philly/internal/stats"
+)
+
+// bigLog builds a log larger than the parallel gates, with the payload
+// placed at a controllable offset — including straddling a chunk boundary.
+func bigLog(payload string, at int, total int) []byte {
+	line := "[worker] step 100: images/sec=123.4 all nominal\n"
+	var b bytes.Buffer
+	for b.Len() < total {
+		if b.Len() <= at && at < b.Len()+len(line) {
+			b.WriteString(payload + "\n")
+		}
+		b.WriteString(line)
+	}
+	return b.Bytes()
+}
+
+// TestClassifyBytesPoolMatchesSequential checks the sharded scan returns
+// the sequential answer with the signature at the start, middle, end, and
+// exactly straddling every chunk boundary of a multi-chunk log.
+func TestClassifyBytesPoolMatchesSequential(t *testing.T) {
+	c := NewClassifier()
+	pool := par.NewPool(4)
+	defer pool.Close()
+	const total = 3*scanChunkSize + 1000
+	sig := "CUDA error: out of memory"
+	offsets := []int{0, total / 2, total - 2000}
+	for cut := scanChunkSize; cut < total; cut += scanChunkSize {
+		for d := -len(sig); d <= 1; d++ {
+			offsets = append(offsets, cut+d)
+		}
+	}
+	for _, at := range offsets {
+		if at < 0 {
+			continue
+		}
+		log := bigLog(sig, at, total)
+		want := c.ClassifyBytes(log)
+		got := c.ClassifyBytesPool(log, pool)
+		if got != want {
+			t.Fatalf("offset %d: pool=%q sequential=%q", at, got, want)
+		}
+		if want == NoSignature {
+			t.Fatalf("offset %d: signature was not planted", at)
+		}
+	}
+	// No match at all.
+	clean := bigLog("nothing to see here", 100, total)
+	if got := c.ClassifyBytesPool(clean, pool); got != c.ClassifyBytes(clean) {
+		t.Fatalf("clean log diverged: %q", got)
+	}
+	// Non-ASCII forces the sequential Unicode fallback in both paths.
+	uni := append(bigLog(sig, total/2, total), "kaKbel"...)
+	if got, want := c.ClassifyBytesPool(uni, pool), c.ClassifyBytes(uni); got != want {
+		t.Fatalf("unicode log diverged: pool=%q sequential=%q", got, want)
+	}
+	// Small logs stay inline but must agree too.
+	small := []byte("[fw] E CUDA error: out of memory\n")
+	if got := c.ClassifyBytesPool(small, pool); got != c.ClassifyBytes(small) {
+		t.Fatalf("small log diverged: %q", got)
+	}
+}
+
+// TestClassifyPoolPrefersEarliestRule plants two different signatures in
+// different chunks; the sharded scan must pick the same (best-priority)
+// rule the sequential scan picks, regardless of which chunk matched first.
+func TestClassifyPoolPrefersEarliestRule(t *testing.T) {
+	c := NewClassifier()
+	pool := par.NewPool(4)
+	defer pool.Close()
+	const total = 4 * scanChunkSize
+	// Later chunk holds the better-priority signature.
+	log := bigLog("Traceback (most recent call last)", 100, total)
+	at := 3 * scanChunkSize
+	log = append(log[:at:at], append([]byte("CUDA error: out of memory\n"), log[at:]...)...)
+	if got, want := c.ClassifyBytesPool(log, pool), c.ClassifyBytes(log); got != want {
+		t.Fatalf("rule priority diverged: pool=%q sequential=%q", got, want)
+	}
+}
+
+// TestParseLossCurveBytesPoolMatchesSequential checks the sharded parse
+// returns element-identical curves for logs spanning several chunks.
+func TestParseLossCurveBytesPoolMatchesSequential(t *testing.T) {
+	pool := par.NewPool(4)
+	defer pool.Close()
+	gen := NewGenerator()
+	rng := stats.NewRNG(3)
+	losses := make([]float64, 0, 40000)
+	for i := 0; i < 40000; i++ {
+		losses = append(losses, 5.0/float64(i+1)+0.01*rng.Float64())
+	}
+	log := append([]byte(nil), gen.TrainingLogBytes(losses, 4, rng)...)
+	if len(log) < parallelParseMin {
+		t.Fatalf("training log too small to exercise the parallel parse: %d bytes", len(log))
+	}
+	want := ParseLossCurveBytes(log, nil)
+	got := ParseLossCurveBytesPool(log, nil, pool)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parsed curves diverged: %d vs %d epochs", len(got), len(want))
+	}
+	// Reused-destination form.
+	scratch := make([]float64, 0, len(want))
+	got2 := ParseLossCurveBytesPool(log, scratch[:0], pool)
+	if !reflect.DeepEqual(got2, want) {
+		t.Fatal("parsed curves diverged with reused destination")
+	}
+	// A log with no newline at a chunk boundary region still terminates.
+	blob := []byte(strings.Repeat("x", 3*parseChunkSize))
+	if out := ParseLossCurveBytesPool(blob, nil, pool); len(out) != 0 {
+		t.Fatalf("junk blob parsed %d losses", len(out))
+	}
+}

@@ -1,0 +1,93 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForkJoinCoversAllShards checks every shard runs exactly once, across
+// pool sizes and shard counts (including n < size and n > size).
+func TestForkJoinCoversAllShards(t *testing.T) {
+	for _, size := range []int{1, 2, 4, 8} {
+		p := NewPool(size)
+		for _, n := range []int{0, 1, 3, 17, 256} {
+			counts := make([]atomic.Int32, n)
+			p.ForkJoin(n, func(i int) { counts[i].Add(1) })
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("size=%d n=%d shard %d ran %d times", size, n, i, got)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestNilPoolRunsInline checks the nil pool executes shards in order on the
+// calling goroutine.
+func TestNilPoolRunsInline(t *testing.T) {
+	var p *Pool
+	if p.Size() != 1 {
+		t.Fatalf("nil pool size = %d", p.Size())
+	}
+	var order []int
+	p.ForkJoin(5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("inline order %v", order)
+		}
+	}
+	p.Close() // must not panic
+}
+
+// TestNestedForkJoinNoDeadlock saturates the pool with outer tasks that
+// each fork inner work; TrySubmit semantics must keep everything moving.
+func TestNestedForkJoinNoDeadlock(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var total atomic.Int64
+	p.ForkJoin(16, func(outer int) {
+		p.ForkJoin(16, func(inner int) {
+			total.Add(1)
+		})
+	})
+	if got := total.Load(); got != 256 {
+		t.Fatalf("nested shards ran %d times, want 256", got)
+	}
+}
+
+// TestBudgetNeverExceeded counts concurrently running shards and asserts
+// the pool's hard budget holds even under nesting.
+func TestBudgetNeverExceeded(t *testing.T) {
+	const size = 4
+	p := NewPool(size)
+	defer p.Close()
+	var cur, max atomic.Int64
+	var mu sync.Mutex
+	enter := func() {
+		c := cur.Add(1)
+		mu.Lock()
+		if c > max.Load() {
+			max.Store(c)
+		}
+		mu.Unlock()
+	}
+	p.ForkJoin(32, func(outer int) {
+		enter()
+		defer cur.Add(-1)
+		p.ForkJoin(8, func(inner int) {
+			enter()
+			defer cur.Add(-1)
+			for i := 0; i < 1000; i++ {
+				_ = i * i
+			}
+		})
+	})
+	// Outer shard + its nested inner shard run on the same goroutine (the
+	// caller executes its own fork-join), so one worker can hold two
+	// "entered" frames at once; the budget bound on goroutines is size.
+	if got := max.Load(); got > 2*size {
+		t.Fatalf("observed %d concurrent frames, budget %d (max allowed %d)", got, size, 2*size)
+	}
+}

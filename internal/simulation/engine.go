@@ -5,7 +5,12 @@
 // The engine is intentionally single-threaded. Determinism — identical
 // results for identical seeds — is a design requirement (every figure in
 // EXPERIMENTS.md must be regenerable bit-for-bit), and a single event loop
-// is the simplest way to guarantee it.
+// is the simplest way to guarantee it. Intra-study parallelism lives one
+// layer up and respects this contract: an event callback may fork work out
+// to a pool (the telemetry draw/fold pipeline, rack scoring, log scans in
+// internal/core) but always joins before returning, so the engine never
+// observes concurrent mutation and the event schedule is identical for
+// every worker count.
 package simulation
 
 import (

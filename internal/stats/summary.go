@@ -252,6 +252,20 @@ func (h *Histogram) Merge(other *Histogram) error {
 	return nil
 }
 
+// Reset zeroes the histogram for reuse, keeping its shape. Together with
+// Merge it is what makes per-shard partial histograms cheap: a telemetry
+// shard resets a pooled histogram, accumulates its chunk, and the owner
+// folds it back with Merge in fixed chunk order.
+func (h *Histogram) Reset() {
+	if h.total == 0 {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total, h.sum, h.underlo, h.overhi = 0, 0, 0, 0
+}
+
 // Count returns the number of recorded samples.
 func (h *Histogram) Count() uint64 { return h.total }
 

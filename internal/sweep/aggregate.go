@@ -109,18 +109,37 @@ func fmtAgg(a Agg) string {
 	return fmt.Sprintf("%.1f", a.Mean)
 }
 
-// RenderTable renders the cross-scenario comparison: one row per scenario,
-// one "mean±95%CI" column per metric, using the shared analysis renderer.
+// RenderTable renders the cross-scenario comparison: one column per axis
+// (falling back to a single "scenario" column when the matrix has no axes
+// or the axis names are unknown), one "mean±95%CI" column per metric, using
+// the shared analysis renderer. Structured axis values like
+// locality.relax's "4:8" are component-aligned (see AlignLabels) instead of
+// rendering as ragged opaque strings.
 func (r *Result) RenderTable() string {
 	defs := Metrics()
-	header := []string{"scenario", "replicas"}
+	axes := r.axisColumns()
+	var header []string
+	if axes == nil {
+		header = []string{"scenario"}
+	} else {
+		header = append(header, r.AxisNames...)
+	}
+	header = append(header, "replicas")
 	for _, d := range defs {
 		header = append(header, d.Name)
 	}
 	t := &analysis.Table{Header: header}
 	for i := range r.Scenarios {
 		sc := &r.Scenarios[i]
-		row := []string{sc.Scenario.Name, fmt.Sprintf("%d", len(sc.Replicas))}
+		var row []string
+		if axes == nil {
+			row = []string{sc.Scenario.Name}
+		} else {
+			for _, col := range axes {
+				row = append(row, col[i])
+			}
+		}
+		row = append(row, fmt.Sprintf("%d", len(sc.Replicas)))
 		for j := range defs {
 			row = append(row, fmtAgg(sc.Summary.Metrics[j]))
 		}
@@ -131,4 +150,69 @@ func (r *Result) RenderTable() string {
 		len(r.Scenarios), r.Replicas, r.BaseSeed)
 	b.WriteString(t.String())
 	return b.String()
+}
+
+// axisColumns transposes scenario labels into per-axis columns with
+// structured values aligned, or nil when the result has no usable axis
+// labels (no axes, or scenarios predating label capture).
+func (r *Result) axisColumns() [][]string {
+	if len(r.AxisNames) == 0 {
+		return nil
+	}
+	cols := make([][]string, len(r.AxisNames))
+	for a := range cols {
+		col := make([]string, len(r.Scenarios))
+		for i := range r.Scenarios {
+			labels := r.Scenarios[i].Scenario.Labels
+			if a >= len(labels) {
+				return nil // ragged labels: fall back to opaque names
+			}
+			col[i] = labels[a]
+		}
+		cols[a] = AlignLabels(col)
+	}
+	return cols
+}
+
+// AlignLabels pretty-prints one axis's values for a table column. Values
+// with a shared "a:b[:c...]" structure — like locality.relax's
+// "rackAfter:anyAfter" thresholds — get each component right-aligned to the
+// component's column width ("4:8" and "16:32" render as " 4: 8" and
+// "16:32"), so structured labels read as aligned tuples instead of opaque
+// strings. Anything without a shared structure is returned unchanged.
+func AlignLabels(labels []string) []string {
+	if len(labels) == 0 {
+		return labels
+	}
+	parts := strings.Count(labels[0], ":")
+	if parts == 0 {
+		return labels
+	}
+	split := make([][]string, len(labels))
+	for i, l := range labels {
+		if strings.Count(l, ":") != parts {
+			return labels
+		}
+		split[i] = strings.Split(l, ":")
+	}
+	widths := make([]int, parts+1)
+	for _, sp := range split {
+		for j, s := range sp {
+			if len(s) > widths[j] {
+				widths[j] = len(s)
+			}
+		}
+	}
+	out := make([]string, len(labels))
+	for i, sp := range split {
+		var b strings.Builder
+		for j, s := range sp {
+			if j > 0 {
+				b.WriteByte(':')
+			}
+			fmt.Fprintf(&b, "%*s", widths[j], s)
+		}
+		out[i] = b.String()
+	}
+	return out
 }

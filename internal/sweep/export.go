@@ -22,10 +22,14 @@ const ExportFormatVersion = 1
 
 // Export is the serializable form of a Result.
 type Export struct {
-	FormatVersion int              `json:"format_version"`
-	Replicas      int              `json:"replicas"`
-	BaseSeed      uint64           `json:"base_seed"`
-	Scenarios     []ExportScenario `json:"scenarios"`
+	FormatVersion int `json:"format_version"`
+	Replicas      int `json:"replicas"`
+	// AxisNames was added alongside per-axis table columns; it is optional
+	// in the format (older exports decode with no axis names and render
+	// with the opaque scenario-name column), so the version stays 1.
+	AxisNames []string         `json:"axis_names,omitempty"`
+	BaseSeed  uint64           `json:"base_seed"`
+	Scenarios []ExportScenario `json:"scenarios"`
 }
 
 // ExportScenario is one scenario's results.
@@ -146,6 +150,7 @@ func (r *Result) ToExport() Export {
 	out := Export{
 		FormatVersion: ExportFormatVersion,
 		Replicas:      r.Replicas,
+		AxisNames:     r.AxisNames,
 		BaseSeed:      r.BaseSeed,
 	}
 	defs := Metrics()
@@ -191,7 +196,7 @@ func DecodeJSON(rd io.Reader) (*Result, error) {
 	if e.FormatVersion != ExportFormatVersion {
 		return nil, fmt.Errorf("sweep: unsupported export format version %d (want %d)", e.FormatVersion, ExportFormatVersion)
 	}
-	res := &Result{Replicas: e.Replicas, BaseSeed: e.BaseSeed}
+	res := &Result{Replicas: e.Replicas, AxisNames: e.AxisNames, BaseSeed: e.BaseSeed}
 	defs := Metrics()
 	for _, es := range e.Scenarios {
 		sc := ScenarioResult{

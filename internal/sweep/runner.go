@@ -2,10 +2,10 @@ package sweep
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"philly/internal/core"
+	"philly/internal/par"
 	"philly/internal/stats"
 )
 
@@ -13,9 +13,20 @@ import (
 type Options struct {
 	// Replicas is the number of seed replicas per scenario (default 1).
 	Replicas int
-	// Workers bounds pool concurrency; 0 means GOMAXPROCS. Worker count
-	// never affects results, only wall-clock.
+	// Workers is the sweep's total parallelism budget — one shared
+	// internal/par pool of this size runs both the across-study workers
+	// (one study per worker) and every study's intra-study shards
+	// (telemetry chunks, placement scoring). The two layers cannot
+	// oversubscribe: intra-study shards are handed only to workers that
+	// are idle at that instant, so a sweep that saturates the pool with
+	// studies runs each study inline, and as the queue drains the freed
+	// workers start accelerating the stragglers. 0 means GOMAXPROCS.
+	// Worker count never affects results, only wall-clock.
 	Workers int
+	// Pool, when non-nil, is used instead of constructing (and closing) a
+	// fresh pool of Workers size — for callers embedding the sweep in a
+	// larger parallel computation that already owns a budget.
+	Pool *par.Pool
 	// BaseSeed roots per-run seed derivation; 0 means Matrix.Base.Seed.
 	BaseSeed uint64
 	// Progress, when non-nil, is called after each completed run with
@@ -28,6 +39,9 @@ type Options struct {
 type Result struct {
 	// Scenarios holds one entry per matrix cell, in expansion order.
 	Scenarios []ScenarioResult
+	// AxisNames holds the matrix's axis names in axis order; comparison
+	// tables use them as per-axis column headers.
+	AxisNames []string
 	// Replicas echoes Options.Replicas; BaseSeed the effective base seed.
 	Replicas int
 	BaseSeed uint64
@@ -55,16 +69,10 @@ func DeriveSeed(baseSeed uint64, scenarioIdx, replicaIdx int) uint64 {
 	return h
 }
 
-// runUnit is one scenario × replica cell.
-type runUnit struct {
-	scenario int
-	replica  int
-}
-
 // Run expands the matrix and executes every scenario × replica across the
-// worker pool. Any run error (including a scenario whose configuration
-// fails validation) cancels the remaining queue and is returned; the pool
-// never hangs on a bad cell.
+// shared worker pool. Any run error (including a scenario whose
+// configuration fails validation) stops the remaining queue and is
+// returned.
 func (m Matrix) Run(opts Options) (*Result, error) {
 	scenarios, err := m.Scenarios()
 	if err != nil {
@@ -73,10 +81,6 @@ func (m Matrix) Run(opts Options) (*Result, error) {
 	replicas := opts.Replicas
 	if replicas <= 0 {
 		replicas = 1
-	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
 	}
 	baseSeed := opts.BaseSeed
 	if baseSeed == 0 {
@@ -91,15 +95,19 @@ func (m Matrix) Run(opts Options) (*Result, error) {
 		}
 	}
 
+	pool := opts.Pool
+	if pool == nil {
+		pool = par.NewPool(opts.Workers)
+		defer pool.Close()
+	}
+
 	total := len(scenarios) * replicas
 	metrics := make([][]ReplicaMetrics, len(scenarios))
 	for i := range metrics {
 		metrics[i] = make([]ReplicaMetrics, replicas)
 	}
 
-	units := make(chan runUnit)
 	var (
-		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
 		done     int
@@ -116,57 +124,52 @@ func (m Matrix) Run(opts Options) (*Result, error) {
 		defer mu.Unlock()
 		return firstErr != nil
 	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for u := range units {
-				if failed() {
-					continue // drain the queue so the feeder never blocks
-				}
-				cfg := cloneConfig(scenarios[u.scenario].Config)
-				cfg.Seed = DeriveSeed(baseSeed, u.scenario, u.replica)
-				st, err := core.NewStudy(cfg)
-				if err != nil {
-					fail(fmt.Errorf("sweep: scenario %q replica %d: %w",
-						scenarios[u.scenario].Name, u.replica, err))
-					continue
-				}
-				// Stream per-job results into the reduction as they finish,
-				// so the study releases full job records in flight and the
-				// sweep's peak memory tracks the running set, not the whole
-				// workload (ROADMAP: memory-bound full-scale sweeps).
-				red := NewStreamReducer(st.NumJobs())
-				st.StreamJobs(red.ObserveJob)
-				res, err := st.Run()
-				if err != nil {
-					fail(fmt.Errorf("sweep: scenario %q replica %d: %w",
-						scenarios[u.scenario].Name, u.replica, err))
-					continue
-				}
-				metrics[u.scenario][u.replica] = red.Finish(res)
-				if opts.Progress != nil {
-					mu.Lock()
-					done++
-					d := done
-					mu.Unlock()
-					opts.Progress(d, total)
-				}
-			}
-		}()
-	}
-	for s := range scenarios {
-		for r := 0; r < replicas; r++ {
-			units <- runUnit{scenario: s, replica: r}
+	pool.ForkJoin(total, func(unit int) {
+		if failed() {
+			return
 		}
-	}
-	close(units)
-	wg.Wait()
+		s, r := unit/replicas, unit%replicas
+		cfg := cloneConfig(scenarios[s].Config)
+		cfg.Seed = DeriveSeed(baseSeed, s, r)
+		st, err := core.NewStudy(cfg)
+		if err != nil {
+			fail(fmt.Errorf("sweep: scenario %q replica %d: %w",
+				scenarios[s].Name, r, err))
+			return
+		}
+		// Intra-study shards draw on the same pool: idle sweep workers
+		// pick them up, busy pools degrade to inline. Either way the
+		// study result is bit-identical (see core.Study.SetPool).
+		st.SetPool(pool)
+		// Stream per-job results into the reduction as they finish,
+		// so the study releases full job records in flight and the
+		// sweep's peak memory tracks the running set, not the whole
+		// workload (ROADMAP: memory-bound full-scale sweeps).
+		red := NewStreamReducer(st.NumJobs())
+		st.StreamJobs(red.ObserveJob)
+		res, err := st.Run()
+		if err != nil {
+			fail(fmt.Errorf("sweep: scenario %q replica %d: %w",
+				scenarios[s].Name, r, err))
+			return
+		}
+		metrics[s][r] = red.Finish(res)
+		if opts.Progress != nil {
+			mu.Lock()
+			done++
+			d := done
+			mu.Unlock()
+			opts.Progress(d, total)
+		}
+	})
 	if firstErr != nil {
 		return nil, firstErr
 	}
 
 	out := &Result{Replicas: replicas, BaseSeed: baseSeed}
+	for _, ax := range m.Axes {
+		out.AxisNames = append(out.AxisNames, ax.Name)
+	}
 	for i := range scenarios {
 		out.Scenarios = append(out.Scenarios, ScenarioResult{
 			Scenario: scenarios[i],

@@ -351,3 +351,55 @@ func mustParse(t *testing.T, spec string) Axis {
 	}
 	return ax
 }
+
+// TestAlignLabels pins the structured-label prettifier: shared "a:b"
+// structures component-align, everything else passes through untouched.
+func TestAlignLabels(t *testing.T) {
+	got := AlignLabels([]string{"4:8", "16:32", "0:0"})
+	want := []string{" 4: 8", "16:32", " 0: 0"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("AlignLabels = %q, want %q", got, want)
+	}
+	// Mixed structure: unchanged.
+	mixed := []string{"4:8", "fifo"}
+	if got := AlignLabels(mixed); !reflect.DeepEqual(got, mixed) {
+		t.Fatalf("mixed labels mutated: %q", got)
+	}
+	// No structure: unchanged.
+	plain := []string{"philly", "fifo"}
+	if got := AlignLabels(plain); !reflect.DeepEqual(got, plain) {
+		t.Fatalf("plain labels mutated: %q", got)
+	}
+}
+
+// TestRenderTableAxisColumns checks the comparison table renders one column
+// per axis with aligned structured values instead of one opaque scenario
+// string.
+func TestRenderTableAxisColumns(t *testing.T) {
+	base := tinyConfig()
+	axes := []Axis{
+		mustParse(t, "locality.relax=4:8,16:32"),
+		mustParse(t, "sched.policy=philly,fifo"),
+	}
+	res, err := Matrix{Base: base, Axes: axes}.Run(Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := res.RenderTable()
+	for _, want := range []string{"locality.relax", "sched.policy", " 4: 8", "16:32"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+	if strings.Contains(table, "locality.relax=") {
+		t.Fatalf("table still renders opaque scenario names:\n%s", table)
+	}
+	// The no-axes fallback keeps the single scenario column.
+	plain, err := Matrix{Base: base}.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plain.RenderTable(), "scenario") {
+		t.Fatalf("no-axis table lost the scenario column:\n%s", plain.RenderTable())
+	}
+}

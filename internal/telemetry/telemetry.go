@@ -101,8 +101,10 @@ const histBuckets = 100
 
 func newPctHist() *stats.Histogram { return stats.NewHistogram(0, 100, histBuckets) }
 
-// Recorder aggregates telemetry. Not safe for concurrent use; the simulator
-// is single-threaded by design.
+// Recorder aggregates telemetry. Not safe for concurrent use: the parallel
+// telemetry pipeline in internal/core shards only the RNG draws (into
+// per-entity buffer slots) and folds values into the recorder from the
+// single event-loop goroutine, in the sequential walk's exact order.
 type Recorder struct {
 	bySizeStatus [NumSizeClasses][3]*stats.Histogram
 	all          *stats.Histogram
@@ -197,17 +199,122 @@ func (r *Recorder) RecordHostMinute(cpuUtil, memUtil float64) {
 	r.hostMem.Add(memUtil)
 }
 
-// RecordHostMinutes records one tick's host samples for the whole fleet:
-// servers are visited in ID order (the order of the used/caps arrays) and
-// two model draws are consumed per server, exactly as the per-server
-// RecordHostMinute loop did — one fused walk instead of two calls per
-// server per tick, which whole-study profiles showed as pure overhead.
-func (r *Recorder) RecordHostMinutes(host *perfmodel.HostModel, used, caps []int32, g *stats.RNG) {
+// RecordHostMinutesStreams records one tick's host samples for the whole
+// fleet — servers visited in ID order (the order of the used/caps arrays),
+// two model draws per server — with one pre-split RNG stream per server:
+// server i draws from streams[i], so its samples depend only on (stream,
+// tick count), the property that lets the host walk shard across workers
+// bit-identically. This is the sequential shape of the parallel pipeline's
+// host walk.
+func (r *Recorder) RecordHostMinutesStreams(host *perfmodel.HostModel, used, caps []int32, streams []stats.RNG) {
 	cpuHist, memHist := r.hostCPU, r.hostMem
 	for i, u := range used {
-		cpu, mem := host.Sample(int(u), int(caps[i]), g)
+		cpu, mem := host.Sample(int(u), int(caps[i]), &streams[i])
 		cpuHist.Add(cpu)
 		memHist.Add(mem)
+	}
+}
+
+// JobSample is one drawn per-minute job sample, ready to fold. The parallel
+// telemetry pipeline splits RecordJobMinuteInto's destinations across
+// FoldJobsAll / FoldJobsBySize / FoldJobsSpreadUsage so three workers can
+// fold the same sample buffer concurrently without sharing a histogram;
+// each method applies samples in buffer order, so per-histogram
+// accumulation order — and with it every floating-point sum — is exactly
+// the sequential walk's. The three folds together are sample-for-sample
+// identical to RecordJobMinuteInto (TestFoldGroupsMatchRecord pins this).
+type JobSample struct {
+	// Usage is the job's accumulator (exclusive to this sample's job).
+	Usage *JobUsage
+	// Meta points at the job's grouping key (stable during a tick).
+	Meta *JobMeta
+	// Util is the drawn utilization percent, already clamped to [0, 100].
+	Util float64
+	// Idx is Util's precomputed bucket index, or -1 for an empty slot.
+	// Clamped values never set a histogram's under/over flags, so the
+	// index alone reconstructs the full AddAt.
+	Idx int32
+}
+
+// HostSample is one drawn per-minute host sample, ready to fold.
+type HostSample struct {
+	// CPU and Mem are drawn percentages, already clamped to [0, 100].
+	CPU, Mem float64
+	// CPUIdx and MemIdx are the precomputed bucket indexes.
+	CPUIdx, MemIdx int32
+}
+
+// BucketFor exposes the shared percent-histogram bucket computation for
+// sample producers; all of the recorder's histograms have this shape.
+func (r *Recorder) BucketFor(v float64) int32 {
+	idx, _, _ := r.all.BucketFor(v)
+	return int32(idx)
+}
+
+// FoldJobsAll folds a sample buffer into the all-sizes histograms ("all"
+// and by-status).
+func (r *Recorder) FoldJobsAll(samples []JobSample) {
+	for i := range samples {
+		s := &samples[i]
+		if s.Idx < 0 {
+			continue
+		}
+		r.allByStatus[int(s.Meta.Outcome)].AddAt(s.Util, int(s.Idx), false, false)
+		r.all.AddAt(s.Util, int(s.Idx), false, false)
+	}
+}
+
+// FoldJobsBySize folds a sample buffer into the size-class × status
+// histograms.
+func (r *Recorder) FoldJobsBySize(samples []JobSample) {
+	for i := range samples {
+		s := &samples[i]
+		if s.Idx < 0 {
+			continue
+		}
+		r.bySizeStatus[ClassFor(s.Meta.GPUs)][int(s.Meta.Outcome)].AddAt(s.Util, int(s.Idx), false, false)
+	}
+}
+
+// FoldJobsSpreadUsage folds a sample buffer into the spread/dedicated
+// histograms and the per-job usage accumulators.
+func (r *Recorder) FoldJobsSpreadUsage(samples []JobSample) {
+	for i := range samples {
+		s := &samples[i]
+		if s.Idx < 0 {
+			continue
+		}
+		m := s.Meta
+		if m.GPUs == 16 {
+			h, ok := r.spread16[m.Servers]
+			if !ok {
+				h = newPctHist()
+				r.spread16[m.Servers] = h
+			}
+			h.AddAt(s.Util, int(s.Idx), false, false)
+			if m.Servers == 2 && !m.Colocated {
+				r.dedicated16.AddAt(s.Util, int(s.Idx), false, false)
+			}
+		}
+		if m.GPUs == 8 && m.Servers == 1 && !m.Colocated {
+			r.dedicated8.AddAt(s.Util, int(s.Idx), false, false)
+		}
+		s.Usage.SumUtil += s.Util
+		s.Usage.Minutes++
+	}
+}
+
+// FoldHostCPU folds a host-sample buffer into the CPU histogram.
+func (r *Recorder) FoldHostCPU(samples []HostSample) {
+	for i := range samples {
+		r.hostCPU.AddAt(samples[i].CPU, int(samples[i].CPUIdx), false, false)
+	}
+}
+
+// FoldHostMem folds a host-sample buffer into the memory histogram.
+func (r *Recorder) FoldHostMem(samples []HostSample) {
+	for i := range samples {
+		r.hostMem.AddAt(samples[i].Mem, int(samples[i].MemIdx), false, false)
 	}
 }
 

@@ -1,9 +1,11 @@
 package telemetry
 
 import (
+	"reflect"
 	"testing"
 
 	"philly/internal/failures"
+	"philly/internal/stats"
 )
 
 func TestClassFor(t *testing.T) {
@@ -116,5 +118,80 @@ func TestJobUsageZeroValue(t *testing.T) {
 	u := r.JobUsageOf(42)
 	if u.Minutes != 0 || u.MeanUtil() != 0 {
 		t.Errorf("usage of unknown job = %+v", u)
+	}
+}
+
+// TestFoldGroupsMatchRecord pins the parallel pipeline's fold-group methods
+// to the fused walk: for a stream of samples spanning every grouping branch
+// (size classes, outcomes, 16-GPU spreads, dedicated 8/16, clamped edges),
+// FoldJobsAll + FoldJobsBySize + FoldJobsSpreadUsage applied to a sample
+// buffer must leave a recorder deep-equal — every bucket count and float
+// sum — to one fed through RecordJobMinuteInto, and FoldHostCPU+FoldHostMem
+// deep-equal to RecordHostMinute.
+func TestFoldGroupsMatchRecord(t *testing.T) {
+	fused, folded := NewRecorder(), NewRecorder()
+	metas := []JobMeta{
+		{ID: 1, GPUs: 1, Outcome: failures.Passed, Servers: 1},
+		{ID: 2, GPUs: 4, Outcome: failures.Killed, Servers: 1, Colocated: true},
+		{ID: 3, GPUs: 8, Outcome: failures.Unsuccessful, Servers: 1},
+		{ID: 4, GPUs: 8, Outcome: failures.Passed, Servers: 2},
+		{ID: 5, GPUs: 16, Outcome: failures.Passed, Servers: 2},
+		{ID: 6, GPUs: 16, Outcome: failures.Killed, Servers: 2, Colocated: true},
+		{ID: 7, GPUs: 16, Outcome: failures.Passed, Servers: 4},
+		{ID: 8, GPUs: 32, Outcome: failures.Passed, Servers: 4},
+	}
+	rng := stats.NewRNG(11)
+	var buf []JobSample
+	for tick := 0; tick < 50; tick++ {
+		buf = buf[:0]
+		for mi := range metas {
+			m := &metas[mi]
+			util := float64(int(rng.Float64()*1200)-100) / 10 // spans <0, 0..100, >100... clamped below
+			if util < 0 {
+				util = 0
+			}
+			if util > 100 {
+				util = 100
+			}
+			fused.RecordJobMinuteInto(fused.EnsureJob(m.ID), *m, util)
+			buf = append(buf, JobSample{
+				Usage: folded.EnsureJob(m.ID), Meta: m,
+				Util: util, Idx: folded.BucketFor(util),
+			})
+			// Interleave dead slots like the running list's tombstones.
+			buf = append(buf, JobSample{Idx: -1})
+		}
+		folded.FoldJobsAll(buf)
+		folded.FoldJobsBySize(buf)
+		folded.FoldJobsSpreadUsage(buf)
+
+		var hosts []HostSample
+		for srv := 0; srv < 8; srv++ {
+			cpu := rng.Float64() * 100
+			mem := rng.Float64() * 100
+			fused.RecordHostMinute(cpu, mem)
+			hosts = append(hosts, HostSample{
+				CPU: cpu, Mem: mem,
+				CPUIdx: folded.BucketFor(cpu), MemIdx: folded.BucketFor(mem),
+			})
+		}
+		folded.FoldHostCPU(hosts)
+		folded.FoldHostMem(hosts)
+	}
+	if !reflect.DeepEqual(fused, folded) {
+		t.Fatal("fold-group recorder diverged from RecordJobMinuteInto/RecordHostMinute")
+	}
+	// The boundary values 0 and 100 must also agree (clamped samples never
+	// set under/over flags, which the fold relies on).
+	for _, v := range []float64{0, 100} {
+		m := metas[0]
+		fused.RecordJobMinuteInto(fused.EnsureJob(m.ID), m, v)
+		s := []JobSample{{Usage: folded.EnsureJob(m.ID), Meta: &metas[0], Util: v, Idx: folded.BucketFor(v)}}
+		folded.FoldJobsAll(s)
+		folded.FoldJobsBySize(s)
+		folded.FoldJobsSpreadUsage(s)
+	}
+	if !reflect.DeepEqual(fused, folded) {
+		t.Fatal("fold-group recorder diverged on clamp-boundary samples")
 	}
 }

@@ -36,6 +36,7 @@ import (
 	"philly/internal/core"
 	"philly/internal/failures"
 	"philly/internal/joblog"
+	"philly/internal/par"
 	"philly/internal/perfmodel"
 	"philly/internal/scheduler"
 	"philly/internal/trace"
@@ -82,11 +83,24 @@ func MediumConfig() Config { return core.MediumConfig() }
 // suite's calibration assertions run against it.
 func SmallConfig() Config { return core.SmallConfig() }
 
-// Run executes a study to completion.
-func Run(cfg Config) (*StudyResult, error) {
+// Run executes a study to completion on the calling goroutine alone.
+func Run(cfg Config) (*StudyResult, error) { return RunParallel(cfg, 1) }
+
+// RunParallel executes a study with intra-study parallelism: the per-tick
+// telemetry walk, multi-rack placement scoring, and large log scans shard
+// across a worker pool of the given size (<= 0 means GOMAXPROCS). The
+// result is bit-identical to Run for every worker count — parallelism
+// changes wall-clock only (see PERFORMANCE.md for the determinism
+// argument).
+func RunParallel(cfg Config, workers int) (*StudyResult, error) {
 	st, err := core.NewStudy(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("philly: %w", err)
+	}
+	if workers != 1 {
+		pool := par.NewPool(workers)
+		defer pool.Close()
+		st.SetPool(pool)
 	}
 	return st.Run()
 }
