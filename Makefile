@@ -48,9 +48,11 @@ bench-json:
 	$(GO) test -json -run '^$$' -bench '$(BENCH)' -benchmem -count $(COUNT) . > $(OUT)
 
 # bench-compare diffs two bench-json baselines and prints per-benchmark
-# ns/op and allocs/op deltas. Usage:
-#   make bench-compare A=BENCH_PR3_before.json B=BENCH_PR3_after.json
-A ?= BENCH_PR3_before.json
-B ?= BENCH_PR3_after.json
+# ns/op and allocs/op deltas. THRESHOLD (a percent) turns it into a CI
+# gate: any benchmark regressing beyond it exits non-zero. Usage:
+#   make bench-compare A=BENCH_PR4_before.json B=BENCH_PR4_after.json [THRESHOLD=10]
+A ?= BENCH_PR4_before.json
+B ?= BENCH_PR4_after.json
+THRESHOLD ?= 0
 bench-compare:
-	$(GO) run ./cmd/bench-compare $(A) $(B)
+	$(GO) run ./cmd/bench-compare -threshold $(THRESHOLD) $(A) $(B)

@@ -504,7 +504,10 @@ func BenchmarkSimulationThroughput(b *testing.B) {
 // the parallel pipeline shards; TestWorkerCountInvariance separately pins
 // the StudyResult bit-identical across all of these worker counts, so this
 // benchmark is purely a wall-clock trajectory. workers=1 is the inline
-// path and doubles as the regression guard against the sequential engine.
+// path on the sequential engine and doubles as its regression guard;
+// workers >= 2 run the per-VC sharded event engine end to end
+// (RunParallel shards events whenever workers != 1), so the curve also
+// prices the window merge.
 func BenchmarkStudyParallel(b *testing.B) {
 	// A quarter-length window at the paper's full arrival rate and cluster
 	// scale: the running set peaks in the thousands, like the full study.

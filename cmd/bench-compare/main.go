@@ -5,16 +5,22 @@
 //
 // Usage:
 //
-//	bench-compare BENCH_PR3_before.json BENCH_PR3_after.json
+//	bench-compare [-threshold PCT] BENCH_PR3_before.json BENCH_PR3_after.json
 //
 // Each file may contain several runs of the same benchmark (-count N);
 // runs are averaged per benchmark before diffing. Benchmarks present in
 // only one file are listed without a delta.
+//
+// -threshold makes the comparison a CI gate: when any benchmark's mean
+// ns/op regressed by more than PCT percent, the offenders are listed on
+// stderr and the exit code is 1 (without the flag the tool always exits 0
+// and is purely informational).
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
@@ -130,16 +136,23 @@ func fmtNs(ns float64) string {
 }
 
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: bench-compare BEFORE.json AFTER.json")
+	threshold := flag.Float64("threshold", 0,
+		"exit non-zero when any benchmark's ns/op regresses by more than this percent (0 = report only)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: bench-compare [-threshold PCT] BEFORE.json AFTER.json")
 		os.Exit(2)
 	}
-	before, err := parseFile(os.Args[1])
+	if *threshold < 0 {
+		fmt.Fprintln(os.Stderr, "bench-compare: -threshold must be >= 0")
+		os.Exit(2)
+	}
+	before, err := parseFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench-compare:", err)
 		os.Exit(1)
 	}
-	after, err := parseFile(os.Args[2])
+	after, err := parseFile(flag.Arg(1))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench-compare:", err)
 		os.Exit(1)
@@ -158,9 +171,13 @@ func main() {
 	sort.Strings(sorted)
 
 	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
 	fmt.Fprintf(w, "%-52s %12s %12s %8s %10s %10s %8s\n",
 		"benchmark", "ns/op before", "ns/op after", "Δns/op", "allocs/op", "allocs'", "Δallocs")
+	type regression struct {
+		name string
+		pct  float64
+	}
+	var regressions []regression
 	for _, n := range sorted {
 		b, a := before[n], after[n]
 		short := strings.TrimPrefix(n, "Benchmark")
@@ -173,6 +190,20 @@ func main() {
 			fmt.Fprintf(w, "%-52s %12s %12s %8s %10.0f %10.0f %8s\n",
 				short, fmtNs(b.nsOp), fmtNs(a.nsOp), delta(b.nsOp, a.nsOp),
 				b.allocsOp, a.allocsOp, delta(b.allocsOp, a.allocsOp))
+			if *threshold > 0 && b.nsOp > 0 {
+				if pct := 100 * (a.nsOp - b.nsOp) / b.nsOp; pct > *threshold {
+					regressions = append(regressions, regression{short, pct})
+				}
+			}
 		}
+	}
+	w.Flush()
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "bench-compare: %d benchmark(s) regressed beyond %.1f%%:\n",
+			len(regressions), *threshold)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "  %s: +%.1f%% ns/op\n", r.name, r.pct)
+		}
+		os.Exit(1)
 	}
 }

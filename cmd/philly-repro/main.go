@@ -4,7 +4,7 @@
 // Usage:
 //
 //	philly-repro [-scale small|medium|full] [-seed N] [-policy philly|fifo|srtf|tiresias|gandiva]
-//	             [-replicas N] [-workers N] [-o report.txt]
+//	             [-replicas N] [-workers N] [-shard-events] [-o report.txt]
 //
 // small  (~230 GPUs, 3.3k jobs) finishes in under a second;
 // medium (~2300 GPUs, 24k jobs) in tens of seconds;
@@ -21,6 +21,11 @@
 // it *across* studies first and lets idle workers accelerate the stragglers
 // — the two layers draw from the same pool and never oversubscribe. Results
 // are bit-identical for any worker count.
+//
+// -shard-events (default on, effective when -workers > 1) also partitions
+// the event loop per virtual cluster with a deterministic
+// virtual-time-window merge; the sweep path applies it to every study.
+// Either way, results are bit-identical to the sequential engine.
 package main
 
 import (
@@ -42,6 +47,8 @@ func main() {
 	replicas := flag.Int("replicas", 1, "seed replicas; > 1 switches to the sweep comparison table")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"shared worker budget: across studies when sweeping, within the study otherwise")
+	shardEvents := flag.Bool("shard-events", true,
+		"shard the event loop per virtual cluster when -workers > 1 (results are identical either way)")
 	out := flag.String("o", "", "also write the report to this file")
 	flag.Parse()
 
@@ -53,7 +60,8 @@ func main() {
 	cfg.Seed = *seed
 
 	if strings.Contains(*policy, ",") || *replicas > 1 {
-		if err := runSweep(cfg, *scale, *policy, *replicas, *workers, *out); err != nil {
+		if err := runSweep(cfg, *scale, *policy, *replicas, *workers,
+			*shardEvents && *workers != 1, *out); err != nil {
 			fmt.Fprintln(os.Stderr, "philly-repro:", err)
 			os.Exit(1)
 		}
@@ -67,7 +75,10 @@ func main() {
 	}
 
 	start := time.Now()
-	res, err := philly.RunParallel(cfg, *workers)
+	res, err := philly.RunWith(cfg, philly.RunOptions{
+		Workers:     *workers,
+		ShardEvents: *shardEvents && *workers != 1,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "philly-repro:", err)
 		os.Exit(1)
@@ -95,7 +106,7 @@ func main() {
 // seed replicas — through the sweep harness and prints its comparison
 // table. Per-run seeds derive from (seed, scenario, replica), so the table
 // is reproducible independent of worker count.
-func runSweep(cfg philly.Config, scale, policies string, replicas, workers int, out string) error {
+func runSweep(cfg philly.Config, scale, policies string, replicas, workers int, shardEvents bool, out string) error {
 	m := sweep.Matrix{Base: cfg}
 	ax, err := sweep.ParseAxis("sched.policy=" + policies)
 	if err != nil {
@@ -103,7 +114,7 @@ func runSweep(cfg philly.Config, scale, policies string, replicas, workers int, 
 	}
 	m.Axes = append(m.Axes, ax)
 	start := time.Now()
-	res, err := m.Run(sweep.Options{Replicas: replicas, Workers: workers})
+	res, err := m.Run(sweep.Options{Replicas: replicas, Workers: workers, ShardEvents: shardEvents})
 	if err != nil {
 		return err
 	}

@@ -4,13 +4,16 @@
 //
 // Usage:
 //
-//	philly-sim [-scale small|medium|full] [-seed N] [-workers N] [-out DIR]
+//	philly-sim [-scale small|medium|full] [-seed N] [-workers N]
+//	           [-shard-events] [-out DIR]
 //
 // -workers shards the study's telemetry walk and placement scoring across
-// that many cores (default: all). Output is bit-identical for any worker
-// count; only wall-clock changes. To sweep many studies instead, use
-// philly-sweep, whose -workers flag is the same budget spent across
-// studies first.
+// that many cores (default: all), and -shard-events (default on, effective
+// when -workers > 1) additionally partitions the event loop itself per
+// virtual cluster with a deterministic virtual-time-window merge. Output
+// is bit-identical for any worker count and either engine; only wall-clock
+// changes. To sweep many studies instead, use philly-sweep, whose -workers
+// flag is the same budget spent across studies first.
 package main
 
 import (
@@ -30,6 +33,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "master random seed")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"intra-study worker count (results are identical for any value)")
+	shardEvents := flag.Bool("shard-events", true,
+		"shard the event loop per virtual cluster when -workers > 1 (results are identical either way)")
 	out := flag.String("out", "philly-out", "output directory")
 	flag.Parse()
 
@@ -51,7 +56,10 @@ func main() {
 	cfg.Seed = *seed
 
 	start := time.Now()
-	res, err := philly.RunParallel(cfg, *workers)
+	res, err := philly.RunWith(cfg, philly.RunOptions{
+		Workers:     *workers,
+		ShardEvents: *shardEvents && *workers != 1,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "philly-sim:", err)
 		os.Exit(1)

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	philly-sweep [-scale small|medium|full] [-seed N] [-replicas N] [-workers N]
-//	             [-jobs N] [-axis name=v1,v2]... [-o table|json] [-v]
+//	             [-shard-events] [-jobs N] [-axis name=v1,v2]... [-o table|json] [-v]
 //
 // Each -axis flag adds one swept dimension; the scenarios are the
 // cross-product of all axes. Example — the §4.1 locality/fragmentation
@@ -24,6 +24,12 @@
 // -workers tasks in flight in total, and never an idle core while work
 // remains. philly-sim/-repro's -workers is the same budget spent entirely
 // within one study.
+//
+// -shard-events additionally runs every study on the per-VC sharded event
+// engine. It is off by default here: a sweep saturates the pool with whole
+// studies, so shard windows would mostly run inline anyway; turn it on for
+// sweeps with fewer runs than workers. Results are bit-identical either
+// way.
 //
 // -o json emits the machine-readable sweep.Result export (format_version 1:
 // per-replica metrics, per-metric aggregates, and each scenario's applied
@@ -62,6 +68,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "base seed for per-run derivation")
 	replicas := flag.Int("replicas", 4, "seed replicas per scenario")
 	workers := flag.Int("workers", 0, "shared worker budget across and within studies (0 = GOMAXPROCS)")
+	shardEvents := flag.Bool("shard-events", false,
+		"run every study on the per-VC sharded event engine (results are identical either way)")
 	jobs := flag.Int("jobs", 0, "override base workload job count (0 = scale default)")
 	output := flag.String("o", "table", "output format: table or json (machine-readable sweep.Result export)")
 	verbose := flag.Bool("v", false, "print per-run progress")
@@ -79,7 +87,7 @@ func main() {
 	}
 
 	m := sweep.Matrix{Base: base, Axes: axes}
-	opts := sweep.Options{Replicas: *replicas, Workers: *workers}
+	opts := sweep.Options{Replicas: *replicas, Workers: *workers, ShardEvents: *shardEvents}
 	if *verbose {
 		opts.Progress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rphilly-sweep: %d/%d runs", done, total)

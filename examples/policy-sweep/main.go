@@ -1,11 +1,12 @@
-// Policy sweep: the §4.1 trade-off study as a two-axis matrix.
+// Policy sweep: the §4.1 trade-off study as a three-axis matrix.
 //
 // The paper argues two sides of one coin: insisting on intra-server
 // locality delays queueing (§3.1), while relaxing it fragments GPUs and
-// lowers utilization (§4.1.2), and §5 proposes migration-based
-// defragmentation to soften the trade. This example crosses the scheduling
-// policy with defragmentation on/off and replicates each cell over four
-// seeds, so the comparison table shows which differences clear the noise —
+// lowers utilization (§4.1.2). How hard the trade bites depends on the
+// workload itself, so this example crosses the scheduling policy with the
+// job-size mix (the paper's default mix vs. a gang-heavy "large" cluster)
+// and with a failure-rate multiplier (the Table 7 calibration vs. a
+// cluster failing 1.5x as often), replicating each cell over four seeds —
 // the kind of multi-configuration characterization Hu et al. and the
 // Synergy study run at scale.
 //
@@ -31,7 +32,8 @@ func main() {
 	var axes []sweep.Axis
 	for _, spec := range []string{
 		"sched.policy=philly,fifo",
-		"defrag=off,on",
+		"workload.mix=default,large",
+		"failure.scale=1,1.5",
 	} {
 		ax, err := sweep.ParseAxis(spec)
 		if err != nil {
@@ -44,7 +46,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("Locality vs. fragmentation (§4.1), policy × defrag, 4 seed replicas")
+	fmt.Println("Locality vs. fragmentation (§4.1), policy × size mix × failure rate, 4 seed replicas")
 	fmt.Print(res.RenderTable())
 	fmt.Println("\nmean±ci cells are 95% confidence intervals over the seed replicas;")
 	fmt.Println("differences inside the interval are noise, not policy effects.")

@@ -4,6 +4,16 @@
 // the state the paper's scheduler consults — per-GPU allocation, per-server
 // and per-rack occupancy, and the network hierarchy (intra-server PCIe /
 // NVLink, intra-rack 100 Gbps InfiniBand, cross-rack Ethernet).
+//
+// Event-sharding classification: the physical cluster is shared by every
+// virtual cluster — placements from different VCs land on the same racks
+// and compete for the same free GPUs — so ALL mutations here (Allocate,
+// Release) and all occupancy-dependent queries (FindPlacement, Occupancy,
+// the free-count bucket indexes) are global state in the sense of
+// internal/simulation.Sharded: they may only run in global events at
+// window barriers, never on a VC's event shard. This is the "minimum
+// cross-VC interaction" that bounds the conservative lookahead — two VCs
+// interact exactly when the scheduler consults or mutates this package.
 package cluster
 
 import (

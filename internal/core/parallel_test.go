@@ -63,18 +63,47 @@ func lowerTickGate(t *testing.T) {
 	t.Cleanup(func() { parallelTickMin = old })
 }
 
+// runShardedWithPool executes one study on the per-VC sharded event engine
+// with the given shard count (0 = one shard per VC) over a pool of the
+// given size (0 = no pool).
+func runShardedWithPool(t *testing.T, cfg Config, shards, workers int) (*StudyResult, *Study) {
+	t.Helper()
+	st, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.ShardEvents(shards)
+	if workers > 0 {
+		pool := par.NewPool(workers)
+		defer pool.Close()
+		st.SetPool(pool)
+	}
+	res, err := st.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, st
+}
+
 // TestWorkerCountInvariance is the tentpole's hard bar: the full-precision
 // StudyResult — every float in every job record, every histogram bucket and
-// sum, every occupancy sample — must be bit-identical across intra-study
-// worker counts 1, 2, 4 and 8, and identical to the sequential engine (no
-// pool at all), for 3 seeds × 2 policies. reflect.DeepEqual compares
-// unexported recorder state too, so this is strictly stronger than hashing
-// a rendered report.
+// sum, every occupancy sample — must be bit-identical across
+//
+//   - intra-study worker counts 1, 2, 4 and 8 on the sequential engine, and
+//   - the per-VC sharded event engine at shard counts 1, 2 and NumVCs,
+//     each at worker counts 1 and 4,
+//
+// all against the sequential no-pool engine, for 3 seeds × 2 policies.
+// reflect.DeepEqual compares unexported recorder state too, so this is
+// strictly stronger than hashing a rendered report.
 //
 // workers=1 runs the parallel pipeline's code shape inline (draw tasks
 // then fold tasks on one goroutine), so the sequential-vs-1-worker leg
 // pins the fused-walk ≡ draw+fold-groups equivalence; workers ≥ 2 add real
-// concurrency (and, under make check, the race detector).
+// concurrency (and, under make check, the race detector). The sharded legs
+// additionally pin the window merge: shard-local prepare steps interleave
+// differently across shards than the sequential event order, and the
+// result must not care.
 func TestWorkerCountInvariance(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-run invariance matrix is not a -short test")
@@ -111,6 +140,40 @@ func TestWorkerCountInvariance(t *testing.T) {
 					diffStudyResults(t, seq, res)
 					t.Fatalf("policy=%v seed=%d workers=%d diverged from sequential engine",
 						policy, seed, workers)
+				}
+			}
+			// Sharded-event legs: shard counts 1, 2 and NumVCs, with and
+			// without real pool concurrency.
+			for _, shards := range []int{1, 2, 0 /* = NumVCs */} {
+				for _, workers := range []int{1, 4} {
+					res, st := runShardedWithPool(t, cfg, shards, workers)
+					on, n := st.EventSharded()
+					if !on {
+						t.Fatal("sharded run did not use the sharded engine")
+					}
+					if shards > 0 && n != shards {
+						t.Fatalf("shard count = %d, want %d", n, shards)
+					}
+					if !reflect.DeepEqual(seq, res) {
+						diffStudyResults(t, seq, res)
+						t.Fatalf("policy=%v seed=%d shards=%d workers=%d diverged from sequential engine",
+							policy, seed, shards, workers)
+					}
+					ws := st.WindowStats()
+					if ws.LocalEvents == 0 {
+						t.Fatalf("shards=%d: no events ran on the shards", n)
+					}
+					// White-box guard: with more than one shard, the window
+					// merge must actually batch multiple shards into single
+					// windows — shards advancing concurrently in virtual
+					// time — or the sharded path under test degenerated to
+					// a serialized replay. The counter is deterministic (a
+					// function of the event schedule, not of thread timing),
+					// so an exact zero is a real regression.
+					if n > 1 && ws.MultiShardWindows == 0 {
+						t.Fatalf("policy=%v seed=%d shards=%d: no window advanced multiple shards",
+							policy, seed, n)
+					}
 				}
 			}
 		}

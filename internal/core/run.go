@@ -167,12 +167,52 @@ type jobState struct {
 	// which other jobs run.
 	stream     stats.RNG
 	streamInit bool
+	// logStream is the job's private failure-log stream (rendering and
+	// classification draws), derived from (studySeed, "job-logs", jobID)
+	// and seeded lazily on first use. Per-job keying is what makes log
+	// classification a shard-local computation: the draws depend only on
+	// this job's failure history, never on which other jobs failed first.
+	// curveStream is the analogous per-job convergence-curve stream, drawn
+	// at most once (at finalize).
+	logStream   stats.RNG
+	logInit     bool
+	curveStream stats.RNG
 	// runIdx is the job's slot in the study's running list, -1 when absent.
 	runIdx int
 	// finishSeq guards stale finish events after a preemption.
 	finishSeq int
 	running   bool
+
+	// shard is the event lane of the job's VC: every shard-local event of
+	// this job (the finish prepare step) runs there.
+	shard simulation.ShardID
+	// decision, stagedClassified and pendingConv are the staging area
+	// prepareFinish fills for commitFinish to publish; preparedSeq records
+	// which finish the staging belongs to, stagedAttempt which attempt.
+	// An attempt's outcome does not change when a preemption splits it
+	// into more episodes, so a resume's prepare re-validates the existing
+	// staging instead of re-rendering logs (stagedAttempt == attemptIdx);
+	// staging is recomputed only when a new attempt begins.
+	decision         finishDecision
+	stagedClassified string
+	preparedSeq      int
+	stagedAttempt    int
+	// pendingConv carries the convergence summary prepared on the shard to
+	// the finalizing commit.
+	pendingConv *ConvergenceResult
 }
+
+// finishDecision is what a prepared finish resolved to.
+type finishDecision uint8
+
+const (
+	decideNone finishDecision = iota
+	// decideRetry re-submits the job for another attempt.
+	decideRetry
+	// decideFinalize records the job's terminal state (clean completion,
+	// retries exhausted, or an adaptive-retry stop).
+	decideFinalize
+)
 
 // plannedAttempts returns the total attempts the job will make.
 func (js *jobState) plannedAttempts() int { return js.spec.Plan.TotalAttempts() }
@@ -190,18 +230,28 @@ func (js *jobState) currentFailure() *failures.AttemptPlan {
 type Study struct {
 	cfg Config
 
-	engine  *simulation.Engine
+	// engine is the event executor: the sequential simulation.Engine by
+	// default, or the per-VC simulation.Sharded engine after ShardEvents.
+	// Results are bit-identical either way (see PERFORMANCE.md § PR 4).
+	engine  simulation.Executor
+	sharded *simulation.Sharded // non-nil iff engine is sharded
 	cluster *cluster.Cluster
 	sched   *scheduler.Scheduler
 	util    *perfmodel.Model
 	host    *perfmodel.HostModel
 	rec     *telemetry.Recorder
 	gen     *workload.Generator
-	logGen  *joblog.Generator
 	clf     *joblog.Classifier
 
-	logRNG   *stats.RNG
-	curveRNG *stats.RNG
+	// shardCtxs holds one render context per event shard (per VC by
+	// default). A job's prepare steps always run on its VC's shard, so a
+	// context is never used by two shards at once; the sequential engine
+	// uses the same contexts (one event at a time), which keeps the two
+	// engines trivially identical on this state.
+	shardCtxs []shardCtx
+	// numShards is the event-shard count jobs are mapped onto (VC index
+	// modulo numShards); it equals NumVCs unless ShardEvents chose less.
+	numShards int
 
 	// hostStreams holds one pre-split stream per server (index = server
 	// ID), splitmix64-derived from (studySeed, serverID): server i's host
@@ -244,9 +294,6 @@ type Study struct {
 	results     []JobResult
 	occ         []OccupancySample
 
-	// lossScratch is the reused parse buffer for convergence curves.
-	lossScratch []float64
-
 	// jobObserver, when set, streams each job's completed result out of the
 	// study (see StreamJobs).
 	jobObserver func(i int, r *JobResult)
@@ -254,6 +301,16 @@ type Study struct {
 	pending   int // jobs not yet finalized
 	wakeAt    simulation.Time
 	wakeArmed bool
+}
+
+// shardCtx is the scratch state a shard's local events may touch: the
+// failure/training-log render buffer and the loss-parse buffer. Everything
+// in it is pure scratch — the bytes and floats produced depend only on the
+// inputs and the per-job streams, never on which shard (or engine) ran the
+// computation, so per-shard contexts cannot perturb results.
+type shardCtx struct {
+	logGen      *joblog.Generator
+	lossScratch []float64
 }
 
 // NumJobs returns the number of generated jobs in the study.
@@ -307,13 +364,11 @@ func NewStudy(cfg Config) (*Study, error) {
 		host:      perfmodel.NewHostModel(cfg.Host),
 		rec:       telemetry.NewRecorder(),
 		gen:       gen,
-		logGen:    joblog.NewGenerator(),
 		clf:       joblog.NewClassifier(),
-		logRNG:    master.Split("logs"),
-		curveRNG:  master.Split("curves"),
 		states:    map[cluster.JobID]*jobState{},
 		detReason: map[string]bool{},
 	}
+	s.setNumShards(sched.NumVCs())
 	// Pre-split one host-telemetry stream per server. Utilization streams
 	// are per-job and derived lazily on first start (see onStart); both use
 	// the same stateless (seed, label, id) derivation, so no stream's
@@ -328,6 +383,58 @@ func NewStudy(cfg Config) (*Study, error) {
 	s.jobs = gen.Generate(wlRNG)
 	s.results = make([]JobResult, len(s.jobs))
 	return s, nil
+}
+
+// setNumShards sizes the shard contexts for the given event-shard count.
+func (s *Study) setNumShards(n int) {
+	s.numShards = n
+	s.shardCtxs = make([]shardCtx, n)
+	for i := range s.shardCtxs {
+		s.shardCtxs[i].logGen = joblog.NewGenerator()
+	}
+}
+
+// ShardEvents switches the study onto the per-VC sharded event engine with
+// the given shard count; shards <= 0 means one shard per virtual cluster.
+// Jobs map onto shards by VC index modulo the shard count, so any count
+// from 1 to NumVCs is valid and all of them produce bit-identical results
+// — sharding, like SetPool, changes wall-clock only. Must be called before
+// Run.
+//
+// The engine advances shards in bounded virtual-time windows: shard-local
+// events (failure-log rendering + classification, convergence-curve
+// analysis) run concurrently across VCs inside a window, while every event
+// that touches shared state — scheduler pumps, placement, telemetry ticks,
+// job state transitions — executes alone at window barriers in the
+// sequential engine's exact (at, seq) order. See internal/simulation's
+// package documentation for the determinism contract.
+func (s *Study) ShardEvents(shards int) {
+	if shards <= 0 || shards > s.sched.NumVCs() {
+		shards = s.sched.NumVCs()
+	}
+	sh := simulation.NewSharded(shards)
+	s.sharded = sh
+	s.engine = sh
+	s.setNumShards(shards)
+}
+
+// EventSharded reports whether the study runs on the sharded engine, and
+// with how many shards.
+func (s *Study) EventSharded() (bool, int) {
+	if s.sharded == nil {
+		return false, 0
+	}
+	return true, s.numShards
+}
+
+// WindowStats returns the sharded engine's deterministic window statistics
+// (zero value when the study runs on the sequential engine). Tests use it
+// to assert that multiple shards actually advanced within single windows.
+func (s *Study) WindowStats() simulation.WindowStats {
+	if s.sharded == nil {
+		return simulation.WindowStats{}
+	}
+	return s.sharded.Stats()
 }
 
 // SetPool attaches a shared fork-join worker pool for intra-study
@@ -349,6 +456,20 @@ func (s *Study) SetPool(p *par.Pool) {
 func (s *Study) Run() (*StudyResult, error) {
 	horizon := simulation.Time(float64(s.cfg.Workload.Duration) * s.cfg.HorizonFactor)
 
+	if s.sharded != nil {
+		// Window fork-joins draw on the same budget as every other
+		// parallel layer; a nil pool runs windows inline.
+		s.sharded.SetPool(s.pool)
+	}
+
+	// Shard ownership: a job's local events run on its VC's event lane
+	// (VC index modulo the shard count). The mapping depends only on the
+	// configured VC names, so it is identical across runs and engines.
+	shardOf := make(map[string]simulation.ShardID, s.sched.NumVCs())
+	for _, vc := range s.cfg.Workload.VCs {
+		shardOf[vc.Name] = simulation.ShardID(s.sched.VCIndex(vc.Name) % s.numShards)
+	}
+
 	// Arrivals.
 	for i := range s.jobs {
 		spec := &s.jobs[i]
@@ -360,6 +481,8 @@ func (s *Study) Run() (*StudyResult, error) {
 			idx:              i,
 			remainingWorkSec: s.cleanWorkSeconds(spec),
 			runIdx:           -1,
+			stagedAttempt:    -1,
+			shard:            shardOf[spec.VC],
 			sched: scheduler.NewJob(cluster.JobID(spec.ID), spec.VC,
 				spec.GPUs, spec.SubmitAt),
 		}
@@ -535,13 +658,32 @@ func (s *Study) onStart(ev scheduler.StartEvent, now simulation.Time) {
 	if episodeSec < 1 {
 		episodeSec = 1
 	}
+	s.scheduleFinish(js, episodeSec, now)
+}
+
+// scheduleFinish arms the episode-end event pair: a shard-local prepare
+// step at the CURRENT time and a global commit step at the episode's end.
+// Both are scheduled here, in global context, so the sharded engine
+// assigns them exactly the (at, seq) keys the sequential engine would.
+//
+// The prepare runs at episode start rather than episode end because its
+// entire computation is already determined here: the failure plan fixes
+// whether and why this attempt fails, the classification and convergence
+// draws come from the job's private streams, and the retry-vs-finalize
+// decision depends only on those. This is the conservative lookahead that
+// makes per-VC sharding worthwhile — the engine knows the episode's
+// outcome one full episode ahead of the commit that publishes it, so every
+// prepare scheduled by one scheduling round (across all VCs) lands in the
+// same virtual-time window and they all run concurrently. A preemption or
+// migration before the commit bumps finishSeq, which invalidates both
+// halves; an invalidated prepare's stream draws are identical in both
+// engines (both run the same eager schedule), so determinism is unharmed.
+func (s *Study) scheduleFinish(js *jobState, episodeSec float64, now simulation.Time) {
 	js.finishSeq++
 	seq := js.finishSeq
-	s.engine.After(simulation.Time(episodeSec+0.5), func() {
-		if js.finishSeq == seq && js.running {
-			s.onFinish(js)
-		}
-	})
+	at := now + simulation.Time(episodeSec+0.5)
+	s.engine.AtShard(js.shard, now, func() { s.prepareFinish(js, seq) })
+	s.engine.At(at, func() { s.commitFinish(js, seq) })
 }
 
 // onPreempt suspends a running episode; the scheduler has already requeued
@@ -623,13 +765,7 @@ func (s *Study) onMigrate(ev scheduler.MigrationEvent, now simulation.Time) {
 	if episodeSec < 1 {
 		episodeSec = 1
 	}
-	js.finishSeq++
-	seq := js.finishSeq
-	s.engine.After(simulation.Time(episodeSec+0.5), func() {
-		if js.finishSeq == seq && js.running {
-			s.onFinish(js)
-		}
-	})
+	s.scheduleFinish(js, episodeSec, now)
 }
 
 // removeRunning drops the job from the running set in O(1) by tombstoning
@@ -663,8 +799,82 @@ func (s *Study) accountEpisode(js *jobState, elapsedSec float64) {
 	js.res.GPUMinutes += elapsedSec / 60 * float64(js.spec.GPUs)
 }
 
-// onFinish ends the current attempt (failure or clean completion).
-func (s *Study) onFinish(js *jobState) {
+// prepareFinish is the shard-local half of an episode end: the expensive
+// text-mediated work — failure-log rendering + signature classification,
+// the retry-vs-finalize decision it implies, and (when finalizing) the
+// convergence-curve render/parse/summary. It runs on the job's VC shard at
+// episode START, concurrently with other VCs' prepares inside the same
+// virtual-time window, and stages its outputs on the jobState for the
+// commit at the episode's end to publish.
+//
+// Everything read here is settled when the prepare runs: the failure plan
+// and spec are immutable, and the private streams plus the staging fields
+// are written only by this job's own prepares, which execute in (at, seq)
+// order on one shard lane. When a preemption or migration splits an
+// attempt into more episodes, the resume's prepare finds the attempt
+// already staged (stagedAttempt) and re-validates it without recomputing;
+// staging is built once per attempt, and the stream draws are identical
+// in both engines because both run the same eager schedule.
+func (s *Study) prepareFinish(js *jobState, seq int) {
+	if js.finishSeq != seq || !js.running {
+		// Superseded within the very scheduling round that armed it (a job
+		// can start and be preempted in one Pump); spend no draws, exactly
+		// like the sequential engine at this event's position.
+		return
+	}
+	if js.stagedAttempt == js.attemptIdx {
+		// A resume after a preemption or migration: the attempt's outcome
+		// (classification, decision, convergence) was already staged by an
+		// earlier episode's prepare and cannot have changed — re-validate
+		// it instead of re-rendering the logs. Both engines execute the
+		// same prepares, so both take this branch at the same positions.
+		js.preparedSeq = seq
+		return
+	}
+	sc := &s.shardCtxs[js.shard]
+	js.pendingConv = nil
+	if fa := js.currentFailure(); fa != nil {
+		js.stagedClassified = s.classify(sc, js, fa.Reason.Code)
+		switch {
+		case s.cfg.AdaptiveRetry && s.isDeterministicReason(js.stagedClassified):
+			// §5: the classifier says this failure will reproduce — stop
+			// retrying instead of burning two more gangs' worth of GPUs.
+			js.decision = decideFinalize
+		case js.attemptIdx+1 < js.plannedAttempts():
+			// Retry: back through the queue (Figure 1's retry loop).
+			// attemptIdx+1 is the value the commit will publish.
+			js.decision = decideRetry
+		default:
+			// Out of retries: unsuccessful.
+			js.decision = decideFinalize
+		}
+	} else {
+		// Clean completion (passed or killed).
+		js.decision = decideFinalize
+	}
+	if js.decision == decideFinalize &&
+		js.spec.LogsConvergence && js.spec.Plan.Outcome != failures.Unsuccessful {
+		// finalize will attach this summary; computing the curve (render,
+		// parse, summarize) here keeps the expensive text path on the shard.
+		js.pendingConv = s.convergence(sc, js)
+	}
+	js.stagedAttempt = js.attemptIdx
+	js.preparedSeq = seq
+}
+
+// commitFinish is the global half of an episode end, executed at the
+// window barrier at the episode's end time: account the episode, close the
+// attempt record with the staged classification, release the gang, then
+// apply the prepared decision — re-submit for a retry or finalize — and
+// pump the scheduler. Guarded by the same (finishSeq, running) pair as the
+// prepare step, so both halves are valid or stale together.
+func (s *Study) commitFinish(js *jobState, seq int) {
+	if js.finishSeq != seq || !js.running {
+		return // a preemption or migration superseded this finish
+	}
+	if js.preparedSeq != seq {
+		panic(fmt.Sprintf("core: commit for job %d ran without its prepare (engine ordering bug)", js.sched.ID))
+	}
 	now := s.engine.Now()
 	elapsed := float64(now - js.episodeStart)
 	js.attemptRunSec += elapsed
@@ -679,40 +889,42 @@ func (s *Study) onFinish(js *jobState) {
 	att.EndAt = now
 	att.RuntimeMinutes = js.attemptRunSec / 60
 
-	fa := js.currentFailure()
-	if fa != nil {
+	if fa := js.currentFailure(); fa != nil {
 		att.Failed = true
 		att.PlannedReason = fa.Reason.Code
-		att.ClassifiedReason = s.classify(fa.Reason.Code, js.spec.GPUs)
+		att.ClassifiedReason = js.stagedClassified
 		js.attemptIdx++
 		js.attemptRunSec = 0
 		js.attemptOpen = false
-		if s.cfg.AdaptiveRetry && s.isDeterministicReason(att.ClassifiedReason) {
-			// §5: the classifier says this failure will reproduce — stop
-			// retrying instead of burning two more gangs' worth of GPUs.
-			s.finalize(js, now)
-			s.pump()
-			return
+	} else {
+		js.remainingWorkSec = 0
+	}
+
+	decision := js.decision
+	js.decision = decideNone
+	if decision == decideRetry {
+		js.sched.RemainingSeconds = js.remainingWorkSec
+		if err := s.sched.Submit(js.sched, now); err != nil {
+			panic(fmt.Sprintf("core: resubmit job %d: %v", js.sched.ID, err))
 		}
-		if js.attemptIdx < js.plannedAttempts() {
-			// Retry: back through the queue (Figure 1's retry loop).
-			js.sched.RemainingSeconds = js.remainingWorkSec
-			if err := s.sched.Submit(js.sched, now); err != nil {
-				panic(fmt.Sprintf("core: resubmit job %d: %v", js.sched.ID, err))
-			}
-			s.pump()
-			return
-		}
-		// Out of retries: unsuccessful.
-		s.finalize(js, now)
 		s.pump()
 		return
 	}
-
-	// Clean completion (passed or killed).
-	js.remainingWorkSec = 0
 	s.finalize(js, now)
 	s.pump()
+}
+
+// logRNG returns the job's private failure/training-log stream, seeding it
+// on first use. The derivation is stateless in (studySeed, jobID) and this
+// is the single site that performs it, so every consumer — failure
+// classification, training-log rendering — continues one coherent stream
+// no matter which touches it first.
+func (s *Study) logRNG(js *jobState) *stats.RNG {
+	if !js.logInit {
+		js.logInit = true
+		js.logStream.Init(stats.DeriveEntitySeed(s.cfg.Seed, "job-logs", uint64(js.spec.ID)))
+	}
+	return &js.logStream
 }
 
 // isDeterministicReason reports whether a classified failure code belongs
@@ -721,13 +933,16 @@ func (s *Study) onFinish(js *jobState) {
 func (s *Study) isDeterministicReason(code string) bool { return s.detReason[code] }
 
 // classify routes failure attribution through the log pipeline. The log is
-// rendered into the generator's reuse buffer and classified in place — the
-// same text-mediated path, with no per-failure string materialization.
-func (s *Study) classify(reasonCode string, gpus int) string {
+// rendered into the shard context's reuse buffer from the job's private
+// log stream and classified in place — the same text-mediated path, with
+// no per-failure string materialization and no cross-job stream coupling:
+// the draws depend only on (studySeed, jobID) and this job's failure
+// history, which is what lets classification run as a shard-local event.
+func (s *Study) classify(sc *shardCtx, js *jobState, reasonCode string) string {
 	if !s.cfg.GenerateLogs {
 		return reasonCode
 	}
-	log := s.logGen.FailureLogBytes(reasonCode, gpus, s.logRNG)
+	log := sc.logGen.FailureLogBytes(reasonCode, js.spec.GPUs, s.logRNG(js))
 	return s.clf.ClassifyBytesPool(log, s.pool)
 }
 
@@ -762,8 +977,13 @@ func (s *Study) finalize(js *jobState, now simulation.Time) {
 	} else {
 		res.MeanUtil = s.rec.JobUsageOf(js.sched.ID).MeanUtil()
 	}
-	if js.spec.LogsConvergence && res.Outcome != failures.Unsuccessful {
-		res.Convergence = s.convergence(js)
+	if js.pendingConv != nil {
+		// Prepared on the job's shard (see prepareFinish); the condition
+		// there — LogsConvergence and a non-Unsuccessful planned outcome —
+		// is exactly the one this branch used to evaluate, because
+		// res.Outcome is always the plan's outcome.
+		res.Convergence = js.pendingConv
+		js.pendingConv = nil
 	}
 	if s.jobObserver != nil {
 		s.jobObserver(js.idx, res)
@@ -780,8 +1000,10 @@ func (s *Study) finalize(js *jobState, now simulation.Time) {
 
 // convergence realizes the job's loss curve, renders it through the
 // training-log generator, parses it back, and summarizes — the same
-// text-mediated path the paper's pipeline uses for its ~2.5k jobs.
-func (s *Study) convergence(js *jobState) *ConvergenceResult {
+// text-mediated path the paper's pipeline uses for its ~2.5k jobs. The
+// curve and the log draws come from the job's private streams, so the
+// whole computation is local to the job's shard.
+func (s *Study) convergence(sc *shardCtx, js *jobState) *ConvergenceResult {
 	epochs := js.spec.Train.Epochs
 	if js.spec.Plan.Outcome == failures.Killed {
 		epochs = int(float64(epochs)*js.spec.Plan.KillFraction + 0.5)
@@ -789,15 +1011,23 @@ func (s *Study) convergence(js *jobState) *ConvergenceResult {
 			epochs = 1
 		}
 	}
-	curve, err := training.SampleCurve(epochs, s.curveRNG)
+	// Re-seeding here (rather than behind a once-flag) keeps the curve a
+	// pure function of (studySeed, jobID): if a future change ever calls
+	// convergence more than once for a job — today the stagedAttempt skip
+	// makes it at most once — every call draws the identical curve, so the
+	// engines cannot diverge on it.
+	js.curveStream.Init(stats.DeriveEntitySeed(s.cfg.Seed, "job-curve", uint64(js.spec.ID)))
+	curve, err := training.SampleCurve(epochs, &js.curveStream)
 	if err != nil {
 		panic(fmt.Sprintf("core: convergence curve: %v", err))
 	}
 	losses := curve.Losses
 	if s.cfg.GenerateLogs {
-		log := s.logGen.TrainingLogBytes(curve.Losses, js.spec.GPUs, s.logRNG)
-		losses = joblog.ParseLossCurveBytesPool(log, s.lossScratch[:0], s.pool)
-		s.lossScratch = losses
+		// A job can reach convergence analysis without ever failing; its
+		// log stream is then first drawn here.
+		log := sc.logGen.TrainingLogBytes(curve.Losses, js.spec.GPUs, s.logRNG(js))
+		losses = joblog.ParseLossCurveBytesPool(log, sc.lossScratch[:0], s.pool)
+		sc.lossScratch = losses
 	}
 	parsed := training.Curve{Losses: losses}
 	return &ConvergenceResult{

@@ -30,6 +30,28 @@
 // equivalent at the trace level (both appear as "job waited n back-off
 // rounds, then started"), and not holding GPUs strictly understates
 // fragmentation, making our fragmentation-delay results conservative.
+//
+// # Mutation classification for event sharding
+//
+// The per-VC event engine (internal/simulation.Sharded) partitions events
+// into VC-local and global. The scheduler's state splits accordingly, and
+// every method below falls on one side of the line:
+//
+//   - VC-local state: one vcState per virtual cluster — its queue, its
+//     ordered-queue cache, its running map and used counter. A mutation
+//     confined to one vcState could in principle run on that VC's shard.
+//   - Global state: the shared physical cluster (placement search,
+//     Allocate/Release), the Stats counters, and anything that walks
+//     vcList — Pump, fairSharePreempt (which preempts across VCs to serve
+//     an entitled one), policyPreempt, Defrag.
+//
+// In practice every scheduler entry point the study driver calls — Submit,
+// Release, Pump, Defrag — either touches the shared cluster directly or
+// must be ordered against methods that do (a Submit changes what the next
+// Pump starts), so core routes ALL scheduler calls through global events
+// at window barriers. What runs on the shards is the work that never
+// touches the scheduler: per-job failure-log rendering, classification and
+// convergence-curve analysis (see internal/core's prepare/commit split).
 package scheduler
 
 import (
@@ -454,6 +476,24 @@ func New(cfg Config, cl *cluster.Cluster, vcs []VC) (*Scheduler, error) {
 
 // Stats returns a copy of the counters.
 func (s *Scheduler) Stats() Stats { return s.stats }
+
+// NumVCs returns the number of virtual clusters — the natural shard count
+// for per-VC event partitioning.
+func (s *Scheduler) NumVCs() int { return len(s.vcList) }
+
+// VCIndex returns the dense index of the named VC in the scheduler's
+// sorted VC order (the same order every scheduling loop walks), or -1 for
+// an unknown name. Core uses it to assign each job's shard-local events to
+// its VC's event lane; the mapping depends only on the configured VC names,
+// so it is identical across runs, worker counts and engines.
+func (s *Scheduler) VCIndex(name string) int {
+	for i, vc := range s.vcList {
+		if vc.Name == name {
+			return i
+		}
+	}
+	return -1
+}
 
 // VCUsage returns the GPUs currently used by the VC.
 func (s *Scheduler) VCUsage(name string) int {

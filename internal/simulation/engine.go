@@ -1,16 +1,23 @@
-// Package simulation implements the deterministic discrete-event engine the
-// cluster simulator runs on: a virtual clock with second resolution and a
-// binary-heap event queue with stable FIFO ordering for simultaneous events.
+// Package simulation implements the deterministic discrete-event engines
+// the cluster simulator runs on: a virtual clock with second resolution
+// and event queues with stable FIFO ordering for simultaneous events.
 //
-// The engine is intentionally single-threaded. Determinism — identical
-// results for identical seeds — is a design requirement (every figure in
-// EXPERIMENTS.md must be regenerable bit-for-bit), and a single event loop
-// is the simplest way to guarantee it. Intra-study parallelism lives one
-// layer up and respects this contract: an event callback may fork work out
-// to a pool (the telemetry draw/fold pipeline, rack scoring, log scans in
-// internal/core) but always joins before returning, so the engine never
-// observes concurrent mutation and the event schedule is identical for
-// every worker count.
+// Two engines share one Executor surface. Engine is the sequential
+// reference: one heap, one goroutine, full (at, seq) order. Determinism —
+// identical results for identical seeds — is a design requirement (every
+// figure in EXPERIMENTS.md must be regenerable bit-for-bit), and the
+// single event loop is the simplest way to guarantee it. Intra-study
+// parallelism traditionally lives one layer up and respects this
+// contract: an event callback may fork work out to a pool (the telemetry
+// draw/fold pipeline, rack scoring, log scans in internal/core) but
+// always joins before returning, so the engine never observes concurrent
+// mutation and the event schedule is identical for every worker count.
+//
+// Sharded (see sharded.go) partitions the loop itself per virtual
+// cluster: shard-local events run concurrently inside bounded
+// virtual-time windows while global events execute at window barriers in
+// the sequential engine's exact (at, seq) order, keeping results
+// bit-identical to Engine for any shard count.
 package simulation
 
 import (

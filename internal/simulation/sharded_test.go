@@ -1,0 +1,213 @@
+package simulation
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"philly/internal/par"
+)
+
+// schedOp is one scheduling instruction for the equivalence harness: at
+// setup (or inside global event gi's callback when from >= 0), schedule an
+// event on the given shard (Global for a barrier event) at time at.
+type schedOp struct {
+	shard ShardID
+	at    Time
+}
+
+// buildTrace runs the given schedule on an Executor and records execution
+// as "shard@time:idx" strings, one lane per shard (lane 0 is Global).
+// Local events of different shards commute by contract, so comparing the
+// per-shard lanes — not one interleaved list — is exactly the equivalence
+// the sharded engine promises. Each event appends only to its own shard's
+// lane, respecting the disjoint-state rule under a real pool.
+func buildTrace(ex Executor, ops []schedOp, lanes int, horizon Time) [][]string {
+	trace := make([][]string, lanes)
+	for i, op := range ops {
+		i, op := i, op
+		lane := int(op.shard) + 1 // Global = -1 -> lane 0
+		if op.shard == Global {
+			ex.At(op.at, func() {
+				trace[lane] = append(trace[lane], fmt.Sprintf("g@%v:%d", op.at, i))
+			})
+		} else {
+			ex.AtShard(op.shard, op.at, func() {
+				trace[lane] = append(trace[lane], fmt.Sprintf("%d@%v:%d", op.shard, op.at, i))
+			})
+		}
+	}
+	ex.Run(horizon)
+	return trace
+}
+
+// TestShardedMatchesEngineOrder pins the core equivalence: for a schedule
+// mixing local and global events (including exact time ties), the sharded
+// engine must execute each shard's locals in the same relative order as the
+// sequential engine, and the global sequence identically. Local events of
+// different shards may interleave differently — that is the whole point —
+// so traces are compared per shard.
+func TestShardedMatchesEngineOrder(t *testing.T) {
+	// A deliberately tie-heavy schedule: globals and locals at the same
+	// instants, multiple shards, an event exactly at the horizon.
+	ops := []schedOp{
+		{0, 5}, {1, 5}, {Global, 5}, {0, 5}, // ties at t=5 across kinds
+		{Global, 10}, {1, 7}, {0, 12}, {2, 3},
+		{Global, 12}, {2, 12}, {1, 12}, {Global, 20},
+		{0, 20}, {2, 20}, // at the horizon
+		{1, 21}, // beyond the horizon: must not run
+	}
+	const horizon = Time(20)
+	const lanes = 4 // Global + shards 0..2
+
+	want := buildTrace(NewEngine(), ops, lanes, horizon)
+	for _, workers := range []int{0, 4} {
+		s := NewSharded(3)
+		var pool *par.Pool
+		if workers > 0 {
+			pool = par.NewPool(workers)
+			defer pool.Close()
+			s.SetPool(pool)
+		}
+		got := buildTrace(s, ops, lanes, horizon)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d: trace diverged\nwant %v\ngot  %v", workers, want, got)
+		}
+	}
+}
+
+// TestShardedBarrierOrdersLocalsAgainstGlobals checks the (at, seq) barrier
+// rule at a shared instant: a local scheduled before a same-time global
+// runs before it, one scheduled after runs after it — exactly the
+// sequential tie-break.
+func TestShardedBarrierOrdersLocalsAgainstGlobals(t *testing.T) {
+	s := NewSharded(2)
+	var order []string
+	s.AtShard(0, 10, func() { order = append(order, "local-before") })
+	s.At(10, func() { order = append(order, "global") })
+	s.AtShard(0, 10, func() { order = append(order, "local-after") })
+	s.Run(20)
+	want := []string{"local-before", "global", "local-after"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+// TestShardedWindowStats checks the deterministic concurrency accounting:
+// two shards with events inside one window must be reported as a
+// multi-shard window.
+func TestShardedWindowStats(t *testing.T) {
+	s := NewSharded(3)
+	s.AtShard(0, 1, func() {})
+	s.AtShard(1, 2, func() {})
+	s.At(5, func() {})
+	s.AtShard(2, 7, func() {})
+	s.Run(10)
+	st := s.Stats()
+	if st.MultiShardWindows != 1 {
+		t.Fatalf("MultiShardWindows = %d, want 1", st.MultiShardWindows)
+	}
+	if st.MaxShardsInWindow != 2 {
+		t.Fatalf("MaxShardsInWindow = %d, want 2", st.MaxShardsInWindow)
+	}
+	if st.LocalEvents != 3 || st.GlobalEvents != 1 {
+		t.Fatalf("event split = %d local / %d global, want 3/1", st.LocalEvents, st.GlobalEvents)
+	}
+	if s.Processed() != 4 {
+		t.Fatalf("Processed = %d, want 4", s.Processed())
+	}
+}
+
+// TestShardedSchedulingFromLocalPanics enforces the window-merge contract:
+// a local callback that schedules (or stops) would make the event order
+// depend on thread timing, so the engine must reject it loudly.
+func TestShardedSchedulingFromLocalPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fn   func(s *Sharded)
+	}{
+		{"At", func(s *Sharded) { s.At(10, func() {}) }},
+		{"AtShard", func(s *Sharded) { s.AtShard(0, 10, func() {}) }},
+		{"Stop", func(s *Sharded) { s.Stop() }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewSharded(2)
+			panicked := false
+			s.AtShard(0, 1, func() {
+				defer func() {
+					if recover() != nil {
+						panicked = true
+					}
+				}()
+				tc.fn(s)
+			})
+			s.Run(5)
+			if !panicked {
+				t.Fatalf("%s from a local callback did not panic", tc.name)
+			}
+		})
+	}
+}
+
+// TestShardedGlobalMayScheduleLocals checks the sanctioned path: global
+// events scheduling future local and global work, with the clock and
+// horizon semantics of the sequential engine.
+func TestShardedGlobalMayScheduleLocals(t *testing.T) {
+	s := NewSharded(2)
+	var ran []string
+	s.At(5, func() {
+		s.AtShard(1, 8, func() { ran = append(ran, "local") })
+		s.After(10, func() { ran = append(ran, "global") })
+	})
+	n := s.Run(100)
+	if n != 3 {
+		t.Fatalf("Run executed %d events, want 3", n)
+	}
+	if !reflect.DeepEqual(ran, []string{"local", "global"}) {
+		t.Fatalf("ran = %v", ran)
+	}
+	if s.Now() != 100 {
+		t.Fatalf("drained clock = %v, want horizon 100", s.Now())
+	}
+}
+
+// TestShardedStop checks that Stop from a global event halts the loop and
+// leaves later work pending, like Engine.Stop.
+func TestShardedStop(t *testing.T) {
+	s := NewSharded(2)
+	ran := 0
+	s.AtShard(0, 1, func() { ran++ })
+	s.At(5, func() { s.Stop() })
+	s.AtShard(1, 7, func() { ran++ })
+	s.Run(100)
+	if ran != 1 {
+		t.Fatalf("ran = %d locals, want 1 (post-Stop local must stay pending)", ran)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", s.Pending())
+	}
+	if s.Now() != 5 {
+		t.Fatalf("Now = %v, want 5 (stopped clock must not advance to horizon)", s.Now())
+	}
+}
+
+// TestShardedPastSchedulingPanics mirrors the Engine's past-scheduling
+// guard on both the global and shard paths.
+func TestShardedPastSchedulingPanics(t *testing.T) {
+	s := NewSharded(1)
+	s.At(10, func() {})
+	s.Run(20)
+	for _, fn := range []func(){
+		func() { s.At(5, func() {}) },
+		func() { s.AtShard(0, 5, func() {}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("scheduling in the past did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -211,6 +211,64 @@ var knobs = map[string]axisParser{
 		}
 		return func(c *core.Config) { c.Workload.TotalJobs = n }, nil
 	},
+	// workload.mix selects the job-size distribution: a named preset
+	// ("default" is the paper's Table 6 mix, "small" skews toward 1-GPU
+	// jobs, "large" toward multi-server gangs) or an explicit
+	// semicolon-separated weight list like "1:0.7;8:0.3".
+	"workload.mix": func(v string) (func(*core.Config), error) {
+		weights, err := parseMix(v)
+		if err != nil {
+			return nil, err
+		}
+		return func(c *core.Config) {
+			// Fresh copy per application: one Value can apply to many
+			// scenarios, whose configs must not share the map.
+			w := make(map[int]float64, len(weights))
+			for size, wt := range weights {
+				w[size] = wt
+			}
+			c.Workload.SizeWeights = w
+		}, nil
+	},
+	// failure.scale multiplies the per-size-bucket unsuccessful and
+	// transient-failure probabilities, clamped so the per-bucket outcome
+	// distribution stays valid; 1 is the paper's calibration, 0 a failure-
+	// free cluster, 2 a cluster failing twice as often.
+	"failure.scale": func(v string) (func(*core.Config), error) {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 {
+			return nil, fmt.Errorf("failure.scale %q: want a non-negative float", v)
+		}
+		return func(c *core.Config) {
+			fp := &c.Workload.Failures
+			for b := range fp.UnsuccessfulProb {
+				u := fp.UnsuccessfulProb[b] * f
+				if max := 1 - fp.KilledProb[b]; u > max {
+					u = max
+				}
+				fp.UnsuccessfulProb[b] = u
+				t := fp.TransientFailureProb[b] * f
+				if t > 1 {
+					t = 1
+				}
+				fp.TransientFailureProb[b] = t
+			}
+		}, nil
+	},
+	// telemetry.cadence sets the hardware-counter sampling period in
+	// minutes (the paper's Ganglia reports are per-minute; coarser cadence
+	// trades telemetry resolution for simulation speed).
+	"telemetry.cadence": func(v string) (func(*core.Config), error) {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 {
+			return nil, fmt.Errorf("telemetry.cadence %q: want a positive float (minutes)", v)
+		}
+		iv := simulation.FromMinutes(f)
+		if iv <= 0 {
+			return nil, fmt.Errorf("telemetry.cadence %q: rounds to zero seconds", v)
+		}
+		return func(c *core.Config) { c.TelemetryInterval = iv }, nil
+	},
 	// cluster.scale multiplies servers per rack, VC quotas, and the job
 	// count by the same factor, holding contention roughly constant.
 	"cluster.scale": func(v string) (func(*core.Config), error) {
@@ -282,6 +340,53 @@ func ParseAxis(spec string) (Axis, error) {
 		return Axis{}, fmt.Errorf("sweep: axis %q has no values", name)
 	}
 	return ax, nil
+}
+
+// mixPresets are the named job-size distributions workload.mix accepts,
+// besides "default": "small" models a cluster dominated by single-GPU
+// experimentation, "large" one dominated by multi-server training gangs.
+// "default" is resolved from workload.DefaultConfig so the paper's Table 6
+// calibration has exactly one definition.
+var mixPresets = map[string]map[int]float64{
+	"small": {1: 0.80, 2: 0.10, 4: 0.05, 8: 0.045, 16: 0.005},
+	"large": {1: 0.30, 2: 0.15, 4: 0.15, 8: 0.25, 16: 0.09, 24: 0.03, 32: 0.03},
+}
+
+// parseMix resolves a workload.mix value: a preset name or an explicit
+// "size:weight[;size:weight]..." list.
+func parseMix(v string) (map[int]float64, error) {
+	if v == "default" {
+		return workload.DefaultConfig().SizeWeights, nil
+	}
+	if w, ok := mixPresets[v]; ok {
+		return w, nil
+	}
+	if !strings.Contains(v, ":") {
+		names := []string{"default"}
+		for name := range mixPresets {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("workload.mix %q: want a preset (%s) or size:weight[;...]",
+			v, strings.Join(names, ", "))
+	}
+	weights := map[int]float64{}
+	for _, pair := range strings.Split(v, ";") {
+		sizeStr, weightStr, ok := strings.Cut(pair, ":")
+		if !ok {
+			return nil, fmt.Errorf("workload.mix %q: entry %q is not size:weight", v, pair)
+		}
+		size, err1 := strconv.Atoi(strings.TrimSpace(sizeStr))
+		weight, err2 := strconv.ParseFloat(strings.TrimSpace(weightStr), 64)
+		if err1 != nil || err2 != nil || size <= 0 || weight < 0 {
+			return nil, fmt.Errorf("workload.mix %q: entry %q: want positive size, non-negative weight", v, pair)
+		}
+		weights[size] = weight
+	}
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("workload.mix %q: no entries", v)
+	}
+	return weights, nil
 }
 
 func parseOnOff(v string) (bool, error) {

@@ -29,6 +29,12 @@ type Options struct {
 	Pool *par.Pool
 	// BaseSeed roots per-run seed derivation; 0 means Matrix.Base.Seed.
 	BaseSeed uint64
+	// ShardEvents runs every study on the per-VC sharded event engine
+	// (one shard per VC). Results are bit-identical either way; when the
+	// sweep saturates the pool with studies the shard windows run inline
+	// anyway, so this mainly helps sweeps with fewer scenarios than
+	// workers, where idle workers pick up the window fork-joins.
+	ShardEvents bool
 	// Progress, when non-nil, is called after each completed run with
 	// (done, total). Calls come from worker goroutines, possibly
 	// concurrently; it must be safe for that.
@@ -140,6 +146,9 @@ func (m Matrix) Run(opts Options) (*Result, error) {
 		// Intra-study shards draw on the same pool: idle sweep workers
 		// pick them up, busy pools degrade to inline. Either way the
 		// study result is bit-identical (see core.Study.SetPool).
+		if opts.ShardEvents {
+			st.ShardEvents(0)
+		}
 		st.SetPool(pool)
 		// Stream per-job results into the reduction as they finish,
 		// so the study releases full job records in flight and the

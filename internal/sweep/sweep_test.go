@@ -10,6 +10,7 @@ import (
 
 	"philly/internal/core"
 	"philly/internal/scheduler"
+	"philly/internal/simulation"
 )
 
 // tinyConfig is a fast base for runner tests: a few hundred jobs over two
@@ -127,6 +128,14 @@ func TestParseAxis(t *testing.T) {
 		{"jobs=100,200", 2, false},
 		{"jobs=-5", 0, true},
 		{"cluster.scale=0.5,2", 2, false},
+		{"workload.mix=default,small,large", 3, false},
+		{"workload.mix=1:0.7;8:0.3", 1, false},
+		{"workload.mix=tiny", 0, true},
+		{"workload.mix=1:-0.5", 0, true},
+		{"failure.scale=0,1,2.5", 3, false},
+		{"failure.scale=-1", 0, true},
+		{"telemetry.cadence=1,5", 2, false},
+		{"telemetry.cadence=0", 0, true},
 		{"no-such-knob=1", 0, true},
 		{"missing-equals", 0, true},
 		{"jobs=", 0, true},
@@ -158,6 +167,66 @@ func TestParseAxisAppliesKnob(t *testing.T) {
 	ax.Values[0].Apply(&cfg)
 	if cfg.Scheduler.Policy != scheduler.PolicyFIFO {
 		t.Fatalf("policy = %v, want fifo", cfg.Scheduler.Policy)
+	}
+}
+
+// TestWorkloadAxes pins the semantics of the PR-4 axes: the mix replaces
+// the size distribution (with per-scenario map isolation), failure.scale
+// multiplies-and-clamps the outcome probabilities, and telemetry.cadence
+// sets the sampling period — every applied config must still validate.
+func TestWorkloadAxes(t *testing.T) {
+	base := tinyConfig()
+
+	ax := mustParse(t, "workload.mix=large,1:0.7;8:0.3")
+	var cfgA, cfgB core.Config
+	cfgA, cfgB = base, base
+	ax.Values[0].Apply(&cfgA)
+	ax.Values[1].Apply(&cfgB)
+	if cfgA.Workload.SizeWeights[8] != 0.25 {
+		t.Fatalf("large preset weight for 8 GPUs = %v, want 0.25", cfgA.Workload.SizeWeights[8])
+	}
+	if len(cfgB.Workload.SizeWeights) != 2 || cfgB.Workload.SizeWeights[1] != 0.7 || cfgB.Workload.SizeWeights[8] != 0.3 {
+		t.Fatalf("explicit mix = %v, want map[1:0.7 8:0.3]", cfgB.Workload.SizeWeights)
+	}
+	// Two applications of the same value must not share the map.
+	var cfgC core.Config = base
+	ax.Values[0].Apply(&cfgC)
+	cfgC.Workload.SizeWeights[8] = 99
+	if cfgA.Workload.SizeWeights[8] == 99 {
+		t.Fatal("workload.mix applications alias one map across scenarios")
+	}
+	if err := cfgA.Validate(); err != nil {
+		t.Fatalf("mix-applied config invalid: %v", err)
+	}
+
+	ax = mustParse(t, "failure.scale=2")
+	cfg := base
+	before := cfg.Workload.Failures
+	ax.Values[0].Apply(&cfg)
+	after := cfg.Workload.Failures
+	for b := range after.UnsuccessfulProb {
+		want := before.UnsuccessfulProb[b] * 2
+		if max := 1 - before.KilledProb[b]; want > max {
+			want = max
+		}
+		if after.UnsuccessfulProb[b] != want {
+			t.Fatalf("bucket %d unsuccessful = %v, want %v", b, after.UnsuccessfulProb[b], want)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("failure.scale=2 config invalid: %v", err)
+	}
+	// An extreme multiplier must clamp into validity, not explode.
+	cfg = base
+	mustParse(t, "failure.scale=100").Values[0].Apply(&cfg)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("failure.scale=100 config invalid after clamping: %v", err)
+	}
+
+	cfg = base
+	mustParse(t, "telemetry.cadence=5").Values[0].Apply(&cfg)
+	if cfg.TelemetryInterval != 5*simulation.Minute {
+		t.Fatalf("TelemetryInterval = %v, want 5 minutes", cfg.TelemetryInterval)
 	}
 }
 

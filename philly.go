@@ -83,22 +83,48 @@ func MediumConfig() Config { return core.MediumConfig() }
 // suite's calibration assertions run against it.
 func SmallConfig() Config { return core.SmallConfig() }
 
-// Run executes a study to completion on the calling goroutine alone.
-func Run(cfg Config) (*StudyResult, error) { return RunParallel(cfg, 1) }
+// Run executes a study to completion on the calling goroutine alone, on
+// the sequential event engine.
+func Run(cfg Config) (*StudyResult, error) { return RunWith(cfg, RunOptions{Workers: 1}) }
 
-// RunParallel executes a study with intra-study parallelism: the per-tick
-// telemetry walk, multi-rack placement scoring, and large log scans shard
-// across a worker pool of the given size (<= 0 means GOMAXPROCS). The
-// result is bit-identical to Run for every worker count — parallelism
-// changes wall-clock only (see PERFORMANCE.md for the determinism
-// argument).
+// RunParallel executes a study with intra-study parallelism: the event
+// loop shards per virtual cluster, and the per-tick telemetry walk,
+// multi-rack placement scoring, and large log scans fan out across a
+// worker pool of the given size (<= 0 means GOMAXPROCS). The result is
+// bit-identical to Run for every worker count — parallelism changes
+// wall-clock only (see PERFORMANCE.md for the determinism argument).
 func RunParallel(cfg Config, workers int) (*StudyResult, error) {
+	return RunWith(cfg, RunOptions{Workers: workers, ShardEvents: workers != 1})
+}
+
+// RunOptions selects how a study spends hardware.
+type RunOptions struct {
+	// Workers is the fork-join worker budget: 1 runs everything inline on
+	// the calling goroutine, <= 0 means GOMAXPROCS.
+	Workers int
+	// ShardEvents routes the study onto the per-VC sharded event engine
+	// (internal/simulation.Sharded): shard-local work — failure-log
+	// classification, convergence analysis — runs concurrently across VCs
+	// inside virtual-time windows, while shared-state events execute at
+	// window barriers in the sequential engine's exact order. Results are
+	// bit-identical with it on or off, at any shard count.
+	ShardEvents bool
+	// Shards is the event-shard count when ShardEvents is set; <= 0 means
+	// one shard per virtual cluster.
+	Shards int
+}
+
+// RunWith executes a study with explicit parallelism options.
+func RunWith(cfg Config, opts RunOptions) (*StudyResult, error) {
 	st, err := core.NewStudy(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("philly: %w", err)
 	}
-	if workers != 1 {
-		pool := par.NewPool(workers)
+	if opts.ShardEvents {
+		st.ShardEvents(opts.Shards)
+	}
+	if opts.Workers != 1 {
+		pool := par.NewPool(opts.Workers)
 		defer pool.Close()
 		st.SetPool(pool)
 	}
