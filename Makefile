@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-sweep bench-json bench-smoke bench-compare
+.PHONY: check vet build test race bench bench-sweep bench-json bench-smoke bench-compare shuffle
 
 # check is the CI gate: vet, build everything, then the full test suite
 # under the race detector — which now covers the intra-study parallel
@@ -21,6 +21,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# shuffle is the order-dependence guard for the deterministic-engine
+# packages (cross-engine conformance suite, federation): vet, then two
+# repetitions with a randomized test order. CI runs it as its own job.
+shuffle:
+	$(GO) vet ./...
+	$(GO) test -count=2 -shuffle=on ./internal/simulation ./internal/federation
 
 # bench runs every benchmark once per reporting interval; pipe to a file to
 # record a BENCH_*.json-style trajectory for the PR log.

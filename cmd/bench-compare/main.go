@@ -12,9 +12,11 @@
 // only one file are listed without a delta.
 //
 // -threshold makes the comparison a CI gate: when any benchmark's mean
-// ns/op regressed by more than PCT percent, the offenders are listed on
-// stderr and the exit code is 1 (without the flag the tool always exits 0
-// and is purely informational).
+// ns/op OR allocs/op regressed by more than PCT percent, the offenders are
+// listed on stderr and the exit code is 1 (without the flag the tool
+// always exits 0 and is purely informational). Allocation regressions from
+// a zero-alloc baseline have no finite percentage and always trip the gate
+// — that is what keeps the PR 2 zero-alloc guarantees pinned from CI.
 package main
 
 import (
@@ -135,9 +137,63 @@ func fmtNs(ns float64) string {
 	}
 }
 
+// regression is one benchmark metric that moved past the gate threshold.
+type regression struct {
+	name   string
+	metric string // "ns/op" or "allocs/op"
+	pct    float64
+	// fromZero marks an allocation regression off a zero-alloc baseline:
+	// there is no finite percentage, and the gate always trips.
+	fromZero bool
+}
+
+func (r regression) String() string {
+	if r.fromZero {
+		return fmt.Sprintf("%s: %s regressed from a zero-alloc baseline", r.name, r.metric)
+	}
+	return fmt.Sprintf("%s: +%.1f%% %s", r.name, r.pct, r.metric)
+}
+
+// findRegressions applies the CI gate to two parsed baselines: any
+// benchmark present in both whose mean ns/op or allocs/op regressed beyond
+// threshold percent is reported, with zero-alloc baselines gated on any
+// increase at all. A threshold of 0 disables the gate. Results are sorted
+// by benchmark name (ns/op before allocs/op within one benchmark).
+func findRegressions(before, after map[string]*sample, threshold float64) []regression {
+	if threshold <= 0 {
+		return nil
+	}
+	names := make([]string, 0, len(before))
+	for n := range before {
+		if after[n] != nil {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	var out []regression
+	for _, n := range names {
+		b, a := before[n], after[n]
+		short := strings.TrimPrefix(n, "Benchmark")
+		if b.nsOp > 0 {
+			if pct := 100 * (a.nsOp - b.nsOp) / b.nsOp; pct > threshold {
+				out = append(out, regression{name: short, metric: "ns/op", pct: pct})
+			}
+		}
+		switch {
+		case b.allocsOp == 0 && a.allocsOp > 0:
+			out = append(out, regression{name: short, metric: "allocs/op", fromZero: true})
+		case b.allocsOp > 0:
+			if pct := 100 * (a.allocsOp - b.allocsOp) / b.allocsOp; pct > threshold {
+				out = append(out, regression{name: short, metric: "allocs/op", pct: pct})
+			}
+		}
+	}
+	return out
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 0,
-		"exit non-zero when any benchmark's ns/op regresses by more than this percent (0 = report only)")
+		"exit non-zero when any benchmark's ns/op or allocs/op regresses by more than this percent (0 = report only)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: bench-compare [-threshold PCT] BEFORE.json AFTER.json")
@@ -173,11 +229,6 @@ func main() {
 	w := bufio.NewWriter(os.Stdout)
 	fmt.Fprintf(w, "%-52s %12s %12s %8s %10s %10s %8s\n",
 		"benchmark", "ns/op before", "ns/op after", "Δns/op", "allocs/op", "allocs'", "Δallocs")
-	type regression struct {
-		name string
-		pct  float64
-	}
-	var regressions []regression
 	for _, n := range sorted {
 		b, a := before[n], after[n]
 		short := strings.TrimPrefix(n, "Benchmark")
@@ -190,19 +241,14 @@ func main() {
 			fmt.Fprintf(w, "%-52s %12s %12s %8s %10.0f %10.0f %8s\n",
 				short, fmtNs(b.nsOp), fmtNs(a.nsOp), delta(b.nsOp, a.nsOp),
 				b.allocsOp, a.allocsOp, delta(b.allocsOp, a.allocsOp))
-			if *threshold > 0 && b.nsOp > 0 {
-				if pct := 100 * (a.nsOp - b.nsOp) / b.nsOp; pct > *threshold {
-					regressions = append(regressions, regression{short, pct})
-				}
-			}
 		}
 	}
 	w.Flush()
-	if len(regressions) > 0 {
-		fmt.Fprintf(os.Stderr, "bench-compare: %d benchmark(s) regressed beyond %.1f%%:\n",
+	if regressions := findRegressions(before, after, *threshold); len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "bench-compare: %d benchmark metric(s) regressed beyond %.1f%%:\n",
 			len(regressions), *threshold)
 		for _, r := range regressions {
-			fmt.Fprintf(os.Stderr, "  %s: +%.1f%% ns/op\n", r.name, r.pct)
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
 		}
 		os.Exit(1)
 	}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func s(ns, allocs float64) *sample { return &sample{n: 1, nsOp: ns, allocsOp: allocs} }
+
+// TestFindRegressions pins the CI gate's comparison logic: ns/op and
+// allocs/op are both gated, zero-alloc baselines trip on any increase,
+// improvements and below-threshold noise pass, and benchmarks present in
+// only one file are ignored.
+func TestFindRegressions(t *testing.T) {
+	before := map[string]*sample{
+		"BenchmarkFast":      s(100, 10),
+		"BenchmarkZeroAlloc": s(100, 0),
+		"BenchmarkNoisy":     s(100, 100),
+		"BenchmarkImproved":  s(100, 10),
+		"BenchmarkGone":      s(100, 10),
+		"BenchmarkBothWorse": s(100, 10),
+	}
+	after := map[string]*sample{
+		"BenchmarkFast":      s(125, 10),  // +25% ns/op
+		"BenchmarkZeroAlloc": s(100, 1),   // 0 -> 1 alloc: always trips
+		"BenchmarkNoisy":     s(105, 105), // +5%: under threshold
+		"BenchmarkImproved":  s(50, 2),    // improvements never trip
+		"BenchmarkNew":       s(100, 10),  // no baseline: ignored
+		"BenchmarkBothWorse": s(200, 30),  // both metrics regressed
+	}
+	got := findRegressions(before, after, 10)
+	want := []struct {
+		name, metric string
+		fromZero     bool
+	}{
+		{"BothWorse", "ns/op", false},
+		{"BothWorse", "allocs/op", false},
+		{"Fast", "ns/op", false},
+		{"ZeroAlloc", "allocs/op", true},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d regressions %v, want %d", len(got), got, len(want))
+	}
+	for i, w := range want {
+		if got[i].name != w.name || got[i].metric != w.metric || got[i].fromZero != w.fromZero {
+			t.Errorf("regression %d = %+v, want %+v", i, got[i], w)
+		}
+	}
+	if got[0].pct <= 10 || got[2].pct != 25 {
+		t.Errorf("percentages wrong: %v", got)
+	}
+
+	// Threshold 0 disables the gate entirely.
+	if r := findRegressions(before, after, 0); r != nil {
+		t.Errorf("threshold 0 produced regressions: %v", r)
+	}
+	// Exactly at the threshold is not a regression (strictly-beyond gate).
+	atEdge := map[string]*sample{"BenchmarkFast": s(110, 11)}
+	if r := findRegressions(map[string]*sample{"BenchmarkFast": s(100, 10)}, atEdge, 10); r != nil {
+		t.Errorf("edge case tripped the gate: %v", r)
+	}
+}
+
+// TestParseFileGatesAllocs runs the full parse path on plain bench output
+// and checks the gate sees the allocs column — the end-to-end contract the
+// Makefile's THRESHOLD relies on.
+func TestParseFileGatesAllocs(t *testing.T) {
+	dir := t.TempDir()
+	beforeTxt := "BenchmarkPump-8  1000  200.0 ns/op  16 B/op  0 allocs/op\n"
+	afterTxt := "BenchmarkPump-8  1000  201.0 ns/op  64 B/op  3 allocs/op\n"
+	bPath := filepath.Join(dir, "before.txt")
+	aPath := filepath.Join(dir, "after.txt")
+	if err := os.WriteFile(bPath, []byte(beforeTxt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(aPath, []byte(afterTxt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before, err := parseFile(bPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := parseFile(aPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := findRegressions(before, after, 5)
+	if len(got) != 1 || got[0].metric != "allocs/op" || !got[0].fromZero {
+		t.Fatalf("regressions = %v, want one zero-alloc allocs/op trip", got)
+	}
+}

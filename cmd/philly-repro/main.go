@@ -4,7 +4,7 @@
 // Usage:
 //
 //	philly-repro [-scale small|medium|full] [-seed N] [-policy philly|fifo|srtf|tiresias|gandiva]
-//	             [-replicas N] [-workers N] [-shard-events] [-o report.txt]
+//	             [-replicas N] [-workers N] [-shard-events] [-federation SPEC] [-o report.txt]
 //
 // small  (~230 GPUs, 3.3k jobs) finishes in under a second;
 // medium (~2300 GPUs, 24k jobs) in tens of seconds;
@@ -26,6 +26,13 @@
 // the event loop per virtual cluster with a deterministic
 // virtual-time-window merge; the sweep path applies it to every study.
 // Either way, results are bit-identical to the sequential engine.
+//
+// -federation runs a multi-cluster study instead of a single cluster: SPEC
+// is a "+"-separated member preset list (e.g. "philly-small+helios-like"),
+// the -policy flag (single policy) applies to every member, and the output
+// is the fleet comparison table — per-member and combined queueing,
+// utilization and failure aggregates. Use philly-sweep's fleet.members
+// axis to cross federations with policies and replicas.
 package main
 
 import (
@@ -49,8 +56,27 @@ func main() {
 		"shared worker budget: across studies when sweeping, within the study otherwise")
 	shardEvents := flag.Bool("shard-events", true,
 		"shard the event loop per virtual cluster when -workers > 1 (results are identical either way)")
+	federationSpec := flag.String("federation", "",
+		"run a federated multi-cluster study of these '+'-separated member presets; the fleet table replaces the per-figure report")
 	out := flag.String("o", "", "also write the report to this file")
 	flag.Parse()
+
+	if *federationSpec != "" {
+		// Member scale comes from the presets and replication from
+		// philly-sweep's fleet.members axis; silently dropping these flags
+		// would misread as an aggregated full-scale result.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "scale" || f.Name == "replicas" {
+				fmt.Fprintf(os.Stderr, "philly-repro: -%s is incompatible with -federation (member presets fix the scale; use philly-sweep -axis fleet.members=... for replicas)\n", f.Name)
+				os.Exit(2)
+			}
+		})
+		if err := runFederation(*federationSpec, *seed, *policy, *workers, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "philly-repro:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg, err := configFor(*scale)
 	if err != nil {
@@ -123,6 +149,39 @@ func runSweep(cfg philly.Config, scale, policies string, replicas, workers int, 
 	fmt.Printf("wall: %v\n", time.Since(start).Round(time.Millisecond))
 	if out != "" {
 		if err := os.WriteFile(out, []byte(res.RenderTable()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runFederation drives the multi-cluster path: one federated study, the
+// single -policy applied to every member, output as the fleet comparison
+// table.
+func runFederation(spec string, seed uint64, policy string, workers int, out string) error {
+	cfg, err := philly.ParseFederationSpec(seed, spec)
+	if err != nil {
+		return err
+	}
+	p, err := parsePolicy(policy)
+	if err != nil {
+		return err
+	}
+	for i := range cfg.Members {
+		cfg.Members[i].Config.Scheduler.Policy = p
+	}
+	start := time.Now()
+	res, err := philly.RunFederated(cfg, philly.RunOptions{Workers: workers})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("federation=%s seed=%d policy=%s: %d spillover move(s), %d quota change(s), wall %v\n",
+		spec, seed, policy, res.Fleet.SpilloverMoves, res.Fleet.QuotaChanges,
+		time.Since(start).Round(time.Millisecond))
+	table := philly.AnalyzeFleet(res).Render()
+	fmt.Println(table)
+	if out != "" {
+		if err := os.WriteFile(out, []byte(table), 0o644); err != nil {
 			return err
 		}
 	}

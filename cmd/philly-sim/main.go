@@ -5,7 +5,7 @@
 // Usage:
 //
 //	philly-sim [-scale small|medium|full] [-seed N] [-workers N]
-//	           [-shard-events] [-out DIR]
+//	           [-shard-events] [-federation SPEC] [-out DIR]
 //
 // -workers shards the study's telemetry walk and placement scoring across
 // that many cores (default: all), and -shard-events (default on, effective
@@ -14,6 +14,13 @@
 // is bit-identical for any worker count and either engine; only wall-clock
 // changes. To sweep many studies instead, use philly-sweep, whose -workers
 // flag is the same budget spent across studies first.
+//
+// -federation runs a multi-cluster study instead: SPEC is a "+"-separated
+// list of member presets (e.g. "philly-small+helios-like"; see philly-sim
+// -federation help for the list). Member clusters advance in one virtual
+// timeline with job spillover and fleet-wide quota rebalancing at window
+// barriers; per-member artifacts land in out/<member>/ and the fleet
+// comparison table prints to stdout. Bit-identical for any -workers.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"philly"
@@ -35,8 +43,26 @@ func main() {
 		"intra-study worker count (results are identical for any value)")
 	shardEvents := flag.Bool("shard-events", true,
 		"shard the event loop per virtual cluster when -workers > 1 (results are identical either way)")
+	federationSpec := flag.String("federation", "",
+		"run a federated multi-cluster study of these '+'-separated member presets (e.g. philly-small+helios-like); 'help' lists presets")
 	out := flag.String("out", "philly-out", "output directory")
 	flag.Parse()
+
+	if *federationSpec != "" {
+		// Member scale comes from the presets; silently dropping an
+		// explicit -scale would misread as a scaled federated run.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "scale" {
+				fmt.Fprintln(os.Stderr, "philly-sim: -scale is incompatible with -federation (member presets fix each cluster's scale)")
+				os.Exit(2)
+			}
+		})
+		if err := runFederation(*federationSpec, *seed, *workers, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "philly-sim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var cfg philly.Config
 	switch *scale {
@@ -85,6 +111,45 @@ func main() {
 		len(res.Jobs), res.TotalGPUs, time.Since(start).Round(time.Millisecond), res.SimEnd)
 	fmt.Printf("wrote %s (%d jobs) and %s (%d attempts)\n",
 		csvPath, len(tr.Jobs), jsonPath, len(tr.Attempts))
+}
+
+// runFederation executes a federated multi-cluster study and writes one
+// artifact directory per member plus the fleet comparison table.
+func runFederation(spec string, seed uint64, workers int, out string) error {
+	if spec == "help" {
+		fmt.Println("federation member presets:", strings.Join(philly.FederationPresets(), ", "))
+		return nil
+	}
+	cfg, err := philly.ParseFederationSpec(seed, spec)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := philly.RunFederated(cfg, philly.RunOptions{Workers: workers})
+	if err != nil {
+		return err
+	}
+	for _, m := range res.Members {
+		dir := filepath.Join(out, m.Name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		tr := philly.NewTrace(m.Result)
+		if err := writeFile(filepath.Join(dir, "jobs.csv"), tr.WriteJobsCSV); err != nil {
+			return err
+		}
+		if err := writeFile(filepath.Join(dir, "trace.json"), tr.WriteJSON); err != nil {
+			return err
+		}
+		fmt.Printf("member %-16s %d jobs on %d GPUs (simulated %v) -> %s\n",
+			m.Name, len(m.Result.Jobs), m.Result.TotalGPUs, m.Result.SimEnd, dir)
+	}
+	fmt.Printf("fleet: %d spillover move(s) over %d check(s), %d quota change(s) over %d rebalance tick(s), wall %v\n",
+		res.Fleet.SpilloverMoves, res.Fleet.SpilloverChecks,
+		res.Fleet.QuotaChanges, res.Fleet.RebalanceTicks,
+		time.Since(start).Round(time.Millisecond))
+	fmt.Println(philly.AnalyzeFleet(res).Render())
+	return nil
 }
 
 func writeFile(path string, write func(w io.Writer) error) error {

@@ -35,6 +35,17 @@
 // per-replica metrics, per-metric aggregates, and each scenario's applied
 // configuration) for CI diffing and plotting hooks; the comparison table is
 // recoverable from it via sweep.DecodeJSON.
+//
+// The fleet.members axis makes every scenario a federated multi-cluster
+// study: each value is a "+"-separated member preset list, every other
+// axis applies to every member, and each scenario reports one row per
+// member plus a fleet-wide row under a trailing "member" column — so
+//
+//	philly-sweep -axis sched.policy=philly,fifo \
+//	             -axis fleet.members=philly-small+helios-like -replicas 4
+//
+// compares policies per-member and fleet-wide in one table (and in the
+// JSON export and philly-plot output).
 package main
 
 import (

@@ -1,0 +1,167 @@
+package analysis
+
+// Fleet-level aggregation for federated studies (internal/federation):
+// the cross-cluster comparison the Helios and Meta characterizations make
+// — do queueing, utilization and failure profiles transfer across members?
+// — as one per-member table with a combined fleet row.
+//
+// The counting rules (offloaded shells excluded, delay percentiles over
+// the union, count-weighted utilization) are shared with internal/sweep's
+// fleet-wide replica fold; sweep.TestFleetReduceAgreesWithAnalysis pins
+// the two against each other.
+
+import (
+	"fmt"
+	"strings"
+
+	"philly/internal/core"
+	"philly/internal/failures"
+	"philly/internal/stats"
+)
+
+// FleetMember names one member's study result for aggregation.
+type FleetMember struct {
+	Name string
+	Res  *core.StudyResult
+}
+
+// FleetRow is one member's (or the combined fleet's) aggregate line:
+// queueing, utilization, failure and spillover columns.
+type FleetRow struct {
+	Name string
+	// GPUs is cluster capacity; Jobs counts countable jobs (offloaded
+	// bookkeeping shells excluded), Completed those with a terminal state.
+	GPUs, Jobs, Completed int
+	// Offloaded and Received count spillover traffic at this member.
+	Offloaded, Received int
+	// DelayP50 / DelayP95 summarize first-episode queueing delay (minutes).
+	DelayP50, DelayP95 float64
+	// UtilMean is the mean per-minute GPU utilization (%).
+	UtilMean float64
+	// GPUHours is total GPU time charged; FailedGPUHours the share burnt on
+	// failed attempts; FailedAttempts counts them.
+	GPUHours, FailedGPUHours float64
+	FailedAttempts           int
+	// UnsuccessfulPct is the share of completed jobs that exhausted retries.
+	UnsuccessfulPct float64
+}
+
+// FleetReport is the per-member + combined aggregation of a federated
+// study.
+type FleetReport struct {
+	// Rows holds one row per member, in fleet order, then the combined
+	// "fleet" row.
+	Rows []FleetRow
+}
+
+// ComputeFleet aggregates per-member and fleet-wide rows from a federated
+// study's member results.
+func ComputeFleet(members []FleetMember) FleetReport {
+	var rep FleetReport
+	fleet := FleetRow{Name: "fleet"}
+	var fleetDelay []float64
+	var fleetUtilSum float64
+	var fleetUtilN uint64
+	for _, m := range members {
+		row, delays := fleetRow(m.Name, m.Res)
+		rep.Rows = append(rep.Rows, row)
+
+		fleet.GPUs += row.GPUs
+		fleet.Jobs += row.Jobs
+		fleet.Completed += row.Completed
+		fleet.Offloaded += row.Offloaded
+		fleet.Received += row.Received
+		fleet.GPUHours += row.GPUHours
+		fleet.FailedGPUHours += row.FailedGPUHours
+		fleet.FailedAttempts += row.FailedAttempts
+		fleetDelay = append(fleetDelay, delays...)
+		if h := m.Res.Telemetry.All(); h.Count() > 0 {
+			fleetUtilSum += h.Mean() * float64(h.Count())
+			fleetUtilN += h.Count()
+		}
+	}
+	fleet.DelayP50 = stats.Percentile(fleetDelay, 50)
+	fleet.DelayP95 = stats.Percentile(fleetDelay, 95)
+	if fleetUtilN > 0 {
+		fleet.UtilMean = fleetUtilSum / float64(fleetUtilN)
+	}
+	unsucc := 0
+	for _, m := range members {
+		for i := range m.Res.Jobs {
+			j := &m.Res.Jobs[i]
+			if j.Completed && j.Outcome == failures.Unsuccessful {
+				unsucc++
+			}
+		}
+	}
+	if fleet.Completed > 0 {
+		fleet.UnsuccessfulPct = 100 * float64(unsucc) / float64(fleet.Completed)
+	}
+	rep.Rows = append(rep.Rows, fleet)
+	return rep
+}
+
+// fleetRow folds one member's result, returning the row and the raw
+// first-episode delays (so the combined row takes percentiles over the
+// union, not an average of percentiles).
+func fleetRow(name string, res *core.StudyResult) (FleetRow, []float64) {
+	row := FleetRow{Name: name, GPUs: res.TotalGPUs}
+	var delays []float64
+	unsucc := 0
+	for i := range res.Jobs {
+		j := &res.Jobs[i]
+		if j.Offloaded {
+			row.Offloaded++
+			continue
+		}
+		if j.Spillover {
+			row.Received++
+		}
+		row.Jobs++
+		row.GPUHours += j.GPUMinutes / 60
+		for _, att := range j.Attempts {
+			if att.Failed {
+				row.FailedAttempts++
+				row.FailedGPUHours += att.RuntimeMinutes * float64(j.Spec.GPUs) / 60
+			}
+		}
+		if !j.Completed {
+			continue
+		}
+		row.Completed++
+		delays = append(delays, j.FirstQueueDelay.Minutes())
+		if j.Outcome == failures.Unsuccessful {
+			unsucc++
+		}
+	}
+	row.DelayP50 = stats.Percentile(delays, 50)
+	row.DelayP95 = stats.Percentile(delays, 95)
+	row.UtilMean = res.Telemetry.All().Mean()
+	if row.Completed > 0 {
+		row.UnsuccessfulPct = 100 * float64(unsucc) / float64(row.Completed)
+	}
+	return row, delays
+}
+
+// Render prints the fleet comparison table.
+func (r FleetReport) Render() string {
+	t := &Table{Header: []string{
+		"member", "GPUs", "jobs", "completed", "offloaded", "received",
+		"delay p50", "delay p95", "util %", "GPU-h", "failed GPU-h", "failed att", "unsucc %",
+	}}
+	for _, row := range r.Rows {
+		t.Add(row.Name,
+			fmt.Sprintf("%d", row.GPUs),
+			fmt.Sprintf("%d", row.Jobs),
+			fmt.Sprintf("%d", row.Completed),
+			fmt.Sprintf("%d", row.Offloaded),
+			fmt.Sprintf("%d", row.Received),
+			f1(row.DelayP50), f1(row.DelayP95), f1(row.UtilMean),
+			f1(row.GPUHours), f1(row.FailedGPUHours),
+			fmt.Sprintf("%d", row.FailedAttempts), f1(row.UnsuccessfulPct))
+	}
+	var b strings.Builder
+	b.WriteString("Fleet: per-member and combined queueing / utilization / failure aggregates\n")
+	b.WriteString(t.String())
+	return b.String()
+}

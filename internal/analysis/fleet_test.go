@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"philly/internal/cluster"
+	"philly/internal/core"
+	"philly/internal/simulation"
+)
+
+// fleetStudy runs one reduced study for aggregation tests.
+func fleetStudy(t *testing.T, seed uint64, jobs int) *core.StudyResult {
+	t.Helper()
+	cfg := core.SmallConfig()
+	cfg.Seed = seed
+	cfg.Workload.TotalJobs = jobs
+	cfg.Workload.Duration = 2 * simulation.Day
+	cfg.Cluster = cluster.Config{Racks: []cluster.RackConfig{
+		{Servers: 6, SKU: cluster.SKU8GPU},
+	}}
+	st, err := core.NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestComputeFleet checks the per-member rows and the combined fold:
+// counts sum, offloaded shells are excluded everywhere, spillover marks
+// count as received, and the rendered table carries every member.
+func TestComputeFleet(t *testing.T) {
+	a := fleetStudy(t, 3, 160)
+	b := fleetStudy(t, 4, 120)
+
+	// Simulate federation bookkeeping: one offloaded shell on a, one
+	// received copy on b.
+	var offJobs int
+	for i := range a.Jobs {
+		if !a.Jobs[i].Completed {
+			a.Jobs[i].Offloaded = true
+			offJobs = 1
+			break
+		}
+	}
+	if offJobs == 0 {
+		// Every job completed: offload a completed one is invalid, so fake
+		// an incomplete shell instead.
+		a.Jobs = append(a.Jobs, core.JobResult{Offloaded: true})
+		offJobs = 1
+	}
+	b.Jobs[0].Spillover = true
+
+	rep := ComputeFleet([]FleetMember{{Name: "philly-a", Res: a}, {Name: "helios-b", Res: b}})
+	if len(rep.Rows) != 3 {
+		t.Fatalf("got %d rows, want 2 members + fleet", len(rep.Rows))
+	}
+	ra, rb, fleet := rep.Rows[0], rep.Rows[1], rep.Rows[2]
+	if fleet.Name != "fleet" {
+		t.Fatalf("last row = %q, want fleet", fleet.Name)
+	}
+	if ra.Offloaded != offJobs {
+		t.Fatalf("member a offloaded = %d, want %d", ra.Offloaded, offJobs)
+	}
+	if rb.Received != 1 {
+		t.Fatalf("member b received = %d, want 1", rb.Received)
+	}
+	if ra.Jobs != len(a.Jobs)-offJobs {
+		t.Fatalf("member a jobs = %d, want %d (offloaded shells excluded)", ra.Jobs, len(a.Jobs)-offJobs)
+	}
+	if fleet.Jobs != ra.Jobs+rb.Jobs || fleet.Completed != ra.Completed+rb.Completed {
+		t.Fatalf("fleet sums wrong: %+v vs %+v + %+v", fleet, ra, rb)
+	}
+	if fleet.GPUs != ra.GPUs+rb.GPUs {
+		t.Fatalf("fleet GPUs = %d, want %d", fleet.GPUs, ra.GPUs+rb.GPUs)
+	}
+	if fleet.GPUHours <= 0 || fleet.UtilMean <= 0 {
+		t.Fatalf("fleet carries no load: %+v", fleet)
+	}
+	// Percentiles over the union sit within the member range.
+	lo, hi := ra.DelayP95, rb.DelayP95
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if fleet.DelayP95 < lo-1e-9 || fleet.DelayP95 > hi+1e-9 {
+		t.Fatalf("fleet delay p95 %.2f outside member range [%.2f, %.2f]", fleet.DelayP95, lo, hi)
+	}
+
+	out := rep.Render()
+	for _, want := range []string{"philly-a", "helios-b", "fleet", "delay p95", "failed GPU-h"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered fleet table lacks %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package core
+
+// This file is the federation support surface: the member-side hooks
+// internal/federation drives at fleet window barriers. Everything here
+// executes in global (barrier) context — never from the member's own event
+// callbacks — and mutates only this study's state, so the fleet's
+// determinism argument (members share nothing between barriers) is
+// preserved by construction.
+
+import (
+	"fmt"
+	"sort"
+
+	"philly/internal/cluster"
+	"philly/internal/scheduler"
+	"philly/internal/simulation"
+	"philly/internal/workload"
+)
+
+// injectIDBase is where injected (spillover) job IDs start. Generated jobs
+// are dense from 1, so the spaces cannot collide and every derived RNG
+// stream — keyed (seed, label, jobID) — stays unique.
+const injectIDBase int64 = 1 << 30
+
+// OffloadCandidate describes one queued job eligible for spillover: it has
+// never started an attempt here, so moving it is equivalent to having
+// routed it to the other cluster at admission.
+type OffloadCandidate struct {
+	// ID is the job's ID in this study.
+	ID cluster.JobID
+	// GPUs is the gang width (the receiving member must fit it).
+	GPUs int
+	// Waited is the job's current queueing delay.
+	Waited simulation.Time
+}
+
+// OffloadCandidates lists jobs queued and never started whose queueing
+// delay is at least minWait, longest-waiting first (ties by ID), capped at
+// max. Deterministic: it reads only scheduler and study state settled at
+// the current barrier.
+func (s *Study) OffloadCandidates(now, minWait simulation.Time, max int) []OffloadCandidate {
+	var out []OffloadCandidate
+	// EachQueued's walk order is irrelevant: the sort below imposes a
+	// total order, so the cheap no-alloc iteration is safe.
+	s.sched.EachQueued(func(j *scheduler.Job) {
+		if j.State != scheduler.StateQueued {
+			return
+		}
+		js := s.states[j.ID]
+		if js == nil || js.running || js.attemptOpen || js.res.Attempts != nil ||
+			js.res.Offloaded || js.res.Completed || js.attemptIdx != 0 {
+			return
+		}
+		waited := now - j.EnqueuedAt
+		if waited < minWait {
+			return
+		}
+		out = append(out, OffloadCandidate{ID: j.ID, GPUs: j.GPUs, Waited: waited})
+	})
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Waited != out[b].Waited {
+			return out[a].Waited > out[b].Waited
+		}
+		return out[a].ID < out[b].ID
+	})
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// Offload withdraws a queued, never-started job from this study: it leaves
+// the scheduler queue, its result is marked Offloaded (excluded from this
+// cluster's analysis like an incomplete job), and its spec is returned for
+// re-injection into another member. The job's telemetry and log streams
+// were never drawn, so the withdrawal perturbs no other stream.
+func (s *Study) Offload(id cluster.JobID, now simulation.Time) (workload.JobSpec, error) {
+	js := s.states[id]
+	if js == nil {
+		return workload.JobSpec{}, fmt.Errorf("core: offload of unknown job %d", id)
+	}
+	if js.running || js.attemptOpen || js.res.Attempts != nil || js.res.Offloaded || js.res.Completed {
+		return workload.JobSpec{}, fmt.Errorf("core: job %d is not a never-started queued job; cannot offload", id)
+	}
+	if err := s.sched.Withdraw(id); err != nil {
+		return workload.JobSpec{}, fmt.Errorf("core: offload job %d: %w", id, err)
+	}
+	js.res.Offloaded = true
+	// The job will never finalize here. The telemetry ticker and pump wake
+	// events notice the drained pending count on their own, exactly like a
+	// normal drain — no cross-context Stop is needed.
+	s.pending--
+	return *js.spec, nil
+}
+
+// Inject adds a spillover job from another member to this study. The spec
+// keeps its training plan and failure plan (the work is the work), but is
+// re-identified into this study's injected-ID space, re-timed to submit
+// now, and must already carry a VC that exists here (see SpilloverVC). The
+// actual submission runs as a member-lane event at the current time, so
+// the scheduler observes it with the member clock at the barrier instant —
+// injections at one barrier are processed in injection order.
+//
+// Must be called after Arm, from global (barrier) context.
+func (s *Study) Inject(spec workload.JobSpec, now simulation.Time) (cluster.JobID, error) {
+	if s.horizon == 0 {
+		return 0, fmt.Errorf("core: inject before Arm")
+	}
+	if now > s.horizon {
+		// The submission event would sit past this study's run bound and
+		// never execute — the job would be silently lost.
+		return 0, fmt.Errorf("core: inject at %v past the study horizon %v", now, s.horizon)
+	}
+	shard, ok := s.shardOf[spec.VC]
+	if !ok {
+		return 0, fmt.Errorf("core: inject into unknown VC %q", spec.VC)
+	}
+	if spec.GPUs <= 0 || spec.GPUs > s.cluster.TotalGPUs() {
+		return 0, fmt.Errorf("core: inject job of %d GPUs into a %d-GPU cluster",
+			spec.GPUs, s.cluster.TotalGPUs())
+	}
+	s.injectSeq++
+	id := cluster.JobID(injectIDBase + s.injectSeq)
+	spec.ID = int64(id)
+	spec.SubmitAt = now
+	res := &JobResult{Spec: spec, Spillover: true}
+	s.extra = append(s.extra, res)
+	js := &jobState{
+		spec:             &res.Spec,
+		res:              res,
+		idx:              len(s.results) + len(s.extra) - 1,
+		remainingWorkSec: s.cleanWorkSeconds(&res.Spec),
+		runIdx:           -1,
+		stagedAttempt:    -1,
+		shard:            shard,
+		sched:            scheduler.NewJob(id, spec.VC, spec.GPUs, now),
+	}
+	js.sched.RemainingSeconds = js.remainingWorkSec
+	s.states[id] = js
+	s.pending++
+	s.engine.AtShard(js.shard, now, func() {
+		if err := s.sched.Submit(js.sched, s.engine.Now()); err != nil {
+			panic(fmt.Sprintf("core: submit injected job %d: %v", js.spec.ID, err))
+		}
+		s.pump()
+	})
+	return id, nil
+}
+
+// SpilloverVC picks the virtual cluster an injected job should land in:
+// the VC with the most free quota (quota minus current usage), ties broken
+// by the scheduler's VC walk order. Deterministic at a barrier.
+func (s *Study) SpilloverVC() string {
+	best, bestRoom := "", 0
+	for i, name := range s.sched.VCNames() {
+		room := s.sched.VCQuota(name) - s.sched.VCUsage(name)
+		if i == 0 || room > bestRoom {
+			best, bestRoom = name, room
+		}
+	}
+	return best
+}
+
+// FreeGPUs returns the cluster's currently unallocated GPU count.
+func (s *Study) FreeGPUs() int { return s.cluster.FreeGPUs() }
+
+// TotalGPUs returns the cluster's GPU capacity.
+func (s *Study) TotalGPUs() int { return s.cluster.TotalGPUs() }
+
+// RebalanceVCQuotas redistributes this cluster's total VC quota pool
+// proportionally to instantaneous demand (GPUs in use plus GPUs requested
+// by queued jobs, per VC), with a floor of one GPU per VC and the pool
+// total held constant via largest-remainder rounding (ties by VC order).
+// It returns how many VC quotas changed. The federation's fleet-wide
+// rebalancing tick calls it for every member at one window barrier, so the
+// whole fleet re-shares at one consistent instant.
+func (s *Study) RebalanceVCQuotas() int {
+	names := s.sched.VCNames()
+	pool, total := 0, 0
+	demands := make([]int, len(names))
+	for i, n := range names {
+		pool += s.sched.VCQuota(n)
+		d := s.sched.VCUsage(n) + s.sched.QueuedGPUDemand(n)
+		demands[i] = d
+		total += d
+	}
+	if total == 0 || pool < len(names) {
+		return 0
+	}
+	avail := pool - len(names) // everyone keeps a floor of 1
+	quotas := make([]int, len(names))
+	type remainder struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]remainder, len(names))
+	assigned := 0
+	for i, d := range demands {
+		exact := float64(avail) * float64(d) / float64(total)
+		base := int(exact)
+		quotas[i] = 1 + base
+		assigned += base
+		rems[i] = remainder{i, exact - float64(base)}
+	}
+	// Stable sort: equal fractional parts keep VC order, so the leftover
+	// distribution is a pure function of the demand vector.
+	sort.SliceStable(rems, func(a, b int) bool { return rems[a].frac > rems[b].frac })
+	for k := 0; k < avail-assigned; k++ {
+		quotas[rems[k].idx]++
+	}
+	changed := 0
+	for i, n := range names {
+		if quotas[i] == s.sched.VCQuota(n) {
+			continue
+		}
+		if err := s.sched.SetQuota(n, quotas[i]); err != nil {
+			panic(fmt.Sprintf("core: rebalance quota for %s: %v", n, err))
+		}
+		changed++
+	}
+	return changed
+}

@@ -93,6 +93,14 @@ type JobResult struct {
 	OutOfOrderStart, Overtaken bool
 	// MeanUtil is the job's mean per-minute GPU utilization.
 	MeanUtil float64
+	// Offloaded marks a job withdrawn from this cluster's queue by a
+	// federation spillover decision (see internal/federation): it never ran
+	// here and is excluded from this cluster's analysis like an incomplete
+	// job; the receiving member's copy carries the outcome.
+	Offloaded bool
+	// Spillover marks a job injected into this cluster by federation
+	// spillover — it originated on another member cluster.
+	Spillover bool
 	// Attempts lists per-attempt records.
 	Attempts []AttemptResult
 	// Convergence is non-nil for jobs whose logs include loss curves.
@@ -282,8 +290,20 @@ type Study struct {
 	// deployment would).
 	detReason map[string]bool
 
+	// shardOf maps VC name to event lane; resolved at Arm so Inject can
+	// route late-arriving spillover jobs onto the right shard.
+	shardOf map[string]simulation.ShardID
+	// horizon is the armed run bound (set by Arm).
+	horizon simulation.Time
+
 	jobs   []workload.JobSpec
 	states map[cluster.JobID]*jobState
+	// extra holds results of jobs injected after construction (federation
+	// spillover). They live behind pointers so jobState.res stays valid as
+	// more arrive; Collect appends them after the generated jobs.
+	extra []*JobResult
+	// injectSeq numbers injected jobs; their IDs start at injectIDBase.
+	injectSeq int64
 	// running is the insertion-ordered running set for telemetry. Removal
 	// tombstones the slot (nil) and compaction preserves order, so the
 	// telemetry walk draws per-job RNG samples in exactly the order the
@@ -454,7 +474,39 @@ func (s *Study) SetPool(p *par.Pool) {
 
 // Run executes the study to completion and returns the result.
 func (s *Study) Run() (*StudyResult, error) {
-	horizon := simulation.Time(float64(s.cfg.Workload.Duration) * s.cfg.HorizonFactor)
+	horizon := s.Arm()
+	s.engine.Run(horizon)
+	return s.Collect()
+}
+
+// Horizon returns the simulated-time bound the study runs to.
+func (s *Study) Horizon() simulation.Time {
+	return simulation.Time(float64(s.cfg.Workload.Duration) * s.cfg.HorizonFactor)
+}
+
+// SetExecutor replaces the study's event engine — the hook internal/
+// federation uses to run a study as one member of a fleet, on a
+// simulation.Member view. Must be called before Arm/Run; it supersedes a
+// prior ShardEvents call (the member's lane is one sequential timeline,
+// like the sequential Engine, so results are bit-identical either way).
+func (s *Study) SetExecutor(ex simulation.Executor) {
+	s.engine = ex
+	s.sharded = nil
+	s.setNumShards(s.sched.NumVCs())
+}
+
+// PendingJobs returns how many jobs have not yet reached a terminal state
+// (federation tickers use it to decide whether to keep firing).
+func (s *Study) PendingJobs() int { return s.pending }
+
+// Arm schedules the study's initial events — job arrivals, the telemetry
+// ticker, defragmentation sweeps — onto the engine and returns the run
+// horizon, without running anything. Run is Arm + engine.Run + Collect;
+// internal/federation arms each member study on its fleet lane and lets
+// the coordinator drive all lanes inside one virtual timeline.
+func (s *Study) Arm() simulation.Time {
+	horizon := s.Horizon()
+	s.horizon = horizon
 
 	if s.sharded != nil {
 		// Window fork-joins draw on the same budget as every other
@@ -465,10 +517,11 @@ func (s *Study) Run() (*StudyResult, error) {
 	// Shard ownership: a job's local events run on its VC's event lane
 	// (VC index modulo the shard count). The mapping depends only on the
 	// configured VC names, so it is identical across runs and engines.
-	shardOf := make(map[string]simulation.ShardID, s.sched.NumVCs())
+	s.shardOf = make(map[string]simulation.ShardID, s.sched.NumVCs())
 	for _, vc := range s.cfg.Workload.VCs {
-		shardOf[vc.Name] = simulation.ShardID(s.sched.VCIndex(vc.Name) % s.numShards)
+		s.shardOf[vc.Name] = simulation.ShardID(s.sched.VCIndex(vc.Name) % s.numShards)
 	}
+	shardOf := s.shardOf
 
 	// Arrivals.
 	for i := range s.jobs {
@@ -521,14 +574,28 @@ func (s *Study) Run() (*StudyResult, error) {
 		})
 	}
 
-	s.engine.Run(horizon)
+	return horizon
+}
+
+// Collect finalizes an armed-and-run study into its result.
+func (s *Study) Collect() (*StudyResult, error) {
 	if s.engine.Processed() >= s.cfg.MaxEvents {
 		return nil, fmt.Errorf("core: event budget %d exhausted", s.cfg.MaxEvents)
 	}
-
+	jobs := s.results
+	if len(s.extra) > 0 {
+		// Injected spillover jobs follow the generated trace, in injection
+		// order (which is deterministic: injections happen only at fleet
+		// barriers).
+		jobs = make([]JobResult, 0, len(s.results)+len(s.extra))
+		jobs = append(jobs, s.results...)
+		for _, r := range s.extra {
+			jobs = append(jobs, *r)
+		}
+	}
 	return &StudyResult{
 		Config:           s.cfg,
-		Jobs:             s.results,
+		Jobs:             jobs,
 		Telemetry:        s.rec,
 		Sched:            s.sched.Stats(),
 		TotalGPUs:        s.cluster.TotalGPUs(),

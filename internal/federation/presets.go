@@ -1,0 +1,68 @@
+package federation
+
+import (
+	"fmt"
+	"sort"
+
+	"philly/internal/core"
+)
+
+// Presets are named member-cluster configurations. The Philly presets are
+// the core study scales; "helios-like" models the contrast cluster of Hu
+// et al.'s Helios characterization (PAPERS.md): a fleet dominated by
+// short, small experimentation jobs with a higher failure intensity — the
+// composition under which the paper's policy conclusions are most likely
+// to shift, which is exactly what federated sweeps exist to test.
+var presets = map[string]func() core.Config{
+	"philly-small":  core.SmallConfig,
+	"philly-medium": core.MediumConfig,
+	"philly-full":   core.DefaultConfig,
+	"helios-like":   heliosLikeConfig,
+}
+
+// heliosLikeConfig derives the Helios-flavoured member from the small
+// Philly cluster: the same topology, but a job mix skewed hard toward
+// 1-GPU experimentation, shorter runtimes, and ~1.5× the failure
+// intensity (clamped per size bucket so the outcome distributions stay
+// valid), echoing Helios's published contrasts with Philly.
+func heliosLikeConfig() core.Config {
+	cfg := core.SmallConfig()
+	cfg.Workload.SizeWeights = map[int]float64{
+		1: 0.85, 2: 0.08, 4: 0.04, 8: 0.025, 16: 0.005,
+	}
+	cfg.Workload.MaxRuntimeMinutes = 24 * 60
+	fp := &cfg.Workload.Failures
+	for b := range fp.UnsuccessfulProb {
+		u := fp.UnsuccessfulProb[b] * 1.5
+		if max := 1 - fp.KilledProb[b]; u > max {
+			u = max
+		}
+		fp.UnsuccessfulProb[b] = u
+		t := fp.TransientFailureProb[b] * 1.5
+		if t > 1 {
+			t = 1
+		}
+		fp.TransientFailureProb[b] = t
+	}
+	return cfg
+}
+
+// Presets lists the known member preset names, sorted.
+func Presets() []string {
+	names := make([]string, 0, len(presets))
+	for name := range presets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PresetConfig resolves a preset name to a fresh member configuration.
+func PresetConfig(name string) (core.Config, error) {
+	fn, ok := presets[name]
+	if !ok {
+		return core.Config{}, fmt.Errorf("federation: unknown member preset %q (known: %v)",
+			name, Presets())
+	}
+	return fn(), nil
+}

@@ -511,6 +511,71 @@ func (s *Scheduler) QueueLen(name string) int {
 	return 0
 }
 
+// Withdraw removes a queued job from its VC queue without starting it —
+// the federation spillover path: the job leaves this cluster's scheduler
+// in StateFinished, keeping whatever queueing statistics it accumulated,
+// and is re-submitted to another member cluster by the caller. The job
+// must currently be queued.
+func (s *Scheduler) Withdraw(id cluster.JobID) error {
+	for _, vc := range s.vcList {
+		for _, q := range vc.queue {
+			if q.ID != id {
+				continue
+			}
+			if q.State != StateQueued {
+				return fmt.Errorf("scheduler: job %d is not queued; cannot withdraw", id)
+			}
+			s.dequeue(vc, id)
+			q.State = StateFinished
+			return nil
+		}
+	}
+	return fmt.Errorf("scheduler: job %d is not queued; cannot withdraw", id)
+}
+
+// VCNames returns the VC names in the scheduler's sorted walk order.
+func (s *Scheduler) VCNames() []string {
+	return append([]string(nil), s.vcOrder...)
+}
+
+// VCQuota returns the VC's current GPU quota (0 for unknown names).
+func (s *Scheduler) VCQuota(name string) int {
+	if vc := s.vcs[name]; vc != nil {
+		return vc.Quota
+	}
+	return 0
+}
+
+// SetQuota updates a VC's GPU quota in place. Quotas are pure policy —
+// fair-share attribution and preemption thresholds — so changing one
+// mid-run never invalidates allocations; it only steers future decisions.
+// The federation's fleet-wide rebalancing ticks call this at window
+// barriers.
+func (s *Scheduler) SetQuota(name string, quota int) error {
+	vc := s.vcs[name]
+	if vc == nil {
+		return fmt.Errorf("scheduler: unknown VC %q", name)
+	}
+	if quota <= 0 {
+		return fmt.Errorf("scheduler: VC %q quota must be positive, got %d", name, quota)
+	}
+	vc.Quota = quota
+	return nil
+}
+
+// QueuedGPUDemand returns the total GPUs requested by the VC's queued jobs.
+func (s *Scheduler) QueuedGPUDemand(name string) int {
+	vc := s.vcs[name]
+	if vc == nil {
+		return 0
+	}
+	demand := 0
+	for _, j := range vc.queue {
+		demand += j.GPUs
+	}
+	return demand
+}
+
 // Submit enqueues a job (first episode or retry). The job must not be
 // queued or running.
 func (s *Scheduler) Submit(j *Job, now simulation.Time) error {
@@ -932,6 +997,17 @@ func (s *Scheduler) RunningJobs() []*Job {
 	}
 	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
 	return out
+}
+
+// EachQueued calls fn for every queued job, in VC walk order then FIFO
+// queue order — deterministic and allocation-free, for callers (the
+// federation spillover scan) that impose their own total order anyway.
+func (s *Scheduler) EachQueued(fn func(*Job)) {
+	for _, vc := range s.vcList {
+		for _, j := range vc.queue {
+			fn(j)
+		}
+	}
 }
 
 // QueuedJobs returns all queued jobs, ordered by ID.

@@ -1,0 +1,231 @@
+package simulation
+
+import (
+	"reflect"
+	"testing"
+
+	"philly/internal/par"
+)
+
+// TestFleetMemberSelfScheduling pins the capability that separates Fleet
+// from Sharded: a member callback may schedule onto its own member — the
+// causal chains a cluster driver needs — and the lane executes in exactly
+// the sequential FIFO order, including zero-delay chains, for any pool.
+func TestFleetMemberSelfScheduling(t *testing.T) {
+	for _, workers := range []int{0, 4} {
+		f := NewFleet(2)
+		var pool *par.Pool
+		if workers > 0 {
+			pool = par.NewPool(workers)
+			defer pool.Close()
+			f.SetPool(pool)
+		}
+		m0, m1 := f.Member(0), f.Member(1)
+		var got []string
+		m0.At(1, func() {
+			got = append(got, "a@1")
+			m0.At(1, func() { got = append(got, "b@1") }) // zero-duration chain
+			m0.After(2, func() { got = append(got, "c@3") })
+			m0.Ticker(5, 5, func(now Time) bool {
+				got = append(got, "tick")
+				return now < 10
+			})
+		})
+		// Keep the other member busy so windows genuinely fork.
+		m1.At(1, func() {})
+		m1.At(6, func() {})
+		f.Run(20)
+		want := []string{"a@1", "b@1", "c@3", "tick", "tick"}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: order = %v, want %v", workers, got, want)
+		}
+		if m0.Processed() != 5 {
+			t.Fatalf("member 0 processed %d events, want 5", m0.Processed())
+		}
+	}
+}
+
+// TestFleetMemberStopIsLocal checks that a member stopping itself freezes
+// only its own lane — remaining events stay pending, its clock holds —
+// while the fleet and other members run on.
+func TestFleetMemberStopIsLocal(t *testing.T) {
+	f := NewFleet(2)
+	m0, m1 := f.Member(0), f.Member(1)
+	ran := map[string]bool{}
+	m0.At(2, func() {
+		ran["m0-pre"] = true
+		m0.Stop()
+	})
+	m0.At(5, func() { ran["m0-post"] = true })
+	m1.At(7, func() { ran["m1"] = true })
+	f.At(9, func() { ran["global"] = true })
+	f.Run(10)
+	if !ran["m0-pre"] || ran["m0-post"] {
+		t.Fatalf("member stop did not freeze its own lane: %v", ran)
+	}
+	if !ran["m1"] || !ran["global"] {
+		t.Fatalf("member stop leaked into the fleet: %v", ran)
+	}
+	if !m0.Stopped() || m1.Stopped() {
+		t.Fatal("Stopped() flags wrong")
+	}
+	if m0.Now() != 2 {
+		t.Fatalf("stopped member clock = %v, want 2", m0.Now())
+	}
+	if m0.Pending() != 1 {
+		t.Fatalf("stopped member pending = %d, want 1", m0.Pending())
+	}
+	if m1.Now() != 10 {
+		t.Fatalf("drained member clock = %v, want horizon 10", m1.Now())
+	}
+}
+
+// TestFleetMemberHorizon checks per-member horizons: a member's events
+// past its own horizon stay pending even though the fleet runs longer, and
+// a drained member's clock settles exactly at its horizon — the standalone
+// Engine.Run semantics a member study's SimEnd depends on.
+func TestFleetMemberHorizon(t *testing.T) {
+	f := NewFleet(2)
+	m0, m1 := f.Member(0), f.Member(1)
+	m0.SetHorizon(5)
+	var m0Ran, m1Ran int
+	m0.At(4, func() { m0Ran++ })
+	m0.At(6, func() { m0Ran++ }) // past the member horizon: must stay pending
+	m1.At(8, func() { m1Ran++ })
+	f.Run(10)
+	if m0Ran != 1 || m1Ran != 1 {
+		t.Fatalf("ran = %d/%d, want 1/1", m0Ran, m1Ran)
+	}
+	if m0.Pending() != 1 {
+		t.Fatalf("member 0 pending = %d, want 1", m0.Pending())
+	}
+	// With an event still pending the member clock stays at the last
+	// executed event, exactly like Engine.Run.
+	if m0.Now() != 4 {
+		t.Fatalf("member 0 clock = %v, want 4", m0.Now())
+	}
+
+	// Fully drained under its horizon: the clock settles at the horizon.
+	f2 := NewFleet(1)
+	m := f2.Member(0)
+	m.SetHorizon(5)
+	m.At(2, func() {})
+	f2.Run(10)
+	if m.Now() != 5 {
+		t.Fatalf("drained member clock = %v, want member horizon 5", m.Now())
+	}
+}
+
+// TestFleetContractPanics enforces the federation barrier contract: fleet
+// scheduling and Stop from member callbacks panic, as does touching
+// another member's view from inside a member callback.
+func TestFleetContractPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(f *Fleet)
+	}{
+		{"fleet At", func(f *Fleet) { f.At(10, func() {}) }},
+		{"fleet AtShard", func(f *Fleet) { f.AtShard(1, 10, func() {}) }},
+		{"fleet Stop", func(f *Fleet) { f.Stop() }},
+		{"cross-member At", func(f *Fleet) { f.Member(1).At(10, func() {}) }},
+		{"cross-member Stop", func(f *Fleet) { f.Member(1).Stop() }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := NewFleet(2)
+			panicked := false
+			f.Member(0).At(1, func() {
+				defer func() {
+					if recover() != nil {
+						panicked = true
+					}
+				}()
+				tc.fn(f)
+			})
+			f.Run(5)
+			if !panicked {
+				t.Fatalf("%s from a member callback did not panic", tc.name)
+			}
+		})
+	}
+}
+
+// TestFleetGlobalMayTouchMembers pins the sanctioned path: barrier events
+// scheduling onto member lanes and stopping members, with the injected
+// events landing after the barrier at the same instant (they were created
+// by it) and in FIFO order.
+func TestFleetGlobalMayTouchMembers(t *testing.T) {
+	f := NewFleet(2)
+	m0, m1 := f.Member(0), f.Member(1)
+	var order []string
+	m0.At(5, func() { order = append(order, "m0-before") })
+	f.At(5, func() {
+		order = append(order, "barrier")
+		m0.At(5, func() { order = append(order, "m0-injected") })
+		m1.At(5, func() { order = append(order, "m1-injected") })
+	})
+	f.At(7, func() { m1.Stop() })
+	m1.At(9, func() { order = append(order, "m1-after-stop") })
+	f.Run(10)
+	want := []string{"m0-before", "barrier", "m0-injected", "m1-injected"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	if !m1.Stopped() {
+		t.Fatal("member 1 not stopped by the barrier event")
+	}
+}
+
+// TestFleetMemberRunPanics: members are driven by the coordinator only.
+func TestFleetMemberRunPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Member.Run did not panic")
+		}
+	}()
+	NewFleet(1).Member(0).Run(10)
+}
+
+// TestFleetPastSchedulingPanics mirrors the other engines' guards on both
+// the fleet and member surfaces, including the member's own clock.
+func TestFleetPastSchedulingPanics(t *testing.T) {
+	f := NewFleet(1)
+	m := f.Member(0)
+	m.At(8, func() {})
+	f.At(10, func() {})
+	f.Run(20)
+	for name, fn := range map[string]func(){
+		"fleet At":  func() { f.At(5, func() {}) },
+		"member At": func() { m.At(7, func() {}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s in the past did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestFleetWindowStats checks the deterministic window accounting over a
+// schedule that genuinely forks members inside one window.
+func TestFleetWindowStats(t *testing.T) {
+	f := NewFleet(3)
+	f.Member(0).At(1, func() {})
+	f.Member(1).At(2, func() {})
+	f.At(5, func() {})
+	f.Member(2).At(7, func() {})
+	f.Run(10)
+	st := f.Stats()
+	if st.MultiShardWindows != 1 || st.MaxShardsInWindow != 2 {
+		t.Fatalf("window stats = %+v", st)
+	}
+	if st.LocalEvents != 3 || st.GlobalEvents != 1 {
+		t.Fatalf("event split = %d/%d, want 3/1", st.LocalEvents, st.GlobalEvents)
+	}
+	if f.Processed() != 4 {
+		t.Fatalf("Processed = %d, want 4", f.Processed())
+	}
+}

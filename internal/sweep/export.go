@@ -34,9 +34,12 @@ type Export struct {
 
 // ExportScenario is one scenario's results.
 type ExportScenario struct {
-	Index    int                  `json:"index"`
-	Name     string               `json:"name"`
-	Labels   []string             `json:"labels,omitempty"`
+	Index  int      `json:"index"`
+	Name   string   `json:"name"`
+	Labels []string `json:"labels,omitempty"`
+	// Fleet lists a federated scenario's member presets (added with the
+	// fleet.members axis; optional in the format, so the version stays 1).
+	Fleet    []string             `json:"fleet,omitempty"`
 	Config   core.Config          `json:"config"`
 	Replicas []ExportReplica      `json:"replicas"`
 	Summary  map[string]ExportAgg `json:"summary"`
@@ -160,6 +163,7 @@ func (r *Result) ToExport() Export {
 			Index:   sc.Scenario.Index,
 			Name:    sc.Scenario.Name,
 			Labels:  sc.Scenario.Labels,
+			Fleet:   sc.Scenario.Fleet,
 			Config:  sc.Scenario.Config,
 			Summary: make(map[string]ExportAgg, len(defs)),
 		}
@@ -204,6 +208,7 @@ func DecodeJSON(rd io.Reader) (*Result, error) {
 				Index:  es.Index,
 				Name:   es.Name,
 				Labels: es.Labels,
+				Fleet:  es.Fleet,
 				Config: es.Config,
 			},
 		}

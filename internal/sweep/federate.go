@@ -1,0 +1,193 @@
+package sweep
+
+// Federated sweeps: a fleet.members axis turns every scenario into a
+// multi-cluster study (internal/federation). Each member's configuration
+// is its preset with every other axis's mutation applied on top — so
+// "sched.policy=fifo fleet.members=philly-small+helios-like" runs FIFO on
+// both members — and the result expands into one row per member plus a
+// fleet-wide fold, under a synthetic trailing "member" axis, so the
+// comparison table, JSON export and philly-plot compare policies
+// per-member and fleet-wide without any special-casing downstream.
+
+import (
+	"fmt"
+
+	"philly/internal/core"
+	"philly/internal/failures"
+	"philly/internal/federation"
+	"philly/internal/par"
+	"philly/internal/stats"
+)
+
+// fleetMemberLabel names the synthetic row carrying the fleet-wide fold.
+const fleetMemberLabel = "fleet"
+
+// federatedConfig resolves a federated scenario into a federation.Config:
+// member presets with the scenario's non-fleet axis mutations applied, and
+// per-member seeds derived from the run seed.
+func federatedConfig(sc *Scenario, runSeed uint64) (federation.Config, error) {
+	fcfg, err := federation.NewConfig(runSeed, sc.Fleet...)
+	if err != nil {
+		return federation.Config{}, err
+	}
+	for i := range fcfg.Members {
+		for _, apply := range sc.applies {
+			apply(&fcfg.Members[i].Config)
+		}
+	}
+	return fcfg, nil
+}
+
+// runFederatedCell executes one federated scenario replica and reduces it
+// to one ReplicaMetrics per member plus the fleet-wide fold, in that
+// order.
+func runFederatedCell(sc *Scenario, runSeed uint64, pool *par.Pool) ([]ReplicaMetrics, error) {
+	fcfg, err := federatedConfig(sc, runSeed)
+	if err != nil {
+		return nil, err
+	}
+	st, err := federation.NewStudy(fcfg)
+	if err != nil {
+		return nil, err
+	}
+	st.SetPool(pool)
+	res, err := st.Run()
+	if err != nil {
+		return nil, err
+	}
+	cell := make([]ReplicaMetrics, 0, len(res.Members)+1)
+	for _, m := range res.Members {
+		cell = append(cell, Reduce(m.Result))
+	}
+	cell = append(cell, fleetReduce(runSeed, res))
+	return cell, nil
+}
+
+// fleetReduce folds every member's jobs into fleet-wide metrics: one job
+// population, percentiles over the union, utilization weighted by sample
+// count. Offloaded bookkeeping shells are skipped — the receiving member's
+// injected copy is the job's one countable record — so fleet totals count
+// each logical job exactly once.
+//
+// The counting rules mirror internal/analysis.ComputeFleet's combined row
+// (the two folds serve different metric sets but must agree on what
+// counts fleet-wide); TestFleetReduceAgreesWithAnalysis pins the shared
+// quantities against each other.
+func fleetReduce(seed uint64, res *federation.Result) ReplicaMetrics {
+	m := ReplicaMetrics{Seed: seed}
+	var jct, delay []float64
+	unsuccessful := 0
+	var utilSum float64
+	var utilN uint64
+	for _, mem := range res.Members {
+		r := mem.Result
+		// GPU-hour sums fold per member first, then into the fleet total —
+		// the same association the per-member rows and the analysis fleet
+		// table use, so the fleet row is the exact float sum of its member
+		// rows (a single flat accumulator differs in the last bits).
+		var memGPUH, memFailedGPUH float64
+		for i := range r.Jobs {
+			j := &r.Jobs[i]
+			if j.Offloaded {
+				continue
+			}
+			m.Jobs++
+			memGPUH += j.GPUMinutes / 60
+			for _, att := range j.Attempts {
+				if att.Failed {
+					memFailedGPUH += att.RuntimeMinutes * float64(j.Spec.GPUs) / 60
+				}
+			}
+			if !j.Completed {
+				continue
+			}
+			m.Completed++
+			jct = append(jct, (j.EndAt - j.Spec.SubmitAt).Minutes())
+			delay = append(delay, j.FirstQueueDelay.Minutes())
+			if j.Outcome == failures.Unsuccessful {
+				unsuccessful++
+			}
+		}
+		m.GPUHours += memGPUH
+		m.FailedGPUHours += memFailedGPUH
+		if h := r.Telemetry.All(); h.Count() > 0 {
+			utilSum += h.Mean() * float64(h.Count())
+			utilN += h.Count()
+		}
+		m.Preemptions += r.Sched.FairSharePreemptions + r.Sched.PolicyPreemptions
+		m.Migrations += r.Sched.Migrations
+	}
+	m.JCTp50 = stats.Percentile(jct, 50)
+	m.JCTMean = stats.Mean(jct)
+	m.DelayP50 = stats.Percentile(delay, 50)
+	m.DelayP95 = stats.Percentile(delay, 95)
+	if utilN > 0 {
+		m.MeanUtilPct = utilSum / float64(utilN)
+	}
+	if m.Completed > 0 {
+		m.UnsuccessfulPct = 100 * float64(unsuccessful) / float64(m.Completed)
+	}
+	return m
+}
+
+// hasFleetScenario reports whether any scenario is federated. A fleet
+// axis gives every scenario a member list, so this is all-or-nothing per
+// matrix.
+func hasFleetScenario(scenarios []Scenario) bool {
+	for i := range scenarios {
+		if scenarios[i].Fleet != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// expandFederated turns per-scenario federated cells into the final
+// result: each scenario becomes one row per member plus a "fleet" row,
+// labeled under a synthetic trailing "member" axis. Member rows carry the
+// member's resolved configuration (preset plus applies, seed unset, as
+// scenario configs always are); the fleet row carries the scenario's base
+// configuration.
+func expandFederated(out *Result, scenarios []Scenario, metrics [][][]ReplicaMetrics) (*Result, error) {
+	out.AxisNames = append(out.AxisNames, "member")
+	for i := range scenarios {
+		sc := &scenarios[i]
+		fcfg, err := federatedConfig(sc, 0)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: scenario %q: %w", sc.Name, err)
+		}
+		names := make([]string, 0, len(fcfg.Members)+1)
+		configs := make([]core.Config, 0, len(fcfg.Members)+1)
+		for _, mem := range fcfg.Members {
+			cfg := mem.Config
+			cfg.Seed = 0
+			names = append(names, mem.Name)
+			configs = append(configs, cfg)
+		}
+		names = append(names, fleetMemberLabel)
+		configs = append(configs, sc.Config)
+
+		for mi, mname := range names {
+			rows := make([]ReplicaMetrics, len(metrics[i]))
+			for r := range metrics[i] {
+				if mi >= len(metrics[i][r]) {
+					return nil, fmt.Errorf("sweep: scenario %q replica %d: short federated cell", sc.Name, r)
+				}
+				rows[r] = metrics[i][r][mi]
+			}
+			labels := append(append([]string(nil), sc.Labels...), mname)
+			out.Scenarios = append(out.Scenarios, ScenarioResult{
+				Scenario: Scenario{
+					Index:  len(out.Scenarios),
+					Name:   sc.Name + " member=" + mname,
+					Labels: labels,
+					Config: configs[mi],
+					Fleet:  sc.Fleet,
+				},
+				Replicas: rows,
+				Summary:  Summarize(rows),
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,183 @@
+package sweep
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"philly/internal/analysis"
+	"philly/internal/federation"
+)
+
+// fleetMatrix is a fast federated sweep: a policy axis crossed with a
+// fleet axis, with the jobs axis shrinking every member's trace so one
+// cell runs in tens of milliseconds.
+func fleetMatrix(t *testing.T) Matrix {
+	t.Helper()
+	return Matrix{
+		Base: tinyConfig(),
+		Axes: []Axis{
+			mustParse(t, "sched.policy=philly,fifo"),
+			mustParse(t, "jobs=200"),
+			mustParse(t, "fleet.members=philly-small+helios-like"),
+		},
+	}
+}
+
+// TestFederatedSweep runs a policy × fleet matrix end to end and checks
+// the member-row expansion: one row per member plus a fleet-wide row per
+// scenario, a trailing synthetic "member" axis, per-member configs carried
+// on the rows, and exact cross-row accounting for completed jobs.
+func TestFederatedSweep(t *testing.T) {
+	m := fleetMatrix(t)
+	res, err := m.Run(Options{Replicas: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAxes := []string{"sched.policy", "jobs", "fleet.members", "member"}
+	if !reflect.DeepEqual(res.AxisNames, wantAxes) {
+		t.Fatalf("AxisNames = %v, want %v", res.AxisNames, wantAxes)
+	}
+	// 2 policies × 1 jobs × 1 fleet value, each expanded into 2 members +
+	// the fleet row.
+	if len(res.Scenarios) != 2*3 {
+		t.Fatalf("got %d rows, want 6", len(res.Scenarios))
+	}
+	for i := 0; i < len(res.Scenarios); i += 3 {
+		rows := res.Scenarios[i : i+3]
+		if got := rows[0].Scenario.Labels[3]; got != "philly-small" {
+			t.Fatalf("row %d member label = %q", i, got)
+		}
+		if got := rows[1].Scenario.Labels[3]; got != "helios-like" {
+			t.Fatalf("row %d member label = %q", i+1, got)
+		}
+		if got := rows[2].Scenario.Labels[3]; got != fleetMemberLabel {
+			t.Fatalf("row %d member label = %q", i+2, got)
+		}
+		// The jobs=200 apply must have reached every member's config.
+		for r := 0; r < 2; r++ {
+			if rows[r].Scenario.Config.Workload.TotalJobs != 200 {
+				t.Fatalf("member row config kept %d jobs, want 200",
+					rows[r].Scenario.Config.Workload.TotalJobs)
+			}
+		}
+		// Completed jobs are never offloaded shells, so the fleet row's
+		// count must equal the member sum exactly.
+		wantCompleted := rows[0].Replicas[0].Completed + rows[1].Replicas[0].Completed
+		if got := rows[2].Replicas[0].Completed; got != wantCompleted {
+			t.Fatalf("fleet completed = %d, want member sum %d", got, wantCompleted)
+		}
+		if rows[2].Replicas[0].Jobs == 0 || rows[2].Replicas[0].GPUHours <= 0 {
+			t.Fatal("fleet row carries no load")
+		}
+	}
+	table := res.RenderTable()
+	if !strings.Contains(table, "member") || !strings.Contains(table, fleetMemberLabel) {
+		t.Fatalf("rendered table lacks the member column:\n%s", table)
+	}
+}
+
+// TestFederatedSweepDeterminism: the federated path inherits the harness
+// guarantee — byte-identical output across worker counts.
+func TestFederatedSweepDeterminism(t *testing.T) {
+	m := fleetMatrix(t)
+	m.Axes = m.Axes[1:] // jobs + fleet only: 3 rows, fast enough to run twice
+	r1, err := m.Run(Options{Replicas: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := m.Run(Options{Replicas: 2, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r4) {
+		t.Fatal("federated sweep diverged between workers=1 and workers=4")
+	}
+}
+
+// TestFederatedExportRoundTrip: the JSON export carries the fleet member
+// lists and member rows, and decodes back to the same table and plots.
+func TestFederatedExportRoundTrip(t *testing.T) {
+	m := fleetMatrix(t)
+	m.Axes = m.Axes[1:]
+	res, err := m.Run(Options{Replicas: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"fleet"`) {
+		t.Fatal("export lacks the fleet member list")
+	}
+	back, err := DecodeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.RenderTable() != res.RenderTable() {
+		t.Fatal("decoded table differs from the original")
+	}
+	if !reflect.DeepEqual(back.Scenarios[0].Scenario.Fleet, res.Scenarios[0].Scenario.Fleet) {
+		t.Fatal("fleet member list lost in the round trip")
+	}
+	var csv1, csv2 bytes.Buffer
+	if err := res.WritePlotCSV(&csv1); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.WritePlotCSV(&csv2); err != nil {
+		t.Fatal(err)
+	}
+	if csv1.String() != csv2.String() {
+		t.Fatal("plot CSV differs after the round trip")
+	}
+	if !strings.Contains(csv1.String(), "member") {
+		t.Fatal("plot CSV lacks the member column")
+	}
+}
+
+// TestFleetReduceAgreesWithAnalysis pins the two fleet-wide folds — the
+// sweep's ReplicaMetrics fold and internal/analysis.ComputeFleet's
+// combined row — against each other on the same federated result: they
+// serve different metric sets but must agree on every shared quantity, or
+// the sweep table and the philly-repro fleet table would silently diverge
+// for the same run.
+func TestFleetReduceAgreesWithAnalysis(t *testing.T) {
+	fcfg, err := federation.NewConfig(17, "philly-small", "helios-like")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fcfg.Members {
+		fcfg.Members[i].Config.Workload.TotalJobs = 250
+	}
+	res, err := federation.Run(fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fleetReduce(17, res)
+	members := make([]analysis.FleetMember, 0, len(res.Members))
+	for _, mem := range res.Members {
+		members = append(members, analysis.FleetMember{Name: mem.Name, Res: mem.Result})
+	}
+	rows := analysis.ComputeFleet(members).Rows
+	fleet := rows[len(rows)-1]
+	if m.Jobs != fleet.Jobs || m.Completed != fleet.Completed {
+		t.Fatalf("job counts diverged: sweep %d/%d vs analysis %d/%d",
+			m.Jobs, m.Completed, fleet.Jobs, fleet.Completed)
+	}
+	if m.GPUHours != fleet.GPUHours || m.FailedGPUHours != fleet.FailedGPUHours {
+		t.Fatalf("GPU-hour folds diverged: sweep %v/%v vs analysis %v/%v",
+			m.GPUHours, m.FailedGPUHours, fleet.GPUHours, fleet.FailedGPUHours)
+	}
+	if m.DelayP50 != fleet.DelayP50 || m.DelayP95 != fleet.DelayP95 {
+		t.Fatalf("delay percentiles diverged: sweep %v/%v vs analysis %v/%v",
+			m.DelayP50, m.DelayP95, fleet.DelayP50, fleet.DelayP95)
+	}
+	if m.MeanUtilPct != fleet.UtilMean {
+		t.Fatalf("utilization fold diverged: sweep %v vs analysis %v", m.MeanUtilPct, fleet.UtilMean)
+	}
+	if m.UnsuccessfulPct != fleet.UnsuccessfulPct {
+		t.Fatalf("unsuccessful%% diverged: sweep %v vs analysis %v", m.UnsuccessfulPct, fleet.UnsuccessfulPct)
+	}
+}

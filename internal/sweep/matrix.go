@@ -21,6 +21,7 @@ import (
 
 	"philly/internal/cluster"
 	"philly/internal/core"
+	"philly/internal/federation"
 	"philly/internal/scheduler"
 	"philly/internal/simulation"
 	"philly/internal/workload"
@@ -31,8 +32,14 @@ import (
 type Value struct {
 	// Label names the setting in scenario names and tables ("fifo", "on").
 	Label string
-	// Apply mutates a copy of the base configuration.
+	// Apply mutates a copy of the base configuration. It may be nil for
+	// fleet-level values.
 	Apply func(*core.Config)
+	// Fleet, when non-nil, makes scenarios with this value federated: the
+	// listed member presets run as one multi-cluster study (see
+	// internal/federation), with every other axis's Apply applied to every
+	// member's configuration. Set by the fleet.members axis.
+	Fleet []string
 }
 
 // Axis is one named configuration dimension with the values to sweep.
@@ -67,18 +74,50 @@ type Scenario struct {
 	// Config is the fully-applied configuration (Seed still unset; the
 	// runner overwrites it per replica).
 	Config core.Config
+	// Fleet lists the member presets of a federated scenario (nil for a
+	// plain single-cluster one); set by a fleet.members axis value.
+	Fleet []string
+	// applies holds the non-fleet value mutations in axis order, so the
+	// runner can re-apply them to each federation member's preset config.
+	applies []func(*core.Config)
 }
 
-// Scenarios expands the cross-product. An axis with no values is an error:
-// it would silently zero the whole product.
+// Scenarios expands the cross-product. An axis with no values is an error
+// (it would silently zero the whole product), as is a duplicate axis name
+// (the later axis would silently win every cell).
 func (m Matrix) Scenarios() ([]Scenario, error) {
+	seen := map[string]bool{}
+	fleetAxes := 0
 	for _, ax := range m.Axes {
 		if ax.Name == "" {
 			return nil, fmt.Errorf("sweep: axis with empty name")
 		}
+		if seen[ax.Name] {
+			return nil, fmt.Errorf("sweep: duplicate axis %q", ax.Name)
+		}
+		seen[ax.Name] = true
 		if len(ax.Values) == 0 {
 			return nil, fmt.Errorf("sweep: axis %q has no values", ax.Name)
 		}
+		fleetVals := 0
+		for _, v := range ax.Values {
+			if v.Fleet != nil {
+				fleetVals++
+			}
+		}
+		if fleetVals > 0 {
+			if fleetVals != len(ax.Values) {
+				// A mixed axis would make some scenarios federated and some
+				// not; the member-row expansion is all-or-nothing per
+				// matrix, and failing here beats failing after every cell
+				// has already simulated.
+				return nil, fmt.Errorf("sweep: axis %q mixes fleet and non-fleet values", ax.Name)
+			}
+			fleetAxes++
+		}
+	}
+	if fleetAxes > 1 {
+		return nil, fmt.Errorf("sweep: at most one axis may set fleet members")
 	}
 	total := 1
 	for _, ax := range m.Axes {
@@ -90,9 +129,17 @@ func (m Matrix) Scenarios() ([]Scenario, error) {
 		cfg := cloneConfig(m.Base)
 		labels := make([]string, len(m.Axes))
 		parts := make([]string, len(m.Axes))
+		var fleet []string
+		var applies []func(*core.Config)
 		for a, ax := range m.Axes {
 			v := ax.Values[idx[a]]
-			v.Apply(&cfg)
+			if v.Apply != nil {
+				v.Apply(&cfg)
+				applies = append(applies, v.Apply)
+			}
+			if v.Fleet != nil {
+				fleet = v.Fleet
+			}
 			labels[a] = v.Label
 			parts[a] = ax.Name + "=" + v.Label
 		}
@@ -101,10 +148,12 @@ func (m Matrix) Scenarios() ([]Scenario, error) {
 			name = "base"
 		}
 		scenarios = append(scenarios, Scenario{
-			Index:  i,
-			Name:   name,
-			Labels: labels,
-			Config: cfg,
+			Index:   i,
+			Name:    name,
+			Labels:  labels,
+			Config:  cfg,
+			Fleet:   fleet,
+			applies: applies,
 		})
 		// Odometer increment, last axis fastest.
 		for a := len(idx) - 1; a >= 0; a-- {
@@ -302,14 +351,48 @@ var knobs = map[string]axisParser{
 	},
 }
 
+// FleetAxisName is the federated-scenario axis: each value is a
+// "+"-separated list of member presets (see internal/federation), e.g.
+// "philly-small+helios-like", and every scenario runs as one multi-cluster
+// study reported per member plus fleet-wide.
+const FleetAxisName = "fleet.members"
+
 // KnownAxes lists the axis names ParseAxis accepts, sorted.
 func KnownAxes() []string {
-	names := make([]string, 0, len(knobs))
+	names := make([]string, 0, len(knobs)+1)
 	for name := range knobs {
 		names = append(names, name)
 	}
+	names = append(names, FleetAxisName)
 	sort.Strings(names)
 	return names
+}
+
+// parseFleetAxis builds the fleet.members axis: values are member-preset
+// lists, validated against the federation preset registry.
+func parseFleetAxis(vals string) (Axis, error) {
+	ax := Axis{Name: FleetAxisName}
+	for _, v := range strings.Split(vals, ",") {
+		v = strings.TrimSpace(v)
+		if v == "" {
+			continue
+		}
+		fcfg, err := federation.ParseSpec(0, v)
+		if err != nil {
+			return Axis{}, fmt.Errorf("sweep: axis %s: %w", FleetAxisName, err)
+		}
+		members := make([]string, 0, len(fcfg.Members))
+		for _, p := range strings.Split(v, "+") {
+			if p = strings.TrimSpace(p); p != "" {
+				members = append(members, p)
+			}
+		}
+		ax.Values = append(ax.Values, Value{Label: v, Fleet: members})
+	}
+	if len(ax.Values) == 0 {
+		return Axis{}, fmt.Errorf("sweep: axis %q has no values", FleetAxisName)
+	}
+	return ax, nil
 }
 
 // ParseAxis parses a "name=v1,v2,..." axis specification against the knob
@@ -318,6 +401,9 @@ func ParseAxis(spec string) (Axis, error) {
 	name, vals, ok := strings.Cut(spec, "=")
 	if !ok || name == "" {
 		return Axis{}, fmt.Errorf("sweep: axis spec %q: want name=v1,v2,...", spec)
+	}
+	if name == FleetAxisName {
+		return parseFleetAxis(vals)
 	}
 	parse, ok := knobs[name]
 	if !ok {

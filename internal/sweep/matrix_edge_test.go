@@ -1,0 +1,153 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"philly/internal/core"
+)
+
+// TestScenariosRejectsDuplicateAxes: a duplicated axis name would silently
+// let the later axis win every cell; it must be an error, not a quiet
+// mis-expansion.
+func TestScenariosRejectsDuplicateAxes(t *testing.T) {
+	ax1 := mustParse(t, "sched.policy=philly,fifo")
+	ax2 := mustParse(t, "sched.policy=srtf")
+	m := Matrix{Base: tinyConfig(), Axes: []Axis{ax1, ax2}}
+	if _, err := m.Scenarios(); err == nil || !strings.Contains(err.Error(), "duplicate axis") {
+		t.Fatalf("duplicate axis expanded without error (err=%v)", err)
+	}
+	// The runner path must surface the same error before any simulation.
+	if _, err := m.Run(Options{Replicas: 1, Workers: 1}); err == nil {
+		t.Fatal("Run accepted a duplicate axis")
+	}
+}
+
+// TestScenariosRejectsEmptyAxes: empty names and empty value lists zero or
+// corrupt the cross-product and must error.
+func TestScenariosRejectsEmptyAxes(t *testing.T) {
+	cases := []struct {
+		name string
+		axes []Axis
+	}{
+		{"empty name", []Axis{{Name: "", Values: []Value{{Label: "x", Apply: func(*core.Config) {}}}}}},
+		{"no values", []Axis{{Name: "sched.policy"}}},
+	}
+	for _, tc := range cases {
+		m := Matrix{Base: tinyConfig(), Axes: tc.axes}
+		if _, err := m.Scenarios(); err == nil {
+			t.Errorf("%s: expanded without error", tc.name)
+		}
+	}
+}
+
+// TestParseAxisRejectsMalformedSpecs walks the malformed-input space of
+// the axis parser: bad shapes, unknown names, out-of-domain values, and
+// value lists that collapse to nothing. Every case must return an error —
+// never panic, never succeed.
+func TestParseAxisRejectsMalformedSpecs(t *testing.T) {
+	specs := []string{
+		"",                       // no name
+		"=on",                    // empty name
+		"sched.policy",           // no values
+		"no.such.axis=1",         // unknown axis
+		"sched.policy=slurm",     // unknown policy
+		"sched.policy=,",         // values collapse to nothing
+		"sched.policy= , ",       // whitespace-only values
+		"defrag=maybe",           // not on/off
+		"adaptive-retry=2",       // not on/off
+		"checkpoint.retention=x", // not a float
+		"sched.backoff-min=abc",  // not a float
+		"locality.relax=4",       // missing :any part
+		"locality.relax=4:x",     // non-integer component
+		"locality.relax=-1:8",    // negative threshold
+		"jobs=0",                 // non-positive
+		"jobs=many",              // non-integer
+		"failure.scale=-1",       // negative
+		"failure.scale=x",        // non-numeric
+		"telemetry.cadence=0",    // non-positive
+		"telemetry.cadence=1e-9", // rounds to zero seconds
+		"cluster.scale=0",        // non-positive
+		"cluster.scale=big",      // non-numeric
+	}
+	for _, spec := range specs {
+		if _, err := ParseAxis(spec); err == nil {
+			t.Errorf("ParseAxis(%q) succeeded; want error", spec)
+		}
+	}
+}
+
+// TestParseMixRejectsMalformedWeights covers workload.mix's size:weight
+// list syntax: every malformed entry must produce an error with the
+// offending value, never a panic or a silently empty distribution.
+func TestParseMixRejectsMalformedWeights(t *testing.T) {
+	specs := []string{
+		"workload.mix=nonsense",  // not a preset, no ':'
+		"workload.mix=1:abc",     // non-numeric weight
+		"workload.mix=x:0.5",     // non-numeric size
+		"workload.mix=:0.5",      // empty size
+		"workload.mix=1:",        // empty weight
+		"workload.mix=0:1",       // zero size
+		"workload.mix=-1:2",      // negative size
+		"workload.mix=1:-3",      // negative weight
+		"workload.mix=1:0.5;bad", // malformed second entry
+		"workload.mix=;",         // nothing but separators
+		"workload.mix=1:0.5:2",   // too many colons in one entry
+	}
+	for _, spec := range specs {
+		if _, err := ParseAxis(spec); err == nil {
+			t.Errorf("ParseAxis(%q) succeeded; want error", spec)
+		}
+	}
+	// The valid shapes stay valid.
+	for _, spec := range []string{
+		"workload.mix=default",
+		"workload.mix=small,large",
+		"workload.mix=1:0.7;8:0.3",
+		"workload.mix= 1 : 0.7 ; 8 : 0.3 ",
+	} {
+		if _, err := ParseAxis(spec); err != nil {
+			t.Errorf("ParseAxis(%q) = %v; want success", spec, err)
+		}
+	}
+}
+
+// TestFleetAxisParsing covers the fleet.members axis: preset validation at
+// parse time, the one-fleet-axis rule, and expansion tagging.
+func TestFleetAxisParsing(t *testing.T) {
+	ax, err := ParseAxis("fleet.members=philly-small,philly-small+helios-like")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ax.Values) != 2 || ax.Values[0].Fleet == nil || len(ax.Values[1].Fleet) != 2 {
+		t.Fatalf("fleet axis parsed wrong: %+v", ax.Values)
+	}
+	for _, spec := range []string{
+		"fleet.members=",                   // no values
+		"fleet.members=no-such-preset",     // unknown preset
+		"fleet.members=philly-small+bogus", // unknown member in a list
+		"fleet.members=+",                  // empty member list
+	} {
+		if _, err := ParseAxis(spec); err == nil {
+			t.Errorf("ParseAxis(%q) succeeded; want error", spec)
+		}
+	}
+	// Two axes carrying fleet members cannot coexist.
+	other := Axis{Name: "other.fleet", Values: []Value{{Label: "x", Fleet: []string{"philly-small"}}}}
+	m := Matrix{Base: tinyConfig(), Axes: []Axis{ax, other}}
+	if _, err := m.Scenarios(); err == nil {
+		t.Fatal("two fleet axes expanded without error")
+	}
+	if !contains(KnownAxes(), FleetAxisName) {
+		t.Fatal("KnownAxes does not list fleet.members")
+	}
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}

@@ -53,6 +53,11 @@ type jobAccum struct {
 	seen      bool
 	completed bool
 	unsucc    bool
+	// offloaded marks a federation spillover bookkeeping shell: the job
+	// moved to (and is counted at) another member, so it is excluded from
+	// this study's totals — consistent with the fleet-wide fold and the
+	// analysis fleet table.
+	offloaded bool
 	gpuMin    float64
 	jctMin    float64
 	delayMin  float64
@@ -81,8 +86,17 @@ func NewStreamReducer(n int) *StreamReducer {
 // ObserveJob folds one job's result; i is the job's index in
 // StudyResult.Jobs. Safe to call from core's StreamJobs observer.
 func (r *StreamReducer) ObserveJob(i int, j *core.JobResult) {
+	for i >= len(r.jobs) {
+		// Federation spillover can inject jobs beyond the generated count;
+		// grow rather than index out of range.
+		r.jobs = append(r.jobs, jobAccum{})
+	}
 	a := &r.jobs[i]
 	a.seen = true
+	if j.Offloaded {
+		a.offloaded = true
+		return
+	}
 	a.completed = j.Completed
 	a.gpuMin = j.GPUMinutes
 	for _, att := range j.Attempts {
@@ -108,10 +122,19 @@ func (r *StreamReducer) Finish(res *core.StudyResult) ReplicaMetrics {
 	}
 	var jct, delay []float64
 	unsuccessful := 0
-	for i := range r.jobs {
-		a := &r.jobs[i]
-		if !a.seen && i < len(res.Jobs) {
+	// res.Jobs can outgrow the reducer's initial sizing (federation
+	// spillover injects jobs beyond the generated count), so walk the
+	// result, not the accumulator — ObserveJob grows it on demand.
+	for i := 0; i < len(res.Jobs); i++ {
+		if i >= len(r.jobs) || !r.jobs[i].seen {
 			r.ObserveJob(i, &res.Jobs[i])
+		}
+		a := &r.jobs[i]
+		if a.offloaded {
+			// Spillover shell: the job runs, and is counted, at another
+			// federation member.
+			m.Jobs--
+			continue
 		}
 		m.GPUHours += a.gpuMin / 60
 		for _, f := range a.failedGPUh {

@@ -95,7 +95,19 @@ func (m Matrix) Run(opts Options) (*Result, error) {
 
 	// Validate every scenario before spending any simulation time: a typo'd
 	// axis value should fail the sweep instantly, not after N-1 cells ran.
+	// Federated scenarios validate every member's preset-plus-applies
+	// configuration the same way.
 	for i := range scenarios {
+		if scenarios[i].Fleet != nil {
+			fcfg, err := federatedConfig(&scenarios[i], 0)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: scenario %q: %w", scenarios[i].Name, err)
+			}
+			if err := fcfg.Validate(); err != nil {
+				return nil, fmt.Errorf("sweep: scenario %q: %w", scenarios[i].Name, err)
+			}
+			continue
+		}
 		if err := scenarios[i].Config.Validate(); err != nil {
 			return nil, fmt.Errorf("sweep: scenario %q: %w", scenarios[i].Name, err)
 		}
@@ -108,9 +120,12 @@ func (m Matrix) Run(opts Options) (*Result, error) {
 	}
 
 	total := len(scenarios) * replicas
-	metrics := make([][]ReplicaMetrics, len(scenarios))
+	// One cell per scenario × replica. A plain scenario's cell is a single
+	// ReplicaMetrics; a federated one's holds one per member plus the
+	// fleet-wide fold (see expandFederated).
+	metrics := make([][][]ReplicaMetrics, len(scenarios))
 	for i := range metrics {
-		metrics[i] = make([]ReplicaMetrics, replicas)
+		metrics[i] = make([][]ReplicaMetrics, replicas)
 	}
 
 	var (
@@ -135,34 +150,45 @@ func (m Matrix) Run(opts Options) (*Result, error) {
 			return
 		}
 		s, r := unit/replicas, unit%replicas
-		cfg := cloneConfig(scenarios[s].Config)
-		cfg.Seed = DeriveSeed(baseSeed, s, r)
-		st, err := core.NewStudy(cfg)
-		if err != nil {
-			fail(fmt.Errorf("sweep: scenario %q replica %d: %w",
-				scenarios[s].Name, r, err))
-			return
+		runSeed := DeriveSeed(baseSeed, s, r)
+		if scenarios[s].Fleet != nil {
+			cell, err := runFederatedCell(&scenarios[s], runSeed, pool)
+			if err != nil {
+				fail(fmt.Errorf("sweep: scenario %q replica %d: %w",
+					scenarios[s].Name, r, err))
+				return
+			}
+			metrics[s][r] = cell
+		} else {
+			cfg := cloneConfig(scenarios[s].Config)
+			cfg.Seed = runSeed
+			st, err := core.NewStudy(cfg)
+			if err != nil {
+				fail(fmt.Errorf("sweep: scenario %q replica %d: %w",
+					scenarios[s].Name, r, err))
+				return
+			}
+			// Intra-study shards draw on the same pool: idle sweep workers
+			// pick them up, busy pools degrade to inline. Either way the
+			// study result is bit-identical (see core.Study.SetPool).
+			if opts.ShardEvents {
+				st.ShardEvents(0)
+			}
+			st.SetPool(pool)
+			// Stream per-job results into the reduction as they finish,
+			// so the study releases full job records in flight and the
+			// sweep's peak memory tracks the running set, not the whole
+			// workload (ROADMAP: memory-bound full-scale sweeps).
+			red := NewStreamReducer(st.NumJobs())
+			st.StreamJobs(red.ObserveJob)
+			res, err := st.Run()
+			if err != nil {
+				fail(fmt.Errorf("sweep: scenario %q replica %d: %w",
+					scenarios[s].Name, r, err))
+				return
+			}
+			metrics[s][r] = []ReplicaMetrics{red.Finish(res)}
 		}
-		// Intra-study shards draw on the same pool: idle sweep workers
-		// pick them up, busy pools degrade to inline. Either way the
-		// study result is bit-identical (see core.Study.SetPool).
-		if opts.ShardEvents {
-			st.ShardEvents(0)
-		}
-		st.SetPool(pool)
-		// Stream per-job results into the reduction as they finish,
-		// so the study releases full job records in flight and the
-		// sweep's peak memory tracks the running set, not the whole
-		// workload (ROADMAP: memory-bound full-scale sweeps).
-		red := NewStreamReducer(st.NumJobs())
-		st.StreamJobs(red.ObserveJob)
-		res, err := st.Run()
-		if err != nil {
-			fail(fmt.Errorf("sweep: scenario %q replica %d: %w",
-				scenarios[s].Name, r, err))
-			return
-		}
-		metrics[s][r] = red.Finish(res)
 		if opts.Progress != nil {
 			mu.Lock()
 			done++
@@ -179,11 +205,23 @@ func (m Matrix) Run(opts Options) (*Result, error) {
 	for _, ax := range m.Axes {
 		out.AxisNames = append(out.AxisNames, ax.Name)
 	}
+	if hasFleetScenario(scenarios) {
+		return expandFederated(out, scenarios, metrics)
+	}
 	for i := range scenarios {
+		rows := make([]ReplicaMetrics, replicas)
+		for r := range metrics[i] {
+			rows[r] = metrics[i][r][0]
+		}
+		sc := scenarios[i]
+		// The apply closures are run-time plumbing, not result data; they
+		// would also break DeepEqual-based invariance comparisons (func
+		// values never compare equal).
+		sc.applies = nil
 		out.Scenarios = append(out.Scenarios, ScenarioResult{
-			Scenario: scenarios[i],
-			Replicas: metrics[i],
-			Summary:  Summarize(metrics[i]),
+			Scenario: sc,
+			Replicas: rows,
+			Summary:  Summarize(rows),
 		})
 	}
 	return out, nil

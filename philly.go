@@ -35,6 +35,7 @@ import (
 	"philly/internal/analysis"
 	"philly/internal/core"
 	"philly/internal/failures"
+	"philly/internal/federation"
 	"philly/internal/joblog"
 	"philly/internal/par"
 	"philly/internal/perfmodel"
@@ -133,6 +134,62 @@ func RunWith(cfg Config, opts RunOptions) (*StudyResult, error) {
 
 // NewTrace exports a study result in the Philly-traces-like format.
 func NewTrace(res *StudyResult) *Trace { return trace.FromStudy(res) }
+
+// FederationConfig specifies a multi-cluster (federated) study: member
+// clusters, the spillover policy, and the fleet-wide quota rebalancing
+// tick. See internal/federation for the barrier contract.
+type FederationConfig = federation.Config
+
+// FederationMember is one cluster of a federation.
+type FederationMember = federation.Member
+
+// FederatedResult is a completed federated study: per-member StudyResults
+// plus fleet-level interaction statistics.
+type FederatedResult = federation.Result
+
+// FederationPresets lists the known member preset names ("philly-small",
+// "philly-full", "helios-like", ...).
+func FederationPresets() []string { return federation.Presets() }
+
+// ParseFederationSpec parses a "+"-separated member preset list (e.g.
+// "philly-small+helios-like") into a federation configuration with
+// per-member seeds derived from seed and default cross-cluster
+// interactions enabled.
+func ParseFederationSpec(seed uint64, spec string) (FederationConfig, error) {
+	return federation.ParseSpec(seed, spec)
+}
+
+// RunFederated executes a federated study. Workers follows RunOptions
+// semantics: the shared pool runs member clusters concurrently inside
+// fleet windows and each member's internal parallel layers. ShardEvents is
+// ignored — each member is already one event lane of the fleet
+// coordinator. The result is bit-identical for every worker count.
+func RunFederated(cfg FederationConfig, opts RunOptions) (*FederatedResult, error) {
+	st, err := federation.NewStudy(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("philly: %w", err)
+	}
+	if opts.Workers != 1 {
+		pool := par.NewPool(opts.Workers)
+		defer pool.Close()
+		st.SetPool(pool)
+	}
+	return st.Run()
+}
+
+// FleetReport is the per-member + combined fleet aggregation table.
+type FleetReport = analysis.FleetReport
+
+// AnalyzeFleet computes the fleet comparison table — per-member and
+// combined queueing, utilization and failure aggregates — from a federated
+// result.
+func AnalyzeFleet(res *FederatedResult) FleetReport {
+	members := make([]analysis.FleetMember, 0, len(res.Members))
+	for _, m := range res.Members {
+		members = append(members, analysis.FleetMember{Name: m.Name, Res: m.Result})
+	}
+	return analysis.ComputeFleet(members)
+}
 
 // Report bundles every reproduced table and figure for one study.
 type Report struct {

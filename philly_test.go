@@ -114,3 +114,39 @@ func TestRenderTable4(t *testing.T) {
 		}
 	}
 }
+
+// TestRunFederatedFacade drives the multi-cluster surface end to end:
+// spec parsing, a federated run over the shared pool, and the fleet
+// analysis table.
+func TestRunFederatedFacade(t *testing.T) {
+	cfg, err := philly.ParseFederationSpec(9, "philly-small+helios-like")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Members) != 2 {
+		t.Fatalf("got %d members", len(cfg.Members))
+	}
+	// Shrink the members so the facade test stays fast.
+	for i := range cfg.Members {
+		cfg.Members[i].Config.Workload.TotalJobs = 150
+	}
+	res, err := philly.RunFederated(cfg, philly.RunOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Members) != 2 {
+		t.Fatalf("got %d member results", len(res.Members))
+	}
+	table := philly.AnalyzeFleet(res).Render()
+	for _, want := range []string{"philly-small", "helios-like", "fleet"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("fleet table lacks %q:\n%s", want, table)
+		}
+	}
+	if len(philly.FederationPresets()) < 4 {
+		t.Fatalf("presets = %v", philly.FederationPresets())
+	}
+	if _, err := philly.ParseFederationSpec(1, "bogus-preset"); err == nil {
+		t.Fatal("bogus preset accepted")
+	}
+}
