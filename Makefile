@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-sweep bench-json bench-smoke bench-compare shuffle
+.PHONY: check vet build test race bench bench-sweep bench-json bench-smoke bench-compare shuffle fuzz
 
 # check is the CI gate: vet, build everything, then the full test suite
 # under the race detector — which now covers the intra-study parallel
@@ -23,11 +23,21 @@ race:
 	$(GO) test -race ./...
 
 # shuffle is the order-dependence guard for the deterministic-engine
-# packages (cross-engine conformance suite, federation): vet, then two
-# repetitions with a randomized test order. CI runs it as its own job.
+# packages (cross-engine conformance suite, federation, trace replay): vet,
+# then two repetitions with a randomized test order. CI runs it as its own
+# job, followed by the fuzz smoke below.
 shuffle:
 	$(GO) vet ./...
-	$(GO) test -count=2 -shuffle=on ./internal/simulation ./internal/federation
+	$(GO) test -count=2 -shuffle=on ./internal/simulation ./internal/federation ./internal/trace
+
+# fuzz gives each trace-reader fuzz target a short randomized budget on top
+# of the committed corpus (testdata/fuzz/, replayed by plain `go test` too).
+# The oracle is the replay determinism contract: any accepted input's spec
+# export must round-trip byte-identically. Raise FUZZTIME to dig deeper.
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test -fuzz FuzzReadTraceCSV -fuzztime $(FUZZTIME) -run '^$$' ./internal/trace
+	$(GO) test -fuzz FuzzReadTraceJSON -fuzztime $(FUZZTIME) -run '^$$' ./internal/trace
 
 # bench runs every benchmark once per reporting interval; pipe to a file to
 # record a BENCH_*.json-style trajectory for the PR log.

@@ -5,7 +5,13 @@
 // Usage:
 //
 //	philly-sim [-scale small|medium|full] [-seed N] [-workers N]
-//	           [-shard-events] [-federation SPEC] [-out DIR]
+//	           [-shard-events] [-federation SPEC] [-pattern NAME]
+//	           [-replay FILE] [-out DIR]
+//
+// -pattern runs the workload under a temporal phase program (diurnal,
+// weekly, ...; philly-trace pattern lists them); -replay runs a trace file
+// (philly-trace spec CSV, a previous run's jobs.csv/trace.json, or the
+// msr-fiddle philly-traces JSON) instead of the generative workload.
 //
 // -workers shards the study's telemetry walk and placement scoring across
 // that many cores (default: all), and -shard-events (default on, effective
@@ -45,8 +51,17 @@ func main() {
 		"shard the event loop per virtual cluster when -workers > 1 (results are identical either way)")
 	federationSpec := flag.String("federation", "",
 		"run a federated multi-cluster study of these '+'-separated member presets (e.g. philly-small+helios-like); 'help' lists presets")
+	pattern := flag.String("pattern", "",
+		"temporal workload pattern preset (see philly-trace pattern); 'help' lists presets")
+	replayPath := flag.String("replay", "",
+		"replay this trace file (.csv or .json) instead of generating a workload")
 	out := flag.String("out", "philly-out", "output directory")
 	flag.Parse()
+
+	if *pattern == "help" {
+		fmt.Println("workload pattern presets:", strings.Join(philly.WorkloadPatternNames(), ", "))
+		return
+	}
 
 	if *federationSpec != "" {
 		// Member scale comes from the presets; silently dropping an
@@ -54,6 +69,11 @@ func main() {
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "scale" {
 				fmt.Fprintln(os.Stderr, "philly-sim: -scale is incompatible with -federation (member presets fix each cluster's scale)")
+				os.Exit(2)
+			}
+			if f.Name == "pattern" || f.Name == "replay" {
+				fmt.Fprintf(os.Stderr, "philly-sim: -%s is incompatible with -federation here; use philly-sweep's workload.%s axis with fleet.members instead\n",
+					f.Name, map[string]string{"pattern": "pattern", "replay": "trace"}[f.Name])
 				os.Exit(2)
 			}
 		})
@@ -80,6 +100,32 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Seed = *seed
+	if *pattern != "" && *replayPath != "" {
+		// ApplyReplay would silently drop the pattern (the trace is the
+		// temporal authority); at the CLI that combination is a mistake.
+		fmt.Fprintln(os.Stderr, "philly-sim: -pattern and -replay are mutually exclusive (a replayed trace already fixes the arrival timeline)")
+		os.Exit(2)
+	}
+	if *pattern != "" {
+		p, err := philly.PresetWorkloadPattern(*pattern)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "philly-sim:", err)
+			os.Exit(2)
+		}
+		cfg.Workload.Pattern = p
+	}
+	if *replayPath != "" {
+		opts := philly.DefaultReplayOptions()
+		opts.Seed = *seed
+		specs, err := philly.LoadTrace(*replayPath, opts)
+		if err == nil {
+			err = philly.ApplyReplay(&cfg, specs)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "philly-sim:", err)
+			os.Exit(1)
+		}
+	}
 
 	start := time.Now()
 	res, err := philly.RunWith(cfg, philly.RunOptions{

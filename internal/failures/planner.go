@@ -269,6 +269,21 @@ func NewPlanner(cfg PlannerConfig) (*Planner, error) {
 // pseudo-reason).
 func (p *Planner) Reasons() []Reason { return p.reasons }
 
+// ReasonByCode resolves a reason code against the planner's reason set
+// (taxonomy plus the configured no-signature pseudo-reason). It returns nil
+// for unknown codes. Trace replay (internal/trace) uses it to rebuild
+// failure plans from serialized reason codes with pointee values identical
+// to freshly planned ones, which is what lets a replayed export reproduce
+// the original study's job population exactly.
+func (p *Planner) ReasonByCode(code string) *Reason {
+	for i := range p.reasons {
+		if p.reasons[i].Code == code {
+			return &p.reasons[i]
+		}
+	}
+	return nil
+}
+
 // SampleReason draws a failure reason conditioned on GPU demand.
 func (p *Planner) SampleReason(gpus int, g *stats.RNG) *Reason {
 	b := BucketFor(gpus)

@@ -1,0 +1,108 @@
+package federation
+
+import (
+	"reflect"
+	"testing"
+
+	"philly/internal/cluster"
+	"philly/internal/core"
+	"philly/internal/stats"
+	"philly/internal/workload"
+)
+
+// patternedMember is tinyMember with a temporal phase program applied.
+func patternedMember(t *testing.T, seed uint64, racks []cluster.RackConfig, jobs int, preset string) core.Config {
+	t.Helper()
+	cfg := tinyMember(seed, racks, jobs)
+	p, err := workload.PresetPattern(preset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workload.Pattern = p
+	return cfg
+}
+
+// TestSingleMemberPatternMatchesPlainStudy extends the cross-engine
+// conformance bar to temporal workloads: a one-member fleet whose member
+// runs under the diurnal phase program must be byte-identical to the plain
+// sequential Study with the same pattern — the federated lane must not
+// perturb the pattern's RNG stream.
+func TestSingleMemberPatternMatchesPlainStudy(t *testing.T) {
+	mc := patternedMember(t, 7, []cluster.RackConfig{
+		{Servers: 6, SKU: cluster.SKU8GPU},
+		{Servers: 4, SKU: cluster.SKU2GPU},
+	}, 220, workload.PatternDiurnal)
+
+	st, err := core.NewStudy(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := st.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fres := runFleet(t, Config{Members: []Member{{Name: "solo", Config: mc}}}, 0)
+	if !reflect.DeepEqual(plain, fres.Members[0].Result) {
+		t.Fatal("single-member federated run with a diurnal pattern diverged from the plain study")
+	}
+}
+
+// TestSingleMemberReplayMatchesPlainStudy does the same for the replay
+// path: a one-member fleet replaying a fixed spec stream must match the
+// plain study replaying that stream.
+func TestSingleMemberReplayMatchesPlainStudy(t *testing.T) {
+	mc := tinyMember(9, []cluster.RackConfig{
+		{Servers: 6, SKU: cluster.SKU8GPU},
+	}, 180)
+	g := stats.NewRNG(mc.Seed).Split("workload")
+	gen, err := workload.NewGenerator(mc.Workload, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc.Workload.Replay = gen.Generate(g)
+
+	st, err := core.NewStudy(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := st.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fres := runFleet(t, Config{Members: []Member{{Name: "solo", Config: mc}}}, 0)
+	if !reflect.DeepEqual(plain, fres.Members[0].Result) {
+		t.Fatal("single-member federated replay diverged from the plain study")
+	}
+}
+
+// TestPatternedFleetWorkerInvariance runs the pressured 3-member fleet with
+// every member on a temporal pattern (the tight donor on diurnal so its
+// queue pressure comes in daily waves) and requires bit-identical results
+// across worker counts — spillover decisions must not depend on lane
+// scheduling even when arrival intensity is time-varying.
+func TestPatternedFleetWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("federated invariance matrix is not a -short test")
+	}
+	cfg := pressuredFleet()
+	for i, preset := range []string{workload.PatternDiurnal, workload.PatternWeekly, workload.PatternBurst} {
+		p, err := workload.PresetPattern(preset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Members[i].Config.Workload.Pattern = p
+	}
+	ref := runFleet(t, cfg, 0)
+	if ref.Fleet.SpilloverMoves == 0 {
+		t.Fatal("patterned fleet exercised no spillover; the config lost its queue pressure")
+	}
+	for _, workers := range []int{1, 4} {
+		res := runFleet(t, cfg, workers)
+		if !reflect.DeepEqual(ref, res) {
+			diffResults(t, ref, res)
+			t.Fatalf("workers=%d diverged from the no-pool patterned federated run", workers)
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"philly/internal/federation"
 	"philly/internal/scheduler"
 	"philly/internal/simulation"
+	"philly/internal/trace"
 	"philly/internal/workload"
 )
 
@@ -181,6 +182,11 @@ func cloneConfig(c core.Config) core.Config {
 		}
 		c.Workload.SizeWeights = w
 	}
+	// Pattern holds per-phase weight maps; Clone stops scenarios aliasing
+	// them. Replay is deliberately NOT copied: a loaded trace is read-only
+	// by contract (the generator copies before sorting), and duplicating a
+	// 100k-job stream per scenario would dominate sweep memory.
+	c.Workload.Pattern = c.Workload.Pattern.Clone()
 	return c
 }
 
@@ -317,6 +323,44 @@ var knobs = map[string]axisParser{
 			return nil, fmt.Errorf("telemetry.cadence %q: rounds to zero seconds", v)
 		}
 		return func(c *core.Config) { c.TelemetryInterval = iv }, nil
+	},
+	// workload.pattern selects the temporal phase program: a preset name
+	// from workload.PatternNames() ("stationary", "diurnal", "weekly",
+	// "burst", "night-batch"), or "none" for the legacy cosine modulation.
+	// Composes with every other axis, including fleet.members (each member
+	// runs the pattern on its own derived streams).
+	"workload.pattern": func(v string) (func(*core.Config), error) {
+		if v == "none" {
+			return func(c *core.Config) { c.Workload.Pattern = nil }, nil
+		}
+		p, err := workload.PresetPattern(v)
+		if err != nil {
+			return nil, err
+		}
+		return func(c *core.Config) {
+			// Fresh clone per application: one Value can apply to many
+			// scenarios, whose configs must not share the phase maps.
+			c.Workload.Pattern = p.Clone()
+		}, nil
+	},
+	// workload.trace replays a trace file (spec CSV, observed CSV/JSON, or
+	// msr-fiddle philly JSON; "none" keeps the generative workload) instead
+	// of the generative model. The file is loaded once at parse time with
+	// default replay options; TotalJobs/Duration and any missing VCs are
+	// derived from the stream per scenario (see trace.ApplyReplay).
+	"workload.trace": func(v string) (func(*core.Config), error) {
+		if v == "none" {
+			return func(c *core.Config) { c.Workload.Replay = nil }, nil
+		}
+		specs, err := trace.LoadTraceFile(v, trace.DefaultReplayOptions())
+		if err != nil {
+			return nil, err
+		}
+		return func(c *core.Config) {
+			// ApplyReplay only errors on an empty stream, which the load
+			// above has already excluded.
+			_ = trace.ApplyReplay(c, specs)
+		}, nil
 	},
 	// cluster.scale multiplies servers per rack, VC quotas, and the job
 	// count by the same factor, holding contention roughly constant.

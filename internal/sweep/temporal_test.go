@@ -1,0 +1,166 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"philly/internal/stats"
+	"philly/internal/trace"
+	"philly/internal/workload"
+)
+
+// writeTinyTrace generates tinyConfig's planned job stream and writes it as
+// a spec CSV, returning the path — a real replayable trace file for the
+// workload.trace axis tests.
+func writeTinyTrace(t *testing.T) (string, int) {
+	t.Helper()
+	cfg := tinyConfig()
+	g := stats.NewRNG(cfg.Seed).Split("workload")
+	gen, err := workload.NewGenerator(cfg.Workload, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := gen.Generate(g)
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteSpecsCSV(f, specs); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, len(specs)
+}
+
+// TestTemporalAxisParsing covers the workload.pattern / workload.trace axis
+// syntax: preset resolution, the "none" escape, and load-time failures for
+// unknown presets and unreadable trace files.
+func TestTemporalAxisParsing(t *testing.T) {
+	ax := mustParse(t, "workload.pattern=none,diurnal,weekly")
+	if len(ax.Values) != 3 {
+		t.Fatalf("workload.pattern axis has %d values, want 3", len(ax.Values))
+	}
+	if _, err := ParseAxis("workload.pattern=no-such-preset"); err == nil {
+		t.Fatal("unknown pattern preset must fail at parse time")
+	}
+	if _, err := ParseAxis("workload.trace=/no/such/file.csv"); err == nil {
+		t.Fatal("missing trace file must fail at parse time, not per scenario")
+	}
+	path, _ := writeTinyTrace(t)
+	ax = mustParse(t, "workload.trace="+path+",none")
+	if len(ax.Values) != 2 {
+		t.Fatalf("workload.trace axis has %d values, want 2", len(ax.Values))
+	}
+}
+
+// TestPatternAxisApplies pins the apply semantics: a preset value installs
+// a validating pattern, "none" clears it, and two applications of the same
+// value never share phase state across scenario configs.
+func TestPatternAxisApplies(t *testing.T) {
+	ax := mustParse(t, "workload.pattern=diurnal,none")
+	base := tinyConfig()
+
+	cfgA, cfgB := base, base
+	ax.Values[0].Apply(&cfgA)
+	ax.Values[0].Apply(&cfgB)
+	if cfgA.Workload.Pattern == nil || cfgA.Workload.Pattern.Name != workload.PatternDiurnal {
+		t.Fatalf("diurnal value applied pattern %+v", cfgA.Workload.Pattern)
+	}
+	if err := cfgA.Validate(); err != nil {
+		t.Fatalf("pattern-applied config invalid: %v", err)
+	}
+	if cfgA.Workload.Pattern == cfgB.Workload.Pattern {
+		t.Fatal("two applications share one *Pattern")
+	}
+	// Mutating one scenario's phase maps must not leak into a sibling.
+	for i := range cfgA.Workload.Pattern.Phases {
+		ph := &cfgA.Workload.Pattern.Phases[i]
+		if ph.SizeWeights != nil {
+			ph.SizeWeights[1] = 99
+		}
+		ph.Rate = 123
+	}
+	for i := range cfgB.Workload.Pattern.Phases {
+		ph := &cfgB.Workload.Pattern.Phases[i]
+		if ph.Rate == 123 {
+			t.Fatal("phase slice aliased across applications")
+		}
+		if ph.SizeWeights != nil && ph.SizeWeights[1] == 99 {
+			t.Fatal("phase size map aliased across applications")
+		}
+	}
+
+	cfgC := base
+	p, err := workload.PresetPattern(workload.PatternWeekly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgC.Workload.Pattern = p
+	ax.Values[1].Apply(&cfgC)
+	if cfgC.Workload.Pattern != nil {
+		t.Fatal(`"none" did not clear the pattern`)
+	}
+}
+
+// TestTraceAxisApplies pins the replay-axis semantics: applying a trace
+// value swaps the scenario onto the loaded stream (job count and horizon
+// derived from it) and the config still validates; "none" restores the
+// generative workload.
+func TestTraceAxisApplies(t *testing.T) {
+	path, n := writeTinyTrace(t)
+	ax := mustParse(t, "workload.trace="+path+",none")
+
+	cfg := tinyConfig()
+	ax.Values[0].Apply(&cfg)
+	if len(cfg.Workload.Replay) != n || cfg.Workload.TotalJobs != n {
+		t.Fatalf("replay stream has %d specs, TotalJobs %d, want %d",
+			len(cfg.Workload.Replay), cfg.Workload.TotalJobs, n)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("trace-applied config invalid: %v", err)
+	}
+
+	ax.Values[1].Apply(&cfg)
+	if cfg.Workload.Replay != nil {
+		t.Fatal(`"none" did not clear the replay stream`)
+	}
+}
+
+// TestTemporalSweepDeterministic runs a small pattern × policy sweep twice
+// (different worker counts) and requires identical results — the temporal
+// axes must inherit the sweep harness's worker-count invariance.
+func TestTemporalSweepDeterministic(t *testing.T) {
+	path, _ := writeTinyTrace(t)
+	m := Matrix{Base: tinyConfig(), Axes: []Axis{
+		mustParse(t, "workload.pattern=none,diurnal"),
+		mustParse(t, "workload.trace=none,"+path),
+	}}
+	a, err := m.Run(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Run(Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("temporal sweep diverged across worker counts")
+	}
+	if len(a.Scenarios) != 4 {
+		t.Fatalf("got %d scenarios, want 4", len(a.Scenarios))
+	}
+	// Expansion is row-major with the first axis slowest, so scenarios 0
+	// and 2 are the generative (trace=none) legs of the two patterns; they
+	// must differ. The trace legs (1 and 3) both replay the same stream —
+	// replay is the temporal authority, so the pattern axis changes nothing
+	// about which jobs run (only the scenario's derived seed differs).
+	genNone, genDiurnal := &a.Scenarios[0], &a.Scenarios[2]
+	if reflect.DeepEqual(genNone.Replicas, genDiurnal.Replicas) {
+		t.Fatal("diurnal pattern produced a study identical to the legacy modulation")
+	}
+}

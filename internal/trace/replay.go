@@ -1,0 +1,678 @@
+// Replay: the read-side of the trace pipeline. Three input families feed
+// one output — a []workload.JobSpec stream a study can run verbatim:
+//
+//   - spec CSV: the full-fidelity planned-job table philly-trace generates
+//     (every JobSpec field round-trips bit-exactly, so replaying an export
+//     reproduces the generator study's job population exactly);
+//   - observed CSV/JSON: the post-simulation Philly-traces-style exports
+//     this package writes (WriteJobsCSV / WriteJSON), reconstructed into
+//     approximate specs;
+//   - msr-fiddle Philly JSON: the paper authors' published cluster_job_log
+//     format (github.com/msr-fiddle/philly-traces).
+//
+// What-if transforms (rate-scale, time-compress, mix-shift) apply uniformly
+// to any loaded stream. All reconstruction draws come from per-job streams
+// derived statelessly from (seed, "replay-train", jobID), so a loaded trace
+// is a pure function of (file bytes, options) — replay studies inherit the
+// repository's bit-identical determinism for every worker count.
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"philly/internal/core"
+	"philly/internal/failures"
+	"philly/internal/simulation"
+	"philly/internal/stats"
+	"philly/internal/workload"
+)
+
+// specHeader is the full-fidelity planned-trace schema philly-trace writes.
+// It extends the original 7-column generate schema (jobid..planned_outcome)
+// with the training structure and failure plan, so a generated trace can be
+// replayed into a bit-identical study.
+var specHeader = []string{
+	"jobid", "vc", "user", "num_gpus", "submitted_time",
+	"planned_runtime_min", "planned_outcome", "epochs",
+	"minibatches_per_epoch", "batch_time_sec", "checkpoint_every_epochs",
+	"kill_fraction", "logs_convergence", "failed_attempts",
+}
+
+// fmtExact formats a float so that parsing it back yields the identical
+// bits — the spec schema's round-trip guarantee rests on it.
+func fmtExact(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteSpecsCSV writes planned job specs in the spec schema.
+func WriteSpecsCSV(w io.Writer, specs []workload.JobSpec) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(specHeader); err != nil {
+		return fmt.Errorf("trace: write spec header: %w", err)
+	}
+	for i := range specs {
+		j := &specs[i]
+		conv := "0"
+		if j.LogsConvergence {
+			conv = "1"
+		}
+		var fa strings.Builder
+		for a, ap := range j.Plan.FailedAttempts {
+			if a > 0 {
+				fa.WriteByte('|')
+			}
+			code := CodeOf(ap.Reason)
+			fa.WriteString(code)
+			fa.WriteByte('@')
+			fa.WriteString(fmtExact(ap.RTFMinutes))
+		}
+		rec := []string{
+			strconv.FormatInt(j.ID, 10), j.VC, j.User, strconv.Itoa(j.GPUs),
+			fmtExact(j.SubmitAt.Minutes()),
+			fmtExact(j.PlannedRuntimeMinutes()),
+			j.Plan.Outcome.String(),
+			strconv.Itoa(j.Train.Epochs),
+			strconv.Itoa(j.Train.MinibatchesPerEpoch),
+			fmtExact(j.Train.BatchTime),
+			strconv.Itoa(j.Train.CheckpointEveryEpochs),
+			fmtExact(j.Plan.KillFraction),
+			conv,
+			fa.String(),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: write spec %d: %w", j.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CodeOf returns a failure reason's code ("" for nil).
+func CodeOf(r *failures.Reason) string {
+	if r == nil {
+		return ""
+	}
+	return r.Code
+}
+
+// ReplayOptions parameterize trace-to-spec reconstruction.
+type ReplayOptions struct {
+	// Seed keys the per-job reconstruction streams (training structure for
+	// observed traces, mix-shift draws). Derivations are stateless per job,
+	// so the loaded stream never depends on read order.
+	Seed uint64
+	// Failures resolves serialized reason codes; it should match the study
+	// configuration the specs will run under so reconstructed Reason values
+	// equal freshly planned ones.
+	Failures failures.PlannerConfig
+}
+
+// DefaultReplayOptions returns options matching workload.DefaultConfig.
+func DefaultReplayOptions() ReplayOptions {
+	return ReplayOptions{Seed: 1, Failures: failures.DefaultPlannerConfig()}
+}
+
+// outcomeFromString inverts failures.Outcome.String; it also accepts the
+// msr-fiddle status vocabulary ("Pass", "Failed").
+func outcomeFromString(s string) (failures.Outcome, error) {
+	switch s {
+	case "Passed", "Pass":
+		return failures.Passed, nil
+	case "Killed":
+		return failures.Killed, nil
+	case "Unsuccessful", "Failed":
+		return failures.Unsuccessful, nil
+	}
+	return 0, fmt.Errorf("unknown outcome %q", s)
+}
+
+// ReadTraceCSV is the unified CSV replay reader: it accepts both trace CSV
+// schemas — the planned spec table philly-trace generates (reconstructed
+// bit-exactly) and the observed job table WriteJobsCSV exports
+// (reconstructed approximately) — selecting by header.
+func ReadTraceCSV(r io.Reader, opts ReplayOptions) ([]workload.JobSpec, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // row widths validated per schema, with row numbers
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty csv")
+	}
+	switch {
+	case headerMatches(rows[0], specHeader):
+		return parseSpecRows(rows[1:], opts)
+	case headerMatches(rows[0], jobHeader):
+		recs, err := parseJobRows(rows[1:])
+		if err != nil {
+			return nil, err
+		}
+		return SpecsFromRecords(recs, opts)
+	}
+	return nil, fmt.Errorf("trace: unrecognized csv header %q (want the spec schema %q or the job schema %q)",
+		strings.Join(rows[0], ","), strings.Join(specHeader, ","), strings.Join(jobHeader, ","))
+}
+
+func headerMatches(row, want []string) bool {
+	if len(row) != len(want) {
+		return false
+	}
+	for i := range row {
+		if strings.TrimSpace(row[i]) != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// specCols indexes specHeader by name once; parseSpecRow uses it so the
+// parser reads columns by name, never by magic position.
+var specCols = func() map[string]int {
+	m := make(map[string]int, len(specHeader))
+	for i, name := range specHeader {
+		m[name] = i
+	}
+	return m
+}()
+
+func parseSpecRows(rows [][]string, opts ReplayOptions) ([]workload.JobSpec, error) {
+	planner, err := failures.NewPlanner(opts.Failures)
+	if err != nil {
+		return nil, fmt.Errorf("trace: replay failures config: %w", err)
+	}
+	specs := make([]workload.JobSpec, 0, len(rows))
+	for i, row := range rows {
+		spec, err := parseSpecRow(row, planner)
+		if err != nil {
+			return nil, fmt.Errorf("trace: spec row %d: %w", i+1, err)
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("trace: spec csv has a header but no jobs")
+	}
+	return specs, nil
+}
+
+func parseSpecRow(row []string, planner *failures.Planner) (workload.JobSpec, error) {
+	var spec workload.JobSpec
+	if len(row) != len(specHeader) {
+		return spec, fmt.Errorf("have %d columns, want %d", len(row), len(specHeader))
+	}
+	col := func(name string) string { return row[specCols[name]] }
+	var err error
+	if spec.ID, err = strconv.ParseInt(col("jobid"), 10, 64); err != nil {
+		return spec, fmt.Errorf("jobid: %w", err)
+	}
+	spec.VC, spec.User = col("vc"), col("user")
+	if spec.GPUs, err = strconv.Atoi(col("num_gpus")); err != nil {
+		return spec, fmt.Errorf("num_gpus: %w", err)
+	}
+	submitMin, err := strconv.ParseFloat(col("submitted_time"), 64)
+	if err != nil {
+		return spec, fmt.Errorf("submitted_time: %w", err)
+	}
+	spec.SubmitAt = simulation.FromMinutes(submitMin)
+	if spec.Plan.Outcome, err = outcomeFromString(col("planned_outcome")); err != nil {
+		return spec, fmt.Errorf("planned_outcome: %w", err)
+	}
+	if spec.Train.Epochs, err = strconv.Atoi(col("epochs")); err != nil {
+		return spec, fmt.Errorf("epochs: %w", err)
+	}
+	if spec.Train.MinibatchesPerEpoch, err = strconv.Atoi(col("minibatches_per_epoch")); err != nil {
+		return spec, fmt.Errorf("minibatches_per_epoch: %w", err)
+	}
+	if spec.Train.BatchTime, err = strconv.ParseFloat(col("batch_time_sec"), 64); err != nil {
+		return spec, fmt.Errorf("batch_time_sec: %w", err)
+	}
+	if spec.Train.CheckpointEveryEpochs, err = strconv.Atoi(col("checkpoint_every_epochs")); err != nil {
+		return spec, fmt.Errorf("checkpoint_every_epochs: %w", err)
+	}
+	if spec.Plan.KillFraction, err = strconv.ParseFloat(col("kill_fraction"), 64); err != nil {
+		return spec, fmt.Errorf("kill_fraction: %w", err)
+	}
+	switch col("logs_convergence") {
+	case "1":
+		spec.LogsConvergence = true
+	case "0":
+		spec.LogsConvergence = false
+	default:
+		return spec, fmt.Errorf("logs_convergence: want 0 or 1, got %q", col("logs_convergence"))
+	}
+	if fa := col("failed_attempts"); fa != "" {
+		for _, part := range strings.Split(fa, "|") {
+			code, rtfStr, ok := strings.Cut(part, "@")
+			if !ok {
+				return spec, fmt.Errorf("failed_attempts: entry %q is not code@rtf", part)
+			}
+			reason := planner.ReasonByCode(code)
+			if reason == nil {
+				return spec, fmt.Errorf("failed_attempts: unknown reason code %q", code)
+			}
+			rtf, err := strconv.ParseFloat(rtfStr, 64)
+			if err != nil {
+				return spec, fmt.Errorf("failed_attempts: rtf %q: %w", rtfStr, err)
+			}
+			spec.Plan.FailedAttempts = append(spec.Plan.FailedAttempts,
+				failures.AttemptPlan{Reason: reason, RTFMinutes: rtf})
+		}
+	}
+	return spec, nil
+}
+
+// killedReplayFraction is the kill point replayed killed jobs use: the
+// training plan is inflated by 1/fraction so the kill fires at exactly the
+// observed runtime, comfortably before natural completion.
+const killedReplayFraction = 0.9
+
+// minReplayRuntimeMin floors reconstructed per-attempt runtimes so traces
+// recording zero-length jobs still yield valid training plans.
+const minReplayRuntimeMin = 0.05
+
+// SpecsFromRecords reconstructs planned job specs from observed trace
+// records (the WriteJobsCSV / WriteJSON job table). The reconstruction is
+// necessarily approximate — an observed trace does not record the training
+// structure or per-attempt split — and deterministic: runtime is divided
+// evenly across the recorded attempts, and the epoch/minibatch shape is
+// drawn from a per-job stream keyed (Seed, "replay-train", jobID).
+func SpecsFromRecords(recs []JobRecord, opts ReplayOptions) ([]workload.JobSpec, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("trace: no job records to replay")
+	}
+	planner, err := failures.NewPlanner(opts.Failures)
+	if err != nil {
+		return nil, fmt.Errorf("trace: replay failures config: %w", err)
+	}
+	noSig := planner.ReasonByCode(failures.CodeNoSignature)
+	var g stats.RNG
+	specs := make([]workload.JobSpec, 0, len(recs))
+	seen := make(map[int64]bool, len(recs))
+	for i := range recs {
+		rec := &recs[i]
+		outcome, err := outcomeFromString(rec.Status)
+		if err != nil {
+			return nil, fmt.Errorf("trace: job %d: %w", rec.JobID, err)
+		}
+		id := rec.JobID
+		if id <= 0 || seen[id] {
+			return nil, fmt.Errorf("trace: job record %d has invalid or duplicate id %d", i, id)
+		}
+		seen[id] = true
+		gpus := rec.GPUs
+		if gpus < 1 {
+			return nil, fmt.Errorf("trace: job %d requests %d GPUs", id, gpus)
+		}
+		if rec.SubmitMin < 0 {
+			return nil, fmt.Errorf("trace: job %d submits at %v min", id, rec.SubmitMin)
+		}
+		retries := rec.Retries
+		if retries < 0 {
+			return nil, fmt.Errorf("trace: job %d has %d retries", id, retries)
+		}
+		attempts := retries + 1
+		perAttemptMin := rec.RunMin / float64(attempts)
+		if perAttemptMin < minReplayRuntimeMin {
+			perAttemptMin = minReplayRuntimeMin
+		}
+		reason := noSig
+		if rec.FailureReason != "" {
+			if r := planner.ReasonByCode(rec.FailureReason); r != nil {
+				reason = r
+			}
+		}
+		plan := failures.JobPlan{Outcome: outcome}
+		idealMin := perAttemptMin
+		switch outcome {
+		case failures.Unsuccessful:
+			// All recorded attempts failed.
+			for a := 0; a < attempts; a++ {
+				plan.FailedAttempts = append(plan.FailedAttempts,
+					failures.AttemptPlan{Reason: reason, RTFMinutes: perAttemptMin})
+			}
+		default:
+			// Retries were transient failures; the final attempt ran clean.
+			for a := 0; a < retries; a++ {
+				plan.FailedAttempts = append(plan.FailedAttempts,
+					failures.AttemptPlan{Reason: reason, RTFMinutes: perAttemptMin})
+			}
+			if outcome == failures.Killed {
+				plan.KillFraction = killedReplayFraction
+				idealMin = perAttemptMin / killedReplayFraction
+			}
+		}
+		g.Init(stats.DeriveEntitySeed(opts.Seed, "replay-train", uint64(id)))
+		specs = append(specs, workload.JobSpec{
+			ID:       id,
+			VC:       rec.VC,
+			User:     rec.User,
+			GPUs:     gpus,
+			SubmitAt: simulation.FromMinutes(rec.SubmitMin),
+			Train:    workload.TrainingPlanFor(idealMin, &g),
+			Plan:     plan,
+		})
+	}
+	return specs, nil
+}
+
+// phillyJob mirrors one record of the msr-fiddle philly-traces
+// cluster_job_log.json format.
+type phillyJob struct {
+	Status        string `json:"status"`
+	VC            string `json:"vc"`
+	JobID         string `json:"jobid"`
+	User          string `json:"user"`
+	SubmittedTime string `json:"submitted_time"`
+	Attempts      []struct {
+		StartTime string `json:"start_time"`
+		EndTime   string `json:"end_time"`
+		Detail    []struct {
+			IP   string   `json:"ip"`
+			GPUs []string `json:"gpus"`
+		} `json:"detail"`
+	} `json:"attempts"`
+}
+
+const phillyTimeLayout = "2006-01-02 15:04:05"
+
+// ReadPhillyJSON parses the paper authors' published trace format — a JSON
+// array of job records with wall-clock timestamps and per-attempt placement
+// detail — into observed job records with times rebased to minutes since
+// the earliest submission. Records without a parseable submission time, a
+// recognized status, or any completed attempt with GPUs are skipped (the
+// published trace contains jobs still running at collection end).
+func ReadPhillyJSON(r io.Reader) ([]JobRecord, error) {
+	var jobs []phillyJob
+	if err := json.NewDecoder(r).Decode(&jobs); err != nil {
+		return nil, fmt.Errorf("trace: decode philly json: %w", err)
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("trace: philly trace has no jobs")
+	}
+	type parsed struct {
+		job      *phillyJob
+		submit   time.Time
+		status   string
+		gpus     int
+		runMin   float64
+		retries  int
+		startMin float64
+		endMin   float64
+	}
+	var out []parsed
+	var t0 time.Time
+	for i := range jobs {
+		j := &jobs[i]
+		submit, err := time.Parse(phillyTimeLayout, j.SubmittedTime)
+		if err != nil {
+			continue
+		}
+		outcome, err := outcomeFromString(j.Status)
+		if err != nil {
+			continue
+		}
+		gpus, runSec := 0, 0.0
+		completed := 0
+		var firstStart, lastEnd time.Time
+		for _, a := range j.Attempts {
+			start, err1 := time.Parse(phillyTimeLayout, a.StartTime)
+			end, err2 := time.Parse(phillyTimeLayout, a.EndTime)
+			if err1 != nil || err2 != nil || end.Before(start) {
+				continue
+			}
+			n := 0
+			for _, d := range a.Detail {
+				n += len(d.GPUs)
+			}
+			if n == 0 {
+				continue
+			}
+			if n > gpus {
+				gpus = n
+			}
+			if completed == 0 || start.Before(firstStart) {
+				firstStart = start
+			}
+			if end.After(lastEnd) {
+				lastEnd = end
+			}
+			runSec += end.Sub(start).Seconds()
+			completed++
+		}
+		if completed == 0 || gpus == 0 {
+			continue
+		}
+		if t0.IsZero() || submit.Before(t0) {
+			t0 = submit
+		}
+		out = append(out, parsed{
+			job: j, submit: submit, status: outcome.String(), gpus: gpus,
+			runMin: runSec / 60, retries: completed - 1,
+			startMin: firstStart.Sub(submit).Minutes(), endMin: lastEnd.Sub(submit).Minutes(),
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("trace: philly trace has no replayable jobs")
+	}
+	recs := make([]JobRecord, 0, len(out))
+	for i := range out {
+		p := &out[i]
+		submitMin := p.submit.Sub(t0).Minutes()
+		recs = append(recs, JobRecord{
+			JobID:     int64(i + 1),
+			VC:        p.job.VC,
+			User:      p.job.User,
+			GPUs:      p.gpus,
+			SubmitMin: submitMin,
+			StartMin:  submitMin + p.startMin,
+			EndMin:    submitMin + p.endMin,
+			Status:    p.status,
+			RunMin:    p.runMin,
+			GPUMin:    p.runMin * float64(p.gpus),
+			Retries:   p.retries,
+		})
+	}
+	return recs, nil
+}
+
+// Transform is a deterministic what-if rewrite of a loaded trace.
+type Transform struct {
+	// RateScale multiplies the arrival rate: submission instants divide by
+	// it, runtimes are unchanged. 1 (or 0) is the identity.
+	RateScale float64
+	// TimeCompress divides the whole timeline — submission instants AND
+	// runtimes — modelling the same workload on proportionally faster
+	// hardware. 1 (or 0) is the identity.
+	TimeCompress float64
+	// MixShift, when non-nil, resamples each job's GPU count from these
+	// size weights via a per-job stream keyed (Seed, "mix-shift", jobID).
+	MixShift map[int]float64
+	// Seed keys the MixShift draws.
+	Seed uint64
+}
+
+// identity reports whether the transform changes nothing.
+func (t Transform) identity() bool {
+	return (t.RateScale == 0 || t.RateScale == 1) &&
+		(t.TimeCompress == 0 || t.TimeCompress == 1) && t.MixShift == nil
+}
+
+// Apply rewrites specs (returning a fresh slice; the input is not mutated).
+func (t Transform) Apply(specs []workload.JobSpec) ([]workload.JobSpec, error) {
+	if t.RateScale < 0 || t.TimeCompress < 0 {
+		return nil, fmt.Errorf("trace: transform factors must be positive, got rate=%v compress=%v",
+			t.RateScale, t.TimeCompress)
+	}
+	if t.identity() {
+		return specs, nil
+	}
+	var sizeVals []int
+	var sizeCat *stats.Categorical
+	if t.MixShift != nil {
+		for size, w := range t.MixShift {
+			if size <= 0 || w < 0 {
+				return nil, fmt.Errorf("trace: mix-shift weight %d:%v invalid", size, w)
+			}
+			sizeVals = append(sizeVals, size)
+		}
+		sort.Ints(sizeVals)
+		weights := make([]float64, len(sizeVals))
+		for i, s := range sizeVals {
+			weights[i] = t.MixShift[s]
+		}
+		var err error
+		sizeCat, err = stats.NewCategorical(weights)
+		if err != nil {
+			return nil, fmt.Errorf("trace: mix-shift weights: %w", err)
+		}
+	}
+	timeDiv := 1.0
+	if t.RateScale > 0 {
+		timeDiv *= t.RateScale
+	}
+	if t.TimeCompress > 0 {
+		timeDiv *= t.TimeCompress
+	}
+	var g stats.RNG
+	out := make([]workload.JobSpec, len(specs))
+	for i := range specs {
+		spec := specs[i] // value copy; slices re-made below when touched
+		if timeDiv != 1 {
+			spec.SubmitAt = simulation.Time(float64(spec.SubmitAt)/timeDiv + 0.5)
+		}
+		if t.TimeCompress > 0 && t.TimeCompress != 1 {
+			spec.Train.BatchTime /= t.TimeCompress
+			if len(spec.Plan.FailedAttempts) > 0 {
+				fa := append([]failures.AttemptPlan(nil), spec.Plan.FailedAttempts...)
+				for a := range fa {
+					fa[a].RTFMinutes /= t.TimeCompress
+				}
+				spec.Plan.FailedAttempts = fa
+			}
+		}
+		if sizeCat != nil {
+			g.Init(stats.DeriveEntitySeed(t.Seed, "mix-shift", uint64(spec.ID)))
+			spec.GPUs = sizeVals[sizeCat.Sample(&g)]
+		}
+		out[i] = spec
+	}
+	return out, nil
+}
+
+// ApplyReplay installs a loaded spec stream into a study configuration:
+// Workload.Replay is set, TotalJobs and Duration are derived from the
+// stream, and VCs observed in the trace but absent from the configuration
+// are appended with a quota sized to the VC's widest job — so a foreign
+// trace (whose VC names the base config cannot know) runs without manual
+// VC surgery. Any configured temporal pattern is cleared: the stream
+// already embeds its temporal structure, so replay is the single temporal
+// authority (this is what lets the workload.trace sweep axis cross with
+// workload.pattern — on replay scenarios the trace wins). The cluster
+// topology, scheduler and calibration knobs are untouched.
+func ApplyReplay(cfg *core.Config, specs []workload.JobSpec) error {
+	if len(specs) == 0 {
+		return fmt.Errorf("trace: cannot replay an empty trace")
+	}
+	cfg.Workload.Pattern = nil
+	var maxSubmit simulation.Time
+	widest := map[string]int{}
+	for i := range specs {
+		if specs[i].SubmitAt > maxSubmit {
+			maxSubmit = specs[i].SubmitAt
+		}
+		if specs[i].GPUs > widest[specs[i].VC] {
+			widest[specs[i].VC] = specs[i].GPUs
+		}
+	}
+	known := map[string]bool{}
+	for _, vc := range cfg.Workload.VCs {
+		known[vc.Name] = true
+	}
+	var missing []string
+	for name := range widest {
+		if !known[name] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		quota := 4 * widest[name]
+		if quota < 8 {
+			quota = 8
+		}
+		cfg.Workload.VCs = append(cfg.Workload.VCs,
+			workload.VirtualCluster{Name: name, QuotaGPUs: quota, LoadFactor: 1})
+	}
+	cfg.Workload.Replay = specs
+	cfg.Workload.TotalJobs = len(specs)
+	// Round the window up to the next whole day past the last submission so
+	// HorizonFactor keeps its usual meaning.
+	days := maxSubmit/simulation.Day + 1
+	cfg.Workload.Duration = days * simulation.Day
+	return nil
+}
+
+// LoadTraceFile reads a trace file into a replayable spec stream,
+// dispatching on content: .csv files go through the unified CSV reader
+// (spec or observed schema, by header), .json files are sniffed as either
+// this package's Trace export or the msr-fiddle Philly format.
+func LoadTraceFile(path string, opts ReplayOptions) ([]workload.JobSpec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	switch ext := strings.ToLower(filepath.Ext(path)); ext {
+	case ".csv":
+		return ReadTraceCSV(f, opts)
+	case ".json":
+		return readTraceJSON(f, opts)
+	default:
+		return nil, fmt.Errorf("trace: unsupported trace extension %q (want .csv or .json)", ext)
+	}
+}
+
+// readTraceJSON sniffs the JSON family: a top-level array is the msr-fiddle
+// Philly format, a top-level object is this package's Trace export.
+func readTraceJSON(r io.Reader, opts ReplayOptions) ([]workload.JobSpec, error) {
+	br := bufio.NewReader(r)
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: empty json input")
+		}
+		if b == ' ' || b == '\t' || b == '\n' || b == '\r' {
+			continue
+		}
+		if err := br.UnreadByte(); err != nil {
+			return nil, err
+		}
+		switch b {
+		case '[':
+			recs, err := ReadPhillyJSON(br)
+			if err != nil {
+				return nil, err
+			}
+			return SpecsFromRecords(recs, opts)
+		case '{':
+			t, err := ReadJSON(br)
+			if err != nil {
+				return nil, err
+			}
+			if len(t.Jobs) == 0 {
+				return nil, fmt.Errorf("trace: json trace has no jobs")
+			}
+			return SpecsFromRecords(t.Jobs, opts)
+		default:
+			return nil, fmt.Errorf("trace: unrecognized json trace (want an object export or a philly-traces array)")
+		}
+	}
+}

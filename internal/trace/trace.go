@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 
 	"philly/internal/core"
 )
@@ -66,11 +67,15 @@ type Trace struct {
 
 // FromStudy converts a study result into trace records. Only completed jobs
 // are exported, matching what a real trace collection would contain.
+// Offloaded spillover shells are skipped: in a federated study the job also
+// appears as a re-ID'd injected copy on the receiving member, and exporting
+// both would double-count it (the same shell/copy pair sweep.StreamReducer
+// and analysis already deduplicate).
 func FromStudy(res *core.StudyResult) *Trace {
 	t := &Trace{}
 	for i := range res.Jobs {
 		j := &res.Jobs[i]
-		if !j.Completed {
+		if !j.Completed || j.Offloaded {
 			continue
 		}
 		rec := JobRecord{
@@ -142,9 +147,12 @@ func (t *Trace) WriteJobsCSV(w io.Writer) error {
 
 func fmtF(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
 
-// ReadJobsCSV parses a job table written by WriteJobsCSV.
+// ReadJobsCSV parses a job table written by WriteJobsCSV. The header must
+// match jobHeader exactly — same names, same order — so a reordered or
+// foreign CSV is rejected up front instead of being silently misparsed.
 func ReadJobsCSV(r io.Reader) ([]JobRecord, error) {
 	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // row widths checked per row, with row numbers
 	rows, err := cr.ReadAll()
 	if err != nil {
 		return nil, fmt.Errorf("trace: read csv: %w", err)
@@ -152,11 +160,26 @@ func ReadJobsCSV(r io.Reader) ([]JobRecord, error) {
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("trace: empty csv")
 	}
-	if len(rows[0]) != len(jobHeader) {
-		return nil, fmt.Errorf("trace: header has %d columns, want %d", len(rows[0]), len(jobHeader))
+	if !headerMatches(rows[0], jobHeader) {
+		return nil, fmt.Errorf("trace: header %q does not match the job schema %q",
+			strings.Join(rows[0], ","), strings.Join(jobHeader, ","))
 	}
+	return parseJobRows(rows[1:])
+}
+
+// jobCols indexes jobHeader by name once; parseJobRow reads columns by
+// name, never by magic position.
+var jobCols = func() map[string]int {
+	m := make(map[string]int, len(jobHeader))
+	for i, name := range jobHeader {
+		m[name] = i
+	}
+	return m
+}()
+
+func parseJobRows(rows [][]string) ([]JobRecord, error) {
 	var out []JobRecord
-	for i, row := range rows[1:] {
+	for i, row := range rows {
 		rec, err := parseJobRow(row)
 		if err != nil {
 			return nil, fmt.Errorf("trace: row %d: %w", i+1, err)
@@ -171,34 +194,37 @@ func parseJobRow(row []string) (JobRecord, error) {
 	if len(row) != len(jobHeader) {
 		return rec, fmt.Errorf("have %d columns, want %d", len(row), len(jobHeader))
 	}
+	col := func(name string) string { return row[jobCols[name]] }
 	var err error
-	if rec.JobID, err = strconv.ParseInt(row[0], 10, 64); err != nil {
+	if rec.JobID, err = strconv.ParseInt(col("jobid"), 10, 64); err != nil {
 		return rec, fmt.Errorf("jobid: %w", err)
 	}
-	rec.VC, rec.User = row[1], row[2]
-	if rec.GPUs, err = strconv.Atoi(row[3]); err != nil {
+	rec.VC, rec.User = col("vc"), col("user")
+	if rec.GPUs, err = strconv.Atoi(col("num_gpus")); err != nil {
 		return rec, fmt.Errorf("num_gpus: %w", err)
 	}
 	floats := []struct {
-		idx int
-		dst *float64
+		name string
+		dst  *float64
 	}{
-		{4, &rec.SubmitMin}, {5, &rec.StartMin}, {6, &rec.EndMin},
-		{8, &rec.QueueDelayMin}, {9, &rec.RunMin}, {10, &rec.GPUMin}, {13, &rec.MeanUtil},
+		{"submitted_time", &rec.SubmitMin}, {"started_time", &rec.StartMin},
+		{"finished_time", &rec.EndMin}, {"queue_delay", &rec.QueueDelayMin},
+		{"run_time", &rec.RunMin}, {"gpu_time", &rec.GPUMin},
+		{"mean_gpu_util", &rec.MeanUtil},
 	}
 	for _, f := range floats {
-		if *f.dst, err = strconv.ParseFloat(row[f.idx], 64); err != nil {
-			return rec, fmt.Errorf("%s: %w", jobHeader[f.idx], err)
+		if *f.dst, err = strconv.ParseFloat(col(f.name), 64); err != nil {
+			return rec, fmt.Errorf("%s: %w", f.name, err)
 		}
 	}
-	rec.Status = row[7]
-	if rec.Retries, err = strconv.Atoi(row[11]); err != nil {
+	rec.Status = col("status")
+	if rec.Retries, err = strconv.Atoi(col("retries")); err != nil {
 		return rec, fmt.Errorf("retries: %w", err)
 	}
-	if rec.Servers, err = strconv.Atoi(row[12]); err != nil {
+	if rec.Servers, err = strconv.Atoi(col("num_servers")); err != nil {
 		return rec, fmt.Errorf("num_servers: %w", err)
 	}
-	rec.DelayCause, rec.FailureReason = row[14], row[15]
+	rec.DelayCause, rec.FailureReason = col("delay_cause"), col("failure_reason")
 	return rec, nil
 }
 

@@ -1,0 +1,424 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"philly/internal/failures"
+	"philly/internal/simulation"
+	"philly/internal/stats"
+)
+
+// Phase is one named segment of a Pattern: while the phase is active the
+// arrival rate is multiplied by Rate, and the job mix may be shifted away
+// from the base configuration — a different size distribution, different
+// per-VC arrival weights, or scaled failure probabilities. Everything a
+// phase does not override falls back to the base Config, so a phase that
+// only sets Rate is a pure load wave.
+type Phase struct {
+	// Name identifies the phase in specs and reports ("night", "peak").
+	Name string
+	// Start and End bound the phase as offsets into the pattern period
+	// (see Pattern.Period): the phase is active for Start <= t' < End,
+	// where t' is the submission instant folded into [0, Period).
+	Start, End simulation.Time
+	// Rate multiplies the arrival intensity while the phase is active.
+	// Zero is valid and silences arrivals entirely (a maintenance window).
+	Rate float64
+	// SizeWeights, when non-nil, replaces the base job-size distribution
+	// for jobs arriving in this phase (night-time clusters run large batch
+	// gangs; daytime ones run small exploratory jobs).
+	SizeWeights map[int]float64
+	// VCWeights, when non-nil, replaces the quota-proportional VC arrival
+	// weights with explicit per-VC-name weights for this phase; VCs absent
+	// from the map receive no arrivals during the phase. Every key must
+	// name a configured VC.
+	VCWeights map[string]float64
+	// FailureScale multiplies the per-size-bucket unsuccessful and
+	// transient-failure probabilities for jobs arriving in this phase
+	// (clamped to keep the outcome distribution valid). 1 keeps the base
+	// calibration; it must be positive, matching the failure.scale sweep
+	// axis semantics.
+	FailureScale float64
+}
+
+// Pattern is a phase program: a repeating (or one-shot) schedule of named
+// phases that modulates the generator's arrival process and job mix over
+// time. A nil *Pattern on Config keeps the legacy behaviour (the built-in
+// cosine diurnal/weekend modulation); a non-nil Pattern replaces that
+// modulation entirely, so a pattern is the single temporal authority for
+// the trace it generates.
+type Pattern struct {
+	// Name labels the pattern in reports and sweep rows.
+	Name string
+	// Period is the repetition interval: submission instants are folded
+	// modulo Period before phase lookup (Day for diurnal programs, 7*Day
+	// for weekly ones). Zero means the phases are absolute offsets from
+	// trace start and do not repeat.
+	Period simulation.Time
+	// Phases are the program, in ascending Start order; they must not
+	// overlap. Instants not covered by any phase run at the base rate and
+	// mix (rate multiplier 1).
+	Phases []Phase
+}
+
+// Validate checks the pattern for internal consistency. vcs is the
+// configured virtual-cluster set; phase VCWeights may only reference
+// members of it.
+func (p *Pattern) Validate(vcs []VirtualCluster) error {
+	if p == nil {
+		return nil
+	}
+	if p.Period < 0 {
+		return fmt.Errorf("workload: pattern %q: negative period %v", p.Name, p.Period)
+	}
+	if len(p.Phases) == 0 {
+		return fmt.Errorf("workload: pattern %q has no phases", p.Name)
+	}
+	known := map[string]bool{}
+	for _, vc := range vcs {
+		known[vc.Name] = true
+	}
+	var prevEnd simulation.Time
+	for i, ph := range p.Phases {
+		if ph.Name == "" {
+			return fmt.Errorf("workload: pattern %q: phase %d has no name", p.Name, i)
+		}
+		if ph.Start < 0 || ph.End <= ph.Start {
+			return fmt.Errorf("workload: pattern %q: phase %q has empty window [%v, %v)",
+				p.Name, ph.Name, ph.Start, ph.End)
+		}
+		if p.Period > 0 && ph.End > p.Period {
+			return fmt.Errorf("workload: pattern %q: phase %q ends at %v, beyond period %v",
+				p.Name, ph.Name, ph.End, p.Period)
+		}
+		if ph.Start < prevEnd {
+			return fmt.Errorf("workload: pattern %q: phase %q overlaps its predecessor",
+				p.Name, ph.Name)
+		}
+		prevEnd = ph.End
+		if ph.Rate < 0 {
+			return fmt.Errorf("workload: pattern %q: phase %q has negative rate %v",
+				p.Name, ph.Name, ph.Rate)
+		}
+		if ph.FailureScale <= 0 {
+			return fmt.Errorf("workload: pattern %q: phase %q FailureScale must be positive, got %v",
+				p.Name, ph.Name, ph.FailureScale)
+		}
+		if ph.SizeWeights != nil {
+			total := 0.0
+			for size, w := range ph.SizeWeights {
+				if size <= 0 || w < 0 {
+					return fmt.Errorf("workload: pattern %q: phase %q size weight %d:%v invalid",
+						p.Name, ph.Name, size, w)
+				}
+				total += w
+			}
+			if total <= 0 {
+				return fmt.Errorf("workload: pattern %q: phase %q size weights sum to zero",
+					p.Name, ph.Name)
+			}
+		}
+		if ph.VCWeights != nil {
+			total := 0.0
+			for name, w := range ph.VCWeights {
+				if !known[name] {
+					return fmt.Errorf("workload: pattern %q: phase %q references unknown VC %q",
+						p.Name, ph.Name, name)
+				}
+				if w < 0 {
+					return fmt.Errorf("workload: pattern %q: phase %q VC weight %s:%v invalid",
+						p.Name, ph.Name, name, w)
+				}
+				total += w
+			}
+			if total <= 0 {
+				return fmt.Errorf("workload: pattern %q: phase %q VC weights sum to zero",
+					p.Name, ph.Name)
+			}
+		}
+	}
+	// A pattern whose every phase has rate 0 generates nothing — and the
+	// uncovered gaps may be empty too, so check there is some intensity.
+	if p.maxRate() <= 0 {
+		return fmt.Errorf("workload: pattern %q has zero arrival intensity everywhere", p.Name)
+	}
+	return nil
+}
+
+// phaseIndexAt returns the index into Phases active at t, or -1 when t
+// falls in a gap (base rate and mix apply).
+func (p *Pattern) phaseIndexAt(t simulation.Time) int {
+	x := t
+	if p.Period > 0 {
+		x = t % p.Period
+	}
+	for i := range p.Phases {
+		if x >= p.Phases[i].Start && x < p.Phases[i].End {
+			return i
+		}
+	}
+	return -1
+}
+
+// RateAt returns the arrival-rate multiplier at t: the active phase's Rate,
+// or 1 in gaps between phases.
+func (p *Pattern) RateAt(t simulation.Time) float64 {
+	if i := p.phaseIndexAt(t); i >= 0 {
+		return p.Phases[i].Rate
+	}
+	return 1
+}
+
+// maxRate bounds RateAt for thinning (rejection sampling). Gaps run at 1,
+// but a pattern with full period coverage never exposes the gap rate.
+func (p *Pattern) maxRate() float64 {
+	m := 0.0
+	if !p.coversPeriod() {
+		m = 1
+	}
+	for _, ph := range p.Phases {
+		if ph.Rate > m {
+			m = ph.Rate
+		}
+	}
+	return m
+}
+
+// coversPeriod reports whether the phases tile the whole period with no
+// gap (only meaningful for repeating patterns).
+func (p *Pattern) coversPeriod() bool {
+	if p.Period <= 0 || len(p.Phases) == 0 {
+		return false
+	}
+	var at simulation.Time
+	for _, ph := range p.Phases {
+		if ph.Start > at {
+			return false
+		}
+		if ph.End > at {
+			at = ph.End
+		}
+	}
+	return at >= p.Period
+}
+
+// Clone deep-copies the pattern, so sweep scenarios mutating phase maps
+// cannot alias each other.
+func (p *Pattern) Clone() *Pattern {
+	if p == nil {
+		return nil
+	}
+	q := &Pattern{Name: p.Name, Period: p.Period, Phases: make([]Phase, len(p.Phases))}
+	for i, ph := range p.Phases {
+		c := ph
+		if ph.SizeWeights != nil {
+			c.SizeWeights = make(map[int]float64, len(ph.SizeWeights))
+			for k, v := range ph.SizeWeights {
+				c.SizeWeights[k] = v
+			}
+		}
+		if ph.VCWeights != nil {
+			c.VCWeights = make(map[string]float64, len(ph.VCWeights))
+			for k, v := range ph.VCWeights {
+				c.VCWeights[k] = v
+			}
+		}
+		q.Phases[i] = c
+	}
+	return q
+}
+
+// String renders the program compactly, for CLI listings.
+func (p *Pattern) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (period %v):", p.Name, p.Period)
+	for _, ph := range p.Phases {
+		fmt.Fprintf(&b, " %s[%v-%v)x%.2g", ph.Name, ph.Start, ph.End, ph.Rate)
+		if ph.SizeWeights != nil {
+			b.WriteString("+mix")
+		}
+		if ph.VCWeights != nil {
+			b.WriteString("+vc")
+		}
+		if ph.FailureScale != 1 {
+			fmt.Fprintf(&b, "+fail%.2g", ph.FailureScale)
+		}
+	}
+	return b.String()
+}
+
+// Preset pattern names. "stationary" is the control: a flat arrival process
+// with the base mix, replacing the legacy cosine modulation — the null
+// hypothesis temporal studies compare against.
+const (
+	PatternStationary = "stationary"
+	PatternDiurnal    = "diurnal"
+	PatternWeekly     = "weekly"
+	PatternBurst      = "burst"
+	PatternNightBatch = "night-batch"
+)
+
+// PatternNames lists the preset pattern names, sorted.
+func PatternNames() []string {
+	names := []string{PatternStationary, PatternDiurnal, PatternWeekly, PatternBurst, PatternNightBatch}
+	sort.Strings(names)
+	return names
+}
+
+// PresetPattern resolves a preset name to a freshly built pattern. The
+// presets are calibrated qualitatively to Hu et al. 2021's datacenter
+// characterization: strong diurnal swings (3-5x trough-to-peak), weekday/
+// weekend cycles, and short deadline bursts.
+func PresetPattern(name string) (*Pattern, error) {
+	switch name {
+	case PatternStationary:
+		// One full-period phase at rate 1: a homogeneous Poisson process.
+		return &Pattern{
+			Name:   PatternStationary,
+			Period: simulation.Day,
+			Phases: []Phase{
+				{Name: "flat", Start: 0, End: simulation.Day, Rate: 1, FailureScale: 1},
+			},
+		}, nil
+	case PatternDiurnal:
+		// Pronounced day/night wave: quiet nights, a morning ramp, a long
+		// afternoon peak, an evening shoulder. Peak-to-trough is ~5x.
+		return &Pattern{
+			Name:   PatternDiurnal,
+			Period: simulation.Day,
+			Phases: []Phase{
+				{Name: "night", Start: 0, End: 7 * simulation.Hour, Rate: 0.35, FailureScale: 1},
+				{Name: "ramp", Start: 7 * simulation.Hour, End: 10 * simulation.Hour, Rate: 1.0, FailureScale: 1},
+				{Name: "peak", Start: 10 * simulation.Hour, End: 19 * simulation.Hour, Rate: 1.8, FailureScale: 1},
+				{Name: "evening", Start: 19 * simulation.Hour, End: 24 * simulation.Hour, Rate: 0.7, FailureScale: 1},
+			},
+		}, nil
+	case PatternWeekly:
+		// Five busy weekdays, two quiet weekend days; weekday submissions
+		// also fail slightly more (more humans iterating on fresh code).
+		return &Pattern{
+			Name:   PatternWeekly,
+			Period: 7 * simulation.Day,
+			Phases: []Phase{
+				{Name: "weekdays", Start: 0, End: 5 * simulation.Day, Rate: 1.25, FailureScale: 1.1},
+				{Name: "weekend", Start: 5 * simulation.Day, End: 7 * simulation.Day, Rate: 0.4, FailureScale: 0.9},
+			},
+		}, nil
+	case PatternBurst:
+		// A deadline crunch: steady background load with a 2-hour burst of
+		// 4x arrivals skewed toward multi-GPU gangs, daily.
+		return &Pattern{
+			Name:   PatternBurst,
+			Period: simulation.Day,
+			Phases: []Phase{
+				{Name: "steady", Start: 0, End: 20 * simulation.Hour, Rate: 0.85, FailureScale: 1},
+				{
+					Name: "crunch", Start: 20 * simulation.Hour, End: 22 * simulation.Hour, Rate: 4,
+					SizeWeights:  map[int]float64{1: 0.25, 2: 0.15, 4: 0.20, 8: 0.30, 16: 0.07, 32: 0.03},
+					FailureScale: 1.25,
+				},
+				{Name: "cooldown", Start: 22 * simulation.Hour, End: 24 * simulation.Hour, Rate: 0.6, FailureScale: 1},
+			},
+		}, nil
+	case PatternNightBatch:
+		// Interactive days of small exploratory jobs, nights of large batch
+		// gangs queued for off-peak capacity.
+		return &Pattern{
+			Name:   PatternNightBatch,
+			Period: simulation.Day,
+			Phases: []Phase{
+				{
+					Name: "day", Start: 8 * simulation.Hour, End: 20 * simulation.Hour, Rate: 1.4,
+					SizeWeights:  map[int]float64{1: 0.75, 2: 0.14, 4: 0.07, 8: 0.04},
+					FailureScale: 1,
+				},
+				{
+					Name: "night", Start: 20 * simulation.Hour, End: 24 * simulation.Hour, Rate: 0.6,
+					SizeWeights:  map[int]float64{1: 0.20, 2: 0.15, 4: 0.20, 8: 0.30, 16: 0.10, 24: 0.02, 32: 0.03},
+					FailureScale: 1,
+				},
+			},
+		}, nil
+	default:
+		return nil, fmt.Errorf("workload: unknown pattern preset %q (known: %s)",
+			name, strings.Join(PatternNames(), ", "))
+	}
+	// Note: the night-batch pattern deliberately leaves [0, 8h) uncovered:
+	// gap instants run at the base rate and mix, exercising the fallback.
+}
+
+// compiledPhase is one phase with its samplers resolved against the base
+// configuration: nil samplers mean "use the generator's base sampler".
+type compiledPhase struct {
+	sizes    *stats.Categorical
+	sizeVals []int
+	vcs      *stats.Categorical
+	planner  *failures.Planner
+}
+
+// compilePattern resolves per-phase samplers. The result slice parallels
+// pattern.Phases.
+func compilePattern(cfg Config) ([]compiledPhase, error) {
+	p := cfg.Pattern
+	out := make([]compiledPhase, len(p.Phases))
+	for i := range p.Phases {
+		ph := &p.Phases[i]
+		if ph.SizeWeights != nil {
+			var vals []int
+			for size := range ph.SizeWeights {
+				vals = append(vals, size)
+			}
+			sort.Ints(vals)
+			weights := make([]float64, len(vals))
+			for j, s := range vals {
+				weights[j] = ph.SizeWeights[s]
+			}
+			cat, err := stats.NewCategorical(weights)
+			if err != nil {
+				return nil, fmt.Errorf("workload: pattern %q phase %q sizes: %w", p.Name, ph.Name, err)
+			}
+			out[i].sizes, out[i].sizeVals = cat, vals
+		}
+		if ph.VCWeights != nil {
+			weights := make([]float64, len(cfg.VCs))
+			for j, vc := range cfg.VCs {
+				weights[j] = ph.VCWeights[vc.Name]
+			}
+			cat, err := stats.NewCategorical(weights)
+			if err != nil {
+				return nil, fmt.Errorf("workload: pattern %q phase %q VCs: %w", p.Name, ph.Name, err)
+			}
+			out[i].vcs = cat
+		}
+		if ph.FailureScale != 1 {
+			fp := scaleFailures(cfg.Failures, ph.FailureScale)
+			planner, err := failures.NewPlanner(fp)
+			if err != nil {
+				return nil, fmt.Errorf("workload: pattern %q phase %q failures: %w", p.Name, ph.Name, err)
+			}
+			out[i].planner = planner
+		}
+	}
+	return out, nil
+}
+
+// scaleFailures multiplies the unsuccessful and transient-failure
+// probabilities by f, clamped so each bucket's outcome distribution stays
+// valid — the same semantics as the failure.scale sweep axis.
+func scaleFailures(fp failures.PlannerConfig, f float64) failures.PlannerConfig {
+	for b := range fp.UnsuccessfulProb {
+		u := fp.UnsuccessfulProb[b] * f
+		if max := 1 - fp.KilledProb[b]; u > max {
+			u = max
+		}
+		fp.UnsuccessfulProb[b] = u
+		t := fp.TransientFailureProb[b] * f
+		if t > 1 {
+			t = 1
+		}
+		fp.TransientFailureProb[b] = t
+	}
+	return fp
+}

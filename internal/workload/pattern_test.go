@@ -1,0 +1,349 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"philly/internal/failures"
+	"philly/internal/simulation"
+	"philly/internal/stats"
+)
+
+func patternConfig(t *testing.T, name string) Config {
+	t.Helper()
+	cfg := smallConfig()
+	p, err := PresetPattern(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Pattern = p
+	return cfg
+}
+
+func TestPresetPatternsValid(t *testing.T) {
+	cfg := smallConfig()
+	for _, name := range PatternNames() {
+		p, err := PresetPattern(name)
+		if err != nil {
+			t.Fatalf("preset %s: %v", name, err)
+		}
+		if err := p.Validate(cfg.VCs); err != nil {
+			t.Errorf("preset %s invalid: %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("preset %s reports name %q", name, p.Name)
+		}
+	}
+	if _, err := PresetPattern("no-such-pattern"); err == nil {
+		t.Error("want error for unknown preset")
+	}
+}
+
+func TestPatternRateAt(t *testing.T) {
+	diurnal, err := PresetPattern(PatternDiurnal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Night phase, first and second day (period folding).
+	for _, at := range []simulation.Time{simulation.Hour, simulation.Day + simulation.Hour} {
+		if r := diurnal.RateAt(at); r != 0.35 {
+			t.Errorf("diurnal rate at %v = %v, want 0.35", at, r)
+		}
+	}
+	if r := diurnal.RateAt(12 * simulation.Hour); r != 1.8 {
+		t.Errorf("diurnal peak rate = %v, want 1.8", r)
+	}
+	// night-batch leaves [0, 8h) uncovered: the gap runs at base rate 1.
+	nb, err := PresetPattern(PatternNightBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := nb.RateAt(2 * simulation.Hour); r != 1 {
+		t.Errorf("night-batch gap rate = %v, want 1", r)
+	}
+	if got := nb.maxRate(); got != 1.4 {
+		t.Errorf("night-batch maxRate = %v, want 1.4", got)
+	}
+	// A fully covering pattern never exposes the gap rate: stationary's
+	// maxRate is its flat phase rate, not max(1, ...) of an absent gap.
+	st, err := PresetPattern(PatternStationary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.coversPeriod() {
+		t.Error("stationary should cover its period")
+	}
+	if got := st.maxRate(); got != 1 {
+		t.Errorf("stationary maxRate = %v, want 1", got)
+	}
+}
+
+func TestPatternValidateErrors(t *testing.T) {
+	vcs := smallConfig().VCs
+	cases := []struct {
+		name string
+		p    *Pattern
+	}{
+		{"no phases", &Pattern{Name: "x", Period: simulation.Day}},
+		{"empty window", &Pattern{Name: "x", Period: simulation.Day, Phases: []Phase{
+			{Name: "a", Start: simulation.Hour, End: simulation.Hour, Rate: 1, FailureScale: 1}}}},
+		{"beyond period", &Pattern{Name: "x", Period: simulation.Day, Phases: []Phase{
+			{Name: "a", Start: 0, End: 2 * simulation.Day, Rate: 1, FailureScale: 1}}}},
+		{"overlap", &Pattern{Name: "x", Period: simulation.Day, Phases: []Phase{
+			{Name: "a", Start: 0, End: 2 * simulation.Hour, Rate: 1, FailureScale: 1},
+			{Name: "b", Start: simulation.Hour, End: 3 * simulation.Hour, Rate: 1, FailureScale: 1}}}},
+		{"negative rate", &Pattern{Name: "x", Period: simulation.Day, Phases: []Phase{
+			{Name: "a", Start: 0, End: simulation.Day, Rate: -1, FailureScale: 1}}}},
+		{"zero failure scale", &Pattern{Name: "x", Period: simulation.Day, Phases: []Phase{
+			{Name: "a", Start: 0, End: simulation.Day, Rate: 1}}}},
+		{"unknown vc", &Pattern{Name: "x", Period: simulation.Day, Phases: []Phase{
+			{Name: "a", Start: 0, End: simulation.Day, Rate: 1, FailureScale: 1,
+				VCWeights: map[string]float64{"nope": 1}}}}},
+		{"zero size weights", &Pattern{Name: "x", Period: simulation.Day, Phases: []Phase{
+			{Name: "a", Start: 0, End: simulation.Day, Rate: 1, FailureScale: 1,
+				SizeWeights: map[int]float64{1: 0}}}}},
+		{"silent everywhere", &Pattern{Name: "x", Period: simulation.Day, Phases: []Phase{
+			{Name: "a", Start: 0, End: simulation.Day, Rate: 0, FailureScale: 1}}}},
+	}
+	for _, c := range cases {
+		if err := c.p.Validate(vcs); err == nil {
+			t.Errorf("%s: want validation error", c.name)
+		}
+	}
+	// A zero-rate phase in a pattern with gaps is fine: the gaps carry
+	// intensity 1.
+	maint := &Pattern{Name: "maint", Period: simulation.Day, Phases: []Phase{
+		{Name: "window", Start: 0, End: simulation.Hour, Rate: 0, FailureScale: 1}}}
+	if err := maint.Validate(vcs); err != nil {
+		t.Errorf("maintenance window should validate: %v", err)
+	}
+}
+
+func TestPatternClone(t *testing.T) {
+	p, err := PresetPattern(PatternBurst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := p.Clone()
+	if !reflect.DeepEqual(p, q) {
+		t.Fatal("clone differs from original")
+	}
+	for i := range q.Phases {
+		if q.Phases[i].SizeWeights != nil {
+			q.Phases[i].SizeWeights[1] = 99
+		}
+	}
+	if reflect.DeepEqual(p, q) {
+		t.Fatal("mutating the clone's weight maps reached the original")
+	}
+	var nilP *Pattern
+	if nilP.Clone() != nil {
+		t.Fatal("nil pattern must clone to nil")
+	}
+}
+
+func TestPatternGenerateDeterministic(t *testing.T) {
+	cfg := patternConfig(t, PatternDiurnal)
+	gen1, err := NewGenerator(cfg, stats.NewRNG(9).Split("workload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := gen1.Generate(stats.NewRNG(9).Split("workload"))
+	gen2, err := NewGenerator(cfg, stats.NewRNG(9).Split("workload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := gen2.Generate(stats.NewRNG(9).Split("workload"))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("pattern generation is not deterministic for a fixed seed")
+	}
+}
+
+// TestDiurnalConcentratesArrivals checks the pattern actually shapes the
+// arrival process: under the diurnal preset the peak phase (9h at rate 1.8)
+// must receive far more arrivals per hour than the night phase (7h at 0.35).
+func TestDiurnalConcentratesArrivals(t *testing.T) {
+	cfg := patternConfig(t, PatternDiurnal)
+	cfg.TotalJobs = 4000
+	gen, err := NewGenerator(cfg, stats.NewRNG(3).Split("workload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := gen.Generate(stats.NewRNG(3).Split("workload"))
+	var night, peak float64
+	for _, j := range specs {
+		switch h := (j.SubmitAt % simulation.Day) / simulation.Hour; {
+		case h < 7:
+			night++
+		case h >= 10 && h < 19:
+			peak++
+		}
+	}
+	nightRate := night / 7
+	peakRate := peak / 9
+	// The intensity ratio is 1.8/0.35 ≈ 5.1; allow generous sampling slack.
+	if peakRate < 3*nightRate {
+		t.Fatalf("peak %.1f jobs/h vs night %.1f jobs/h: diurnal pattern not shaping arrivals",
+			peakRate, nightRate)
+	}
+}
+
+// TestPhaseSizeMixShift checks per-phase size weights take effect: the
+// night-batch preset's night phase skews to 8/16/32-GPU gangs while its day
+// phase skews to 1-GPU jobs.
+func TestPhaseSizeMixShift(t *testing.T) {
+	cfg := patternConfig(t, PatternNightBatch)
+	cfg.TotalJobs = 4000
+	gen, err := NewGenerator(cfg, stats.NewRNG(5).Split("workload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := gen.Generate(stats.NewRNG(5).Split("workload"))
+	mean := func(lo, hi simulation.Time) float64 {
+		var sum, n float64
+		for _, j := range specs {
+			h := j.SubmitAt % simulation.Day
+			if h >= lo && h < hi {
+				sum += float64(j.GPUs)
+				n++
+			}
+		}
+		if n == 0 {
+			t.Fatalf("no arrivals in [%v, %v)", lo, hi)
+		}
+		return sum / n
+	}
+	day := mean(8*simulation.Hour, 20*simulation.Hour)
+	nightMean := mean(20*simulation.Hour, 24*simulation.Hour)
+	if nightMean < 2*day {
+		t.Fatalf("night mean size %.2f vs day %.2f: phase size mix not applied", nightMean, day)
+	}
+}
+
+// TestPhaseVCWeights checks per-phase VC weights route arrivals: a phase
+// giving all weight to one VC must submit only to it.
+func TestPhaseVCWeights(t *testing.T) {
+	cfg := smallConfig()
+	only := cfg.VCs[0].Name
+	cfg.Pattern = &Pattern{
+		Name:   "one-vc",
+		Period: simulation.Day,
+		Phases: []Phase{{
+			Name: "all", Start: 0, End: simulation.Day, Rate: 1, FailureScale: 1,
+			VCWeights: map[string]float64{only: 1},
+		}},
+	}
+	gen, err := NewGenerator(cfg, stats.NewRNG(11).Split("workload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range gen.Generate(stats.NewRNG(11).Split("workload")) {
+		if j.VC != only {
+			t.Fatalf("job %d landed in %s, want everything in %s", j.ID, j.VC, only)
+		}
+	}
+}
+
+// TestNilPatternUnchanged pins bit-compatibility: a nil Pattern must
+// reproduce the exact pre-pattern stream (same draws, same jobs), so
+// every existing calibration test and recorded experiment stays valid.
+func TestNilPatternUnchanged(t *testing.T) {
+	cfg := smallConfig()
+	gen1, err := NewGenerator(cfg, stats.NewRNG(1).Split("workload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := gen1.Generate(stats.NewRNG(1).Split("workload"))
+	cfg2 := smallConfig()
+	cfg2.Pattern = nil
+	gen2, err := NewGenerator(cfg2, stats.NewRNG(1).Split("workload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := gen2.Generate(stats.NewRNG(1).Split("workload"))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("nil-pattern stream changed")
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	cfg := smallConfig()
+	gen, err := NewGenerator(cfg, stats.NewRNG(2).Split("workload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := gen.Generate(stats.NewRNG(2).Split("workload"))
+
+	good := smallConfig()
+	good.Replay = specs
+	good.TotalJobs = len(specs)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid replay config rejected: %v", err)
+	}
+
+	// Pattern and Replay are mutually exclusive.
+	both := good
+	both.Pattern, err = PresetPattern(PatternDiurnal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := both.Validate(); err == nil {
+		t.Error("want error for Pattern+Replay")
+	}
+
+	// Duplicate IDs.
+	dup := good
+	dup.Replay = append(append([]JobSpec(nil), specs...), specs[0])
+	if err := dup.Validate(); err == nil {
+		t.Error("want error for duplicate job ID")
+	}
+
+	// Unknown VC.
+	bad := good
+	bad.Replay = append([]JobSpec(nil), specs...)
+	bad.Replay[0].VC = "no-such-vc"
+	if err := bad.Validate(); err == nil {
+		t.Error("want error for unknown VC")
+	}
+
+	// Unsuccessful plan without failed attempts.
+	inc := good
+	inc.Replay = append([]JobSpec(nil), specs...)
+	inc.Replay[0].Plan = failures.JobPlan{Outcome: failures.Unsuccessful}
+	if err := inc.Validate(); err == nil {
+		t.Error("want error for unsuccessful job without failed attempts")
+	}
+}
+
+// TestReplayEmitsSpecsVerbatim checks the generator's replay path returns
+// the input population exactly, sorted by submission, without consuming
+// any of the workload stream's draws.
+func TestReplayEmitsSpecsVerbatim(t *testing.T) {
+	cfg := smallConfig()
+	gen, err := NewGenerator(cfg, stats.NewRNG(4).Split("workload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := gen.Generate(stats.NewRNG(4).Split("workload"))
+
+	// Present them shuffled (reverse order) to prove the replay path sorts.
+	rev := make([]JobSpec, len(specs))
+	for i := range specs {
+		rev[len(specs)-1-i] = specs[i]
+	}
+	rcfg := smallConfig()
+	rcfg.Replay = rev
+	rcfg.TotalJobs = len(rev)
+	rgen, err := NewGenerator(rcfg, stats.NewRNG(999).Split("workload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rgen.Generate(stats.NewRNG(999).Split("workload"))
+	if !reflect.DeepEqual(got, specs) {
+		t.Fatal("replayed stream differs from the source population")
+	}
+	// The input slice must not have been reordered in place.
+	if reflect.DeepEqual(rev, got) && len(specs) > 1 {
+		t.Fatal("replay sorted the caller's slice in place")
+	}
+}

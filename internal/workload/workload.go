@@ -74,6 +74,18 @@ type Config struct {
 	WeekendFactor float64
 	// Failures configures the failure planner.
 	Failures failures.PlannerConfig
+	// Pattern, when non-nil, is a phase program that replaces the cosine
+	// DiurnalAmplitude/WeekendFactor modulation entirely: arrival intensity,
+	// job-size mix, per-VC weights and failure intensity follow the active
+	// phase (see Pattern). The program is compiled into the same
+	// deterministic single-stream generator, so results remain bit-identical
+	// for a fixed (Config, seed) at any worker count.
+	Pattern *Pattern
+	// Replay, when non-empty, bypasses the generative model: the generator
+	// emits exactly these specs (sorted by submission time). Built by
+	// internal/trace from Philly-traces files or our own CSV/JSON exports.
+	// The slice is treated as read-only and may be shared across scenarios.
+	Replay []JobSpec
 }
 
 // DefaultVCs returns 14 virtual clusters with heterogeneous quotas summing
@@ -147,6 +159,9 @@ func DefaultRuntimeSpecs() [failures.NumSizeBuckets]stats.LogNormalSpec {
 
 // Validate checks the configuration.
 func (c Config) Validate() error {
+	if len(c.Replay) > 0 {
+		return c.validateReplay()
+	}
 	if c.TotalJobs <= 0 {
 		return fmt.Errorf("workload: TotalJobs must be positive, got %d", c.TotalJobs)
 	}
@@ -194,6 +209,68 @@ func (c Config) Validate() error {
 	}
 	if c.WeekendFactor <= 0 {
 		return fmt.Errorf("workload: WeekendFactor must be positive, got %v", c.WeekendFactor)
+	}
+	if err := c.Pattern.Validate(c.VCs); err != nil {
+		return err
+	}
+	return nil
+}
+
+// validateReplay checks a replay configuration: the generative knobs are
+// ignored, but the cluster context (VCs, duration) and every replayed spec
+// must be consistent.
+func (c Config) validateReplay() error {
+	if c.Pattern != nil {
+		return fmt.Errorf("workload: Pattern and Replay are mutually exclusive (transform the trace instead)")
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("workload: Duration must be positive, got %v", c.Duration)
+	}
+	if len(c.VCs) == 0 {
+		return fmt.Errorf("workload: at least one virtual cluster required")
+	}
+	known := map[string]bool{}
+	for _, vc := range c.VCs {
+		if vc.Name == "" || vc.QuotaGPUs <= 0 || vc.LoadFactor <= 0 {
+			return fmt.Errorf("workload: invalid VC %+v", vc)
+		}
+		if known[vc.Name] {
+			return fmt.Errorf("workload: duplicate VC name %q", vc.Name)
+		}
+		known[vc.Name] = true
+	}
+	seen := make(map[int64]bool, len(c.Replay))
+	for i := range c.Replay {
+		j := &c.Replay[i]
+		if j.ID <= 0 {
+			return fmt.Errorf("workload: replay job %d has non-positive ID %d", i, j.ID)
+		}
+		if seen[j.ID] {
+			return fmt.Errorf("workload: replay job ID %d duplicated", j.ID)
+		}
+		seen[j.ID] = true
+		if !known[j.VC] {
+			return fmt.Errorf("workload: replay job %d in unknown VC %q", j.ID, j.VC)
+		}
+		if j.GPUs < 1 {
+			return fmt.Errorf("workload: replay job %d requests %d GPUs", j.ID, j.GPUs)
+		}
+		if j.SubmitAt < 0 || j.SubmitAt >= c.Duration {
+			return fmt.Errorf("workload: replay job %d submits at %v, outside [0, %v)",
+				j.ID, j.SubmitAt, c.Duration)
+		}
+		if err := j.Train.Validate(); err != nil {
+			return fmt.Errorf("workload: replay job %d: %w", j.ID, err)
+		}
+		if j.Plan.Outcome == failures.Unsuccessful && len(j.Plan.FailedAttempts) == 0 {
+			return fmt.Errorf("workload: replay job %d unsuccessful with no failed attempts", j.ID)
+		}
+		for a := range j.Plan.FailedAttempts {
+			ap := &j.Plan.FailedAttempts[a]
+			if ap.Reason == nil || ap.RTFMinutes <= 0 {
+				return fmt.Errorf("workload: replay job %d attempt %d has invalid failure plan", j.ID, a)
+			}
+		}
 	}
 	return nil
 }
@@ -265,6 +342,9 @@ type Generator struct {
 	// favorite maps user name to its characteristic failure reason (nil
 	// for non-error-prone users).
 	favorite map[string]*failures.Reason
+	// phases holds the compiled phase samplers, parallel to
+	// cfg.Pattern.Phases (nil when no pattern is configured).
+	phases []compiledPhase
 }
 
 // NewGenerator builds a generator.
@@ -277,6 +357,19 @@ func NewGenerator(cfg Config, g *stats.RNG) (*Generator, error) {
 		return nil, err
 	}
 	gen := &Generator{cfg: cfg, planner: planner, favorite: map[string]*failures.Reason{}}
+	if len(cfg.Replay) > 0 {
+		// Replay bypasses the generative model entirely: no samplers, no
+		// user population, and — deliberately — no RNG draws, so a replay
+		// study's per-job streams (derived statelessly from the study seed)
+		// are untouched by how this generator was built.
+		return gen, nil
+	}
+	if cfg.Pattern != nil {
+		gen.phases, err = compilePattern(cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	// Size distribution with deterministic ordering.
 	for size := range cfg.SizeWeights {
@@ -339,28 +432,60 @@ func maxInt(a, b int) int {
 // generation decisions).
 func (gen *Generator) Planner() *failures.Planner { return gen.planner }
 
-// Generate produces the full job list, sorted by submission time.
+// Generate produces the full job list, sorted by submission time. For a
+// replay configuration it returns the replayed specs unchanged (sorted);
+// for a pattern configuration the arrival process and per-job mix follow
+// the active phase. All paths draw from the single stream g in submission
+// order, so generation is a pure function of (Config, seed).
 func (gen *Generator) Generate(g *stats.RNG) []JobSpec {
 	cfg := gen.cfg
+	if len(cfg.Replay) > 0 {
+		return gen.generateReplay()
+	}
+	pattern := cfg.Pattern
 	jobs := make([]JobSpec, 0, cfg.TotalJobs)
 	maxIntensity := cfg.maxArrivalIntensity()
+	if pattern != nil {
+		maxIntensity = pattern.maxRate()
+	}
 	for i := 0; i < cfg.TotalJobs; i++ {
 		// Thinning: draw uniform instants, accept proportionally to the
-		// diurnal/weekly intensity.
+		// diurnal/weekly (or phase-program) intensity.
 		var submit simulation.Time
 		for {
 			submit = simulation.Time(g.Int63() % int64(cfg.Duration))
-			if g.Float64()*maxIntensity <= cfg.arrivalIntensity(submit) {
+			intensity := 0.0
+			if pattern != nil {
+				intensity = pattern.RateAt(submit)
+			} else {
+				intensity = cfg.arrivalIntensity(submit)
+			}
+			if g.Float64()*maxIntensity <= intensity {
 				break
 			}
 		}
-		vcIdx := gen.vcArrival.Sample(g)
+		// Resolve the active phase's samplers; nil means base behaviour.
+		var cp *compiledPhase
+		if pattern != nil {
+			if pi := pattern.phaseIndexAt(submit); pi >= 0 {
+				cp = &gen.phases[pi]
+			}
+		}
+		vcSampler := gen.vcArrival
+		if cp != nil && cp.vcs != nil {
+			vcSampler = cp.vcs
+		}
+		vcIdx := vcSampler.Sample(g)
 		vc := cfg.VCs[vcIdx]
 		users := gen.usersByVC[vcIdx]
 		user := users[gen.userZipf.Sample(g)%len(users)]
-		size := gen.sizeForVC(vc, g)
+		size := gen.sizeForVC(vc, cp, g)
 
-		plan := gen.planner.PlanJob(size, gen.favorite[user], g)
+		planner := gen.planner
+		if cp != nil && cp.planner != nil {
+			planner = cp.planner
+		}
+		plan := planner.PlanJob(size, gen.favorite[user], g)
 		// Cap runtime-to-failure draws at the trace's runtime ceiling: a
 		// failure cannot be observed beyond the job's stay in the cluster.
 		// The taxonomy's own p95 values (max ~18k minutes) sit below the
@@ -403,6 +528,20 @@ func (gen *Generator) Generate(g *stats.RNG) []JobSpec {
 	return jobs
 }
 
+// generateReplay copies the replayed specs into submission order. The copy
+// keeps the shared Replay slice read-only, so one loaded trace can feed
+// many concurrent scenarios.
+func (gen *Generator) generateReplay() []JobSpec {
+	jobs := append([]JobSpec(nil), gen.cfg.Replay...)
+	sort.SliceStable(jobs, func(i, j int) bool {
+		if jobs[i].SubmitAt != jobs[j].SubmitAt {
+			return jobs[i].SubmitAt < jobs[j].SubmitAt
+		}
+		return jobs[i].ID < jobs[j].ID
+	})
+	return jobs
+}
+
 // sizeForVC samples a job size appropriate to the VC: teams size their
 // training jobs to their share, so a gang is at most half the quota; and
 // groups that chronically over-subscribe their quota (load factor > 1) run
@@ -410,7 +549,11 @@ func (gen *Generator) Generate(g *stats.RNG) []JobSpec {
 // what give Table 2 its size gradient — large jobs live in under-loaded
 // VCs, so their delays are fragmentation, while fair-share delay
 // concentrates on the small jobs of over-subscribed groups.
-func (gen *Generator) sizeForVC(vc VirtualCluster, g *stats.RNG) int {
+func (gen *Generator) sizeForVC(vc VirtualCluster, cp *compiledPhase, g *stats.RNG) int {
+	sizes, sizeVals := gen.sizes, gen.sizeVals
+	if cp != nil && cp.sizes != nil {
+		sizes, sizeVals = cp.sizes, cp.sizeVals
+	}
 	quota := vc.QuotaGPUs
 	limit := quota / 2
 	if vc.LoadFactor > 1 {
@@ -419,14 +562,14 @@ func (gen *Generator) sizeForVC(vc VirtualCluster, g *stats.RNG) int {
 	if limit < 1 {
 		limit = 1
 	}
-	size := gen.sizeVals[gen.sizes.Sample(g)]
+	size := sizeVals[sizes.Sample(g)]
 	for i := 0; i < 20 && size > limit; i++ {
-		size = gen.sizeVals[gen.sizes.Sample(g)]
+		size = sizeVals[sizes.Sample(g)]
 	}
 	if size > limit {
 		// Fall back to the largest configured size that fits.
 		size = 1
-		for _, s := range gen.sizeVals {
+		for _, s := range sizeVals {
 			if s <= limit && s > size {
 				size = s
 			}
@@ -455,6 +598,14 @@ func planTraining(runtimeMin float64, g *stats.RNG) training.Job {
 		BatchTime:             bt,
 		CheckpointEveryEpochs: ckpt,
 	}
+}
+
+// TrainingPlanFor converts a target ideal runtime into an epoch/minibatch/
+// batch structure drawn from g — the exported form of planTraining, used by
+// the trace replay path (internal/trace) to synthesize plausible training
+// plans for observed jobs whose traces record only total runtime.
+func TrainingPlanFor(runtimeMin float64, g *stats.RNG) training.Job {
+	return planTraining(runtimeMin, g)
 }
 
 // TotalQuota sums the VC quotas.

@@ -41,6 +41,7 @@ import (
 	"philly/internal/perfmodel"
 	"philly/internal/scheduler"
 	"philly/internal/trace"
+	"philly/internal/workload"
 )
 
 // Config is the full study configuration: cluster topology, workload,
@@ -134,6 +135,50 @@ func RunWith(cfg Config, opts RunOptions) (*StudyResult, error) {
 
 // NewTrace exports a study result in the Philly-traces-like format.
 func NewTrace(res *StudyResult) *Trace { return trace.FromStudy(res) }
+
+// JobSpec is one planned job: submission instant, shape, training plan and
+// failure plan. Replay studies run streams of these verbatim.
+type JobSpec = workload.JobSpec
+
+// WorkloadPattern is a phase program — named phases with per-phase arrival
+// rate, size mix, VC weights and failure scaling — that replaces the
+// generator's stationary arrival process. Set Config.Workload.Pattern to
+// use one; nil keeps the legacy diurnal cosine modulation.
+type WorkloadPattern = workload.Pattern
+
+// WorkloadPatternNames lists the built-in pattern presets ("stationary",
+// "diurnal", "weekly", "burst", "night-batch").
+func WorkloadPatternNames() []string { return workload.PatternNames() }
+
+// PresetWorkloadPattern returns a built-in pattern preset by name.
+func PresetWorkloadPattern(name string) (*WorkloadPattern, error) {
+	return workload.PresetPattern(name)
+}
+
+// ReplayOptions parameterize trace-to-spec reconstruction (see
+// internal/trace: the per-job streams are keyed by Seed, so a loaded trace
+// is a pure function of the file bytes and these options).
+type ReplayOptions = trace.ReplayOptions
+
+// DefaultReplayOptions returns replay options matching the default
+// workload configuration.
+func DefaultReplayOptions() ReplayOptions { return trace.DefaultReplayOptions() }
+
+// LoadTrace reads a trace file (.csv or .json — the spec schema
+// philly-trace writes, this package's observed-trace exports, or the
+// msr-fiddle philly-traces JSON) into a replayable job stream.
+func LoadTrace(path string, opts ReplayOptions) ([]JobSpec, error) {
+	return trace.LoadTraceFile(path, opts)
+}
+
+// TraceTransform is a deterministic what-if rewrite of a loaded trace:
+// rate-scale, time-compress, mix-shift.
+type TraceTransform = trace.Transform
+
+// ApplyReplay installs a loaded job stream into a study configuration,
+// deriving TotalJobs/Duration and appending any VCs the trace references
+// that the configuration lacks.
+func ApplyReplay(cfg *Config, specs []JobSpec) error { return trace.ApplyReplay(cfg, specs) }
 
 // FederationConfig specifies a multi-cluster (federated) study: member
 // clusters, the spillover policy, and the fleet-wide quota rebalancing
