@@ -23,12 +23,13 @@ race:
 	$(GO) test -race ./...
 
 # shuffle is the order-dependence guard for the deterministic-engine
-# packages (cross-engine conformance suite, federation, trace replay): vet,
-# then two repetitions with a randomized test order. CI runs it as its own
-# job, followed by the fuzz smoke below.
+# packages (cross-engine conformance suite, federation, trace replay, and
+# the reliability models feeding them): vet, then two repetitions with a
+# randomized test order. CI runs it as its own job, followed by the fuzz
+# smoke below.
 shuffle:
 	$(GO) vet ./...
-	$(GO) test -count=2 -shuffle=on ./internal/simulation ./internal/federation ./internal/trace
+	$(GO) test -count=2 -shuffle=on ./internal/simulation ./internal/federation ./internal/trace ./internal/faults ./internal/failures
 
 # fuzz gives each trace-reader fuzz target a short randomized budget on top
 # of the committed corpus (testdata/fuzz/, replayed by plain `go test` too).

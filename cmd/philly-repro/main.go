@@ -4,7 +4,12 @@
 // Usage:
 //
 //	philly-repro [-scale small|medium|full] [-seed N] [-policy philly|fifo|srtf|tiresias|gandiva]
-//	             [-replicas N] [-workers N] [-shard-events] [-federation SPEC] [-o report.txt]
+//	             [-replicas N] [-workers N] [-shard-events] [-federation SPEC]
+//	             [-faults SPEC] [-checkpoint SPEC] [-o report.txt]
+//
+// -faults and -checkpoint enable the correlated-outage engine and the
+// checkpoint/restore cost model (same specs as philly-sim); they apply to
+// every run of every path, including each member of a -federation study.
 //
 // small  (~230 GPUs, 3.3k jobs) finishes in under a second;
 // medium (~2300 GPUs, 24k jobs) in tens of seconds;
@@ -58,8 +63,40 @@ func main() {
 		"shard the event loop per virtual cluster when -workers > 1 (results are identical either way)")
 	federationSpec := flag.String("federation", "",
 		"run a federated multi-cluster study of these '+'-separated member presets; the fleet table replaces the per-figure report")
+	faultsSpec := flag.String("faults", "",
+		"enable correlated outages: none, all, or server[+rack][+cluster], optionally :SCALE (e.g. server+rack:2)")
+	checkpointSpec := flag.String("checkpoint", "",
+		"enable the checkpoint/restore cost model: off or MIN[:WRITE_S[:RESTORE_S]] (minutes, then seconds)")
 	out := flag.String("o", "", "also write the report to this file")
 	flag.Parse()
+
+	// Fail fast on malformed reliability specs, before any simulation work.
+	var faultsCfg philly.FaultsConfig
+	if *faultsSpec != "" {
+		var err error
+		faultsCfg, err = philly.ParseFaultsSpec(*faultsSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "philly-repro:", err)
+			os.Exit(2)
+		}
+	}
+	var checkpointCfg philly.CheckpointConfig
+	if *checkpointSpec != "" {
+		var err error
+		checkpointCfg, err = philly.ParseCheckpointSpec(*checkpointSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "philly-repro:", err)
+			os.Exit(2)
+		}
+	}
+	applyReliability := func(c *philly.Config) {
+		if *faultsSpec != "" {
+			c.Faults = faultsCfg.Clone()
+		}
+		if *checkpointSpec != "" {
+			c.Checkpoint = checkpointCfg
+		}
+	}
 
 	if *federationSpec != "" {
 		// Member scale comes from the presets and replication from
@@ -71,7 +108,7 @@ func main() {
 				os.Exit(2)
 			}
 		})
-		if err := runFederation(*federationSpec, *seed, *policy, *workers, *out); err != nil {
+		if err := runFederation(*federationSpec, *seed, *policy, *workers, *out, applyReliability); err != nil {
 			fmt.Fprintln(os.Stderr, "philly-repro:", err)
 			os.Exit(1)
 		}
@@ -84,6 +121,7 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Seed = *seed
+	applyReliability(&cfg)
 
 	if strings.Contains(*policy, ",") || *replicas > 1 {
 		if err := runSweep(cfg, *scale, *policy, *replicas, *workers,
@@ -158,7 +196,8 @@ func runSweep(cfg philly.Config, scale, policies string, replicas, workers int, 
 // runFederation drives the multi-cluster path: one federated study, the
 // single -policy applied to every member, output as the fleet comparison
 // table.
-func runFederation(spec string, seed uint64, policy string, workers int, out string) error {
+func runFederation(spec string, seed uint64, policy string, workers int, out string,
+	applyReliability func(*philly.Config)) error {
 	cfg, err := philly.ParseFederationSpec(seed, spec)
 	if err != nil {
 		return err
@@ -169,6 +208,7 @@ func runFederation(spec string, seed uint64, policy string, workers int, out str
 	}
 	for i := range cfg.Members {
 		cfg.Members[i].Config.Scheduler.Policy = p
+		applyReliability(&cfg.Members[i].Config)
 	}
 	start := time.Now()
 	res, err := philly.RunFederated(cfg, philly.RunOptions{Workers: workers})

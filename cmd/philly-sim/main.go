@@ -6,7 +6,16 @@
 //
 //	philly-sim [-scale small|medium|full] [-seed N] [-workers N]
 //	           [-shard-events] [-federation SPEC] [-pattern NAME]
-//	           [-replay FILE] [-out DIR]
+//	           [-replay FILE] [-faults SPEC] [-checkpoint SPEC] [-out DIR]
+//
+// -faults enables correlated infrastructure outages ("none", "all", or a
+// "+"-joined subset of server, rack, cluster with an optional ":SCALE"
+// frequency multiplier, e.g. "server+rack:2"); -checkpoint enables the
+// periodic checkpoint/restore cost model ("off" or
+// "MIN[:WRITE_S[:RESTORE_S]]", interval in minutes, costs in seconds).
+// Both compose with -federation: every member runs under the same fault
+// and checkpoint model, and members hit by a large outage evacuate
+// restorable jobs to the member with the most free GPUs.
 //
 // -pattern runs the workload under a temporal phase program (diurnal,
 // weekly, ...; philly-trace pattern lists them); -replay runs a trace file
@@ -55,8 +64,32 @@ func main() {
 		"temporal workload pattern preset (see philly-trace pattern); 'help' lists presets")
 	replayPath := flag.String("replay", "",
 		"replay this trace file (.csv or .json) instead of generating a workload")
+	faultsSpec := flag.String("faults", "",
+		"enable correlated outages: none, all, or server[+rack][+cluster], optionally :SCALE (e.g. server+rack:2)")
+	checkpointSpec := flag.String("checkpoint", "",
+		"enable the checkpoint/restore cost model: off or MIN[:WRITE_S[:RESTORE_S]] (minutes, then seconds)")
 	out := flag.String("out", "philly-out", "output directory")
 	flag.Parse()
+
+	// Fail fast on malformed reliability specs, before any simulation work.
+	var faultsCfg philly.FaultsConfig
+	if *faultsSpec != "" {
+		var err error
+		faultsCfg, err = philly.ParseFaultsSpec(*faultsSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "philly-sim:", err)
+			os.Exit(2)
+		}
+	}
+	var checkpointCfg philly.CheckpointConfig
+	if *checkpointSpec != "" {
+		var err error
+		checkpointCfg, err = philly.ParseCheckpointSpec(*checkpointSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "philly-sim:", err)
+			os.Exit(2)
+		}
+	}
 
 	if *pattern == "help" {
 		fmt.Println("workload pattern presets:", strings.Join(philly.WorkloadPatternNames(), ", "))
@@ -77,7 +110,8 @@ func main() {
 				os.Exit(2)
 			}
 		})
-		if err := runFederation(*federationSpec, *seed, *workers, *out); err != nil {
+		if err := runFederation(*federationSpec, *seed, *workers, *out,
+			*faultsSpec != "", faultsCfg, *checkpointSpec != "", checkpointCfg); err != nil {
 			fmt.Fprintln(os.Stderr, "philly-sim:", err)
 			os.Exit(1)
 		}
@@ -100,6 +134,12 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Seed = *seed
+	if *faultsSpec != "" {
+		cfg.Faults = faultsCfg
+	}
+	if *checkpointSpec != "" {
+		cfg.Checkpoint = checkpointCfg
+	}
 	if *pattern != "" && *replayPath != "" {
 		// ApplyReplay would silently drop the pattern (the trace is the
 		// temporal authority); at the CLI that combination is a mistake.
@@ -155,13 +195,22 @@ func main() {
 
 	fmt.Printf("simulated %d jobs on %d GPUs in %v (simulated %v)\n",
 		len(res.Jobs), res.TotalGPUs, time.Since(start).Round(time.Millisecond), res.SimEnd)
+	if o := res.Outages; o.Events > 0 {
+		fmt.Printf("outages: %d event(s) (%d maintenance), %d attempt(s) killed, %.1f GPU-h down, %.1f GPU-h lost, %.1f GPU-h ckpt overhead, ETTF %.1fh, ETTR %.2fh\n",
+			o.Events, o.MaintenanceEvents, o.KilledAttempts,
+			o.DownGPUHours, o.LostGPUHours, o.CkptOverheadGPUHours,
+			o.ETTFHours, o.ETTRHours)
+	}
 	fmt.Printf("wrote %s (%d jobs) and %s (%d attempts)\n",
 		csvPath, len(tr.Jobs), jsonPath, len(tr.Attempts))
 }
 
 // runFederation executes a federated multi-cluster study and writes one
-// artifact directory per member plus the fleet comparison table.
-func runFederation(spec string, seed uint64, workers int, out string) error {
+// artifact directory per member plus the fleet comparison table. The
+// fault and checkpoint models, when set, apply to every member.
+func runFederation(spec string, seed uint64, workers int, out string,
+	haveFaults bool, faultsCfg philly.FaultsConfig,
+	haveCkpt bool, checkpointCfg philly.CheckpointConfig) error {
 	if spec == "help" {
 		fmt.Println("federation member presets:", strings.Join(philly.FederationPresets(), ", "))
 		return nil
@@ -169,6 +218,14 @@ func runFederation(spec string, seed uint64, workers int, out string) error {
 	cfg, err := philly.ParseFederationSpec(seed, spec)
 	if err != nil {
 		return err
+	}
+	for i := range cfg.Members {
+		if haveFaults {
+			cfg.Members[i].Config.Faults = faultsCfg.Clone()
+		}
+		if haveCkpt {
+			cfg.Members[i].Config.Checkpoint = checkpointCfg
+		}
 	}
 	start := time.Now()
 	res, err := philly.RunFederated(cfg, philly.RunOptions{Workers: workers})

@@ -34,6 +34,9 @@ type FleetRow struct {
 	GPUs, Jobs, Completed int
 	// Offloaded and Received count spillover traffic at this member.
 	Offloaded, Received int
+	// Evacuated counts running jobs checkpoint-migrated away from this
+	// member after an outage; Resumed counts those restored here.
+	Evacuated, Resumed int
 	// DelayP50 / DelayP95 summarize first-episode queueing delay (minutes).
 	DelayP50, DelayP95 float64
 	// UtilMean is the mean per-minute GPU utilization (%).
@@ -44,6 +47,13 @@ type FleetRow struct {
 	FailedAttempts           int
 	// UnsuccessfulPct is the share of completed jobs that exhausted retries.
 	UnsuccessfulPct float64
+	// LostGPUHours is GPU time destroyed by outage kills (work since the
+	// victims' last checkpoints); CkptGPUHours the time spent writing and
+	// restoring checkpoints. Both 0 when faults / the cost model are off.
+	LostGPUHours, CkptGPUHours float64
+	// ImbalancePct is the cross-member utilization spread (max member mean
+	// util minus min, percentage points); set on the combined row only.
+	ImbalancePct float64
 }
 
 // FleetReport is the per-member + combined aggregation of a federated
@@ -62,6 +72,8 @@ func ComputeFleet(members []FleetMember) FleetReport {
 	var fleetDelay []float64
 	var fleetUtilSum float64
 	var fleetUtilN uint64
+	var utilMin, utilMax float64
+	utilMembers := 0
 	for _, m := range members {
 		row, delays := fleetRow(m.Name, m.Res)
 		rep.Rows = append(rep.Rows, row)
@@ -71,19 +83,34 @@ func ComputeFleet(members []FleetMember) FleetReport {
 		fleet.Completed += row.Completed
 		fleet.Offloaded += row.Offloaded
 		fleet.Received += row.Received
+		fleet.Evacuated += row.Evacuated
+		fleet.Resumed += row.Resumed
 		fleet.GPUHours += row.GPUHours
 		fleet.FailedGPUHours += row.FailedGPUHours
 		fleet.FailedAttempts += row.FailedAttempts
+		fleet.LostGPUHours += row.LostGPUHours
+		fleet.CkptGPUHours += row.CkptGPUHours
 		fleetDelay = append(fleetDelay, delays...)
 		if h := m.Res.Telemetry.All(); h.Count() > 0 {
-			fleetUtilSum += h.Mean() * float64(h.Count())
+			mean := h.Mean()
+			fleetUtilSum += mean * float64(h.Count())
 			fleetUtilN += h.Count()
+			if utilMembers == 0 || mean < utilMin {
+				utilMin = mean
+			}
+			if utilMembers == 0 || mean > utilMax {
+				utilMax = mean
+			}
+			utilMembers++
 		}
 	}
 	fleet.DelayP50 = stats.Percentile(fleetDelay, 50)
 	fleet.DelayP95 = stats.Percentile(fleetDelay, 95)
 	if fleetUtilN > 0 {
 		fleet.UtilMean = fleetUtilSum / float64(fleetUtilN)
+	}
+	if utilMembers > 1 {
+		fleet.ImbalancePct = utilMax - utilMin
 	}
 	unsucc := 0
 	for _, m := range members {
@@ -117,14 +144,26 @@ func fleetRow(name string, res *core.StudyResult) (FleetRow, []float64) {
 		if j.Spillover {
 			row.Received++
 		}
-		row.Jobs++
+		if j.Resumed {
+			row.Resumed++
+		}
 		row.GPUHours += j.GPUMinutes / 60
+		row.LostGPUHours += j.LostGPUMinutes / 60
+		row.CkptGPUHours += j.CkptGPUMinutes / 60
 		for _, att := range j.Attempts {
 			if att.Failed {
 				row.FailedAttempts++
 				row.FailedGPUHours += att.RuntimeMinutes * float64(j.Spec.GPUs) / 60
 			}
 		}
+		if j.Evacuated {
+			// Checkpoint-migration donor shell: its GPU time stays in this
+			// member's totals, but the job is counted (and completes) at the
+			// receiving member's resumed copy.
+			row.Evacuated++
+			continue
+		}
+		row.Jobs++
 		if !j.Completed {
 			continue
 		}
@@ -147,7 +186,9 @@ func fleetRow(name string, res *core.StudyResult) (FleetRow, []float64) {
 func (r FleetReport) Render() string {
 	t := &Table{Header: []string{
 		"member", "GPUs", "jobs", "completed", "offloaded", "received",
+		"evac", "resumed",
 		"delay p50", "delay p95", "util %", "GPU-h", "failed GPU-h", "failed att", "unsucc %",
+		"lost GPU-h", "ckpt GPU-h", "imbal pp",
 	}}
 	for _, row := range r.Rows {
 		t.Add(row.Name,
@@ -156,9 +197,12 @@ func (r FleetReport) Render() string {
 			fmt.Sprintf("%d", row.Completed),
 			fmt.Sprintf("%d", row.Offloaded),
 			fmt.Sprintf("%d", row.Received),
+			fmt.Sprintf("%d", row.Evacuated),
+			fmt.Sprintf("%d", row.Resumed),
 			f1(row.DelayP50), f1(row.DelayP95), f1(row.UtilMean),
 			f1(row.GPUHours), f1(row.FailedGPUHours),
-			fmt.Sprintf("%d", row.FailedAttempts), f1(row.UnsuccessfulPct))
+			fmt.Sprintf("%d", row.FailedAttempts), f1(row.UnsuccessfulPct),
+			f1(row.LostGPUHours), f1(row.CkptGPUHours), f1(row.ImbalancePct))
 	}
 	var b strings.Builder
 	b.WriteString("Fleet: per-member and combined queueing / utilization / failure aggregates\n")

@@ -103,6 +103,34 @@ func (s *Study) Offload(id cluster.JobID, now simulation.Time) (workload.JobSpec
 //
 // Must be called after Arm, from global (barrier) context.
 func (s *Study) Inject(spec workload.JobSpec, now simulation.Time) (cluster.JobID, error) {
+	return s.inject(spec, now, nil)
+}
+
+// InjectResumed is Inject for a checkpoint-migrated job (see Evacuate): the
+// injected copy resumes from the donor's checkpoint — remainingSec of ideal
+// work instead of a fresh plan — and pays penaltySec of wall time (restore
+// plus data gravity) before its first episode makes progress. The copy is
+// marked Spillover and Resumed.
+//
+// Must be called after Arm, from global (barrier) context.
+func (s *Study) InjectResumed(spec workload.JobSpec, remainingSec, penaltySec float64, now simulation.Time) (cluster.JobID, error) {
+	if remainingSec <= 0 {
+		return 0, fmt.Errorf("core: inject resumed job with %v remaining seconds", remainingSec)
+	}
+	if penaltySec < 0 {
+		return 0, fmt.Errorf("core: inject resumed job with negative penalty %v", penaltySec)
+	}
+	return s.inject(spec, now, func(js *jobState) {
+		js.remainingWorkSec = remainingSec
+		js.sched.RemainingSeconds = remainingSec
+		js.pendingRestoreSec = penaltySec
+		js.res.Resumed = true
+	})
+}
+
+// inject is the shared body of Inject and InjectResumed; setup, when
+// non-nil, adjusts the fresh jobState before it is registered.
+func (s *Study) inject(spec workload.JobSpec, now simulation.Time, setup func(*jobState)) (cluster.JobID, error) {
 	if s.horizon == 0 {
 		return 0, fmt.Errorf("core: inject before Arm")
 	}
@@ -136,6 +164,9 @@ func (s *Study) Inject(spec workload.JobSpec, now simulation.Time) (cluster.JobI
 		sched:            scheduler.NewJob(id, spec.VC, spec.GPUs, now),
 	}
 	js.sched.RemainingSeconds = js.remainingWorkSec
+	if setup != nil {
+		setup(js)
+	}
 	s.states[id] = js
 	s.pending++
 	s.engine.AtShard(js.shard, now, func() {
@@ -145,6 +176,138 @@ func (s *Study) Inject(spec workload.JobSpec, now simulation.Time) (cluster.JobI
 		s.pump()
 	})
 	return id, nil
+}
+
+// CheckpointRestoreSeconds exposes this member's restore cost (0 when the
+// cost model is off) for federation's evacuation pricing.
+func (s *Study) CheckpointRestoreSeconds() float64 {
+	if !s.cfg.Checkpoint.Enabled {
+		return 0
+	}
+	return s.cfg.Checkpoint.RestoreSeconds
+}
+
+// EvacuationCandidate describes one restorable job a checkpoint migration
+// could move to another member.
+type EvacuationCandidate struct {
+	// ID is the job's ID in this study.
+	ID cluster.JobID
+	// GPUs is the gang width (the receiving member must fit it).
+	GPUs int
+	// RemainingSeconds is the checkpointed attempt's remaining ideal work.
+	RemainingSeconds float64
+}
+
+// EvacuationCandidates lists jobs restorable from a checkpoint: under an
+// enabled checkpoint policy, on their final (clean) attempt with work
+// remaining, having started at least once here — running now, or queued
+// with prior progress (for example outage-killed and waiting for capacity
+// that no longer exists). Widest gang first (ties by ID), capped at max:
+// evacuating the widest jobs frees the donor's scarce surviving capacity
+// fastest. Deterministic: the sort imposes a total order over barrier-
+// settled state.
+func (s *Study) EvacuationCandidates(max int) []EvacuationCandidate {
+	if !s.cfg.Checkpoint.Enabled {
+		return nil
+	}
+	var out []EvacuationCandidate
+	for id, js := range s.states {
+		if js.res.Offloaded || js.res.Evacuated || js.res.Completed {
+			continue
+		}
+		if !js.attemptOpen && js.res.Attempts == nil {
+			continue // never started: plain spillover's business
+		}
+		if js.currentFailure() != nil {
+			continue // mid-failure-plan: no clean checkpoint to restore
+		}
+		if js.spec.Train.CheckpointEveryEpochs == 0 || js.remainingWorkSec <= 0 {
+			continue
+		}
+		out = append(out, EvacuationCandidate{ID: id, GPUs: js.spec.GPUs, RemainingSeconds: js.remainingWorkSec})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].GPUs != out[b].GPUs {
+			return out[a].GPUs > out[b].GPUs
+		}
+		return out[a].ID < out[b].ID
+	})
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// Evacuate checkpoint-migrates a restorable job out of this study. A
+// running attempt is cut at its last periodic checkpoint with the same
+// salvage accounting as an outage kill (the un-checkpointed tail counts as
+// lost GPU time here); a queued one is simply withdrawn. The result shell
+// stays, marked Evacuated — every GPU-hour the job burned here remains
+// charged here — and the open attempt record is closed. The returned spec
+// has its consumed failure plan stripped (the current attempt is clean by
+// construction), ready for InjectResumed on the receiving member together
+// with the returned remaining ideal work.
+//
+// Must be called from global (barrier) context.
+func (s *Study) Evacuate(id cluster.JobID, now simulation.Time) (workload.JobSpec, float64, error) {
+	js := s.states[id]
+	if js == nil {
+		return workload.JobSpec{}, 0, fmt.Errorf("core: evacuate unknown job %d", id)
+	}
+	if js.res.Offloaded || js.res.Evacuated || js.res.Completed ||
+		js.currentFailure() != nil || js.remainingWorkSec <= 0 ||
+		(!js.attemptOpen && js.res.Attempts == nil) {
+		return workload.JobSpec{}, 0, fmt.Errorf("core: job %d is not evacuation-restorable", id)
+	}
+	if js.running {
+		elapsed := float64(now - js.episodeStart)
+		js.attemptRunSec += elapsed
+		s.accountEpisode(js, elapsed)
+		retainedWall := 0.0
+		if ck := s.cfg.Checkpoint; ck.Enabled && js.spec.Train.CheckpointEveryEpochs > 0 {
+			retainedWall = float64(ck.Interval) * float64(int(elapsed/float64(ck.Interval)))
+		}
+		done := retainedWall / js.slowdown
+		js.remainingWorkSec -= done
+		if js.remainingWorkSec < 0 {
+			js.remainingWorkSec = 0
+		}
+		lost := (elapsed - retainedWall) / 60 * float64(js.spec.GPUs)
+		js.res.LostGPUMinutes += lost
+		s.outStats.LostGPUHours += lost / 60
+		js.running = false
+		js.finishSeq++ // invalidate the scheduled finish pair
+		s.removeRunning(js)
+		if err := s.sched.Release(js.sched.ID, now); err != nil {
+			panic(fmt.Sprintf("core: evacuate release job %d: %v", id, err))
+		}
+		// The freed gang may unblock queued jobs; pump on this member's
+		// lane like an injection, so the wake happens in member context.
+		s.engine.AtShard(js.shard, now, func() { s.pump() })
+	} else {
+		if err := s.sched.Withdraw(id); err != nil {
+			return workload.JobSpec{}, 0, fmt.Errorf("core: evacuate job %d: %w", id, err)
+		}
+	}
+	// Close the open attempt record: the rest of the attempt runs remotely.
+	if js.attemptOpen && len(js.res.Attempts) > 0 {
+		att := &js.res.Attempts[len(js.res.Attempts)-1]
+		if att.EndAt == 0 {
+			att.EndAt = now
+			att.RuntimeMinutes = js.attemptRunSec / 60
+		}
+	}
+	js.res.Evacuated = true
+	s.pending--
+	spec := *js.spec
+	// The current attempt is clean, so every planned failing attempt has
+	// already been consumed here; the receiving member must not replay them.
+	spec.Plan.FailedAttempts = nil
+	remaining := js.remainingWorkSec
+	if remaining < 1 {
+		remaining = 1
+	}
+	return spec, remaining, nil
 }
 
 // SpilloverVC picks the virtual cluster an injected job should land in:

@@ -7,6 +7,7 @@ import (
 
 	"philly/internal/cluster"
 	"philly/internal/failures"
+	"philly/internal/faults"
 	"philly/internal/joblog"
 	"philly/internal/par"
 	"philly/internal/perfmodel"
@@ -101,6 +102,24 @@ type JobResult struct {
 	// Spillover marks a job injected into this cluster by federation
 	// spillover — it originated on another member cluster.
 	Spillover bool
+	// OutageKills counts attempts killed by infrastructure outages
+	// (internal/faults), as opposed to the job's own planned failures.
+	OutageKills int
+	// LostGPUMinutes is GPU time destroyed by outage kills: the wall time
+	// since the last periodic checkpoint (the whole episode when the
+	// checkpoint cost model is off), times the gang width.
+	LostGPUMinutes float64
+	// CkptGPUMinutes is GPU time spent on checkpoint economics: periodic
+	// checkpoint writes plus post-outage restores.
+	CkptGPUMinutes float64
+	// Evacuated marks a job checkpoint-migrated OUT of this cluster by a
+	// federation evacuation: the GPU time it burned here stays charged
+	// here, but the job itself — like an Offloaded one — completes on the
+	// receiving member, whose copy carries the outcome.
+	Evacuated bool
+	// Resumed marks a Spillover copy that was injected with checkpointed
+	// progress (the receiving side of an evacuation).
+	Resumed bool
 	// Attempts lists per-attempt records.
 	Attempts []AttemptResult
 	// Convergence is non-nil for jobs whose logs include loss curves.
@@ -125,6 +144,9 @@ type StudyResult struct {
 	// completely empty servers, sampled each telemetry tick (fragmentation
 	// evidence, §3.1.1).
 	OccupancySamples []OccupancySample
+	// Outages summarizes the correlated-outage engine's activity (zero
+	// value when faults are disabled).
+	Outages OutageStats
 }
 
 // OccupancySample is one cluster-state observation.
@@ -132,6 +154,9 @@ type OccupancySample struct {
 	At           simulation.Time
 	Occupancy    float64
 	EmptyServers float64
+	// DownGPUs is the fraction of cluster capacity held down by outages at
+	// this tick (0 when faults are disabled).
+	DownGPUs float64
 }
 
 // jobState is the driver's runtime bookkeeping for one job.
@@ -185,6 +210,10 @@ type jobState struct {
 	logStream   stats.RNG
 	logInit     bool
 	curveStream stats.RNG
+	// pendingRestoreSec is wall time the next episode must spend restoring
+	// from a checkpoint before making progress (set by an outage kill or a
+	// federation evacuation, consumed by onStart).
+	pendingRestoreSec float64
 	// runIdx is the job's slot in the study's running list, -1 when absent.
 	runIdx int
 	// finishSeq guards stale finish events after a preemption.
@@ -318,6 +347,20 @@ type Study struct {
 	// study (see StreamJobs).
 	jobObserver func(i int, r *JobResult)
 
+	// outages is the pre-drawn outage plan (nil when faults are disabled).
+	// The whole plan is scheduled as global events at Arm, so outage
+	// effects are barrier-only on every engine — that is what keeps
+	// outage-enabled studies on the bit-identical invariance contract.
+	outages []faults.Outage
+	// downCount[serverID] counts overlapping outages currently holding the
+	// server; heldGPUs is the total capacity held by outage sentinels.
+	downCount []int
+	heldGPUs  int
+	// outStats accumulates outage/checkpoint telemetry; outageDownSec sums
+	// each event's horizon-clamped duration (the ETTR numerator).
+	outStats      OutageStats
+	outageDownSec float64
+
 	pending   int // jobs not yet finalized
 	wakeAt    simulation.Time
 	wakeArmed bool
@@ -354,6 +397,11 @@ func NewStudy(cfg Config) (*Study, error) {
 	}
 	master := stats.NewRNG(cfg.Seed)
 	wlRNG := master.Split("workload")
+	// The faults stream is split unconditionally, AFTER the workload split:
+	// the workload stream's content is already fixed, and master is never
+	// drawn again, so faults-off results are bit-identical to builds that
+	// predate the outage engine.
+	ftRNG := master.Split("faults")
 
 	gen, err := workload.NewGenerator(cfg.Workload, wlRNG)
 	if err != nil {
@@ -402,6 +450,14 @@ func NewStudy(cfg Config) (*Study, error) {
 	}
 	s.jobs = gen.Generate(wlRNG)
 	s.results = make([]JobResult, len(s.jobs))
+	if cfg.Faults.Enabled {
+		topo := faults.Topology{RackServers: make([]int, len(cfg.Cluster.Racks))}
+		for i, rc := range cfg.Cluster.Racks {
+			topo.RackServers[i] = rc.Servers
+		}
+		s.outages = faults.Plan(cfg.Faults, topo, s.Horizon(), ftRNG)
+		s.downCount = make([]int, cl.NumServers())
+	}
 	return s, nil
 }
 
@@ -558,6 +614,19 @@ func (s *Study) Arm() simulation.Time {
 		return now < horizon && s.pending > 0
 	})
 
+	// Outage begin/repair events. Scheduled here, in global context and in
+	// plan order, so the sharded engine assigns them exactly the (at, seq)
+	// keys the sequential engine would; every outage effect (kills, holds,
+	// repairs) then executes alone at window barriers.
+	for i := range s.outages {
+		o := s.outages[i]
+		s.engine.At(o.At, func() { s.beginOutage(o) })
+		end := o.At + o.Duration
+		if end < horizon {
+			s.engine.At(end, func() { s.endOutage(o) })
+		}
+	}
+
 	// Defragmentation sweeps (§5 migration guideline), when enabled.
 	if s.cfg.Defrag.Enabled {
 		d := s.cfg.Defrag
@@ -593,6 +662,11 @@ func (s *Study) Collect() (*StudyResult, error) {
 			jobs = append(jobs, *r)
 		}
 	}
+	out := s.outStats
+	if out.Events > 0 {
+		out.ETTFHours = s.engine.Now().Hours() / float64(out.Events)
+		out.ETTRHours = s.outageDownSec / 3600 / float64(out.Events)
+	}
 	return &StudyResult{
 		Config:           s.cfg,
 		Jobs:             jobs,
@@ -601,6 +675,7 @@ func (s *Study) Collect() (*StudyResult, error) {
 		TotalGPUs:        s.cluster.TotalGPUs(),
 		SimEnd:           s.engine.Now(),
 		OccupancySamples: s.occ,
+		Outages:          out,
 	}, nil
 }
 
@@ -683,7 +758,7 @@ func (s *Study) onStart(ev scheduler.StartEvent, now simulation.Time) {
 		js.stream.Init(stats.DeriveEntitySeed(s.cfg.Seed, "job-util", uint64(js.spec.ID)))
 		js.usage = s.rec.EnsureJob(js.sched.ID)
 	}
-	js.slowdown = s.util.Slowdown(shape)
+	js.slowdown = s.util.Slowdown(shape) * s.ckptFactor(js)
 	js.baseUtil = s.util.JobBaseUtil(shape, js.spec.Plan.Outcome, &js.stream)
 	js.episodeStart = now
 	js.running = true
@@ -722,10 +797,40 @@ func (s *Study) onStart(ev scheduler.StartEvent, now simulation.Time) {
 	} else {
 		episodeSec = js.remainingWorkSec * js.slowdown
 	}
+	if js.pendingRestoreSec > 0 {
+		// Restoring from the last checkpoint (after an outage kill or a
+		// cross-member evacuation) stretches the episode; the cost is
+		// attributed to checkpoint overhead up front.
+		episodeSec += js.pendingRestoreSec
+		s.accountCkptOverhead(js, js.pendingRestoreSec)
+		js.pendingRestoreSec = 0
+	}
 	if episodeSec < 1 {
 		episodeSec = 1
 	}
 	s.scheduleFinish(js, episodeSec, now)
+}
+
+// ckptFactor is the wall-time stretch periodic checkpoint writes impose on
+// a clean episode: every Interval of wall time pays WriteSeconds. Folding
+// it into the episode slowdown keeps every downstream computation —
+// episode length, preemption retention, outage-kill salvage — consistent
+// without special cases. Failing attempts run at factor 1: their duration
+// is fixed by the failure plan's runtime-to-failure clock.
+func (s *Study) ckptFactor(js *jobState) float64 {
+	ck := s.cfg.Checkpoint
+	if !ck.Enabled || js.spec.Train.CheckpointEveryEpochs == 0 || js.currentFailure() != nil {
+		return 1
+	}
+	return 1 + ck.WriteSeconds/float64(ck.Interval)
+}
+
+// accountCkptOverhead charges wall seconds of checkpoint write/restore
+// activity to the job and the study totals.
+func (s *Study) accountCkptOverhead(js *jobState, wallSec float64) {
+	ovh := wallSec / 60 * float64(js.spec.GPUs)
+	js.res.CkptGPUMinutes += ovh
+	s.outStats.CkptOverheadGPUHours += ovh / 60
 }
 
 // scheduleFinish arms the episode-end event pair: a shard-local prepare
@@ -816,7 +921,7 @@ func (s *Study) onMigrate(ev scheduler.MigrationEvent, now simulation.Time) {
 		Colocated: s.cluster.SharesServers(ev.Job.ID),
 		CrossRack: ev.Job.Placement.CrossRack(s.cluster),
 	}
-	js.slowdown = s.util.Slowdown(shape)
+	js.slowdown = s.util.Slowdown(shape) * s.ckptFactor(js)
 	js.baseUtil = s.util.JobBaseUtil(shape, js.spec.Plan.Outcome, &js.stream)
 	js.meta.Servers = shape.Servers
 	js.meta.Colocated = shape.Colocated
@@ -864,6 +969,10 @@ func (s *Study) removeRunning(js *jobState) {
 func (s *Study) accountEpisode(js *jobState, elapsedSec float64) {
 	js.res.RunMinutes += elapsedSec / 60
 	js.res.GPUMinutes += elapsedSec / 60 * float64(js.spec.GPUs)
+	if f := s.ckptFactor(js); f > 1 {
+		// The write-overhead share of the episode's wall time.
+		s.accountCkptOverhead(js, elapsedSec*(1-1/f))
+	}
 }
 
 // prepareFinish is the shard-local half of an episode end: the expensive
@@ -1169,6 +1278,7 @@ func (s *Study) sampleTelemetry(now simulation.Time) {
 		At:           now,
 		Occupancy:    s.cluster.Occupancy(),
 		EmptyServers: float64(s.cluster.EmptyServers()) / float64(s.cluster.NumServers()),
+		DownGPUs:     float64(s.heldGPUs) / float64(s.cluster.TotalGPUs()),
 	})
 }
 

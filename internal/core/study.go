@@ -14,8 +14,11 @@ package core
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"philly/internal/cluster"
+	"philly/internal/faults"
 	"philly/internal/perfmodel"
 	"philly/internal/scheduler"
 	"philly/internal/simulation"
@@ -61,6 +64,87 @@ type Config struct {
 
 	// Defrag configures §5's migration-based defragmentation proposal.
 	Defrag DefragConfig
+
+	// Faults configures the correlated-outage engine (internal/faults):
+	// server/rack/cluster failure domains with per-domain MTBF/MTTR plus
+	// maintenance windows. Disabled by default; when disabled, results are
+	// bit-identical to builds without the engine.
+	Faults faults.Config
+
+	// Checkpoint configures the periodic checkpoint/restore cost model
+	// applied to outage kills (Kokolis et al. 2024). Orthogonal to
+	// CheckpointRetention, which models preemption resume.
+	Checkpoint CheckpointConfig
+}
+
+// CheckpointConfig is the per-job checkpoint/restore cost model: jobs that
+// checkpoint at all (Train.CheckpointEveryEpochs > 0) write a checkpoint
+// every Interval of clean wall time, stretching the attempt by
+// WriteSeconds per interval, so an attempt killed by an infrastructure
+// outage loses only the work since its last checkpoint and pays
+// RestoreSeconds before making progress again.
+type CheckpointConfig struct {
+	// Enabled turns the cost model on. Off by default: outage kills then
+	// lose the whole attempt, like the failure plan's own retries.
+	Enabled bool
+	// Interval is the wall time between periodic checkpoints.
+	Interval simulation.Time
+	// WriteSeconds is the wall-time cost of writing one checkpoint.
+	WriteSeconds float64
+	// RestoreSeconds is the wall-time cost of restoring from one.
+	RestoreSeconds float64
+}
+
+// DefaultCheckpointConfig returns the calibrated but disabled cost model:
+// a checkpoint every 30 minutes costing 30s to write and 120s to restore.
+func DefaultCheckpointConfig() CheckpointConfig {
+	return CheckpointConfig{
+		Enabled:        false,
+		Interval:       30 * simulation.Minute,
+		WriteSeconds:   30,
+		RestoreSeconds: 120,
+	}
+}
+
+// ParseCheckpointSpec parses a CLI checkpoint spec: "off" disables the
+// cost model; "MIN[:WRITE_S[:RESTORE_S]]" enables it with a checkpoint
+// interval of MIN minutes and optional write/restore costs in seconds
+// (defaults from DefaultCheckpointConfig). Errors are descriptive, for
+// fail-fast flag validation.
+func ParseCheckpointSpec(spec string) (CheckpointConfig, error) {
+	cfg := DefaultCheckpointConfig()
+	if spec == "off" {
+		return cfg, nil
+	}
+	parts := strings.Split(spec, ":")
+	if len(parts) > 3 {
+		return CheckpointConfig{}, fmt.Errorf("core: checkpoint spec %q: want off or MIN[:WRITE_S[:RESTORE_S]]", spec)
+	}
+	min, err := strconv.ParseFloat(parts[0], 64)
+	if err != nil || min <= 0 {
+		return CheckpointConfig{}, fmt.Errorf("core: checkpoint spec %q: interval must be a positive number of minutes", spec)
+	}
+	iv := simulation.FromMinutes(min)
+	if iv <= 0 {
+		return CheckpointConfig{}, fmt.Errorf("core: checkpoint spec %q: interval rounds to zero seconds", spec)
+	}
+	cfg.Enabled = true
+	cfg.Interval = iv
+	if len(parts) > 1 {
+		w, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || w < 0 {
+			return CheckpointConfig{}, fmt.Errorf("core: checkpoint spec %q: write cost must be a non-negative number of seconds", spec)
+		}
+		cfg.WriteSeconds = w
+	}
+	if len(parts) > 2 {
+		r, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || r < 0 {
+			return CheckpointConfig{}, fmt.Errorf("core: checkpoint spec %q: restore cost must be a non-negative number of seconds", spec)
+		}
+		cfg.RestoreSeconds = r
+	}
+	return cfg, nil
 }
 
 // DefragConfig controls checkpoint-migration of small jobs to consolidate
@@ -120,6 +204,8 @@ func DefaultConfig() Config {
 		MaxEvents:           500_000_000,
 		GenerateLogs:        true,
 		Defrag:              DefaultDefragConfig(),
+		Faults:              faults.DefaultConfig(),
+		Checkpoint:          DefaultCheckpointConfig(),
 	}
 }
 
@@ -199,6 +285,20 @@ func (c Config) Validate() error {
 		}
 		if c.Defrag.PauseSeconds < 0 {
 			return fmt.Errorf("core: defrag pause must be >= 0")
+		}
+	}
+	if err := c.Faults.Validate(len(c.Cluster.Racks)); err != nil {
+		return err
+	}
+	if c.Checkpoint.Enabled {
+		if c.Checkpoint.Interval <= 0 {
+			return fmt.Errorf("core: checkpoint interval must be positive, got %v", c.Checkpoint.Interval)
+		}
+		if c.Checkpoint.WriteSeconds < 0 {
+			return fmt.Errorf("core: checkpoint write cost must be >= 0, got %v", c.Checkpoint.WriteSeconds)
+		}
+		if c.Checkpoint.RestoreSeconds < 0 {
+			return fmt.Errorf("core: checkpoint restore cost must be >= 0, got %v", c.Checkpoint.RestoreSeconds)
 		}
 	}
 	return nil

@@ -1,0 +1,303 @@
+// Package faults is the deterministic correlated-outage engine: it draws
+// infrastructure failure events over the cluster's physical domain
+// hierarchy — individual servers, whole racks (an RDMA/ToR domain), and the
+// whole cluster (power or spine-switch events) — plus a fixed
+// maintenance-window schedule.
+//
+// The per-job failure planner (internal/failures) models *independent*
+// job-attributable failures; Kokolis et al. 2024 show the expensive
+// reality is correlated infrastructure loss. This package supplies that
+// missing axis: each domain instance runs an MTBF/MTTR renewal process on
+// its own sub-stream of a dedicated RNG, so the whole outage plan is a
+// pure function of (config, topology, horizon, stream) and can be drawn up
+// front — which is what keeps outage-enabled studies on the bit-identical
+// worker/shard invariance contract (see PERFORMANCE.md § PR 7).
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"philly/internal/simulation"
+	"philly/internal/stats"
+)
+
+// Level identifies the failure-domain tier of an outage.
+type Level int
+
+const (
+	// LevelServer takes down one server (its GPUs and the jobs on them).
+	LevelServer Level = iota
+	// LevelRack takes down every server in one rack — a ToR/RDMA-domain
+	// or PDU event.
+	LevelRack
+	// LevelCluster takes down every server — a power or spine event.
+	LevelCluster
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelServer:
+		return "server"
+	case LevelRack:
+		return "rack"
+	case LevelCluster:
+		return "cluster"
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// DomainConfig is one tier's renewal-process parameters. A tier with both
+// fields zero is disabled; an enabled tier needs both positive.
+type DomainConfig struct {
+	// MTBFHours is the mean time between failures of ONE domain instance
+	// (one server, one rack, the one cluster), in hours of uptime.
+	MTBFHours float64
+	// MTTRHours is the mean repair time per outage, in hours. Individual
+	// repairs are exponential around it with a 60-second floor.
+	MTTRHours float64
+}
+
+func (d DomainConfig) enabled() bool { return d.MTBFHours != 0 || d.MTTRHours != 0 }
+
+// Maintenance is one preventive-maintenance window: a planned outage of a
+// rack (or the whole cluster) with a fixed start, duration and optional
+// recurrence. Unlike random outages, windows are part of the config, so
+// tests and scenario packs can force outages at exact instants.
+type Maintenance struct {
+	// Rack is the rack index to take down; -1 means the whole cluster.
+	Rack int
+	// Start is the first window's start time.
+	Start simulation.Time
+	// Every is the recurrence period; 0 means a one-shot window.
+	Every simulation.Time
+	// Duration is each window's length.
+	Duration simulation.Time
+}
+
+// Config enables and parameterizes the outage engine.
+type Config struct {
+	Enabled bool
+	// Server, Rack and Cluster parameterize each tier's renewal process;
+	// a tier with a zero DomainConfig is disabled.
+	Server  DomainConfig
+	Rack    DomainConfig
+	Cluster DomainConfig
+	// Maintenance is the planned-window schedule.
+	Maintenance []Maintenance
+}
+
+// DefaultConfig returns the calibrated but still *disabled* config: per-
+// server MTBF on the order of weeks, rarer rack events, and a cluster-wide
+// event every few months, with repair times from half an hour to a few
+// hours. Callers flip Enabled (or use ParseSpec).
+func DefaultConfig() Config {
+	return Config{
+		Server:  DomainConfig{MTBFHours: 1250, MTTRHours: 0.5},
+		Rack:    DomainConfig{MTBFHours: 720, MTTRHours: 2},
+		Cluster: DomainConfig{MTBFHours: 2160, MTTRHours: 1},
+	}
+}
+
+// Clone returns a deep copy (the Maintenance slice is the only reference).
+func (c Config) Clone() Config {
+	c.Maintenance = append([]Maintenance(nil), c.Maintenance...)
+	return c
+}
+
+// Scale divides every enabled tier's MTBF by f — f > 1 makes outages f
+// times more frequent — keeping repair times fixed. It panics on f <= 0;
+// callers validate first (ParseSpec does).
+func (c Config) Scale(f float64) Config {
+	if f <= 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+		panic(fmt.Sprintf("faults: scale factor must be a positive finite number, got %v", f))
+	}
+	for _, d := range []*DomainConfig{&c.Server, &c.Rack, &c.Cluster} {
+		if d.enabled() {
+			d.MTBFHours /= f
+		}
+	}
+	return c
+}
+
+// Validate rejects configs that would yield NaN rates or panics downstream:
+// zero or negative MTBF/MTTR on an enabled tier, and maintenance windows
+// with bad racks, negative starts, or non-positive durations. numRacks may
+// be 0 when the topology is not yet known (rack bounds are then unchecked).
+func (c Config) Validate(numRacks int) error {
+	if !c.Enabled {
+		return nil
+	}
+	tiers := []struct {
+		name string
+		d    DomainConfig
+	}{{"server", c.Server}, {"rack", c.Rack}, {"cluster", c.Cluster}}
+	for _, t := range tiers {
+		if !t.d.enabled() {
+			continue
+		}
+		if !(t.d.MTBFHours > 0) || math.IsInf(t.d.MTBFHours, 0) {
+			return fmt.Errorf("faults: %s MTBF must be a positive number of hours, got %v", t.name, t.d.MTBFHours)
+		}
+		if !(t.d.MTTRHours > 0) || math.IsInf(t.d.MTTRHours, 0) {
+			return fmt.Errorf("faults: %s MTTR must be a positive number of hours, got %v", t.name, t.d.MTTRHours)
+		}
+	}
+	for i, mw := range c.Maintenance {
+		if mw.Rack < -1 {
+			return fmt.Errorf("faults: maintenance[%d]: rack must be a rack index or -1 for the whole cluster, got %d", i, mw.Rack)
+		}
+		if numRacks > 0 && mw.Rack >= numRacks {
+			return fmt.Errorf("faults: maintenance[%d]: rack %d out of range (cluster has %d racks)", i, mw.Rack, numRacks)
+		}
+		if mw.Start < 0 {
+			return fmt.Errorf("faults: maintenance[%d]: start must be non-negative, got %v", i, mw.Start)
+		}
+		if mw.Duration <= 0 {
+			return fmt.Errorf("faults: maintenance[%d]: duration must be positive, got %v", i, mw.Duration)
+		}
+		if mw.Every < 0 {
+			return fmt.Errorf("faults: maintenance[%d]: recurrence must be non-negative (0 = one-shot), got %v", i, mw.Every)
+		}
+	}
+	return nil
+}
+
+// ParseSpec parses the CLI/sweep faults spec "LEVELS[:SCALE]": LEVELS is
+// "none", "all", or a "+"-joined subset of {server, rack, cluster}; SCALE
+// is a positive frequency multiplier dividing the kept tiers' MTBFs (e.g.
+// "all:4" fails four times as often as DefaultConfig). "none" returns a
+// disabled config.
+func ParseSpec(spec string) (Config, error) {
+	levels := spec
+	scale := 1.0
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		levels = spec[:i]
+		f, err := strconv.ParseFloat(spec[i+1:], 64)
+		if err != nil {
+			return Config{}, fmt.Errorf("faults: bad scale %q in spec %q: want a positive number", spec[i+1:], spec)
+		}
+		if !(f > 0) || math.IsInf(f, 0) {
+			return Config{}, fmt.Errorf("faults: scale must be a positive finite number, got %v in spec %q", f, spec)
+		}
+		scale = f
+	}
+	if levels == "none" {
+		return Config{}, nil
+	}
+	base := DefaultConfig()
+	cfg := Config{Enabled: true}
+	for _, lv := range strings.Split(levels, "+") {
+		switch lv {
+		case "all":
+			cfg.Server, cfg.Rack, cfg.Cluster = base.Server, base.Rack, base.Cluster
+		case "server":
+			cfg.Server = base.Server
+		case "rack":
+			cfg.Rack = base.Rack
+		case "cluster":
+			cfg.Cluster = base.Cluster
+		default:
+			return Config{}, fmt.Errorf("faults: unknown level %q in spec %q (want none, all, or a '+'-joined subset of server, rack, cluster)", lv, spec)
+		}
+	}
+	return cfg.Scale(scale), nil
+}
+
+// Topology is the physical layout the plan is drawn over: server IDs are
+// assigned rack-major starting at 0, matching cluster.New.
+type Topology struct {
+	// RackServers[r] is the number of servers in rack r.
+	RackServers []int
+}
+
+// Outage is one planned infrastructure event.
+type Outage struct {
+	At       simulation.Time
+	Duration simulation.Time
+	Level    Level
+	// Domain is the failing instance: a server ID for LevelServer, a rack
+	// index for LevelRack, -1 for LevelCluster.
+	Domain int
+	// Maintenance marks planned windows (they count separately in stats).
+	Maintenance bool
+}
+
+// Plan draws the full outage schedule for one study: every domain instance,
+// in ID order within its tier, runs an independent renewal process
+// (exponential uptime around MTBF, then exponential downtime around MTTR
+// with a 60s floor) on a per-tier sub-stream of rng, so adding servers to
+// one rack never perturbs another tier's draws. Maintenance windows are
+// expanded over the horizon and merged in. The result is sorted by
+// (At, Level, Domain) — a total order, so event scheduling is deterministic
+// regardless of engine or worker count.
+func Plan(cfg Config, topo Topology, horizon simulation.Time, rng *stats.RNG) []Outage {
+	if !cfg.Enabled {
+		return nil
+	}
+	var out []Outage
+	srvRNG := rng.Split("server")
+	rackRNG := rng.Split("rack")
+	clRNG := rng.Split("cluster")
+	id := 0
+	for _, n := range topo.RackServers {
+		for i := 0; i < n; i++ {
+			out = drawRenewal(out, cfg.Server, LevelServer, id, horizon, srvRNG)
+			id++
+		}
+	}
+	for r := range topo.RackServers {
+		out = drawRenewal(out, cfg.Rack, LevelRack, r, horizon, rackRNG)
+	}
+	out = drawRenewal(out, cfg.Cluster, LevelCluster, -1, horizon, clRNG)
+
+	for _, mw := range cfg.Maintenance {
+		lvl, dom := LevelRack, mw.Rack
+		if mw.Rack < 0 {
+			lvl, dom = LevelCluster, -1
+		}
+		for t := mw.Start; t < horizon; t += mw.Every {
+			out = append(out, Outage{At: t, Duration: mw.Duration, Level: lvl, Domain: dom, Maintenance: true})
+			if mw.Every <= 0 {
+				break
+			}
+		}
+	}
+
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		if out[i].Level != out[j].Level {
+			return out[i].Level < out[j].Level
+		}
+		return out[i].Domain < out[j].Domain
+	})
+	return out
+}
+
+// drawRenewal appends one domain instance's outages over [0, horizon).
+func drawRenewal(out []Outage, d DomainConfig, lvl Level, dom int, horizon simulation.Time, rng *stats.RNG) []Outage {
+	if !d.enabled() {
+		return out
+	}
+	mtbfSec := d.MTBFHours * 3600
+	mttrSec := d.MTTRHours * 3600
+	t := simulation.Time(0)
+	for {
+		t += simulation.Time(rng.Exponential(1/mtbfSec) + 0.5)
+		if t >= horizon {
+			return out
+		}
+		dur := rng.Exponential(1 / mttrSec)
+		if dur < 60 {
+			dur = 60
+		}
+		o := Outage{At: t, Duration: simulation.Time(dur + 0.5), Level: lvl, Domain: dom}
+		out = append(out, o)
+		t += o.Duration
+	}
+}

@@ -1,0 +1,182 @@
+package faults
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"philly/internal/simulation"
+	"philly/internal/stats"
+)
+
+func testTopo() Topology { return Topology{RackServers: []int{3, 3, 2}} }
+
+func enabledAll(scale float64) Config {
+	c := DefaultConfig()
+	c.Enabled = true
+	return c.Scale(scale)
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	horizon := 30 * 24 * simulation.Hour
+	a := Plan(enabledAll(4), testTopo(), horizon, stats.NewRNG(7).Split("faults"))
+	b := Plan(enabledAll(4), testTopo(), horizon, stats.NewRNG(7).Split("faults"))
+	if len(a) == 0 {
+		t.Fatal("expected a non-empty plan over 30 days at 4x frequency")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different plans")
+	}
+	c := Plan(enabledAll(4), testTopo(), horizon, stats.NewRNG(8).Split("faults"))
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestPlanSortedAndInRange(t *testing.T) {
+	topo := testTopo()
+	horizon := 60 * 24 * simulation.Hour
+	cfg := enabledAll(8)
+	cfg.Maintenance = []Maintenance{
+		{Rack: 1, Start: simulation.Hour, Every: 24 * simulation.Hour, Duration: 2 * simulation.Hour},
+		{Rack: -1, Start: 12 * simulation.Hour, Duration: simulation.Hour},
+	}
+	plan := Plan(cfg, topo, horizon, stats.NewRNG(3).Split("faults"))
+	if len(plan) == 0 {
+		t.Fatal("empty plan")
+	}
+	nSrv := 0
+	for _, n := range topo.RackServers {
+		nSrv += n
+	}
+	maint := 0
+	for i, o := range plan {
+		if o.At < 0 || o.At >= horizon {
+			t.Fatalf("outage %d at %v outside [0, horizon)", i, o.At)
+		}
+		if o.Duration <= 0 {
+			t.Fatalf("outage %d has non-positive duration %v", i, o.Duration)
+		}
+		if i > 0 {
+			p := plan[i-1]
+			if o.At < p.At || (o.At == p.At && (o.Level < p.Level || (o.Level == p.Level && o.Domain < p.Domain))) {
+				t.Fatalf("plan not sorted by (At, Level, Domain) at %d", i)
+			}
+		}
+		switch o.Level {
+		case LevelServer:
+			if o.Domain < 0 || o.Domain >= nSrv {
+				t.Fatalf("server outage %d has bad domain %d", i, o.Domain)
+			}
+		case LevelRack:
+			if o.Domain < 0 || o.Domain >= len(topo.RackServers) {
+				t.Fatalf("rack outage %d has bad domain %d", i, o.Domain)
+			}
+		case LevelCluster:
+			if o.Domain != -1 {
+				t.Fatalf("cluster outage %d has domain %d, want -1", i, o.Domain)
+			}
+		}
+		if o.Maintenance {
+			maint++
+		}
+	}
+	// 60 daily rack windows plus one one-shot cluster window.
+	if maint != 61 {
+		t.Fatalf("got %d maintenance windows, want 61", maint)
+	}
+}
+
+func TestPlanDisabled(t *testing.T) {
+	cfg := DefaultConfig() // Enabled stays false
+	if got := Plan(cfg, testTopo(), 30*24*simulation.Hour, stats.NewRNG(1)); got != nil {
+		t.Fatalf("disabled config produced %d outages", len(got))
+	}
+}
+
+func TestScaleIncreasesFrequency(t *testing.T) {
+	horizon := 90 * 24 * simulation.Hour
+	base := Plan(enabledAll(1), testTopo(), horizon, stats.NewRNG(5).Split("faults"))
+	hot := Plan(enabledAll(10), testTopo(), horizon, stats.NewRNG(5).Split("faults"))
+	if len(hot) <= len(base) {
+		t.Fatalf("10x scale produced %d outages, base %d — expected more", len(hot), len(base))
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{Enabled: true, Server: DomainConfig{MTBFHours: 0, MTTRHours: 1}},
+		{Enabled: true, Server: DomainConfig{MTBFHours: -5, MTTRHours: 1}},
+		{Enabled: true, Rack: DomainConfig{MTBFHours: 10, MTTRHours: 0}},
+		{Enabled: true, Cluster: DomainConfig{MTBFHours: 10, MTTRHours: -1}},
+		{Enabled: true, Maintenance: []Maintenance{{Rack: 9, Start: 0, Duration: simulation.Hour}}},
+		{Enabled: true, Maintenance: []Maintenance{{Rack: -2, Start: 0, Duration: simulation.Hour}}},
+		{Enabled: true, Maintenance: []Maintenance{{Rack: 0, Start: -1, Duration: simulation.Hour}}},
+		{Enabled: true, Maintenance: []Maintenance{{Rack: 0, Start: 0, Duration: 0}}},
+		{Enabled: true, Maintenance: []Maintenance{{Rack: 0, Start: 0, Duration: simulation.Hour, Every: -simulation.Hour}}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(3); err == nil {
+			t.Errorf("config %d: expected a validation error", i)
+		}
+	}
+	ok := enabledAll(2)
+	ok.Maintenance = []Maintenance{{Rack: -1, Start: 0, Duration: simulation.Hour}}
+	if err := ok.Validate(3); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	// Disabled configs validate regardless of contents.
+	var dis Config
+	dis.Server.MTBFHours = -1
+	if err := dis.Validate(3); err != nil {
+		t.Fatalf("disabled config rejected: %v", err)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	for _, spec := range []string{"bogus", "all:0", "all:-2", "all:x", "server+power", ""} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("spec %q: expected an error", spec)
+		}
+	}
+	none, err := ParseSpec("none")
+	if err != nil || none.Enabled {
+		t.Fatalf("ParseSpec(none) = %+v, %v", none, err)
+	}
+	got, err := ParseSpec("server+cluster:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := DefaultConfig()
+	if !got.Enabled || got.Rack.enabled() {
+		t.Fatalf("server+cluster:2 enabled the wrong tiers: %+v", got)
+	}
+	if got.Server.MTBFHours != def.Server.MTBFHours/2 || got.Cluster.MTBFHours != def.Cluster.MTBFHours/2 {
+		t.Fatalf("scale 2 not applied: %+v", got)
+	}
+	if got.Server.MTTRHours != def.Server.MTTRHours {
+		t.Fatal("scale must not change MTTR")
+	}
+	all, err := ParseSpec("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := def
+	want.Enabled = true
+	if !reflect.DeepEqual(all, want) {
+		t.Fatalf("ParseSpec(all) = %+v, want %+v", all, want)
+	}
+	if _, err := ParseSpec("rack:huge"); err == nil || !strings.Contains(err.Error(), "scale") {
+		t.Fatalf("expected a descriptive scale error, got %v", err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := enabledAll(1)
+	c.Maintenance = []Maintenance{{Rack: 0, Start: 0, Duration: simulation.Hour}}
+	d := c.Clone()
+	d.Maintenance[0].Rack = 2
+	if c.Maintenance[0].Rack != 0 {
+		t.Fatal("Clone shares the Maintenance slice")
+	}
+}

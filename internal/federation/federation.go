@@ -64,6 +64,39 @@ func DefaultSpillover() Spillover {
 	}
 }
 
+// Evacuation configures checkpoint-migration of restorable jobs away from
+// outage-degraded members — the extension of spillover from never-started
+// jobs to running ones (Meta-style workload evacuation; Kokolis et al.
+// 2024). Checks ride the spillover ticker, so they need Spillover.Enabled
+// and at least two members; they only ever fire on members whose
+// correlated-outage engine (core.Config.Faults) is holding capacity down,
+// so the default-enabled policy is inert in fault-free fleets.
+type Evacuation struct {
+	// Enabled turns evacuation checks on.
+	Enabled bool
+	// MinDownFraction is the outage-held share of a member's GPU capacity
+	// at which the member starts evacuating at barriers.
+	MinDownFraction float64
+	// MaxMovesPerCheck bounds churn per donor member per check.
+	MaxMovesPerCheck int
+	// DataGravitySeconds is the one-time cross-member transfer penalty
+	// (dataset + checkpoint movement) the receiving side pays on top of
+	// the donor's checkpoint restore cost.
+	DataGravitySeconds float64
+}
+
+// DefaultEvacuation returns the default evacuation policy: members with a
+// tenth of their capacity down evacuate up to 4 restorable jobs per check,
+// each paying 5 minutes of data gravity on arrival.
+func DefaultEvacuation() Evacuation {
+	return Evacuation{
+		Enabled:            true,
+		MinDownFraction:    0.10,
+		MaxMovesPerCheck:   4,
+		DataGravitySeconds: 300,
+	}
+}
+
 // Rebalance configures the fleet-wide quota rebalancing tick.
 type Rebalance struct {
 	// Enabled turns rebalancing on.
@@ -85,6 +118,9 @@ type Config struct {
 	Members []Member
 	// Spillover configures job offloading between members.
 	Spillover Spillover
+	// Evacuation configures checkpoint-migration of restorable jobs off
+	// outage-degraded members (piggybacks on the spillover ticker).
+	Evacuation Evacuation
 	// Rebalance configures the fleet-wide quota rebalancing tick.
 	Rebalance Rebalance
 }
@@ -118,6 +154,17 @@ func (c Config) Validate() error {
 			return fmt.Errorf("federation: spillover move bound must be positive")
 		}
 	}
+	if c.Evacuation.Enabled {
+		if c.Evacuation.MinDownFraction < 0 || c.Evacuation.MinDownFraction > 1 {
+			return fmt.Errorf("federation: evacuation min down fraction %v out of [0, 1]", c.Evacuation.MinDownFraction)
+		}
+		if c.Evacuation.MaxMovesPerCheck <= 0 {
+			return fmt.Errorf("federation: evacuation move bound must be positive")
+		}
+		if c.Evacuation.DataGravitySeconds < 0 {
+			return fmt.Errorf("federation: evacuation data gravity must be >= 0")
+		}
+	}
 	if c.Rebalance.Enabled && c.Rebalance.Interval <= 0 {
 		return fmt.Errorf("federation: rebalance interval must be positive")
 	}
@@ -138,8 +185,9 @@ func NewConfig(seed uint64, presetNames ...string) (Config, error) {
 	}
 	ordinal := map[string]int{}
 	cfg := Config{
-		Spillover: DefaultSpillover(),
-		Rebalance: DefaultRebalance(),
+		Spillover:  DefaultSpillover(),
+		Evacuation: DefaultEvacuation(),
+		Rebalance:  DefaultRebalance(),
 	}
 	for i, p := range presetNames {
 		mc, err := PresetConfig(p)
@@ -180,6 +228,10 @@ type MemberFleetStats struct {
 	// member; the GPU variants weigh them by gang width.
 	JobsOffloaded, JobsReceived int
 	GPUsOffloaded, GPUsReceived int
+	// JobsEvacuated / JobsResumed count checkpoint migrations out of / into
+	// the member; the GPU variants weigh them by gang width.
+	JobsEvacuated, JobsResumed int
+	GPUsEvacuated, GPUsResumed int
 }
 
 // FleetStats summarizes the federation's cross-cluster activity. All
@@ -188,6 +240,9 @@ type MemberFleetStats struct {
 type FleetStats struct {
 	// SpilloverChecks / SpilloverMoves count ticks and executed moves.
 	SpilloverChecks, SpilloverMoves int
+	// EvacuationMoves counts checkpoint migrations of restorable jobs off
+	// outage-degraded members.
+	EvacuationMoves int
 	// RebalanceTicks / QuotaChanges count ticks and per-VC quota updates.
 	RebalanceTicks, QuotaChanges int
 	// Members holds per-member traffic, in fleet order.
@@ -222,6 +277,8 @@ type memberRT struct {
 
 	offloaded, received      int
 	offloadedGPUs, recvdGPUs int
+	evacuated, resumed       int
+	evacuatedGPUs, resumeGPU int
 }
 
 // Study is a configured, runnable federation.
@@ -331,6 +388,8 @@ func (s *Study) Run() (*Result, error) {
 			Name:          m.name,
 			JobsOffloaded: m.offloaded, JobsReceived: m.received,
 			GPUsOffloaded: m.offloadedGPUs, GPUsReceived: m.recvdGPUs,
+			JobsEvacuated: m.evacuated, JobsResumed: m.resumed,
+			GPUsEvacuated: m.evacuatedGPUs, GPUsResumed: m.resumeGPU,
 		})
 	}
 	return res, nil
@@ -354,6 +413,46 @@ func (s *Study) spill(now simulation.Time) {
 		free[i] = m.study.FreeGPUs()
 		alive[i] = m.study.PendingJobs() > 0 && now < m.horizon
 	}
+	// Evacuation pass first: a member losing capacity to an outage moves
+	// restorable (checkpointed) jobs before ordinary queue spillover runs,
+	// so the evacuated gangs claim target capacity ahead of never-started
+	// jobs — they are the ones actively burning lost GPU time.
+	if s.cfg.Evacuation.Enabled {
+		ev := s.cfg.Evacuation
+		for di, donor := range s.members {
+			total := donor.study.TotalGPUs()
+			down := donor.study.OutageGPUsDown()
+			if donor.study.PendingJobs() == 0 || total == 0 || down == 0 ||
+				float64(down)/float64(total) < ev.MinDownFraction {
+				continue
+			}
+			for _, cand := range donor.study.EvacuationCandidates(ev.MaxMovesPerCheck) {
+				ti := s.pickTarget(di, cand.GPUs, free, alive)
+				if ti < 0 {
+					continue
+				}
+				target := s.members[ti]
+				spec, remaining, err := donor.study.Evacuate(cand.ID, now)
+				if err != nil {
+					// Candidates were validated against the same barrier
+					// state; a failure here is a bookkeeping bug.
+					panic(fmt.Sprintf("federation: evacuate job %d from %s: %v", cand.ID, donor.name, err))
+				}
+				penalty := donor.study.CheckpointRestoreSeconds() + ev.DataGravitySeconds
+				spec.VC = target.study.SpilloverVC()
+				if _, err := target.study.InjectResumed(spec, remaining, penalty, now); err != nil {
+					panic(fmt.Sprintf("federation: inject evacuated job into %s: %v", target.name, err))
+				}
+				free[ti] -= cand.GPUs
+				s.stats.EvacuationMoves++
+				donor.evacuated++
+				donor.evacuatedGPUs += cand.GPUs
+				target.resumed++
+				target.resumeGPU += cand.GPUs
+			}
+		}
+	}
+
 	for di, donor := range s.members {
 		if donor.study.PendingJobs() == 0 {
 			continue

@@ -220,6 +220,89 @@ func TestConformanceEdgeSchedules(t *testing.T) {
 	}
 }
 
+// TestConformanceOutageSchedules replays outage-shaped schedules through
+// the engine matrix: core's outage engine runs a begin event (a global
+// that mass-kills and requeues, i.e. fans out same-instant work) paired
+// with a later repair global, with shard-local activity landing at the
+// same instants. The suite pins the (at, seq) order of exactly these
+// shapes — same-instant mass kills, overlapping outage windows, and a
+// repair tied with local events — so retry-budget accounting downstream
+// cannot depend on which engine ran the schedule.
+func TestConformanceOutageSchedules(t *testing.T) {
+	cases := []struct {
+		name       string
+		sched      []confOp
+		shardSpace int
+		horizon    Time
+	}{
+		{
+			// One cluster-wide outage: the begin global fans out a kill
+			// chain (zero-dt globals, the Release+Submit pump) while every
+			// shard has local work at the outage instant; the repair global
+			// lands later and fans out its own pump.
+			name: "mass-kill",
+			sched: []confOp{
+				{shard: 0, at: 4}, {shard: 1, at: 4}, {shard: 2, at: 4}, {shard: 3, at: 4},
+				{shard: Global, at: 4, children: []confChild{
+					{shard: Global, dt: 0}, {shard: Global, dt: 0},
+					{shard: 0, dt: 0}, {shard: 1, dt: 0},
+				}},
+				{shard: Global, at: 7, children: []confChild{
+					{shard: Global, dt: 0}, {shard: 2, dt: 0},
+				}},
+				{shard: 2, at: 7}, {shard: 3, at: 7},
+			},
+			shardSpace: 4, horizon: 12,
+		},
+		{
+			// Overlapping windows: a rack outage begins inside a cluster
+			// outage, and the two repairs tie at the same instant — the
+			// 0→1/1→0 hold transitions must see the same order everywhere.
+			name: "overlapping-windows",
+			sched: []confOp{
+				{shard: Global, at: 2, children: []confChild{{shard: 0, dt: 0}, {shard: 1, dt: 0}}},
+				{shard: Global, at: 3, children: []confChild{{shard: Global, dt: 0}}},
+				{shard: Global, at: 6, children: []confChild{{shard: 0, dt: 0}}}, // repair A
+				{shard: Global, at: 6, children: []confChild{{shard: 1, dt: 0}}}, // repair B, same instant
+				{shard: 0, at: 6}, {shard: 1, at: 6}, {shard: 2, at: 6},
+			},
+			shardSpace: 3, horizon: 10,
+		},
+		{
+			// Same-instant begins on different domains plus locals on every
+			// shard: the plan-order scheduling at Arm must tie-break
+			// identically across engines.
+			name: "simultaneous-begins",
+			sched: []confOp{
+				{shard: Global, at: 5, children: []confChild{{shard: 0, dt: 0}}},
+				{shard: Global, at: 5, children: []confChild{{shard: 1, dt: 0}}},
+				{shard: Global, at: 5, children: []confChild{{shard: 2, dt: 0}, {shard: Global, dt: 1}}},
+				{shard: 0, at: 5}, {shard: 1, at: 5}, {shard: 2, at: 5}, {shard: 3, at: 5},
+				{shard: 0, at: 6}, {shard: 3, at: 6},
+			},
+			shardSpace: 4, horizon: 10,
+		},
+		{
+			// An outage whose repair would land beyond the horizon: the
+			// begin fires, the repair stays pending — core skips scheduling
+			// repairs past the horizon, but the engines must agree on the
+			// pending count when one is installed anyway.
+			name: "repair-past-horizon",
+			sched: []confOp{
+				{shard: Global, at: 8, children: []confChild{{shard: 0, dt: 0}, {shard: 1, dt: 0}}},
+				{shard: Global, at: 15}, // repair beyond horizon: stays pending
+				{shard: 0, at: 9}, {shard: 1, at: 9},
+			},
+			shardSpace: 2, horizon: 10,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			runConformance(t, tc.name, tc.sched, tc.shardSpace, tc.horizon)
+		})
+	}
+}
+
 // TestConformanceRandomSchedules replays randomized tie-heavy schedules —
 // timestamps drawn from a tiny range so simultaneous events dominate,
 // global events that fan out zero-and-short-delay children, and an

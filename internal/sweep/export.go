@@ -85,6 +85,14 @@ type ExportReplica struct {
 	GPUHours        NFloat `json:"gpu_hours"`
 	FailedGPUHours  NFloat `json:"failed_gpu_hours"`
 	UnsuccessfulPct NFloat `json:"unsuccessful_pct"`
+	// Reliability columns (PR 7); omitted from older exports, which decode
+	// as zero — the same value a faults-off run produces — so the format
+	// version stays 1.
+	LostGPUHours    NFloat `json:"lost_gpu_hours,omitempty"`
+	CkptOverheadPct NFloat `json:"ckpt_overhead_pct,omitempty"`
+	ETTFHours       NFloat `json:"ettf_hours,omitempty"`
+	ETTRHours       NFloat `json:"ettr_hours,omitempty"`
+	ImbalancePct    NFloat `json:"imbalance_pct,omitempty"`
 }
 
 // ExportAgg mirrors Agg with null-safe floats.
@@ -113,6 +121,11 @@ func toExportReplica(m ReplicaMetrics) ExportReplica {
 		GPUHours:        NFloat(m.GPUHours),
 		FailedGPUHours:  NFloat(m.FailedGPUHours),
 		UnsuccessfulPct: NFloat(m.UnsuccessfulPct),
+		LostGPUHours:    NFloat(m.LostGPUHours),
+		CkptOverheadPct: NFloat(m.CkptOverheadPct),
+		ETTFHours:       NFloat(m.ETTFHours),
+		ETTRHours:       NFloat(m.ETTRHours),
+		ImbalancePct:    NFloat(m.ImbalancePct),
 	}
 }
 
@@ -131,6 +144,11 @@ func fromExportReplica(e ExportReplica) ReplicaMetrics {
 		GPUHours:        float64(e.GPUHours),
 		FailedGPUHours:  float64(e.FailedGPUHours),
 		UnsuccessfulPct: float64(e.UnsuccessfulPct),
+		LostGPUHours:    float64(e.LostGPUHours),
+		CkptOverheadPct: float64(e.CkptOverheadPct),
+		ETTFHours:       float64(e.ETTFHours),
+		ETTRHours:       float64(e.ETTRHours),
+		ImbalancePct:    float64(e.ImbalancePct),
 	}
 }
 

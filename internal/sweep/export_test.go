@@ -104,3 +104,87 @@ func TestDecodeRejectsUnknownVersion(t *testing.T) {
 		t.Fatal("expected an error for unknown format version")
 	}
 }
+
+// TestExportReliabilityColumnsRoundTrip pins the PR-7 export additions:
+// the five reliability metrics round-trip through WriteJSON/DecodeJSON
+// exactly, NaN values take the null path, and a faults-off replica (all
+// five at their zero values) omits the keys entirely — so older exports,
+// which predate the fields, decode to the same bytes a faults-off run
+// produces today.
+func TestExportReliabilityColumnsRoundTrip(t *testing.T) {
+	faulty := ReplicaMetrics{
+		Seed: 3, Jobs: 10, Completed: 9,
+		LostGPUHours: 123.25, CkptOverheadPct: 2.5,
+		ETTFHours: 18.75, ETTRHours: 0.5, ImbalancePct: 1.125,
+	}
+	undefined := ReplicaMetrics{
+		Seed: 4, Jobs: 10, Completed: 0,
+		LostGPUHours: 55.5, ETTFHours: math.NaN(), ETTRHours: math.NaN(),
+	}
+	clean := ReplicaMetrics{Seed: 5, Jobs: 10, Completed: 10}
+	res := &Result{
+		Replicas: 3,
+		BaseSeed: 11,
+		Scenarios: []ScenarioResult{{
+			Scenario: Scenario{Name: "base"},
+			Replicas: []ReplicaMetrics{faulty, undefined, clean},
+			Summary:  Summarize([]ReplicaMetrics{faulty, undefined, clean}),
+		}},
+	}
+
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.String()
+	for _, key := range []string{
+		"\"lost_gpu_hours\": 123.25", "\"ckpt_overhead_pct\": 2.5",
+		"\"ettf_hours\": 18.75", "\"ettr_hours\": 0.5", "\"imbalance_pct\": 1.125",
+	} {
+		if !strings.Contains(raw, key) {
+			t.Errorf("export missing %s", key)
+		}
+	}
+	if !strings.Contains(raw, "\"ettf_hours\": null") {
+		t.Error("NaN ETTF did not encode as null")
+	}
+
+	got, err := DecodeJSON(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := got.Scenarios[0].Replicas
+	if !reflect.DeepEqual(reps[0], faulty) {
+		t.Errorf("faulty replica did not round-trip: %+v", reps[0])
+	}
+	if !math.IsNaN(reps[1].ETTFHours) || !math.IsNaN(reps[1].ETTRHours) {
+		t.Errorf("null did not decode back to NaN: %+v", reps[1])
+	}
+	if reps[1].LostGPUHours != 55.5 {
+		t.Errorf("lost GPU-hours lost precision: %v", reps[1].LostGPUHours)
+	}
+	if !reflect.DeepEqual(reps[2], clean) {
+		t.Errorf("clean replica did not round-trip: %+v", reps[2])
+	}
+
+	// Backward/forward compatibility: the clean replica's export must not
+	// mention the reliability keys at all (omitempty), so a pre-PR-7 file
+	// decodes identically to a faults-off run.
+	cleanOnly := &Result{
+		Replicas: 1, BaseSeed: 11,
+		Scenarios: []ScenarioResult{{
+			Scenario: Scenario{Name: "base"},
+			Replicas: []ReplicaMetrics{clean},
+			Summary:  Summarize([]ReplicaMetrics{clean}),
+		}},
+	}
+	buf.Reset()
+	if err := cleanOnly.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"lost_gpu_hours", "ckpt_overhead_pct", "ettf_hours", "ettr_hours", "imbalance_pct"} {
+		if strings.Contains(buf.String(), key) {
+			t.Errorf("faults-off export emits %s; omitempty contract broken", key)
+		}
+	}
+}

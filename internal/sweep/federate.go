@@ -77,27 +77,39 @@ func fleetReduce(seed uint64, res *federation.Result) ReplicaMetrics {
 	m := ReplicaMetrics{Seed: seed}
 	var jct, delay []float64
 	unsuccessful := 0
-	var utilSum float64
+	var utilSum, ckptGPUh float64
 	var utilN uint64
+	var utilMin, utilMax float64
+	utilMembers := 0
+	outageEvents := 0
+	var outageHoursSum, outageDownHoursSum float64
 	for _, mem := range res.Members {
 		r := mem.Result
 		// GPU-hour sums fold per member first, then into the fleet total —
 		// the same association the per-member rows and the analysis fleet
 		// table use, so the fleet row is the exact float sum of its member
 		// rows (a single flat accumulator differs in the last bits).
-		var memGPUH, memFailedGPUH float64
+		var memGPUH, memFailedGPUH, memLostGPUH, memCkptGPUH float64
 		for i := range r.Jobs {
 			j := &r.Jobs[i]
 			if j.Offloaded {
 				continue
 			}
-			m.Jobs++
 			memGPUH += j.GPUMinutes / 60
+			memLostGPUH += j.LostGPUMinutes / 60
+			memCkptGPUH += j.CkptGPUMinutes / 60
 			for _, att := range j.Attempts {
 				if att.Failed {
 					memFailedGPUH += att.RuntimeMinutes * float64(j.Spec.GPUs) / 60
 				}
 			}
+			if j.Evacuated {
+				// Checkpoint-migration donor shell: its GPU time stays in
+				// this member's totals, but the job itself is counted (and
+				// completes) at the receiving member's resumed copy.
+				continue
+			}
+			m.Jobs++
 			if !j.Completed {
 				continue
 			}
@@ -110,9 +122,26 @@ func fleetReduce(seed uint64, res *federation.Result) ReplicaMetrics {
 		}
 		m.GPUHours += memGPUH
 		m.FailedGPUHours += memFailedGPUH
+		m.LostGPUHours += memLostGPUH
+		ckptGPUh += memCkptGPUH
 		if h := r.Telemetry.All(); h.Count() > 0 {
-			utilSum += h.Mean() * float64(h.Count())
+			mean := h.Mean()
+			utilSum += mean * float64(h.Count())
 			utilN += h.Count()
+			if utilMembers == 0 || mean < utilMin {
+				utilMin = mean
+			}
+			if utilMembers == 0 || mean > utilMax {
+				utilMax = mean
+			}
+			utilMembers++
+		}
+		// Fleet ETTF/ETTR re-fold the member means over the union of outage
+		// events: each member's observed hours are recovered as mean×events.
+		if ev := r.Outages.Events; ev > 0 {
+			outageEvents += ev
+			outageHoursSum += r.Outages.ETTFHours * float64(ev)
+			outageDownHoursSum += r.Outages.ETTRHours * float64(ev)
 		}
 		m.Preemptions += r.Sched.FairSharePreemptions + r.Sched.PolicyPreemptions
 		m.Migrations += r.Sched.Migrations
@@ -126,6 +155,16 @@ func fleetReduce(seed uint64, res *federation.Result) ReplicaMetrics {
 	}
 	if m.Completed > 0 {
 		m.UnsuccessfulPct = 100 * float64(unsuccessful) / float64(m.Completed)
+	}
+	if m.GPUHours > 0 {
+		m.CkptOverheadPct = 100 * ckptGPUh / m.GPUHours
+	}
+	if outageEvents > 0 {
+		m.ETTFHours = outageHoursSum / float64(outageEvents)
+		m.ETTRHours = outageDownHoursSum / float64(outageEvents)
+	}
+	if utilMembers > 1 {
+		m.ImbalancePct = utilMax - utilMin
 	}
 	return m
 }

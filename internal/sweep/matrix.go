@@ -21,6 +21,7 @@ import (
 
 	"philly/internal/cluster"
 	"philly/internal/core"
+	"philly/internal/faults"
 	"philly/internal/federation"
 	"philly/internal/scheduler"
 	"philly/internal/simulation"
@@ -187,6 +188,8 @@ func cloneConfig(c core.Config) core.Config {
 	// by contract (the generator copies before sorting), and duplicating a
 	// 100k-job stream per scenario would dominate sweep memory.
 	c.Workload.Pattern = c.Workload.Pattern.Clone()
+	// Faults holds the maintenance-window slice.
+	c.Faults = c.Faults.Clone()
 	return c
 }
 
@@ -288,26 +291,53 @@ var knobs = map[string]axisParser{
 	// failure.scale multiplies the per-size-bucket unsuccessful and
 	// transient-failure probabilities, clamped so the per-bucket outcome
 	// distribution stays valid; 1 is the paper's calibration, 0 a failure-
-	// free cluster, 2 a cluster failing twice as often.
+	// free cluster, 2 a cluster failing twice as often. A phase's
+	// FailureScale applies workload.ScaleFailures again on top of this
+	// base, so axis and phase scales compose multiplicatively.
 	"failure.scale": func(v string) (func(*core.Config), error) {
 		f, err := strconv.ParseFloat(v, 64)
 		if err != nil || f < 0 {
 			return nil, fmt.Errorf("failure.scale %q: want a non-negative float", v)
 		}
 		return func(c *core.Config) {
-			fp := &c.Workload.Failures
-			for b := range fp.UnsuccessfulProb {
-				u := fp.UnsuccessfulProb[b] * f
-				if max := 1 - fp.KilledProb[b]; u > max {
-					u = max
-				}
-				fp.UnsuccessfulProb[b] = u
-				t := fp.TransientFailureProb[b] * f
-				if t > 1 {
-					t = 1
-				}
-				fp.TransientFailureProb[b] = t
-			}
+			c.Workload.Failures = workload.ScaleFailures(c.Workload.Failures, f)
+		}, nil
+	},
+	// failure.domains configures the correlated-outage engine: "none"
+	// disables it, otherwise a "+"-joined subset of server, rack, cluster
+	// (or "all") with an optional :SCALE frequency multiplier — see
+	// faults.ParseSpec. Outage draws come from a dedicated RNG stream, so
+	// "none" is byte-identical to a matrix without this axis.
+	"failure.domains": func(v string) (func(*core.Config), error) {
+		fc, err := faults.ParseSpec(v)
+		if err != nil {
+			return nil, err
+		}
+		return func(c *core.Config) {
+			// Fresh clone per application: one Value can apply to many
+			// scenarios, whose configs must not share the maintenance slice.
+			c.Faults = fc.Clone()
+		}, nil
+	},
+	// checkpoint.interval sets the periodic-checkpoint cost model: "off"
+	// disables it, a positive float enables it with that interval in
+	// minutes (write/restore costs keep the base config's values, which
+	// default to core.DefaultCheckpointConfig's).
+	"checkpoint.interval": func(v string) (func(*core.Config), error) {
+		if v == "off" {
+			return func(c *core.Config) { c.Checkpoint.Enabled = false }, nil
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 {
+			return nil, fmt.Errorf("checkpoint.interval %q: want off or a positive float (minutes)", v)
+		}
+		iv := simulation.FromMinutes(f)
+		if iv <= 0 {
+			return nil, fmt.Errorf("checkpoint.interval %q: rounds to zero seconds", v)
+		}
+		return func(c *core.Config) {
+			c.Checkpoint.Enabled = true
+			c.Checkpoint.Interval = iv
 		}, nil
 	},
 	// telemetry.cadence sets the hardware-counter sampling period in

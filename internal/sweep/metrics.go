@@ -32,6 +32,19 @@ type ReplicaMetrics struct {
 	// UnsuccessfulPct is the fraction of completed jobs that exhausted
 	// retries, in percent.
 	UnsuccessfulPct float64
+	// LostGPUHours is GPU time destroyed by infrastructure-outage kills
+	// (work since the victims' last checkpoints); CkptOverheadPct is the
+	// share of GPU time spent writing/restoring checkpoints, in percent.
+	// Both 0 when faults / the checkpoint cost model are off.
+	LostGPUHours    float64
+	CkptOverheadPct float64
+	// ETTFHours / ETTRHours are the realized mean time between outage
+	// events and mean outage duration, in hours (0 without outages).
+	ETTFHours, ETTRHours float64
+	// ImbalancePct is the cross-member utilization spread of a federated
+	// run's fleet row (max member mean util minus min, in percentage
+	// points); 0 for plain studies and individual member rows.
+	ImbalancePct float64
 }
 
 // Reduce computes a replica's metrics from its study result. It is the
@@ -58,7 +71,13 @@ type jobAccum struct {
 	// this study's totals — consistent with the fleet-wide fold and the
 	// analysis fleet table.
 	offloaded bool
+	// evacuated marks a checkpoint-migration donor shell: the GPU time it
+	// burned stays in this study's totals, but the job itself completes at
+	// (and is counted by) the receiving member.
+	evacuated bool
 	gpuMin    float64
+	lostGPUh  float64
+	ckptGPUh  float64
 	jctMin    float64
 	delayMin  float64
 	// failedGPUh lists the per-failed-attempt GPU-hour costs in attempt
@@ -97,8 +116,11 @@ func (r *StreamReducer) ObserveJob(i int, j *core.JobResult) {
 		a.offloaded = true
 		return
 	}
+	a.evacuated = j.Evacuated
 	a.completed = j.Completed
 	a.gpuMin = j.GPUMinutes
+	a.lostGPUh = j.LostGPUMinutes / 60
+	a.ckptGPUh = j.CkptGPUMinutes / 60
 	for _, att := range j.Attempts {
 		if att.Failed {
 			a.failedGPUh = append(a.failedGPUh, att.RuntimeMinutes*float64(j.Spec.GPUs)/60)
@@ -122,6 +144,7 @@ func (r *StreamReducer) Finish(res *core.StudyResult) ReplicaMetrics {
 	}
 	var jct, delay []float64
 	unsuccessful := 0
+	ckptGPUh := 0.0
 	// res.Jobs can outgrow the reducer's initial sizing (federation
 	// spillover injects jobs beyond the generated count), so walk the
 	// result, not the accumulator — ObserveJob grows it on demand.
@@ -137,8 +160,16 @@ func (r *StreamReducer) Finish(res *core.StudyResult) ReplicaMetrics {
 			continue
 		}
 		m.GPUHours += a.gpuMin / 60
+		m.LostGPUHours += a.lostGPUh
+		ckptGPUh += a.ckptGPUh
 		for _, f := range a.failedGPUh {
 			m.FailedGPUHours += f
+		}
+		if a.evacuated {
+			// Evacuation donor shell: GPU time stays here, the job itself
+			// completes at (and is counted by) the receiving member.
+			m.Jobs--
+			continue
 		}
 		if !a.completed {
 			continue
@@ -160,6 +191,11 @@ func (r *StreamReducer) Finish(res *core.StudyResult) ReplicaMetrics {
 	if m.Completed > 0 {
 		m.UnsuccessfulPct = 100 * float64(unsuccessful) / float64(m.Completed)
 	}
+	if m.GPUHours > 0 {
+		m.CkptOverheadPct = 100 * ckptGPUh / m.GPUHours
+	}
+	m.ETTFHours = res.Outages.ETTFHours
+	m.ETTRHours = res.Outages.ETTRHours
 	return m
 }
 
@@ -182,5 +218,10 @@ func Metrics() []MetricDef {
 		{"preempts", func(m ReplicaMetrics) float64 { return float64(m.Preemptions) }},
 		{"failed GPU-h", func(m ReplicaMetrics) float64 { return m.FailedGPUHours }},
 		{"unsucc %", func(m ReplicaMetrics) float64 { return m.UnsuccessfulPct }},
+		{"lost GPU-h", func(m ReplicaMetrics) float64 { return m.LostGPUHours }},
+		{"ckpt ovh %", func(m ReplicaMetrics) float64 { return m.CkptOverheadPct }},
+		{"ETTF (h)", func(m ReplicaMetrics) float64 { return m.ETTFHours }},
+		{"ETTR (h)", func(m ReplicaMetrics) float64 { return m.ETTRHours }},
+		{"imbalance pp", func(m ReplicaMetrics) float64 { return m.ImbalancePct }},
 	}
 }

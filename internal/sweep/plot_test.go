@@ -42,11 +42,17 @@ func plotFixture() *Result {
 			DelayP50: delay, DelayP95: delay * 4,
 			MeanUtilPct: util, Preemptions: 3, Migrations: 1,
 			GPUHours: 1234.5, FailedGPUHours: 56.25, UnsuccessfulPct: 12.5,
+			LostGPUHours: 7.5, CkptOverheadPct: 1.25,
+			ETTFHours: 9.5, ETTRHours: 0.75, ImbalancePct: 0.5,
 		}
 		if completed == 0 {
 			rm.JCTp50, rm.JCTMean = math.NaN(), math.NaN()
 			rm.DelayP50, rm.DelayP95 = math.NaN(), math.NaN()
 			rm.UnsuccessfulPct = 0
+			// Reliability columns take the same null path: a hand-tooled
+			// export may carry NaN here, and it must survive as null in
+			// JSON and an empty CSV cell.
+			rm.ETTFHours, rm.ETTRHours = math.NaN(), math.NaN()
 		}
 		return rm
 	}

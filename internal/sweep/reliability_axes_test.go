@@ -1,0 +1,121 @@
+package sweep
+
+import (
+	"reflect"
+	"testing"
+
+	"philly/internal/core"
+	"philly/internal/simulation"
+	"philly/internal/workload"
+)
+
+// TestFailureScaleAxisComposesWithPhaseScale pins the composition contract
+// between the failure.scale sweep axis and a workload pattern's per-phase
+// FailureScale: both route through workload.ScaleFailures — the axis scales
+// the base, the phase scales that scaled base — so they compose
+// multiplicatively. Axis scale 0 therefore annihilates the failure process
+// even under a phase that quintuples it, and the composed study stays
+// bit-identical across sweep worker counts.
+func TestFailureScaleAxisComposesWithPhaseScale(t *testing.T) {
+	base := tinyConfig()
+	base.Workload.Pattern = &workload.Pattern{
+		Name: "fail-heavy",
+		Phases: []workload.Phase{{
+			Name:         "storm",
+			Start:        0,
+			End:          base.Workload.Duration,
+			Rate:         1,
+			FailureScale: 5,
+		}},
+	}
+	m := Matrix{Base: base, Axes: []Axis{mustParse(t, "failure.scale=0,2")}}
+
+	run := func(workers int) *Result {
+		res, err := m.Run(Options{Replicas: 2, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1, r2 := run(1), run(2)
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatal("axis x phase failure scaling diverged between workers=1 and workers=2")
+	}
+
+	var zero, two *ScenarioResult
+	for i := range r1.Scenarios {
+		switch r1.Scenarios[i].Scenario.Labels[0] {
+		case "0":
+			zero = &r1.Scenarios[i]
+		case "2":
+			two = &r1.Scenarios[i]
+		}
+	}
+	if zero == nil || two == nil {
+		t.Fatalf("scenario labels missing: %+v", r1.Scenarios)
+	}
+	// 0 x 5 = 0: no unsuccessful jobs, no failed-attempt GPU time.
+	for _, rep := range zero.Replicas {
+		if rep.UnsuccessfulPct != 0 || rep.FailedGPUHours != 0 {
+			t.Fatalf("failure.scale=0 under FailureScale=5 phase still failed: %+v", rep)
+		}
+	}
+	// 2 x 5 = 10 (clamped): the failure process must be very much alive.
+	engaged := false
+	for _, rep := range two.Replicas {
+		if rep.UnsuccessfulPct > 0 && rep.FailedGPUHours > 0 {
+			engaged = true
+		}
+	}
+	if !engaged {
+		t.Fatal("failure.scale=2 under FailureScale=5 phase produced no failures")
+	}
+}
+
+// TestReliabilityAxesParse exercises the PR-7 axes' spec grammar and apply
+// semantics: failure.domains drives the correlated-outage engine config and
+// checkpoint.interval the checkpoint cost model, each with fail-fast
+// validation at parse time.
+func TestReliabilityAxesParse(t *testing.T) {
+	for _, bad := range []string{
+		"failure.domains=bogus",
+		"failure.domains=server:0",
+		"failure.domains=server:-2",
+		"checkpoint.interval=0",
+		"checkpoint.interval=-5",
+		"checkpoint.interval=x",
+	} {
+		if _, err := ParseAxis(bad); err == nil {
+			t.Errorf("axis %q: want parse error", bad)
+		}
+	}
+
+	ax := mustParse(t, "failure.domains=none,server+rack:2")
+	var off, on core.Config
+	off, on = tinyConfig(), tinyConfig()
+	ax.Values[0].Apply(&off)
+	ax.Values[1].Apply(&on)
+	if off.Faults.Enabled {
+		t.Fatal("failure.domains=none enabled the outage engine")
+	}
+	if !on.Faults.Enabled || on.Faults.Server.MTBFHours <= 0 || on.Faults.Rack.MTBFHours <= 0 {
+		t.Fatalf("failure.domains=server+rack:2 config: %+v", on.Faults)
+	}
+	if on.Faults.Cluster.MTBFHours != 0 {
+		t.Fatalf("cluster tier enabled by a server+rack spec: %+v", on.Faults.Cluster)
+	}
+	ax = mustParse(t, "checkpoint.interval=off,30")
+	var ckOff, ck30 core.Config
+	ckOff, ck30 = tinyConfig(), tinyConfig()
+	ax.Values[0].Apply(&ckOff)
+	ax.Values[1].Apply(&ck30)
+	if ckOff.Checkpoint.Enabled {
+		t.Fatal("checkpoint.interval=off enabled the cost model")
+	}
+	if !ck30.Checkpoint.Enabled || ck30.Checkpoint.Interval != 30*simulation.Minute {
+		t.Fatalf("checkpoint.interval=30 config: %+v", ck30.Checkpoint)
+	}
+	if err := ck30.Validate(); err != nil {
+		t.Fatalf("checkpoint.interval=30 config invalid: %v", err)
+	}
+}

@@ -393,7 +393,7 @@ func compilePattern(cfg Config) ([]compiledPhase, error) {
 			out[i].vcs = cat
 		}
 		if ph.FailureScale != 1 {
-			fp := scaleFailures(cfg.Failures, ph.FailureScale)
+			fp := ScaleFailures(cfg.Failures, ph.FailureScale)
 			planner, err := failures.NewPlanner(fp)
 			if err != nil {
 				return nil, fmt.Errorf("workload: pattern %q phase %q failures: %w", p.Name, ph.Name, err)
@@ -404,10 +404,15 @@ func compilePattern(cfg Config) ([]compiledPhase, error) {
 	return out, nil
 }
 
-// scaleFailures multiplies the unsuccessful and transient-failure
+// ScaleFailures multiplies the unsuccessful and transient-failure
 // probabilities by f, clamped so each bucket's outcome distribution stays
-// valid — the same semantics as the failure.scale sweep axis.
-func scaleFailures(fp failures.PlannerConfig, f float64) failures.PlannerConfig {
+// valid. It is the single definition of failure scaling: the failure.scale
+// sweep axis applies it to the base configuration, and a phase's
+// FailureScale applies it again to that (possibly already scaled) base —
+// so axis and phase scales compose multiplicatively, with clamping at each
+// application. PlannerConfig's probability fields are value types, so the
+// input is never mutated.
+func ScaleFailures(fp failures.PlannerConfig, f float64) failures.PlannerConfig {
 	for b := range fp.UnsuccessfulProb {
 		u := fp.UnsuccessfulProb[b] * f
 		if max := 1 - fp.KilledProb[b]; u > max {

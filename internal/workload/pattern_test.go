@@ -347,3 +347,58 @@ func TestReplayEmitsSpecsVerbatim(t *testing.T) {
 		t.Fatal("replay sorted the caller's slice in place")
 	}
 }
+
+// TestScaleFailuresComposition pins the composition contract: ScaleFailures
+// is the single definition of failure scaling, the failure.scale sweep axis
+// applies it to the base and a phase's FailureScale applies it again, so
+// the two compose multiplicatively — with clamping at each application, and
+// without mutating the input.
+func TestScaleFailuresComposition(t *testing.T) {
+	base := DefaultConfig().Failures
+
+	// Multiplicative: x2 then x0.5 round-trips exactly (no clamp engages
+	// at the default calibration for these factors).
+	round := ScaleFailures(ScaleFailures(base, 2), 0.5)
+	if !reflect.DeepEqual(round, base) {
+		t.Fatalf("x2 then x0.5 did not round-trip: %+v vs %+v", round, base)
+	}
+
+	// Order-independent while unclamped: axis-then-phase equals
+	// phase-then-axis equals the single combined factor.
+	ab := ScaleFailures(ScaleFailures(base, 1.5), 1.2)
+	ba := ScaleFailures(ScaleFailures(base, 1.2), 1.5)
+	combined := ScaleFailures(base, 1.8)
+	for b := range ab.UnsuccessfulProb {
+		if diff := ab.UnsuccessfulProb[b] - ba.UnsuccessfulProb[b]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("bucket %d: axis/phase order changed the unclamped product", b)
+		}
+		if diff := ab.TransientFailureProb[b] - combined.TransientFailureProb[b]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("bucket %d: composed transient prob differs from single application", b)
+		}
+	}
+
+	// Zero annihilates: axis scale 0 composed with any phase scale stays 0.
+	zero := ScaleFailures(ScaleFailures(base, 0), 5)
+	for b := range zero.UnsuccessfulProb {
+		if zero.UnsuccessfulProb[b] != 0 || zero.TransientFailureProb[b] != 0 {
+			t.Fatalf("bucket %d: scale 0 then 5 left nonzero probability", b)
+		}
+	}
+
+	// Clamping applies at each application and keeps the distribution
+	// valid: unsuccessful is capped at 1-killed, transient at 1.
+	big := ScaleFailures(ScaleFailures(base, 10), 10)
+	for b := range big.UnsuccessfulProb {
+		if got, max := big.UnsuccessfulProb[b], 1-big.KilledProb[b]; got > max {
+			t.Fatalf("bucket %d: unsuccessful %v above cap %v", b, got, max)
+		}
+		if big.TransientFailureProb[b] > 1 {
+			t.Fatalf("bucket %d: transient prob %v above 1", b, big.TransientFailureProb[b])
+		}
+	}
+
+	// The input is never mutated.
+	if !reflect.DeepEqual(base, DefaultConfig().Failures) {
+		t.Fatal("ScaleFailures mutated its input")
+	}
+}

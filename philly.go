@@ -35,6 +35,7 @@ import (
 	"philly/internal/analysis"
 	"philly/internal/core"
 	"philly/internal/failures"
+	"philly/internal/faults"
 	"philly/internal/federation"
 	"philly/internal/joblog"
 	"philly/internal/par"
@@ -179,6 +180,42 @@ type TraceTransform = trace.Transform
 // deriving TotalJobs/Duration and appending any VCs the trace references
 // that the configuration lacks.
 func ApplyReplay(cfg *Config, specs []JobSpec) error { return trace.ApplyReplay(cfg, specs) }
+
+// FaultsConfig configures the correlated-outage engine: per-domain
+// (server / rack / cluster) MTBF and MTTR plus planned maintenance
+// windows. Set Config.Faults to enable it; outages draw from a dedicated
+// RNG stream, so a disabled config is byte-identical to a build without
+// the engine.
+type FaultsConfig = faults.Config
+
+// DefaultFaultsConfig returns the calibrated but disabled outage model.
+func DefaultFaultsConfig() FaultsConfig { return faults.DefaultConfig() }
+
+// ParseFaultsSpec parses a CLI faults spec — "none", "all", or a
+// "+"-joined subset of server, rack, cluster, with an optional ":SCALE"
+// frequency multiplier (e.g. "server+rack:2").
+func ParseFaultsSpec(spec string) (FaultsConfig, error) { return faults.ParseSpec(spec) }
+
+// CheckpointConfig is the periodic checkpoint/restore cost model applied
+// to outage kills: an outage-killed attempt loses only the work since its
+// last checkpoint, paying write overhead while running and a restore cost
+// on resume.
+type CheckpointConfig = core.CheckpointConfig
+
+// DefaultCheckpointConfig returns the calibrated but disabled cost model
+// (30-minute interval, 30s writes, 120s restores).
+func DefaultCheckpointConfig() CheckpointConfig { return core.DefaultCheckpointConfig() }
+
+// ParseCheckpointSpec parses a CLI checkpoint spec — "off" or
+// "MIN[:WRITE_S[:RESTORE_S]]" (interval in minutes, costs in seconds).
+func ParseCheckpointSpec(spec string) (CheckpointConfig, error) {
+	return core.ParseCheckpointSpec(spec)
+}
+
+// OutageStats summarizes the outage engine's activity over a run:
+// event counts, killed attempts, down/lost/overhead GPU-hours, and the
+// realized ETTF/ETTR.
+type OutageStats = core.OutageStats
 
 // FederationConfig specifies a multi-cluster (federated) study: member
 // clusters, the spillover policy, and the fleet-wide quota rebalancing
