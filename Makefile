@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-sweep bench-json bench-smoke bench-compare shuffle fuzz
+.PHONY: check vet build test race bench bench-sweep bench-json bench-smoke bench-compare bench-mem shuffle fuzz
 
 # check is the CI gate: vet, build everything, then the full test suite
 # under the race detector — which now covers the intra-study parallel
@@ -19,8 +19,11 @@ build:
 test:
 	$(GO) test ./...
 
+# The race legs carry the million-event scale tests (trimmed to their most-
+# concurrent cells under -race, but still minutes per run on one core), so
+# the per-package budget is raised above go test's 10m default.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # shuffle is the order-dependence guard for the deterministic-engine
 # packages (cross-engine conformance suite, federation, trace replay, and
@@ -64,6 +67,13 @@ COUNT ?= 3
 OUT ?= bench.json
 bench-json:
 	$(GO) test -json -run '^$$' -bench '$(BENCH)' -benchmem -count $(COUNT) . > $(OUT)
+
+# bench-mem runs just the memory-regression gate benchmark: a federated
+# sweep reporting peak_rss_mb (VmHWM, linux) and allocs_total alongside the
+# usual -benchmem numbers. Those two metrics are gated higher-is-worse by
+# `make bench-compare THRESHOLD=...` when both baselines carry them.
+bench-mem:
+	$(GO) test -bench FederatedSweepMemory -benchmem -run '^$$' .
 
 # bench-compare diffs two bench-json baselines and prints per-benchmark
 # ns/op and allocs/op deltas. THRESHOLD (a percent) turns it into a CI

@@ -10,7 +10,11 @@
 package philly_test
 
 import (
+	"bytes"
 	"fmt"
+	"os"
+	"runtime"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -529,5 +533,81 @@ func BenchmarkStudyParallel(b *testing.B) {
 			b.ReportMetric(float64(len(res.Jobs)), "jobsPerRun")
 			b.ReportMetric(res.Telemetry.All().Mean(), "meanUtilPct")
 		})
+	}
+}
+
+// peakRSSMB reads the process's peak resident set (VmHWM) in MB from
+// /proc/self/status. Linux-only; ok is false elsewhere. The value is a
+// process-wide high-water mark — monotone across the whole test binary —
+// so it is only comparable between baselines recorded with the same
+// `make bench-json` invocation (same benchmark set, same order), which is
+// exactly how BENCH_PR*_*.json files are produced.
+func peakRSSMB() (mb float64, ok bool) {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, false
+	}
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if !bytes.HasPrefix(line, []byte("VmHWM:")) {
+			continue
+		}
+		fields := bytes.Fields(line[len("VmHWM:"):])
+		if len(fields) < 1 {
+			return 0, false
+		}
+		kb, err := strconv.ParseFloat(string(fields[0]), 64)
+		if err != nil {
+			return 0, false
+		}
+		return kb / 1024, true
+	}
+	return 0, false
+}
+
+// BenchmarkFederatedSweepMemory is the memory-regression gate: one
+// federated sweep (two policies × a two-member fleet, 2 replicas — every
+// row crosses the streaming fleet reducer) reporting, on top of the usual
+// -benchmem numbers, the two metrics `bench-compare -threshold` gates as
+// higher-is-worse:
+//
+//   - allocs_total: heap allocations for one full sweep, from a
+//     runtime.MemStats delta around the timed loop — the same accounting
+//     as allocs/op, but reported unconditionally, so the gate keeps its
+//     metric even if -benchmem ever drops out of the recording command.
+//   - peak_rss_mb: the process's VmHWM high-water mark (see peakRSSMB for
+//     the comparability caveat). This is what pins the streaming
+//     federated reduction: buffering whole member StudyResults for the
+//     fleet rows again would move this number, not allocs/op.
+func BenchmarkFederatedSweepMemory(b *testing.B) {
+	base := philly.SmallConfig()
+	base.Workload.TotalJobs = 400
+	var axes []sweep.Axis
+	for _, spec := range []string{"sched.policy=philly,fifo", "fleet.members=philly-small+helios-like"} {
+		ax, err := sweep.ParseAxis(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		axes = append(axes, ax)
+	}
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.Matrix{Base: base, Axes: axes}.
+			Run(sweep.Options{Replicas: 2, Workers: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// 2 policies × (2 member rows + 1 fleet row) per federated scenario.
+		if len(res.Scenarios) != 6 {
+			b.Fatalf("sweep produced %d scenario rows, want 6", len(res.Scenarios))
+		}
+	}
+	b.StopTimer()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(b.N), "allocs_total")
+	if mb, ok := peakRSSMB(); ok {
+		b.ReportMetric(mb, "peak_rss_mb")
 	}
 }

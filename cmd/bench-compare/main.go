@@ -17,6 +17,12 @@
 // always exits 0 and is purely informational). Allocation regressions from
 // a zero-alloc baseline have no finite percentage and always trip the gate
 // — that is what keeps the PR 2 zero-alloc guarantees pinned from CI.
+//
+// The gate also covers the memory metrics the full-scale sweep benchmark
+// reports via b.ReportMetric — peak_rss_mb and allocs_total — treated as
+// higher-is-worse like ns/op. Metrics missing from the BEFORE file are
+// skipped, so baselines recorded before a metric existed keep comparing
+// cleanly.
 package main
 
 import (
@@ -35,7 +41,17 @@ import (
 type sample struct {
 	n                       int
 	nsOp, bytesOp, allocsOp float64
+	// extra holds custom b.ReportMetric units (summed like the built-ins;
+	// divided by n at the end). The memory gate reads peak_rss_mb and
+	// allocs_total from here.
+	extra map[string]float64
 }
+
+// gatedExtras are the custom metrics the -threshold gate treats as
+// higher-is-worse, like ns/op and allocs/op. Metrics absent from the
+// *before* file are skipped — a baseline recorded before the metric
+// existed cannot gate it.
+var gatedExtras = []string{"peak_rss_mb", "allocs_total"}
 
 // benchLine matches a `go test -bench` result line, e.g.
 // "BenchmarkFoo/workers=4-8  	 3	 123456 ns/op	 10 B/op	 2 allocs/op".
@@ -43,6 +59,9 @@ var (
 	benchLine  = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op(.*)$`)
 	bytesOpRe  = regexp.MustCompile(`([0-9.]+) B/op`)
 	allocsOpRe = regexp.MustCompile(`([0-9.]+) allocs/op`)
+	// extraRe matches b.ReportMetric values: "<float> <unit>" where the
+	// unit is a bare word (slash-bearing units are the built-ins above).
+	extraRe = regexp.MustCompile(`([0-9.eE+-]+) ([A-Za-z_][A-Za-z0-9_]*)(\s|$)`)
 )
 
 func parseFile(path string) (map[string]*sample, error) {
@@ -108,11 +127,24 @@ func parseFile(path string) (map[string]*sample, error) {
 			a, _ := strconv.ParseFloat(am[1], 64)
 			s.allocsOp += a
 		}
+		for _, em := range extraRe.FindAllStringSubmatch(rest, -1) {
+			v, err := strconv.ParseFloat(em[1], 64)
+			if err != nil {
+				continue
+			}
+			if s.extra == nil {
+				s.extra = map[string]float64{}
+			}
+			s.extra[em[2]] += v
+		}
 	}
 	for _, s := range out {
 		s.nsOp /= float64(s.n)
 		s.bytesOp /= float64(s.n)
 		s.allocsOp /= float64(s.n)
+		for u := range s.extra {
+			s.extra[u] /= float64(s.n)
+		}
 	}
 	return out, nil
 }
@@ -187,6 +219,17 @@ func findRegressions(before, after map[string]*sample, threshold float64) []regr
 				out = append(out, regression{name: short, metric: "allocs/op", pct: pct})
 			}
 		}
+		for _, u := range gatedExtras {
+			bv, ok := b.extra[u]
+			if !ok || bv <= 0 {
+				continue // no baseline for this metric: nothing to gate
+			}
+			if av, ok := a.extra[u]; ok {
+				if pct := 100 * (av - bv) / bv; pct > threshold {
+					out = append(out, regression{name: short, metric: u, pct: pct})
+				}
+			}
+		}
 	}
 	return out
 }
@@ -241,6 +284,29 @@ func main() {
 			fmt.Fprintf(w, "%-52s %12s %12s %8s %10.0f %10.0f %8s\n",
 				short, fmtNs(b.nsOp), fmtNs(a.nsOp), delta(b.nsOp, a.nsOp),
 				b.allocsOp, a.allocsOp, delta(b.allocsOp, a.allocsOp))
+		}
+	}
+	// Memory-gate metrics, for the benchmarks that report them.
+	wroteHeader := false
+	for _, n := range sorted {
+		b, a := before[n], after[n]
+		for _, u := range gatedExtras {
+			var bv, av float64
+			if b != nil {
+				bv = b.extra[u]
+			}
+			if a != nil {
+				av = a.extra[u]
+			}
+			if bv == 0 && av == 0 {
+				continue
+			}
+			if !wroteHeader {
+				fmt.Fprintf(w, "\n%-52s %12s %12s %8s\n", "memory gate", "before", "after", "Δ")
+				wroteHeader = true
+			}
+			fmt.Fprintf(w, "%-52s %12.0f %12.0f %8s\n",
+				strings.TrimPrefix(n, "Benchmark")+" "+u, bv, av, delta(bv, av))
 		}
 	}
 	w.Flush()

@@ -62,6 +62,75 @@ func TestFindRegressions(t *testing.T) {
 	}
 }
 
+// TestMemoryGateMetrics pins the higher-is-worse gate on the custom
+// memory metrics: peak_rss_mb and allocs_total regressions trip like
+// ns/op, improvements pass, and a metric absent from the before file is
+// skipped (old baselines cannot gate a metric that postdates them).
+func TestMemoryGateMetrics(t *testing.T) {
+	mem := func(ns, rss, allocs float64) *sample {
+		s := s(ns, 10)
+		s.extra = map[string]float64{}
+		if rss > 0 {
+			s.extra["peak_rss_mb"] = rss
+		}
+		if allocs > 0 {
+			s.extra["allocs_total"] = allocs
+		}
+		return s
+	}
+	before := map[string]*sample{
+		"BenchmarkMemWorse":  mem(100, 200, 1e6),
+		"BenchmarkMemBetter": mem(100, 200, 1e6),
+		"BenchmarkNoBase":    s(100, 10), // before file predates the metrics
+	}
+	after := map[string]*sample{
+		"BenchmarkMemWorse":  mem(100, 260, 1.5e6), // +30% RSS, +50% allocs
+		"BenchmarkMemBetter": mem(100, 150, 5e5),
+		"BenchmarkNoBase":    mem(100, 999, 9e9),
+	}
+	got := findRegressions(before, after, 10)
+	if len(got) != 2 {
+		t.Fatalf("got %d regressions %v, want 2", len(got), got)
+	}
+	if got[0].name != "MemWorse" || got[0].metric != "peak_rss_mb" || got[0].pct != 30 {
+		t.Errorf("regression 0 = %+v, want MemWorse peak_rss_mb +30%%", got[0])
+	}
+	if got[1].name != "MemWorse" || got[1].metric != "allocs_total" || got[1].pct != 50 {
+		t.Errorf("regression 1 = %+v, want MemWorse allocs_total +50%%", got[1])
+	}
+}
+
+// TestParseFileExtraMetrics checks the parse path end to end on a line
+// carrying custom b.ReportMetric units: bare-word units are collected,
+// the slash-bearing built-ins are not double-counted, and averaging over
+// -count runs applies to extras too.
+func TestParseFileExtraMetrics(t *testing.T) {
+	dir := t.TempDir()
+	txt := "BenchmarkFederatedSweepMemory-8  2  3100000000 ns/op  2000000 B/op  9000 allocs/op  1200000 allocs_total  210.0 peak_rss_mb  4.000 studiesPerSweep\n" +
+		"BenchmarkFederatedSweepMemory-8  2  3300000000 ns/op  2000000 B/op  9000 allocs/op  1400000 allocs_total  230.0 peak_rss_mb  4.000 studiesPerSweep\n"
+	path := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(path, []byte(txt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := got["BenchmarkFederatedSweepMemory"]
+	if s == nil {
+		t.Fatal("benchmark not parsed")
+	}
+	if s.n != 2 || s.allocsOp != 9000 {
+		t.Fatalf("n=%d allocsOp=%v, want 2 runs at 9000 allocs/op", s.n, s.allocsOp)
+	}
+	if s.extra["peak_rss_mb"] != 220 || s.extra["allocs_total"] != 1.3e6 {
+		t.Fatalf("extras = %v, want averaged peak_rss_mb=220 allocs_total=1.3e6", s.extra)
+	}
+	if s.extra["studiesPerSweep"] != 4 {
+		t.Fatalf("informational extra lost: %v", s.extra)
+	}
+}
+
 // TestParseFileGatesAllocs runs the full parse path on plain bench output
 // and checks the gate sees the allocs column — the end-to-end contract the
 // Makefile's THRESHOLD relies on.

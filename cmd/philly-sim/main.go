@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"philly"
+	"philly/internal/profiling"
 )
 
 func main() {
@@ -69,7 +70,15 @@ func main() {
 	checkpointSpec := flag.String("checkpoint", "",
 		"enable the checkpoint/restore cost model: off or MIN[:WRITE_S[:RESTORE_S]] (minutes, then seconds)")
 	out := flag.String("out", "philly-out", "output directory")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a GC-settled heap profile to this file at exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "philly-sim:", err)
+		os.Exit(2)
+	}
 
 	// Fail fast on malformed reliability specs, before any simulation work.
 	var faultsCfg philly.FaultsConfig
@@ -203,6 +212,10 @@ func main() {
 	}
 	fmt.Printf("wrote %s (%d jobs) and %s (%d attempts)\n",
 		csvPath, len(tr.Jobs), jsonPath, len(tr.Attempts))
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "philly-sim:", err)
+		os.Exit(1)
+	}
 }
 
 // runFederation executes a federated multi-cluster study and writes one

@@ -56,6 +56,7 @@ import (
 	"time"
 
 	"philly"
+	"philly/internal/profiling"
 	"philly/internal/sweep"
 )
 
@@ -84,6 +85,8 @@ func main() {
 	jobs := flag.Int("jobs", 0, "override base workload job count (0 = scale default)")
 	output := flag.String("o", "table", "output format: table or json (machine-readable sweep.Result export)")
 	verbose := flag.Bool("v", false, "print per-run progress")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memProfile := flag.String("memprofile", "", "write a GC-settled heap profile to this file at exit")
 	flag.Var(&axes, "axis", "axis spec name=v1,v2 (repeatable); known: "+strings.Join(sweep.KnownAxes(), ", "))
 	flag.Parse()
 
@@ -113,6 +116,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "philly-sweep:", err)
+		os.Exit(2)
+	}
+
 	start := time.Now()
 	res, err := m.Run(opts)
 	if err != nil {
@@ -125,10 +134,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wall: %v\n", time.Since(start).Round(time.Millisecond))
-		return
+	} else {
+		fmt.Print(res.RenderTable())
+		fmt.Printf("wall: %v\n", time.Since(start).Round(time.Millisecond))
 	}
-	fmt.Print(res.RenderTable())
-	fmt.Printf("wall: %v\n", time.Since(start).Round(time.Millisecond))
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "philly-sweep:", err)
+		os.Exit(1)
+	}
 }
 
 func baseConfig(scale string) (philly.Config, error) {

@@ -211,7 +211,7 @@ func (s *Study) killJob(js *jobState, now simulation.Time) {
 	js.running = false
 	js.finishSeq++ // invalidate the scheduled finish pair
 	s.removeRunning(js)
-	if err := s.sched.Release(js.sched.ID, now); err != nil {
+	if err := s.sched.ReleaseJob(js.sched, now); err != nil {
 		panic(fmt.Sprintf("core: outage release job %d: %v", js.sched.ID, err))
 	}
 	if err := s.sched.Submit(js.sched, now); err != nil {

@@ -82,7 +82,7 @@ func (s *Study) Offload(id cluster.JobID, now simulation.Time) (workload.JobSpec
 	if js.running || js.attemptOpen || js.res.Attempts != nil || js.res.Offloaded || js.res.Completed {
 		return workload.JobSpec{}, fmt.Errorf("core: job %d is not a never-started queued job; cannot offload", id)
 	}
-	if err := s.sched.Withdraw(id); err != nil {
+	if err := s.sched.WithdrawJob(js.sched); err != nil {
 		return workload.JobSpec{}, fmt.Errorf("core: offload job %d: %w", id, err)
 	}
 	js.res.Offloaded = true
@@ -278,14 +278,14 @@ func (s *Study) Evacuate(id cluster.JobID, now simulation.Time) (workload.JobSpe
 		js.running = false
 		js.finishSeq++ // invalidate the scheduled finish pair
 		s.removeRunning(js)
-		if err := s.sched.Release(js.sched.ID, now); err != nil {
+		if err := s.sched.ReleaseJob(js.sched, now); err != nil {
 			panic(fmt.Sprintf("core: evacuate release job %d: %v", id, err))
 		}
 		// The freed gang may unblock queued jobs; pump on this member's
 		// lane like an injection, so the wake happens in member context.
 		s.engine.AtShard(js.shard, now, func() { s.pump() })
 	} else {
-		if err := s.sched.Withdraw(id); err != nil {
+		if err := s.sched.WithdrawJob(js.sched); err != nil {
 			return workload.JobSpec{}, 0, fmt.Errorf("core: evacuate job %d: %w", id, err)
 		}
 	}

@@ -125,15 +125,14 @@ func TestWorkerCountInvariance(t *testing.T) {
 				t.Fatalf("config too small: peak running set %d never shards the job walk",
 					seqStudy.maxLiveRunning)
 			}
-			if seqStudy.jobSamples != nil {
+			if seqStudy.parallelTicks != 0 {
 				t.Fatal("no-pool run must use the fused sequential walk")
 			}
 			for _, workers := range []int{1, 2, 4, 8} {
 				res, st := runWithPool(t, cfg, workers)
 				// Guard against the gate (or a future refactor) silently
-				// routing pooled ticks back to the fused walk: the draw
-				// buffer is allocated only inside sampleTelemetryParallel.
-				if st.jobSamples == nil {
+				// routing pooled ticks back to the fused walk.
+				if st.parallelTicks == 0 {
 					t.Fatalf("workers=%d never entered the parallel telemetry pipeline", workers)
 				}
 				if !reflect.DeepEqual(seq, res) {
@@ -176,6 +175,70 @@ func TestWorkerCountInvariance(t *testing.T) {
 					}
 				}
 			}
+		}
+	}
+}
+
+// TestMillionEventInvariance is TestWorkerCountInvariance at engine scale:
+// one saturated study processing over a million events (16000 jobs arriving
+// at the small matrix's load factor, so deep queues, preemption churn and
+// telemetry ticks all contribute), bit-compared across the full
+// workers {1, 2, 4} × shards {1, 2, NumVCs} cross product against the
+// sequential no-pool reference. The small matrix catches logic divergence;
+// this leg exists for scale-dependent failure modes — arena growth, the
+// batched arrival/barrier drains, attempt-slice recycling and fold-shard
+// rotation only hit their steady state after thousands of jobs. One seed
+// and one policy: the schedule variety comes from volume here, the small
+// matrix covers the config space.
+func TestMillionEventInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the million-event invariance matrix is not a -short test")
+	}
+	lowerTickGate(t)
+	cfg := parallelConfig()
+	// Hold the arrival rate at 5000 jobs per parallelConfig duration — a
+	// saturating load where queue churn, preemption and telemetry ticks
+	// together cross a million events at 16000 jobs (calibrated: ~1.11M)
+	// without the super-linear queue-scan blowup of packing the same jobs
+	// into the small config's window.
+	cfg.Workload.Duration = cfg.Workload.Duration / 5000 * 16000
+	cfg.Workload.TotalJobs = 16000
+	cfg.Seed = 42
+
+	seq, seqStudy := runWithPool(t, cfg, 0)
+	if p := seqStudy.engine.Processed(); p < 1_000_000 {
+		t.Fatalf("reference run processed %d events, want >= 1e6 (recalibrate the config)", p)
+	}
+	cells := [][2]int{
+		{1, 1}, {1, 2}, {1, 0 /* = NumVCs */},
+		{2, 1}, {2, 2}, {2, 0},
+		{4, 1}, {4, 2}, {4, 0},
+	}
+	if raceDetectorOn {
+		// Under the race detector each million-event run costs minutes, not
+		// seconds; the full 9-cell matrix blows well past any reasonable
+		// package timeout on a single core. Race coverage wants concurrency
+		// shapes, not config breadth — keep the two most-concurrent cells at
+		// full event volume and leave the exhaustive DeepEqual sweep to the
+		// plain run, which executes every cell.
+		cells = [][2]int{{2, 2}, {4, 0}}
+	}
+	for _, cell := range cells {
+		workers, shards := cell[0], cell[1]
+		res, st := runShardedWithPool(t, cfg, shards, workers)
+		if st.parallelTicks == 0 {
+			t.Fatalf("workers=%d shards=%d never entered the parallel telemetry pipeline",
+				workers, shards)
+		}
+		if !reflect.DeepEqual(seq, res) {
+			diffStudyResults(t, seq, res)
+			t.Fatalf("workers=%d shards=%d diverged from sequential engine at scale",
+				workers, shards)
+		}
+		ws := st.WindowStats()
+		if ws.Barriers == 0 || ws.Barriers > ws.GlobalEvents {
+			t.Fatalf("workers=%d shards=%d: Barriers = %d with %d globals — batched drain accounting broke",
+				workers, shards, ws.Barriers, ws.GlobalEvents)
 		}
 	}
 }
@@ -230,7 +293,7 @@ func TestPoolStreamingEquivalence(t *testing.T) {
 	if streamed == 0 {
 		t.Fatal("observer never called")
 	}
-	if st.jobSamples == nil {
+	if st.parallelTicks == 0 {
 		t.Fatal("pooled run never entered the parallel telemetry pipeline")
 	}
 	for i := range res.Jobs {

@@ -1,0 +1,6 @@
+//go:build !race
+
+package core
+
+// raceDetectorOn reports whether the test binary was built with -race.
+const raceDetectorOn = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceDetectorOn reports whether the test binary was built with -race.
+// The detector multiplies the cost of a million-event run by roughly an
+// order of magnitude, so the scale tests keep full event volume but trim
+// their config matrix to the most-concurrent cells when it is on.
+const raceDetectorOn = true

@@ -2,8 +2,6 @@ package core
 
 import (
 	"fmt"
-	"runtime"
-	"sync/atomic"
 
 	"philly/internal/cluster"
 	"philly/internal/failures"
@@ -300,16 +298,10 @@ type Study struct {
 	// inline). Parallelism never changes results: shards are cut on fixed,
 	// worker-count-independent boundaries and folded in shard order.
 	pool *par.Pool
-	// jobSamples and hostSamples are the telemetry draw buffers: draw
-	// shards write each entity's sampled values at the entity's own slot,
-	// and fold tasks apply them to the recorder in slot order — the exact
-	// accumulation order of the sequential walk.
-	jobSamples  []telemetry.JobSample
-	hostSamples []telemetry.HostSample
-	// tickFlags[c] is set (atomically) when draw chunk c has been written;
-	// fold tasks spin on it so folding chunk c can start while chunk c+1
-	// is still drawing.
-	tickFlags []atomic.Uint32
+	// parallelTicks counts telemetry ticks that took the fork-join path —
+	// deterministic (the gate compares list lengths only), used by tests
+	// asserting a run actually exercised the parallel pipeline.
+	parallelTicks int
 	// maxLiveRunning tracks the high-water mark of the running set, for
 	// tests asserting the job walk actually sharded.
 	maxLiveRunning int
@@ -324,9 +316,26 @@ type Study struct {
 	shardOf map[string]simulation.ShardID
 	// horizon is the armed run bound (set by Arm).
 	horizon simulation.Time
+	// armed guards against a second Arm double-scheduling arrivals.
+	armed bool
 
-	jobs   []workload.JobSpec
+	jobs []workload.JobSpec
+	// jobStates and schedJobs are the flattened per-job state arenas: one
+	// contiguous allocation each for every generated job (slot = job index),
+	// laid out at Arm. Injected (federation-spillover) jobs arrive at run
+	// time and stay individually allocated. The arenas cut per-job
+	// allocations and GC pointer-chasing at million-job trace scale;
+	// scheduler events resolve back to arena slots through Job.Tag.
+	jobStates []jobState
+	schedJobs []scheduler.Job
+	// states indexes EVERY job (arena slots and injected) by cluster job
+	// ID, for the cold ID-keyed paths: outage kills, federation offload/
+	// evacuation. Hot paths use stateOf, which avoids the map.
 	states map[cluster.JobID]*jobState
+	// attemptFree recycles released attempt slices between jobs when a job
+	// observer is streaming results out (see StreamJobs); without an
+	// observer records are retained and nothing is recycled.
+	attemptFree [][]AttemptResult
 	// extra holds results of jobs injected after construction (federation
 	// spillover). They live behind pointers so jobState.res stays valid as
 	// more arrive; Collect appends them after the generated jobs.
@@ -450,6 +459,20 @@ func NewStudy(cfg Config) (*Study, error) {
 	}
 	s.jobs = gen.Generate(wlRNG)
 	s.results = make([]JobResult, len(s.jobs))
+	// Synthetic workloads number jobs densely from 1; replayed traces may
+	// carry arbitrary IDs. When the IDs are verifiably dense, the telemetry
+	// recorder backs per-job accumulators with one flat table instead of a
+	// map entry per job.
+	dense := true
+	for i := range s.jobs {
+		if s.jobs[i].ID != int64(i+1) {
+			dense = false
+			break
+		}
+	}
+	if dense {
+		s.rec.Reserve(len(s.jobs))
+	}
 	if cfg.Faults.Enabled {
 		topo := faults.Topology{RackServers: make([]int, len(cfg.Cluster.Racks))}
 		for i, rc := range cfg.Cluster.Racks {
@@ -561,6 +584,14 @@ func (s *Study) PendingJobs() int { return s.pending }
 // internal/federation arms each member study on its fleet lane and lets
 // the coordinator drive all lanes inside one virtual timeline.
 func (s *Study) Arm() simulation.Time {
+	if s.armed {
+		// A second Arm would schedule every arrival twice; the first
+		// duplicate Submit then fails on an already-queued (or by then
+		// running) job with a message that looks like a scheduler bug.
+		// Fail at the actual mistake instead.
+		panic("core: Study.Arm called twice (Run arms the study itself)")
+	}
+	s.armed = true
 	horizon := s.Horizon()
 	s.horizon = horizon
 
@@ -579,12 +610,19 @@ func (s *Study) Arm() simulation.Time {
 	}
 	shardOf := s.shardOf
 
-	// Arrivals.
+	// Lay the per-job state out in the arenas (one allocation each, slot =
+	// job index) and wire scheduler jobs back to their slots via Tag.
+	s.jobStates = make([]jobState, len(s.jobs))
+	s.schedJobs = make([]scheduler.Job, len(s.jobs))
 	for i := range s.jobs {
 		spec := &s.jobs[i]
 		res := &s.results[i]
 		res.Spec = *spec
-		js := &jobState{
+		sj := &s.schedJobs[i]
+		scheduler.InitJob(sj, cluster.JobID(spec.ID), spec.VC, spec.GPUs, spec.SubmitAt)
+		sj.Tag = i
+		js := &s.jobStates[i]
+		*js = jobState{
 			spec:             spec,
 			res:              res,
 			idx:              i,
@@ -592,18 +630,38 @@ func (s *Study) Arm() simulation.Time {
 			runIdx:           -1,
 			stagedAttempt:    -1,
 			shard:            shardOf[spec.VC],
-			sched: scheduler.NewJob(cluster.JobID(spec.ID), spec.VC,
-				spec.GPUs, spec.SubmitAt),
+			sched:            sj,
 		}
-		js.sched.RemainingSeconds = js.remainingWorkSec
-		s.states[js.sched.ID] = js
+		sj.RemainingSeconds = js.remainingWorkSec
+		s.states[sj.ID] = js
 		s.pending++
-		s.engine.At(spec.SubmitAt, func() {
-			if err := s.sched.Submit(js.sched, s.engine.Now()); err != nil {
-				panic(fmt.Sprintf("core: submit job %d: %v", spec.ID, err))
+	}
+
+	// Arrivals. Consecutive same-instant submissions share ONE global event
+	// that submits and pumps each job in original order — on the sharded
+	// engine an arrival storm then costs a single window barrier instead of
+	// one per job. This is bit-identical to per-job events: same-instant
+	// arrival events carried contiguous (at, seq) keys below every event a
+	// pump can schedule, so the fused loop replays exactly the order the
+	// sequential engine executed.
+	for i := 0; i < len(s.jobs); {
+		j := i + 1
+		at := s.jobs[i].SubmitAt
+		for j < len(s.jobs) && s.jobs[j].SubmitAt == at {
+			j++
+		}
+		lo, hi := i, j
+		s.engine.At(at, func() {
+			now := s.engine.Now()
+			for k := lo; k < hi; k++ {
+				js := &s.jobStates[k]
+				if err := s.sched.Submit(js.sched, now); err != nil {
+					panic(fmt.Sprintf("core: submit job %d: %v", js.spec.ID, err))
+				}
+				s.pump()
 			}
-			s.pump()
 		})
+		i = j
 	}
 
 	// Telemetry ticker. Preallocate the occupancy series for the expected
@@ -667,6 +725,9 @@ func (s *Study) Collect() (*StudyResult, error) {
 		out.ETTFHours = s.engine.Now().Hours() / float64(out.Events)
 		out.ETTRHours = s.outageDownSec / 3600 / float64(out.Events)
 	}
+	// Merge the per-shard fold histograms into the global set in fixed
+	// shard order before anything reads the recorder.
+	s.rec.Seal()
 	return &StudyResult{
 		Config:           s.cfg,
 		Jobs:             jobs,
@@ -731,9 +792,20 @@ func (s *Study) pump() {
 	}
 }
 
+// stateOf resolves a scheduler job back to its jobState. Arena jobs carry
+// their slot index in Tag, validated by pointer identity so a stale or
+// zero Tag (injected spillover jobs) can never alias another slot; those
+// fall back to the ID map, which indexes every job.
+func (s *Study) stateOf(j *scheduler.Job) *jobState {
+	if t := j.Tag; t >= 0 && t < len(s.jobStates) && s.jobStates[t].sched == j {
+		return &s.jobStates[t]
+	}
+	return s.states[j.ID]
+}
+
 // onStart begins a running episode for a job.
 func (s *Study) onStart(ev scheduler.StartEvent, now simulation.Time) {
-	js := s.states[ev.Job.ID]
+	js := s.stateOf(ev.Job)
 	if js == nil {
 		panic(fmt.Sprintf("core: start event for unknown job %d", ev.Job.ID))
 	}
@@ -773,9 +845,16 @@ func (s *Study) onStart(ev scheduler.StartEvent, now simulation.Time) {
 		js.attemptOpen = true
 		js.attemptStartAt = now
 		if js.res.Attempts == nil {
-			// The failure plan fixes the attempt count up front; size the
-			// record once instead of regrowing per retry.
-			js.res.Attempts = make([]AttemptResult, 0, js.plannedAttempts())
+			if n := len(s.attemptFree); n > 0 {
+				// Reuse a slice recycled by finalize (streaming runs only);
+				// contents were zero-length-truncated there.
+				js.res.Attempts = s.attemptFree[n-1]
+				s.attemptFree = s.attemptFree[:n-1]
+			} else {
+				// The failure plan fixes the attempt count up front; size the
+				// record once instead of regrowing per retry.
+				js.res.Attempts = make([]AttemptResult, 0, js.plannedAttempts())
+			}
 		}
 		js.res.Attempts = append(js.res.Attempts, AttemptResult{
 			Index:      js.attemptIdx,
@@ -861,7 +940,7 @@ func (s *Study) scheduleFinish(js *jobState, episodeSec float64, now simulation.
 // onPreempt suspends a running episode; the scheduler has already requeued
 // the job.
 func (s *Study) onPreempt(ev scheduler.PreemptEvent, now simulation.Time) {
-	js := s.states[ev.Job.ID]
+	js := s.stateOf(ev.Job)
 	if js == nil || !js.running {
 		return
 	}
@@ -894,7 +973,7 @@ func (s *Study) onPreempt(ev scheduler.PreemptEvent, now simulation.Time) {
 // recomputed for the new servers, and the checkpoint-restore pause is added
 // to the remaining wall time.
 func (s *Study) onMigrate(ev scheduler.MigrationEvent, now simulation.Time) {
-	js := s.states[ev.Job.ID]
+	js := s.stateOf(ev.Job)
 	if js == nil || !js.running {
 		return
 	}
@@ -1057,7 +1136,7 @@ func (s *Study) commitFinish(js *jobState, seq int) {
 	s.accountEpisode(js, elapsed)
 	js.running = false
 	s.removeRunning(js)
-	if err := s.sched.Release(js.sched.ID, now); err != nil {
+	if err := s.sched.ReleaseJob(js.sched, now); err != nil {
 		panic(fmt.Sprintf("core: release job %d: %v", js.sched.ID, err))
 	}
 
@@ -1163,8 +1242,13 @@ func (s *Study) finalize(js *jobState, now simulation.Time) {
 	}
 	if s.jobObserver != nil {
 		s.jobObserver(js.idx, res)
-		// The observer has consumed the full record; release the
+		// The observer has consumed the full record (StreamJobs observers
+		// must not retain the Attempts slice past the call); recycle the
+		// backing array for a later job's first attempt and release the
 		// variable-size parts so completed jobs stop holding memory.
+		if cap(res.Attempts) > 0 {
+			s.attemptFree = append(s.attemptFree, res.Attempts[:0])
+		}
 		res.Attempts = nil
 		res.Convergence = nil
 	}
@@ -1214,20 +1298,12 @@ func (s *Study) convergence(sc *shardCtx, js *jobState) *ConvergenceResult {
 }
 
 // telemetryChunkSize is the shard granularity of the telemetry walk: one
-// draw task covers this many running-list slots or servers, and fold tasks
-// consume the buffers chunk by chunk. It only balances handoff overhead
-// against load spread — results are identical for ANY chunking, because a
-// draw writes nothing but per-entity values into per-entity buffer slots
-// and every fold applies them in slot order.
+// chunk covers this many running-list slots or servers. The chunk→shard
+// mapping (chunk index mod telemetry.NumFoldShards) and the ascending
+// chunk order within each shard are FIXED — part of the fold-order
+// determinism contract (PERFORMANCE.md § PR 8) — so results are identical
+// for every worker count, including the sequential walk.
 const telemetryChunkSize = 64
-
-// foldGroups is the number of fold tasks per tick. The fold is partitioned
-// by *destination*, not by sample: each task owns a disjoint set of
-// histograms (all/by-status; by-size; spread+usage; host CPU; host mem) and
-// walks the sample buffer in slot order, so no histogram is ever touched by
-// two tasks and each histogram's accumulation order is exactly the
-// sequential walk's.
-const foldGroups = 5
 
 // parallelTickMin gates the fork-join on a tick's draw work, in job-draw
 // units (a host draw is two normal deviates to a job draw's one, so each
@@ -1241,21 +1317,19 @@ var parallelTickMin = 1024
 
 // sampleTelemetry records one per-minute observation of the whole cluster.
 //
-// Sequential shape (no pool, or a tick below the parallel gate): one fused
-// walk — every running job draws its minute sample from its own pre-split
-// stream (jobState.rng) and records it, then every server from
-// hostRNGs[serverID].
-//
-// Parallel shape: the same walk split into draw tasks and fold tasks on
-// one fork-join. Draw task c samples chunk c's entities into their buffer
-// slots and releases tickFlags[c]; fold tasks (one per destination group)
-// walk the chunks in ascending slot order, spinning briefly on each
-// chunk's flag, so folding overlaps drawing. Both shapes are bit-identical
-// for every pool size: sampled values are a pure function of the entity's
-// own stream and episode history, and each histogram receives its samples
-// in slot order with identical arithmetic either way (the fold-group
-// methods are AddAt-for-AddAt equal to RecordJobMinuteInto and
-// RecordHostMinute — see internal/telemetry).
+// The walk is chunked: job chunks first, then host chunks, and chunk c
+// always folds into telemetry fold shard c mod NumFoldShards. The
+// sequential shape executes chunks 0..N-1 in order; the parallel shape
+// runs exactly NumFoldShards fused draw+fold tasks on one fork-join, task
+// g owning shard g and executing its chunks (c ≡ g mod NumFoldShards) in
+// the same ascending order. No buffers, no flags, no cross-task contact:
+// sampled values are a pure function of the entity's own pre-split stream
+// and episode history, and every fold shard receives its chunks in the
+// same order either way, so both shapes are bit-identical for every pool
+// size. The cross-SHARD accumulation order differs from the pre-PR 8
+// single-sink fold; Recorder.Seal merges shards in fixed shard order at
+// collection, which is the deliberate determinism-contract change
+// documented in PERFORMANCE.md § PR 8.
 func (s *Study) sampleTelemetry(now simulation.Time) {
 	jobs := s.running
 	used, caps := s.cluster.UsedBySrv(), s.cluster.CapBySrv()
@@ -1263,15 +1337,19 @@ func (s *Study) sampleTelemetry(now simulation.Time) {
 		s.maxLiveRunning = s.runningLive
 	}
 
+	jobChunks := (len(jobs) + telemetryChunkSize - 1) / telemetryChunkSize
+	totalChunks := jobChunks + (len(used)+telemetryChunkSize-1)/telemetryChunkSize
 	if s.pool == nil || len(jobs)+2*len(used) < parallelTickMin {
-		for _, js := range jobs {
-			if js != nil && js.running {
-				s.rec.RecordJobMinuteInto(js.usage, js.meta, s.util.MinuteUtil(js.baseUtil, &js.stream))
-			}
+		for c := 0; c < totalChunks; c++ {
+			s.sampleChunk(c, jobChunks, jobs, used, caps)
 		}
-		s.rec.RecordHostMinutesStreams(s.host, used, caps, s.hostStreams)
 	} else {
-		s.sampleTelemetryParallel(jobs, used, caps)
+		s.parallelTicks++
+		s.pool.ForkJoin(telemetry.NumFoldShards, func(g int) {
+			for c := g; c < totalChunks; c += telemetry.NumFoldShards {
+				s.sampleChunk(c, jobChunks, jobs, used, caps)
+			}
+		})
 	}
 
 	s.occ = append(s.occ, OccupancySample{
@@ -1282,99 +1360,29 @@ func (s *Study) sampleTelemetry(now simulation.Time) {
 	})
 }
 
-// sampleTelemetryParallel is one tick's draw+fold fork-join (see
-// sampleTelemetry).
-func (s *Study) sampleTelemetryParallel(jobs []*jobState, used, caps []int32) {
-	jobChunks := (len(jobs) + telemetryChunkSize - 1) / telemetryChunkSize
-	hostChunks := (len(used) + telemetryChunkSize - 1) / telemetryChunkSize
-	drawTasks := jobChunks + hostChunks
-	if cap(s.jobSamples) < len(jobs) {
-		s.jobSamples = make([]telemetry.JobSample, len(jobs)+len(jobs)/2)
-	}
-	if len(s.hostSamples) < len(used) {
-		s.hostSamples = make([]telemetry.HostSample, len(used))
-	}
-	if len(s.tickFlags) < drawTasks {
-		s.tickFlags = make([]atomic.Uint32, drawTasks)
-	}
-	jobBuf, hostBuf := s.jobSamples[:len(jobs)], s.hostSamples
-	for c := 0; c < drawTasks; c++ {
-		s.tickFlags[c].Store(0)
-	}
-
-	// waitChunks folds buffer chunks [0, n) in order via apply, spinning on
-	// each draw flag (offset by base) until that chunk's slots are written.
-	waitChunks := func(base, n, limit int, apply func(lo, hi int)) {
-		for c := 0; c < n; c++ {
-			for spin := 0; s.tickFlags[base+c].Load() == 0; spin++ {
-				if spin > 128 {
-					runtime.Gosched()
-				}
-			}
-			lo, hi := c*telemetryChunkSize, (c+1)*telemetryChunkSize
-			if hi > limit {
-				hi = limit
-			}
-			apply(lo, hi)
+// sampleChunk draws and folds one telemetry chunk into its fold shard.
+// Chunks [0, jobChunks) cover the running list; the rest cover servers.
+func (s *Study) sampleChunk(c, jobChunks int, jobs []*jobState, used, caps []int32) {
+	sh := s.rec.FoldShard(c % telemetry.NumFoldShards)
+	if c < jobChunks {
+		lo, hi := c*telemetryChunkSize, (c+1)*telemetryChunkSize
+		if hi > len(jobs) {
+			hi = len(jobs)
 		}
-	}
-	s.pool.ForkJoin(drawTasks+foldGroups, func(t int) {
-		switch {
-		case t < jobChunks: // draw one job chunk
-			lo, hi := t*telemetryChunkSize, (t+1)*telemetryChunkSize
-			if hi > len(jobs) {
-				hi = len(jobs)
-			}
-			for i := lo; i < hi; i++ {
-				if js := jobs[i]; js != nil && js.running {
-					u := s.util.MinuteUtil(js.baseUtil, &js.stream)
-					jobBuf[i] = telemetry.JobSample{
-						Usage: js.usage, Meta: &js.meta,
-						Util: u, Idx: s.rec.BucketFor(u),
-					}
-				} else {
-					// Zero the whole slot: a stale Usage/Meta pointer would
-					// retain a finished job's state across ticks.
-					jobBuf[i] = telemetry.JobSample{Idx: -1}
-				}
-			}
-			s.tickFlags[t].Store(1)
-		case t < drawTasks: // draw one host chunk
-			lo, hi := (t-jobChunks)*telemetryChunkSize, (t-jobChunks+1)*telemetryChunkSize
-			if hi > len(used) {
-				hi = len(used)
-			}
-			for i := lo; i < hi; i++ {
-				cpu, mem := s.host.Sample(int(used[i]), int(caps[i]), &s.hostStreams[i])
-				hostBuf[i] = telemetry.HostSample{
-					CPU: cpu, Mem: mem,
-					CPUIdx: s.rec.BucketFor(cpu), MemIdx: s.rec.BucketFor(mem),
-				}
-			}
-			s.tickFlags[t].Store(1)
-		default: // fold one destination group over all chunks, in order
-			switch t - drawTasks {
-			case 0:
-				waitChunks(0, jobChunks, len(jobs), func(lo, hi int) {
-					s.rec.FoldJobsAll(jobBuf[lo:hi])
-				})
-			case 1:
-				waitChunks(0, jobChunks, len(jobs), func(lo, hi int) {
-					s.rec.FoldJobsBySize(jobBuf[lo:hi])
-				})
-			case 2:
-				waitChunks(0, jobChunks, len(jobs), func(lo, hi int) {
-					s.rec.FoldJobsSpreadUsage(jobBuf[lo:hi])
-				})
-			case 3:
-				waitChunks(jobChunks, hostChunks, len(used), func(lo, hi int) {
-					s.rec.FoldHostCPU(hostBuf[lo:hi])
-				})
-			case 4:
-				waitChunks(jobChunks, hostChunks, len(used), func(lo, hi int) {
-					s.rec.FoldHostMem(hostBuf[lo:hi])
-				})
+		for i := lo; i < hi; i++ {
+			if js := jobs[i]; js != nil && js.running {
+				sh.RecordJobMinuteInto(js.usage, js.meta, s.util.MinuteUtil(js.baseUtil, &js.stream))
 			}
 		}
-	})
+		return
+	}
+	hc := c - jobChunks
+	lo, hi := hc*telemetryChunkSize, (hc+1)*telemetryChunkSize
+	if hi > len(used) {
+		hi = len(used)
+	}
+	for i := lo; i < hi; i++ {
+		cpu, mem := s.host.Sample(int(used[i]), int(caps[i]), &s.hostStreams[i])
+		sh.RecordHostMinute(cpu, mem)
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"philly/internal/simulation"
 	"philly/internal/stats"
 	"philly/internal/workload"
 )
@@ -150,4 +151,63 @@ func quantile(xs []float64, q float64) float64 {
 		}
 	}
 	return sorted[int(q*float64(len(sorted)-1))]
+}
+
+// TestTieHeavyReplayBatchesArrivals pins the Arm-level arrival batching on
+// a tie-heavy replay schedule (the shape a quantized-timestamp trace
+// produces): same-instant submissions fuse into one engine event, so an
+// armed study's pending-event count tracks the number of DISTINCT arrival
+// instants, not the job count — and the fused schedule stays bit-identical
+// between the sequential and sharded engines.
+func TestTieHeavyReplayBatchesArrivals(t *testing.T) {
+	cfg := parallelConfig()
+	cfg.Seed = 11
+	g := stats.NewRNG(cfg.Seed).Split("workload")
+	gen, err := workload.NewGenerator(cfg.Workload, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := gen.Generate(g)
+	// Quantize arrivals to a coarse grid: monotone, so replay validation
+	// holds, and massively tie-heavy.
+	const grid = 4 * simulation.Hour
+	instants := map[simulation.Time]bool{}
+	for i := range specs {
+		specs[i].SubmitAt -= specs[i].SubmitAt % grid
+		instants[specs[i].SubmitAt] = true
+	}
+	if len(instants)*4 > len(specs) {
+		t.Fatalf("schedule not tie-heavy enough: %d instants for %d jobs", len(instants), len(specs))
+	}
+
+	rcfg := parallelConfig()
+	rcfg.Seed = 11
+	rcfg.Workload.Replay = specs
+
+	st, err := NewStudy(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Arm()
+	// Pending events right after Arm: one fused event per arrival instant
+	// plus a fixed handful of tickers (telemetry, faults, defrag) — far
+	// below one event per job, which is what the unbatched path scheduled.
+	if p := st.engine.(*simulation.Engine).Pending(); p >= len(instants)+10 || p >= len(specs) {
+		t.Fatalf("Pending after Arm = %d; want about %d arrival groups (%d jobs)",
+			p, len(instants), len(specs))
+	}
+
+	seq, _ := runWithPool(t, rcfg, 0)
+	for _, shards := range []int{2, 0} {
+		res, sh := runShardedWithPool(t, rcfg, shards, 4)
+		if !reflect.DeepEqual(seq, res) {
+			diffStudyResults(t, seq, res)
+			t.Fatalf("tie-heavy replay shards=%d diverged from sequential engine", shards)
+		}
+		ws := sh.WindowStats()
+		if ws.Barriers == 0 || ws.Barriers > ws.GlobalEvents {
+			t.Fatalf("barrier accounting out of range: %d barriers, %d globals",
+				ws.Barriers, ws.GlobalEvents)
+		}
+	}
 }

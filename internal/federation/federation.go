@@ -313,6 +313,25 @@ func NewStudy(cfg Config) (*Study, error) {
 // NumMembers returns the member count.
 func (s *Study) NumMembers() int { return len(s.members) }
 
+// MemberNumJobs returns member mi's generated job count — the sizing hint
+// for streaming reducers (spillover injections can push job indices past
+// it).
+func (s *Study) MemberNumJobs(mi int) int { return s.members[mi].study.NumJobs() }
+
+// StreamMemberJobs registers fn as every member's job observer (see
+// core.Study.StreamJobs): fn(member, i, r) runs as member's job i
+// finalizes, barrier-serialized with all other global events, and the
+// member study then releases the record's variable-size parts — so a
+// paper-scale federated study holds scalars per completed job instead of
+// full attempt histories. fn must not retain r or r.Attempts past the
+// call. Must be called before Run.
+func (s *Study) StreamMemberJobs(fn func(member, i int, r *core.JobResult)) {
+	for mi, m := range s.members {
+		mi := mi
+		m.study.StreamJobs(func(i int, r *core.JobResult) { fn(mi, i, r) })
+	}
+}
+
 // SetPool attaches a shared fork-join pool: member lanes run concurrently
 // inside fleet windows, and each member's own parallel layers (telemetry
 // walk, placement scoring, log scans) draw on the same budget. Must be

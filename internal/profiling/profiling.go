@@ -1,0 +1,53 @@
+// Package profiling wires -cpuprofile/-memprofile flags to runtime/pprof
+// for the CLI binaries, so profile-guided iteration on the engine doesn't
+// require a throwaway benchmark harness (the analysis recipe lives in
+// PERFORMANCE.md).
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling when cpuPath is non-empty and returns a stop
+// function that finishes the CPU profile and, when memPath is non-empty,
+// writes a GC-settled heap profile. Call stop on the success path, after
+// the work being profiled; error paths may exit without stopping — a
+// profile of an aborted run would profile the failure, not the work.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+			defer f.Close()
+			// Settle the heap so the profile shows live objects, not
+			// garbage awaiting collection.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

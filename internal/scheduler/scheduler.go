@@ -226,11 +226,30 @@ type Job struct {
 	PriorAttainedGPUSeconds float64
 	// Preemptions counts times this job was preempted.
 	Preemptions int
+	// Tag is an opaque caller-owned index the scheduler never reads or
+	// writes. internal/core stores the job's arena slot here so scheduler
+	// events resolve to driver state without a map lookup.
+	Tag int
+
+	// queued marks membership in a VC queue — the O(1) duplicate check
+	// Submit relies on. Maintained by enqueue/dequeue, never by State
+	// alone (State's zero value is StateQueued, so a fresh job's State
+	// cannot distinguish "never submitted" from "queued").
+	queued bool
 }
 
 // NewJob constructs a queued job. The caller owns the struct.
 func NewJob(id cluster.JobID, vc string, gpus int, submit simulation.Time) *Job {
-	return &Job{
+	j := &Job{}
+	InitJob(j, id, vc, gpus, submit)
+	return j
+}
+
+// InitJob initializes a caller-allocated Job in place — the arena path:
+// internal/core lays its jobs out in one contiguous slice and initializes
+// each slot here instead of allocating per job.
+func InitJob(j *Job, id cluster.JobID, vc string, gpus int, submit simulation.Time) {
+	*j = Job{
 		ID:              id,
 		VCName:          vc,
 		GPUs:            gpus,
@@ -292,6 +311,10 @@ type vcState struct {
 	queue   []*Job
 	running map[cluster.JobID]*Job
 	used    int
+	// queuedGPUs is the GPU total over queue, maintained incrementally so
+	// QueuedGPUDemand is O(1) — federation's quota rebalancing reads it per
+	// VC at every fleet barrier.
+	queuedGPUs int
 
 	// ordered is the policy-ordered snapshot of queue that orderQueue hands
 	// out, reused across calls. orderedValid marks it current: scheduling
@@ -522,15 +545,25 @@ func (s *Scheduler) Withdraw(id cluster.JobID) error {
 			if q.ID != id {
 				continue
 			}
-			if q.State != StateQueued {
-				return fmt.Errorf("scheduler: job %d is not queued; cannot withdraw", id)
-			}
-			s.dequeue(vc, id)
-			q.State = StateFinished
-			return nil
+			return s.WithdrawJob(q)
 		}
 	}
 	return fmt.Errorf("scheduler: job %d is not queued; cannot withdraw", id)
+}
+
+// WithdrawJob is Withdraw for callers that already hold the *Job — it skips
+// the all-queues scan (the driver keeps job handles in its arena).
+func (s *Scheduler) WithdrawJob(j *Job) error {
+	if j == nil || !j.queued || j.State != StateQueued {
+		id := cluster.JobID(-1)
+		if j != nil {
+			id = j.ID
+		}
+		return fmt.Errorf("scheduler: job %d is not queued; cannot withdraw", id)
+	}
+	s.dequeue(s.vcs[j.VCName], j.ID)
+	j.State = StateFinished
+	return nil
 }
 
 // VCNames returns the VC names in the scheduler's sorted walk order.
@@ -564,16 +597,12 @@ func (s *Scheduler) SetQuota(name string, quota int) error {
 }
 
 // QueuedGPUDemand returns the total GPUs requested by the VC's queued jobs.
+// O(1): the per-VC counter is maintained by enqueue/dequeue.
 func (s *Scheduler) QueuedGPUDemand(name string) int {
-	vc := s.vcs[name]
-	if vc == nil {
-		return 0
+	if vc := s.vcs[name]; vc != nil {
+		return vc.queuedGPUs
 	}
-	demand := 0
-	for _, j := range vc.queue {
-		demand += j.GPUs
-	}
-	return demand
+	return 0
 }
 
 // Submit enqueues a job (first episode or retry). The job must not be
@@ -593,19 +622,24 @@ func (s *Scheduler) Submit(j *Job, now simulation.Time) error {
 	if j.State == StateRunning {
 		return fmt.Errorf("scheduler: job %d is running; cannot submit", j.ID)
 	}
-	for _, q := range vc.queue {
-		if q.ID == j.ID {
-			return fmt.Errorf("scheduler: job %d already queued", j.ID)
-		}
+	if j.queued {
+		return fmt.Errorf("scheduler: job %d already queued", j.ID)
 	}
 	j.State = StateQueued
 	j.EnqueuedAt = now
 	j.NextAttempt = now
 	j.Attempts = 0
 	j.Episodes++
-	vc.queue = append(vc.queue, j)
-	vc.invalidateOrder()
+	s.enqueue(vc, j)
 	return nil
+}
+
+// enqueue appends the job to the VC queue, maintaining the queue counters.
+func (s *Scheduler) enqueue(vc *vcState, j *Job) {
+	j.queued = true
+	vc.queue = append(vc.queue, j)
+	vc.queuedGPUs += j.GPUs
+	vc.invalidateOrder()
 }
 
 // Release frees a running job's GPUs (episode finished).
@@ -616,6 +650,19 @@ func (s *Scheduler) Release(id cluster.JobID, now simulation.Time) error {
 		}
 	}
 	return fmt.Errorf("scheduler: job %d is not running", id)
+}
+
+// ReleaseJob is Release for callers that already hold the *Job — it skips
+// the per-VC running-map scans on the episode-finish hot path.
+func (s *Scheduler) ReleaseJob(j *Job, now simulation.Time) error {
+	if j == nil || j.State != StateRunning {
+		id := cluster.JobID(-1)
+		if j != nil {
+			id = j.ID
+		}
+		return fmt.Errorf("scheduler: job %d is not running", id)
+	}
+	return s.release(s.vcs[j.VCName], j, now)
 }
 
 func (s *Scheduler) release(vc *vcState, j *Job, now simulation.Time) error {
@@ -807,6 +854,8 @@ func (s *Scheduler) dequeue(vc *vcState, id cluster.JobID) {
 	for i, q := range vc.queue {
 		if q.ID == id {
 			vc.queue = append(vc.queue[:i], vc.queue[i+1:]...)
+			vc.queuedGPUs -= q.GPUs
+			q.queued = false
 			vc.invalidateOrder()
 			return
 		}
@@ -824,8 +873,7 @@ func (s *Scheduler) preempt(vc *vcState, victim *Job, now simulation.Time, fairS
 	victim.NextAttempt = now + s.cfg.Backoff
 	victim.Attempts = 0
 	victim.Episodes++
-	vc.queue = append(vc.queue, victim)
-	vc.invalidateOrder()
+	s.enqueue(vc, victim)
 	if fairShare {
 		s.stats.FairSharePreemptions++
 	} else {

@@ -156,6 +156,151 @@ func runConformance(t *testing.T, name string, sched []confOp, shardSpace int, h
 	}
 }
 
+// confDigest is the compressed observable record of one replay: an FNV-1a
+// accumulator per lane instead of replay's per-event strings, so schedules
+// with millions of events fit in memory. Lane 0 digests the global
+// sequence and, at every global event, every lane's executed-event count —
+// the same barrier-position pinning replay gets from its snapshots.
+type confDigest struct {
+	lanes     []uint64
+	processed uint64
+	pending   int
+	now       Time
+}
+
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// fnvMix folds one 64-bit value into an FNV-1a accumulator byte by byte.
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// replayDigest is replay with hashed lanes: same install semantics (shards
+// fold modulo lanes, children install from global context), same disjoint-
+// state discipline (a local writes only its own lane's accumulator and
+// count, globals read all counts at a barrier), O(1) memory per event.
+func replayDigest(ex Executor, sched []confOp, lanes int, horizon Time) *confDigest {
+	d := &confDigest{lanes: make([]uint64, lanes+1)}
+	for i := range d.lanes {
+		d.lanes[i] = fnvOffset
+	}
+	counts := make([]int, lanes)
+	id := 0
+	var install func(op confOp)
+	install = func(op confOp) {
+		opID := uint64(id)
+		id++
+		if op.shard == Global {
+			ex.At(op.at, func() {
+				h := fnvMix(d.lanes[0], opID)
+				for _, c := range counts {
+					h = fnvMix(h, uint64(c))
+				}
+				d.lanes[0] = h
+				for _, ch := range op.children {
+					install(confOp{shard: ch.shard, at: ex.Now() + ch.dt})
+				}
+			})
+			return
+		}
+		lane := int(op.shard) % lanes
+		ex.AtShard(ShardID(lane), op.at, func() {
+			d.lanes[lane+1] = fnvMix(d.lanes[lane+1], opID)
+			counts[lane]++
+		})
+	}
+	for _, op := range sched {
+		install(op)
+	}
+	ex.Run(horizon)
+	d.processed = ex.Processed()
+	d.pending = ex.Pending()
+	d.now = ex.Now()
+	return d
+}
+
+// TestConformanceMillionEventSchedule replays one synthetic million-event
+// schedule — tie-heavy (~32 events per instant), ~6% globals, a fraction
+// of which fan out zero-and-short-delay children — through the same engine
+// matrix as the small suites, comparing lane digests instead of traces.
+// This is the scale leg: barrier batching, the drain's same-instant split
+// and per-lane heap growth only meet their steady state after hundreds of
+// thousands of events. Gated behind -short; run it under -race to check
+// the pool discipline at scale.
+func TestConformanceMillionEventSchedule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the million-event conformance leg is not a -short test")
+	}
+	const (
+		nOps       = 1_000_000
+		shardSpace = 4
+		span       = nOps / 32
+	)
+	r := rand.New(rand.NewPCG(99, 0x9e3779b97f4a7c15))
+	sched := make([]confOp, 0, nOps)
+	for i := 0; i < nOps; i++ {
+		op := confOp{at: Time(r.IntN(span))}
+		if r.IntN(16) == 0 {
+			op.shard = Global
+			if r.IntN(4) == 0 {
+				for c := 1 + r.IntN(3); c > 0; c-- {
+					ch := confChild{shard: ShardID(r.IntN(shardSpace)), dt: Time(r.IntN(3))}
+					if r.IntN(4) == 0 {
+						ch.shard = Global
+					}
+					op.children = append(op.children, ch)
+				}
+			}
+		} else {
+			op.shard = ShardID(r.IntN(shardSpace))
+		}
+		sched = append(sched, op)
+	}
+	// Children land at most 2 ticks after a parent at span-1, so this
+	// horizon drains everything: pending must come out 0 on every engine.
+	const horizon = Time(span + 3)
+
+	pool := par.NewPool(4)
+	defer pool.Close()
+	for _, lanes := range []int{1, 2, shardSpace} {
+		want := replayDigest(NewEngine(), sched, lanes, horizon)
+		if want.processed < nOps {
+			t.Fatalf("lanes=%d: reference processed %d events, want >= %d", lanes, want.processed, nOps)
+		}
+		if want.pending != 0 {
+			t.Fatalf("lanes=%d: reference left %d events pending before the horizon", lanes, want.pending)
+		}
+		for ename, ex := range confExecutors(t, lanes, pool) {
+			got := replayDigest(ex, sched, lanes, horizon)
+			if !reflect.DeepEqual(want.lanes, got.lanes) {
+				t.Fatalf("%s lanes=%d: lane digests diverged\nengine: %x\n%s: %x",
+					ename, lanes, want.lanes, ename, got.lanes)
+			}
+			if want.processed != got.processed || want.pending != got.pending {
+				t.Fatalf("%s lanes=%d: processed/pending = %d/%d, want %d/%d",
+					ename, lanes, got.processed, got.pending, want.processed, want.pending)
+			}
+			if got.now != want.now {
+				t.Fatalf("%s lanes=%d: Now = %v, want %v", ename, lanes, got.now, want.now)
+			}
+			if sh, ok := ex.(*Sharded); ok {
+				st := sh.Stats()
+				if st.Barriers == 0 || st.Barriers > st.GlobalEvents {
+					t.Fatalf("%s lanes=%d: Barriers = %d with %d globals", ename, lanes, st.Barriers, st.GlobalEvents)
+				}
+			}
+		}
+	}
+}
+
 // TestConformanceEdgeSchedules replays hand-built schedules covering the
 // contract's edges: exact-time ties between locals and globals, Stop in
 // the middle of a multi-shard window, zero-duration event chains, and

@@ -127,6 +127,12 @@ type WindowStats struct {
 	MaxShardsInWindow int
 	// LocalEvents and GlobalEvents partition Processed().
 	LocalEvents, GlobalEvents uint64
+	// Barriers counts barrier drain cycles: consecutive global events with
+	// no shard-local event ordered between them — a same-instant arrival
+	// storm, a batch of commits — execute inside one cycle, so Barriers is
+	// the number of times the run actually synchronized, not the number of
+	// global events. Barriers <= GlobalEvents.
+	Barriers uint64
 }
 
 // Sharded is the per-VC event engine. The zero value is not usable; call
@@ -339,11 +345,34 @@ func (s *Sharded) runWindow(bAt Time, bSeq uint64, horizon Time) {
 	s.inShard.Store(false)
 }
 
+// shardEventBefore reports whether any shard's next event is ordered
+// before the (at, seq) key — the test that decides whether the global
+// drain must pause for a window.
+func (s *Sharded) shardEventBefore(at Time, seq uint64) bool {
+	for i := range s.shards {
+		q := s.shards[i].queue
+		if len(q) == 0 {
+			continue
+		}
+		if q[0].at < at || (q[0].at == at && q[0].seq < seq) {
+			return true
+		}
+	}
+	return false
+}
+
 // Run executes events in windows until every heap drains or the clock
 // would pass horizon (events at exactly horizon still run). It returns the
 // number of events executed during this call. Semantics match Engine.Run:
 // Stop (from a global event) halts after that event; the clock advances to
 // the horizon when the queues drain first.
+//
+// Each iteration is one barrier cycle: run the window below the earliest
+// global, then drain consecutive globals — executing, in (at, seq) order,
+// every pending global not preceded by any shard-local event — before
+// scanning for the next window. A same-instant arrival storm (or any batch
+// of back-to-back globals) therefore costs one barrier, not one per event;
+// the execution order is exactly the sequential engine's either way.
 func (s *Sharded) Run(horizon Time) uint64 {
 	s.stopped = false
 	start := s.Processed()
@@ -355,17 +384,24 @@ func (s *Sharded) Run(horizon Time) uint64 {
 			// everything runnable, so the simulation is done.
 			break
 		}
-		next := s.global.pop()
-		s.now = next.at
-		// Keep shard clocks from reading behind the barrier.
-		for i := range s.shards {
-			if s.shards[i].now < s.now {
-				s.shards[i].now = s.now
+		s.stats.Barriers++
+		for !s.stopped {
+			next := s.global.pop()
+			s.now = next.at
+			// Keep shard clocks from reading behind the barrier.
+			for i := range s.shards {
+				if s.shards[i].now < s.now {
+					s.shards[i].now = s.now
+				}
+			}
+			next.fn()
+			s.processed++
+			s.stats.GlobalEvents++
+			if len(s.global) == 0 || s.global[0].at > horizon ||
+				s.shardEventBefore(s.global[0].at, s.global[0].seq) {
+				break
 			}
 		}
-		next.fn()
-		s.processed++
-		s.stats.GlobalEvents++
 	}
 	s.stats.LocalEvents = s.Processed() - s.stats.GlobalEvents
 	if !s.stopped && s.now < horizon && s.Pending() == 0 {

@@ -118,6 +118,58 @@ func TestShardedWindowStats(t *testing.T) {
 	}
 }
 
+// TestShardedBatchedBarrierDrain pins the batched-drain accounting on a
+// tie-heavy replay-style schedule: a storm of same-instant global events
+// with no shard event ordered between them executes in ONE barrier drain
+// cycle (Barriers counts synchronizations, not global events), and the
+// storm adds no windows of its own.
+func TestShardedBatchedBarrierDrain(t *testing.T) {
+	s := NewSharded(2)
+	ran := 0
+	s.AtShard(0, 5, func() {})
+	for i := 0; i < 50; i++ {
+		s.At(10, func() { ran++ })
+	}
+	s.AtShard(1, 15, func() {})
+	for i := 0; i < 30; i++ {
+		s.At(20, func() { ran++ })
+	}
+	s.Run(30)
+	st := s.Stats()
+	if ran != 80 || st.GlobalEvents != 80 {
+		t.Fatalf("executed %d globals, stats %d, want 80", ran, st.GlobalEvents)
+	}
+	if st.Barriers != 2 {
+		t.Fatalf("Barriers = %d, want 2 (one per storm)", st.Barriers)
+	}
+	if st.Windows != 2 {
+		t.Fatalf("Windows = %d, want 2 (storms add no zero-width windows)", st.Windows)
+	}
+	if st.LocalEvents != 2 {
+		t.Fatalf("LocalEvents = %d, want 2", st.LocalEvents)
+	}
+}
+
+// TestShardedSameInstantTieSplitsDrain checks the drain's ordering guard:
+// a shard-local event scheduled BETWEEN two same-instant globals carries a
+// seq between theirs, so the drain must stop for it — batching never
+// reorders the sequential (at, seq) execution.
+func TestShardedSameInstantTieSplitsDrain(t *testing.T) {
+	s := NewSharded(2)
+	var order []string
+	s.At(10, func() { order = append(order, "g1") })
+	s.AtShard(0, 10, func() { order = append(order, "local") })
+	s.At(10, func() { order = append(order, "g2") })
+	s.Run(20)
+	want := []string{"g1", "local", "g2"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	if st := s.Stats(); st.Barriers != 2 {
+		t.Fatalf("Barriers = %d, want 2 (the tie splits the drain)", st.Barriers)
+	}
+}
+
 // TestShardedSchedulingFromLocalPanics enforces the window-merge contract:
 // a local callback that schedules (or stops) would make the event order
 // depend on thread timing, so the engine must reject it loudly.

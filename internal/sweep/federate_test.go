@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"philly/internal/analysis"
+	"philly/internal/core"
 	"philly/internal/federation"
 )
 
@@ -179,5 +180,73 @@ func TestFleetReduceAgreesWithAnalysis(t *testing.T) {
 	}
 	if m.UnsuccessfulPct != fleet.UnsuccessfulPct {
 		t.Fatalf("unsuccessful%% diverged: sweep %v vs analysis %v", m.UnsuccessfulPct, fleet.UnsuccessfulPct)
+	}
+}
+
+// TestFederatedStreamingMatchesBatch pins the streaming federated
+// reduction (per-member StreamReducers + fleetFinishStream, the path
+// runFederatedCell takes) against the batch fold over fully retained
+// results: every member row and the fleet row must be bit-identical, and
+// the streaming run must actually have released completed jobs' attempt
+// records.
+func TestFederatedStreamingMatchesBatch(t *testing.T) {
+	mkCfg := func() federation.Config {
+		fcfg, err := federation.NewConfig(23, "philly-small", "helios-like")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range fcfg.Members {
+			fcfg.Members[i].Config.Workload.TotalJobs = 250
+		}
+		return fcfg
+	}
+
+	batchRes, err := federation.Run(mkCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]ReplicaMetrics, 0, len(batchRes.Members)+1)
+	for _, m := range batchRes.Members {
+		batch = append(batch, Reduce(m.Result))
+	}
+	batch = append(batch, fleetReduce(23, batchRes))
+
+	st, err := federation.NewStudy(mkCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reds := make([]*StreamReducer, st.NumMembers())
+	for i := range reds {
+		reds[i] = NewStreamReducer(st.MemberNumJobs(i))
+	}
+	st.StreamMemberJobs(func(mi, i int, r *core.JobResult) { reds[mi].ObserveJob(i, r) })
+	streamRes, err := st.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := make([]ReplicaMetrics, 0, len(streamRes.Members)+1)
+	for mi, m := range streamRes.Members {
+		stream = append(stream, reds[mi].Finish(m.Result))
+	}
+	stream = append(stream, fleetFinishStream(23, reds, streamRes))
+
+	if !reflect.DeepEqual(batch, stream) {
+		t.Fatalf("streamed federated cell diverged from batch fold:\nbatch:  %+v\nstream: %+v", batch, stream)
+	}
+
+	released, completed := 0, 0
+	for _, m := range streamRes.Members {
+		for i := range m.Result.Jobs {
+			j := &m.Result.Jobs[i]
+			if j.Completed && !j.Offloaded {
+				completed++
+				if j.Attempts == nil {
+					released++
+				}
+			}
+		}
+	}
+	if completed == 0 || released != completed {
+		t.Fatalf("streaming did not release attempt records: %d/%d released", released, completed)
 	}
 }

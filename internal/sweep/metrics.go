@@ -133,6 +133,16 @@ func (r *StreamReducer) ObserveJob(i int, j *core.JobResult) {
 	}
 }
 
+// accumFor returns job i's accumulator, folding it from the retained
+// record first if the streaming observer never saw it (jobs that missed
+// the horizon keep their full records in the StudyResult).
+func (r *StreamReducer) accumFor(i int, j *core.JobResult) *jobAccum {
+	if i >= len(r.jobs) || !r.jobs[i].seen {
+		r.ObserveJob(i, j)
+	}
+	return &r.jobs[i]
+}
+
 // Finish folds the per-job accumulators (in job order) plus the study-level
 // aggregates into the replica metrics. Jobs never observed — those that did
 // not complete before the horizon — are extracted from res.Jobs, where their
@@ -149,10 +159,7 @@ func (r *StreamReducer) Finish(res *core.StudyResult) ReplicaMetrics {
 	// spillover injects jobs beyond the generated count), so walk the
 	// result, not the accumulator — ObserveJob grows it on demand.
 	for i := 0; i < len(res.Jobs); i++ {
-		if i >= len(r.jobs) || !r.jobs[i].seen {
-			r.ObserveJob(i, &res.Jobs[i])
-		}
-		a := &r.jobs[i]
+		a := r.accumFor(i, &res.Jobs[i])
 		if a.offloaded {
 			// Spillover shell: the job runs, and is counted, at another
 			// federation member.

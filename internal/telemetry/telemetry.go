@@ -9,6 +9,22 @@
 // status (Figure 5, Table 3), by server spread for 16-GPU jobs (Table 5),
 // by dedicated-server classes (Figure 6), and host CPU/memory histograms
 // (Figure 7). Per-job means are kept for trace export.
+//
+// # Sharded fold
+//
+// The recorder keeps NumFoldShards complete histogram sets alongside the
+// final ("global") one. The telemetry walk in internal/core assigns every
+// draw chunk to the fixed shard (chunk index mod NumFoldShards) and folds
+// the chunk's samples straight into that shard's set — concurrently across
+// shards under a worker pool, or one shard at a time on the sequential
+// path, with the identical chunk→shard mapping either way. Seal merges the
+// shards into the global set in fixed shard order (0..NumFoldShards-1) at
+// study end. Because the mapping and the merge order are worker-count
+// independent, results are bit-identical across pool sizes and engines;
+// the fold order within each histogram is the deliberate determinism-
+// contract change PR 8 made (PERFORMANCE.md § PR 8) — integer bucket
+// counts are order-invariant, only the float sums backing histogram means
+// shift (deterministically) relative to the pre-PR 8 sequential order.
 package telemetry
 
 import (
@@ -16,7 +32,6 @@ import (
 
 	"philly/internal/cluster"
 	"philly/internal/failures"
-	"philly/internal/perfmodel"
 	"philly/internal/stats"
 )
 
@@ -36,6 +51,12 @@ const (
 	// NumSizeClasses is the class count.
 	NumSizeClasses
 )
+
+// NumFoldShards is the number of histogram fold shards the recorder keeps.
+// It is a fixed constant — never derived from worker count or pool size —
+// because the chunk→shard assignment must be identical for every execution
+// configuration for results to stay bit-identical.
+const NumFoldShards = 8
 
 // ClassFor maps a GPU count to its representative class.
 func ClassFor(gpus int) SizeClass {
@@ -101,11 +122,11 @@ const histBuckets = 100
 
 func newPctHist() *stats.Histogram { return stats.NewHistogram(0, 100, histBuckets) }
 
-// Recorder aggregates telemetry. Not safe for concurrent use: the parallel
-// telemetry pipeline in internal/core shards only the RNG draws (into
-// per-entity buffer slots) and folds values into the recorder from the
-// single event-loop goroutine, in the sequential walk's exact order.
-type Recorder struct {
+// histSet is one complete set of the analysis histograms. The recorder owns
+// NumFoldShards of them plus the global set the accessors read; every
+// histogram shares the [0, 100] percent shape, so one bucket computation
+// fans out across a set.
+type histSet struct {
 	bySizeStatus [NumSizeClasses][3]*stats.Histogram
 	all          *stats.Histogram
 	allByStatus  [3]*stats.Histogram
@@ -117,43 +138,193 @@ type Recorder struct {
 	dedicated8, dedicated16 *stats.Histogram
 
 	hostCPU, hostMem *stats.Histogram
-
-	perJob map[cluster.JobID]*JobUsage
 }
 
-// NewRecorder builds an empty recorder.
-func NewRecorder() *Recorder {
-	r := &Recorder{
+func newHistSet() *histSet {
+	h := &histSet{
 		all:         newPctHist(),
 		spread16:    map[int]*stats.Histogram{},
 		dedicated8:  newPctHist(),
 		dedicated16: newPctHist(),
 		hostCPU:     newPctHist(),
 		hostMem:     newPctHist(),
-		perJob:      map[cluster.JobID]*JobUsage{},
 	}
 	for s := SizeClass(0); s < NumSizeClasses; s++ {
 		for o := 0; o < 3; o++ {
-			r.bySizeStatus[s][o] = newPctHist()
+			h.bySizeStatus[s][o] = newPctHist()
 		}
 	}
 	for o := 0; o < 3; o++ {
-		r.allByStatus[o] = newPctHist()
+		h.allByStatus[o] = newPctHist()
+	}
+	return h
+}
+
+// recordJobMinute records one per-minute GPU-utilization sample into this
+// set, updating the job's accumulator. The bucket index is computed once
+// and fanned out — one division per sample instead of one per histogram.
+func (h *histSet) recordJobMinute(u *JobUsage, meta JobMeta, util float64) {
+	class := ClassFor(meta.GPUs)
+	o := int(meta.Outcome)
+	idx, under, over := h.all.BucketFor(util)
+	h.bySizeStatus[class][o].AddAt(util, idx, under, over)
+	h.allByStatus[o].AddAt(util, idx, under, over)
+	h.all.AddAt(util, idx, under, over)
+
+	if meta.GPUs == 16 {
+		sp, ok := h.spread16[meta.Servers]
+		if !ok {
+			sp = newPctHist()
+			h.spread16[meta.Servers] = sp
+		}
+		sp.AddAt(util, idx, under, over)
+		if meta.Servers == 2 && !meta.Colocated {
+			h.dedicated16.AddAt(util, idx, under, over)
+		}
+	}
+	if meta.GPUs == 8 && meta.Servers == 1 && !meta.Colocated {
+		h.dedicated8.AddAt(util, idx, under, over)
+	}
+
+	u.SumUtil += util
+	u.Minutes++
+}
+
+// recordHostMinute records one per-minute host sample into this set.
+func (h *histSet) recordHostMinute(cpuUtil, memUtil float64) {
+	h.hostCPU.Add(cpuUtil)
+	h.hostMem.Add(memUtil)
+}
+
+// mergeFrom folds another set into this one. Every histogram pair shares
+// the percent shape, so Merge cannot fail on live recorders.
+func (h *histSet) mergeFrom(o *histSet) {
+	must := func(err error) {
+		if err != nil {
+			panic("telemetry: fold-shard merge shape mismatch: " + err.Error())
+		}
+	}
+	for s := SizeClass(0); s < NumSizeClasses; s++ {
+		for st := 0; st < 3; st++ {
+			must(h.bySizeStatus[s][st].Merge(o.bySizeStatus[s][st]))
+		}
+	}
+	for st := 0; st < 3; st++ {
+		must(h.allByStatus[st].Merge(o.allByStatus[st]))
+	}
+	must(h.all.Merge(o.all))
+	for servers, sp := range o.spread16 {
+		dst, ok := h.spread16[servers]
+		if !ok {
+			dst = newPctHist()
+			h.spread16[servers] = dst
+		}
+		must(dst.Merge(sp))
+	}
+	must(h.dedicated8.Merge(o.dedicated8))
+	must(h.dedicated16.Merge(o.dedicated16))
+	must(h.hostCPU.Merge(o.hostCPU))
+	must(h.hostMem.Merge(o.hostMem))
+}
+
+// Recorder aggregates telemetry. Not safe for fully concurrent use: the
+// parallel pipeline in internal/core touches disjoint state per worker —
+// each fold shard is owned by exactly one fork-join task, and a job's
+// usage accumulator by the task owning the job's chunk — and everything
+// else runs on the single event-loop goroutine.
+type Recorder struct {
+	global *histSet
+	// shards are the fold-shard sets, merged into global by Seal (nil
+	// afterwards, so sealed recorders compare by their merged state alone).
+	shards []*histSet
+
+	// dense backs the per-job accumulators for ID-dense workloads (IDs
+	// 1..n, see Reserve): slot i serves job ID i+1. The backing array is
+	// allocated once and never regrown, so *JobUsage handles stay valid.
+	dense     []JobUsage
+	denseUsed []bool
+	denseHits int
+	// perJob covers jobs outside the dense range (federation-injected IDs,
+	// replayed traces with arbitrary IDs).
+	perJob map[cluster.JobID]*JobUsage
+}
+
+// NewRecorder builds an empty recorder.
+func NewRecorder() *Recorder {
+	r := &Recorder{
+		global: newHistSet(),
+		shards: make([]*histSet, NumFoldShards),
+		perJob: map[cluster.JobID]*JobUsage{},
+	}
+	for i := range r.shards {
+		r.shards[i] = newHistSet()
 	}
 	return r
 }
 
+// Reserve pre-sizes the per-job accumulator table for job IDs 1..n. Only
+// valid for workloads whose generated IDs are exactly that dense range (the
+// caller must verify); other IDs keep working through the fallback map.
+// Must be called before any sample is recorded.
+func (r *Recorder) Reserve(n int) {
+	r.dense = make([]JobUsage, n)
+	r.denseUsed = make([]bool, n)
+}
+
+// FoldShard is a handle on one fold shard's histogram set. Handles to
+// different shards may record concurrently; a single shard's handle must
+// only be used by one goroutine at a time.
+type FoldShard struct{ set *histSet }
+
+// FoldShard returns the handle for fold shard g in [0, NumFoldShards).
+// Only valid before Seal.
+func (r *Recorder) FoldShard(g int) FoldShard { return FoldShard{r.shards[g]} }
+
+// RecordJobMinuteInto records one job sample into the shard.
+func (f FoldShard) RecordJobMinuteInto(u *JobUsage, meta JobMeta, util float64) {
+	f.set.recordJobMinute(u, meta, util)
+}
+
+// RecordHostMinute records one host sample into the shard.
+func (f FoldShard) RecordHostMinute(cpuUtil, memUtil float64) {
+	f.set.recordHostMinute(cpuUtil, memUtil)
+}
+
+// Seal merges the fold shards into the final histogram set, in fixed shard
+// order, and releases them. Accessors reflect shard-recorded samples only
+// after Seal; recording through FoldShard handles afterwards is invalid.
+// Idempotent.
+func (r *Recorder) Seal() {
+	if r.shards == nil {
+		return
+	}
+	for _, sh := range r.shards {
+		r.global.mergeFrom(sh)
+	}
+	r.shards = nil
+}
+
+// Sealed reports whether Seal has run.
+func (r *Recorder) Sealed() bool { return r.shards == nil }
+
 // RecordJobMinute records one per-minute GPU-utilization sample (percent,
-// averaged over the job's GPUs) for a running job.
+// averaged over the job's GPUs) for a running job, directly into the final
+// set — the single-writer path for callers outside the sharded walk.
 func (r *Recorder) RecordJobMinute(meta JobMeta, util float64) {
-	r.RecordJobMinuteInto(r.EnsureJob(meta.ID), meta, util)
+	r.global.recordJobMinute(r.EnsureJob(meta.ID), meta, util)
 }
 
 // EnsureJob returns the job's usage accumulator, creating it on first use.
-// Callers on the per-tick hot path hold the returned handle and pass it to
-// RecordJobMinuteInto, skipping the map lookup every sample would otherwise
-// pay.
+// Callers on the per-tick hot path hold the returned handle, skipping the
+// lookup every sample would otherwise pay.
 func (r *Recorder) EnsureJob(id cluster.JobID) *JobUsage {
+	if i := int64(id); i >= 1 && i <= int64(len(r.dense)) {
+		if !r.denseUsed[i-1] {
+			r.denseUsed[i-1] = true
+			r.denseHits++
+		}
+		return &r.dense[i-1]
+	}
 	u := r.perJob[id]
 	if u == nil {
 		u = &JobUsage{}
@@ -163,182 +334,38 @@ func (r *Recorder) EnsureJob(id cluster.JobID) *JobUsage {
 }
 
 // RecordJobMinuteInto is RecordJobMinute with the per-job accumulator
-// supplied by the caller (see EnsureJob). Every histogram here shares the
-// [0, 100] percent shape, so the bucket index is computed once and fanned
-// out — one division per sample instead of one per histogram.
+// supplied by the caller (see EnsureJob).
 func (r *Recorder) RecordJobMinuteInto(u *JobUsage, meta JobMeta, util float64) {
-	class := ClassFor(meta.GPUs)
-	o := int(meta.Outcome)
-	idx, under, over := r.all.BucketFor(util)
-	r.bySizeStatus[class][o].AddAt(util, idx, under, over)
-	r.allByStatus[o].AddAt(util, idx, under, over)
-	r.all.AddAt(util, idx, under, over)
-
-	if meta.GPUs == 16 {
-		h, ok := r.spread16[meta.Servers]
-		if !ok {
-			h = newPctHist()
-			r.spread16[meta.Servers] = h
-		}
-		h.AddAt(util, idx, under, over)
-		if meta.Servers == 2 && !meta.Colocated {
-			r.dedicated16.AddAt(util, idx, under, over)
-		}
-	}
-	if meta.GPUs == 8 && meta.Servers == 1 && !meta.Colocated {
-		r.dedicated8.AddAt(util, idx, under, over)
-	}
-
-	u.SumUtil += util
-	u.Minutes++
+	r.global.recordJobMinute(u, meta, util)
 }
 
-// RecordHostMinute records one per-minute host sample for a server.
+// RecordHostMinute records one per-minute host sample for a server into the
+// final set.
 func (r *Recorder) RecordHostMinute(cpuUtil, memUtil float64) {
-	r.hostCPU.Add(cpuUtil)
-	r.hostMem.Add(memUtil)
-}
-
-// RecordHostMinutesStreams records one tick's host samples for the whole
-// fleet — servers visited in ID order (the order of the used/caps arrays),
-// two model draws per server — with one pre-split RNG stream per server:
-// server i draws from streams[i], so its samples depend only on (stream,
-// tick count), the property that lets the host walk shard across workers
-// bit-identically. This is the sequential shape of the parallel pipeline's
-// host walk.
-func (r *Recorder) RecordHostMinutesStreams(host *perfmodel.HostModel, used, caps []int32, streams []stats.RNG) {
-	cpuHist, memHist := r.hostCPU, r.hostMem
-	for i, u := range used {
-		cpu, mem := host.Sample(int(u), int(caps[i]), &streams[i])
-		cpuHist.Add(cpu)
-		memHist.Add(mem)
-	}
-}
-
-// JobSample is one drawn per-minute job sample, ready to fold. The parallel
-// telemetry pipeline splits RecordJobMinuteInto's destinations across
-// FoldJobsAll / FoldJobsBySize / FoldJobsSpreadUsage so three workers can
-// fold the same sample buffer concurrently without sharing a histogram;
-// each method applies samples in buffer order, so per-histogram
-// accumulation order — and with it every floating-point sum — is exactly
-// the sequential walk's. The three folds together are sample-for-sample
-// identical to RecordJobMinuteInto (TestFoldGroupsMatchRecord pins this).
-type JobSample struct {
-	// Usage is the job's accumulator (exclusive to this sample's job).
-	Usage *JobUsage
-	// Meta points at the job's grouping key (stable during a tick).
-	Meta *JobMeta
-	// Util is the drawn utilization percent, already clamped to [0, 100].
-	Util float64
-	// Idx is Util's precomputed bucket index, or -1 for an empty slot.
-	// Clamped values never set a histogram's under/over flags, so the
-	// index alone reconstructs the full AddAt.
-	Idx int32
-}
-
-// HostSample is one drawn per-minute host sample, ready to fold.
-type HostSample struct {
-	// CPU and Mem are drawn percentages, already clamped to [0, 100].
-	CPU, Mem float64
-	// CPUIdx and MemIdx are the precomputed bucket indexes.
-	CPUIdx, MemIdx int32
-}
-
-// BucketFor exposes the shared percent-histogram bucket computation for
-// sample producers; all of the recorder's histograms have this shape.
-func (r *Recorder) BucketFor(v float64) int32 {
-	idx, _, _ := r.all.BucketFor(v)
-	return int32(idx)
-}
-
-// FoldJobsAll folds a sample buffer into the all-sizes histograms ("all"
-// and by-status).
-func (r *Recorder) FoldJobsAll(samples []JobSample) {
-	for i := range samples {
-		s := &samples[i]
-		if s.Idx < 0 {
-			continue
-		}
-		r.allByStatus[int(s.Meta.Outcome)].AddAt(s.Util, int(s.Idx), false, false)
-		r.all.AddAt(s.Util, int(s.Idx), false, false)
-	}
-}
-
-// FoldJobsBySize folds a sample buffer into the size-class × status
-// histograms.
-func (r *Recorder) FoldJobsBySize(samples []JobSample) {
-	for i := range samples {
-		s := &samples[i]
-		if s.Idx < 0 {
-			continue
-		}
-		r.bySizeStatus[ClassFor(s.Meta.GPUs)][int(s.Meta.Outcome)].AddAt(s.Util, int(s.Idx), false, false)
-	}
-}
-
-// FoldJobsSpreadUsage folds a sample buffer into the spread/dedicated
-// histograms and the per-job usage accumulators.
-func (r *Recorder) FoldJobsSpreadUsage(samples []JobSample) {
-	for i := range samples {
-		s := &samples[i]
-		if s.Idx < 0 {
-			continue
-		}
-		m := s.Meta
-		if m.GPUs == 16 {
-			h, ok := r.spread16[m.Servers]
-			if !ok {
-				h = newPctHist()
-				r.spread16[m.Servers] = h
-			}
-			h.AddAt(s.Util, int(s.Idx), false, false)
-			if m.Servers == 2 && !m.Colocated {
-				r.dedicated16.AddAt(s.Util, int(s.Idx), false, false)
-			}
-		}
-		if m.GPUs == 8 && m.Servers == 1 && !m.Colocated {
-			r.dedicated8.AddAt(s.Util, int(s.Idx), false, false)
-		}
-		s.Usage.SumUtil += s.Util
-		s.Usage.Minutes++
-	}
-}
-
-// FoldHostCPU folds a host-sample buffer into the CPU histogram.
-func (r *Recorder) FoldHostCPU(samples []HostSample) {
-	for i := range samples {
-		r.hostCPU.AddAt(samples[i].CPU, int(samples[i].CPUIdx), false, false)
-	}
-}
-
-// FoldHostMem folds a host-sample buffer into the memory histogram.
-func (r *Recorder) FoldHostMem(samples []HostSample) {
-	for i := range samples {
-		r.hostMem.AddAt(samples[i].Mem, int(samples[i].MemIdx), false, false)
-	}
+	r.global.recordHostMinute(cpuUtil, memUtil)
 }
 
 // SizeStatus returns the utilization histogram for a size class × outcome.
 func (r *Recorder) SizeStatus(class SizeClass, o failures.Outcome) *stats.Histogram {
-	return r.bySizeStatus[class][int(o)]
+	return r.global.bySizeStatus[class][int(o)]
 }
 
 // AllByStatus returns the all-sizes histogram for an outcome.
 func (r *Recorder) AllByStatus(o failures.Outcome) *stats.Histogram {
-	return r.allByStatus[int(o)]
+	return r.global.allByStatus[int(o)]
 }
 
 // All returns the histogram over every job sample.
-func (r *Recorder) All() *stats.Histogram { return r.all }
+func (r *Recorder) All() *stats.Histogram { return r.global.all }
 
 // Spread16 returns the Table 5 histogram for 16-GPU jobs over the given
 // server count (nil if never observed).
-func (r *Recorder) Spread16(servers int) *stats.Histogram { return r.spread16[servers] }
+func (r *Recorder) Spread16(servers int) *stats.Histogram { return r.global.spread16[servers] }
 
 // Spread16Servers lists observed spreads ascending.
 func (r *Recorder) Spread16Servers() []int {
 	var out []int
-	for s := range r.spread16 {
+	for s := range r.global.spread16 {
 		out = append(out, s)
 	}
 	sort.Ints(out)
@@ -346,19 +373,22 @@ func (r *Recorder) Spread16Servers() []int {
 }
 
 // Dedicated8 returns the Figure 6 histogram for dedicated 8-GPU jobs.
-func (r *Recorder) Dedicated8() *stats.Histogram { return r.dedicated8 }
+func (r *Recorder) Dedicated8() *stats.Histogram { return r.global.dedicated8 }
 
 // Dedicated16 returns the Figure 6 histogram for dedicated 16-GPU jobs.
-func (r *Recorder) Dedicated16() *stats.Histogram { return r.dedicated16 }
+func (r *Recorder) Dedicated16() *stats.Histogram { return r.global.dedicated16 }
 
 // HostCPU returns the Figure 7 CPU histogram.
-func (r *Recorder) HostCPU() *stats.Histogram { return r.hostCPU }
+func (r *Recorder) HostCPU() *stats.Histogram { return r.global.hostCPU }
 
 // HostMem returns the Figure 7 memory histogram.
-func (r *Recorder) HostMem() *stats.Histogram { return r.hostMem }
+func (r *Recorder) HostMem() *stats.Histogram { return r.global.hostMem }
 
 // JobUsageOf returns accumulated usage for a job (zero value if none).
 func (r *Recorder) JobUsageOf(id cluster.JobID) JobUsage {
+	if i := int64(id); i >= 1 && i <= int64(len(r.dense)) {
+		return r.dense[i-1]
+	}
 	if u := r.perJob[id]; u != nil {
 		return *u
 	}
@@ -366,4 +396,4 @@ func (r *Recorder) JobUsageOf(id cluster.JobID) JobUsage {
 }
 
 // NumJobsSampled returns how many distinct jobs produced samples.
-func (r *Recorder) NumJobsSampled() int { return len(r.perJob) }
+func (r *Recorder) NumJobsSampled() int { return r.denseHits + len(r.perJob) }
