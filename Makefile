@@ -34,14 +34,18 @@ shuffle:
 	$(GO) vet ./...
 	$(GO) test -count=2 -shuffle=on ./internal/simulation ./internal/federation ./internal/trace ./internal/faults ./internal/failures
 
-# fuzz gives each trace-reader fuzz target a short randomized budget on top
-# of the committed corpus (testdata/fuzz/, replayed by plain `go test` too).
-# The oracle is the replay determinism contract: any accepted input's spec
-# export must round-trip byte-identically. Raise FUZZTIME to dig deeper.
+# fuzz gives each fuzz target a short randomized budget on top of the
+# committed corpus (testdata/fuzz/, replayed by plain `go test` too). The
+# trace readers' oracle is the replay determinism contract: any accepted
+# input's spec export must round-trip byte-identically. The faults/checkpoint
+# spec parsers' oracle is the canonical rendering: accepted specs re-parse to
+# the same config and canonicalization is a fixed point. Raise FUZZTIME to
+# dig deeper.
 FUZZTIME ?= 20s
 fuzz:
 	$(GO) test -fuzz FuzzReadTraceCSV -fuzztime $(FUZZTIME) -run '^$$' ./internal/trace
 	$(GO) test -fuzz FuzzReadTraceJSON -fuzztime $(FUZZTIME) -run '^$$' ./internal/trace
+	$(GO) test -fuzz FuzzParseFaultsSpec -fuzztime $(FUZZTIME) -run '^$$' ./internal/core
 
 # bench runs every benchmark once per reporting interval; pipe to a file to
 # record a BENCH_*.json-style trajectory for the PR log.

@@ -20,8 +20,11 @@ import (
 
 	"philly"
 	"philly/internal/analysis"
+	"philly/internal/cluster"
 	"philly/internal/failures"
 	"philly/internal/perfmodel"
+	"philly/internal/scheduler"
+	"philly/internal/simulation"
 	"philly/internal/stats"
 	"philly/internal/sweep"
 )
@@ -610,4 +613,107 @@ func BenchmarkFederatedSweepMemory(b *testing.B) {
 	if mb, ok := peakRSSMB(); ok {
 		b.ReportMetric(mb, "peak_rss_mb")
 	}
+}
+
+// BenchmarkSchedulerPumpChurn isolates the scheduler's barrier-side cost on
+// a queue-heavy, retry-dominated workload: a near-full cluster whose free
+// GPUs are scattered two-per-server, so a deep queue of locality-constrained
+// gangs re-runs doomed packed searches on every backoff expiry (the retry
+// storm of Jeon et al. §2.3 that dominates Pump time at scale). A light
+// allocate/release churn every few pumps dirties the free state so the
+// steady state is a mix of unchanged-epoch retries and genuine placements —
+// the scenario the rack-epoch feasibility cache and speculative placement
+// target.
+func BenchmarkSchedulerPumpChurn(b *testing.B) {
+	cl, err := cluster.New(cluster.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := scheduler.DefaultConfig()
+	// Pin every gang to packed placement so blocked jobs keep retrying at
+	// the strictest level instead of relaxing their way onto the scattered
+	// free GPUs.
+	cfg.RelaxToRackAfter = 1 << 20
+	cfg.RelaxToAnyAfter = 1 << 20
+	total := cl.TotalGPUs()
+	vcs := []scheduler.VC{
+		{Name: "tenant-0", Quota: total},
+		{Name: "tenant-1", Quota: total},
+		{Name: "tenant-2", Quota: total},
+		{Name: "tenant-3", Quota: total},
+		{Name: "churn", Quota: total},
+	}
+	s, err := scheduler.New(cfg, cl, vcs)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	now := simulation.Time(0)
+	nextID := cluster.JobID(1)
+	submit := func(vc string, gpus int) *scheduler.Job {
+		j := scheduler.NewJob(nextID, vc, gpus, now)
+		nextID++
+		if err := s.Submit(j, now); err != nil {
+			b.Fatal(err)
+		}
+		return j
+	}
+
+	// Fill the 2-GPU racks completely with single-GPU fillers (best-fit
+	// lands them there while every 8-GPU server is still fully free), then
+	// take every 8-GPU server down to 2 free GPUs with 6-GPU runners.
+	var fillers []*scheduler.Job
+	for i := 0; i < 96; i++ {
+		fillers = append(fillers, submit("churn", 1))
+	}
+	s.Pump(now)
+	for i := 0; i < 192; i++ {
+		submit(fmt.Sprintf("tenant-%d", i%4), 6)
+	}
+	s.Pump(now)
+	if free := cl.FreeGPUs(); free != 2*192 {
+		b.Fatalf("setup: %d free GPUs, want %d", free, 2*192)
+	}
+
+	// The blocked queue: 256 gangs whose packed searches all fail against
+	// the fragmented free state (no server has more than 2 free GPUs).
+	widths := []int{4, 6, 8}
+	for i := 0; i < 256; i++ {
+		submit(fmt.Sprintf("tenant-%d", i%4), widths[i%len(widths)])
+	}
+	now += cfg.Backoff
+	s.Pump(now)
+	if got := len(s.QueuedJobs()); got != 256 {
+		b.Fatalf("setup: %d queued jobs, want 256", got)
+	}
+
+	fillerAt := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += cfg.Backoff + 1
+		if i%16 == 0 {
+			// Churn tick: one filler finishes and a replacement arrives,
+			// dirtying the free state without disturbing the steady state
+			// (the replacement is the only gang that fits the freed slot).
+			old := fillers[fillerAt]
+			if err := s.ReleaseJob(old, now); err != nil {
+				b.Fatal(err)
+			}
+			fillers[fillerAt] = submit("churn", 1)
+			fillerAt = (fillerAt + 1) % len(fillers)
+		}
+		s.Pump(now)
+	}
+	b.StopTimer()
+	st := s.Stats()
+	if st.Starts != int(nextID)-1-256 {
+		b.Fatalf("steady state broken: %d starts, want %d", st.Starts, int(nextID)-1-256)
+	}
+	if st.CacheShortCircuits == 0 {
+		b.Fatal("churn never hit the negative-result cache")
+	}
+	b.ReportMetric(float64(st.BlockedAttempts)/float64(b.N), "blocked/op")
+	b.ReportMetric(float64(st.PlacementSearches)/float64(b.N), "searches/op")
+	b.ReportMetric(float64(st.CacheShortCircuits)/float64(b.N), "cachehits/op")
+	b.ReportMetric(float64(st.SpeculativeCommits)/float64(b.N), "speccommits/op")
 }

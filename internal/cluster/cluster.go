@@ -156,7 +156,15 @@ type Rack struct {
 	// exactly f free GPUs, f in [0, SKU.GPUsPerServer]. It yields "servers
 	// by free descending, ties by ID" as a bucket walk with no sorting.
 	buckets [][]uint64
+	// epoch is a monotonic counter bumped whenever any server in the rack
+	// changes its free-GPU count. Equal epochs imply byte-identical rack
+	// free state (the counter only ever increments), which is what makes
+	// the negative-result search cache exact (see epoch.go).
+	epoch uint64
 }
+
+// Epoch returns the rack's free-state epoch.
+func (r *Rack) Epoch() uint64 { return r.epoch }
 
 // FreeGPUs returns the total free GPUs in the rack.
 func (r *Rack) FreeGPUs() int { return r.free }
@@ -216,14 +224,24 @@ type Cluster struct {
 	srvUsed []int32
 	srvCap  []int32
 
-	// rackScratch and picks are reused placement-search buffers.
-	rackScratch []*Rack
-	picks       []pick
+	// inline is the cluster's own search scratch (pick buffer + rack-order
+	// buffer). Read-only speculative searches use private Searcher contexts
+	// instead so they can run concurrently (see placement.go).
+	inline searchCtx
 
 	// pool, when set, fans multi-rack placement scoring out as fork-join
 	// tasks (see placement.go); feasScratch is the per-rack verdict buffer.
 	pool        *par.Pool
 	feasScratch []rackFeasibility
+
+	// epoch is the cluster-wide free-state epoch; cacheOn, failCache and
+	// the search counters implement the rack-epoch negative-result cache
+	// (see epoch.go).
+	epoch         uint64
+	cacheOn       bool
+	failCache     map[failKey]*failMemo
+	searches      int
+	shortCircuits int
 
 	// placements tracks the live placement of each job for release and for
 	// locality/interference queries.
@@ -236,7 +254,9 @@ func New(cfg Config) (*Cluster, error) {
 	if len(cfg.Racks) == 0 {
 		return nil, fmt.Errorf("cluster: no racks configured")
 	}
-	c := &Cluster{placements: make(map[JobID]Placement)}
+	c := &Cluster{placements: make(map[JobID]Placement), cacheOn: true}
+	c.inline.c = c
+	c.inline.inline = true
 	serverID := 0
 	for rackID, rc := range cfg.Racks {
 		if rc.Servers <= 0 {
@@ -323,6 +343,11 @@ func (c *Cluster) syncServerIndexes(s *Server) {
 		c.emptyServers++
 	}
 	s.bucketFree = nw
+	// Every observable free-state change funnels through here, so bumping
+	// the epochs at this single choke-point is what lets equal epochs stand
+	// in for "byte-identical free state" (see epoch.go).
+	r.epoch++
+	c.epoch++
 }
 
 func setBit(words []uint64, i int)   { words[i/64] |= 1 << (uint(i) % 64) }

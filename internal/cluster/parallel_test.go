@@ -30,7 +30,7 @@ func TestParallelPlacementMatchesSequential(t *testing.T) {
 	pool := par.NewPool(4)
 	defer pool.Close()
 	par1.SetPool(pool)
-	if !par1.parallelScoring(par1.racksByFreeDesc()) {
+	if !par1.parallelScoring(par1.inline.racksByFreeDesc()) {
 		t.Fatal("pooled 16-rack cluster did not take the parallel scoring path")
 	}
 

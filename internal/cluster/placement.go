@@ -49,6 +49,50 @@ func (l Locality) String() string {
 // the sorts produced, so placements are bit-for-bit the same; the search
 // itself no longer allocates (candidate picks go to a reused scratch, and
 // slots materialize only for the returned placement).
+//
+// The walks live on searchCtx — a scratch bundle (pick buffer + rack-order
+// buffer) — so the same code serves two callers: the cluster's own inline
+// context, and private Searcher contexts that fan speculative searches out
+// across goroutines while the free state is quiescent (scheduler.Pump's
+// fork-join). The search never mutates cluster state, so any number of
+// contexts may read concurrently.
+
+// searchCtx is one placement-search scratch context.
+type searchCtx struct {
+	c *Cluster
+	// inline marks the cluster's own context, the only one allowed to use
+	// the shared fork-join pool for per-rack feasibility scoring (Searcher
+	// contexts already run inside a fork-join; nesting would just shuffle
+	// the same work). Results are identical either way by construction.
+	inline      bool
+	rackScratch []*Rack
+	picks       []pick
+}
+
+// Searcher is a read-only placement-search context with private scratch.
+// Multiple Searchers may run FindPlacement concurrently against the same
+// cluster as long as nothing mutates allocations in the meantime; results
+// are bit-identical to Cluster.FindPlacement on the same state. Searcher
+// searches bypass the negative-result cache and the search counters — the
+// caller decides what to fold back via CommitSpeculative.
+type Searcher struct {
+	ctx searchCtx
+}
+
+// NewSearcher returns a search context for speculative (read-only) use.
+func (c *Cluster) NewSearcher() *Searcher {
+	return &Searcher{ctx: searchCtx{c: c}}
+}
+
+// FindPlacement runs the same pure search as Cluster.FindPlacement without
+// touching shared scratch, the cache, or the counters.
+func (s *Searcher) FindPlacement(n int, level Locality) (Placement, bool) {
+	c := s.ctx.c
+	if n <= 0 || n > c.freeGPUs {
+		return Placement{}, false
+	}
+	return s.ctx.findPlacement(n, level)
+}
 
 // FindPlacement searches for n free GPUs satisfying the locality level.
 // It returns the placement and true on success, or a zero placement and
@@ -61,36 +105,54 @@ func (l Locality) String() string {
 // best-fit instead (fewest leftover free GPUs) so that they pack into
 // partially used machines and do not fragment empty servers — the paper's
 // anti-fragmentation packing for small jobs.
+//
+// Failed packed/rack searches are memoized against the free-state epochs
+// (see epoch.go): a retry against unchanged state — the blocked-queue storm
+// — short-circuits without walking any rack.
 func (c *Cluster) FindPlacement(n int, level Locality) (Placement, bool) {
+	c.searches++
 	if n <= 0 {
 		return Placement{}, false
 	}
 	if n > c.freeGPUs {
 		return Placement{}, false
 	}
+	if c.cacheOn && level != LocalityRelaxed && c.knownInfeasible(n, level) {
+		c.shortCircuits++
+		return Placement{}, false
+	}
+	p, ok := c.inline.findPlacement(n, level)
+	if !ok {
+		c.memoizeFailure(n, level)
+	}
+	return p, ok
+}
+
+// findPlacement dispatches an already-validated search (0 < n <= freeGPUs).
+func (x *searchCtx) findPlacement(n int, level Locality) (Placement, bool) {
 	switch level {
 	case LocalityPacked:
-		return c.findPacked(n)
+		return x.findPacked(n)
 	case LocalityRack:
-		return c.findWithinRack(n)
+		return x.findWithinRack(n)
 	case LocalityRelaxed:
-		return c.findAnywhere(n)
+		return x.findAnywhere(n)
 	default:
 		return Placement{}, false
 	}
 }
 
 // findPacked places on the minimum number of servers within one rack.
-func (c *Cluster) findPacked(n int) (Placement, bool) {
+func (x *searchCtx) findPacked(n int) (Placement, bool) {
 	// Single-server case: best fit across all servers that can hold n.
-	if p, ok := c.bestFitSingleServer(n); ok {
+	if p, ok := x.bestFitSingleServer(n); ok {
 		return p, true
 	}
 	// Multi-server case: the job must span servers. Require the minimal
 	// server count for the rack's SKU and a single rack.
-	racks := c.racksByFreeDesc()
-	if c.parallelScoring(racks) {
-		return c.findFirstFeasible(racks, n, true)
+	racks := x.racksByFreeDesc()
+	if x.inline && x.c.parallelScoring(racks) {
+		return x.findFirstFeasible(racks, n, true)
 	}
 	for _, rack := range racks {
 		if rack.free < n {
@@ -98,30 +160,30 @@ func (c *Cluster) findPacked(n int) (Placement, bool) {
 		}
 		per := rack.SKU.GPUsPerServer
 		minServers := (n + per - 1) / per
-		c.picks = c.picks[:0]
-		if rem, used := c.gatherFromRack(rack, n); rem == 0 && used <= minServers {
-			return c.materializePicks(n), true
+		x.picks = x.picks[:0]
+		if rem, used := x.gatherFromRack(rack, n); rem == 0 && used <= minServers {
+			return x.materializePicks(n), true
 		}
 	}
 	return Placement{}, false
 }
 
 // findWithinRack places anywhere within a single rack.
-func (c *Cluster) findWithinRack(n int) (Placement, bool) {
-	if p, ok := c.bestFitSingleServer(n); ok {
+func (x *searchCtx) findWithinRack(n int) (Placement, bool) {
+	if p, ok := x.bestFitSingleServer(n); ok {
 		return p, true
 	}
-	racks := c.racksByFreeDesc()
-	if c.parallelScoring(racks) {
-		return c.findFirstFeasible(racks, n, false)
+	racks := x.racksByFreeDesc()
+	if x.inline && x.c.parallelScoring(racks) {
+		return x.findFirstFeasible(racks, n, false)
 	}
 	for _, rack := range racks {
 		if rack.free < n {
 			continue
 		}
-		c.picks = c.picks[:0]
-		if rem, _ := c.gatherFromRack(rack, n); rem == 0 {
-			return c.materializePicks(n), true
+		x.picks = x.picks[:0]
+		if rem, _ := x.gatherFromRack(rack, n); rem == 0 {
+			return x.materializePicks(n), true
 		}
 	}
 	return Placement{}, false
@@ -152,8 +214,9 @@ type rackFeasibility struct {
 // findFirstFeasible scores every rack concurrently (a read-only count of
 // the gather walk, no pick recording) and takes the first feasible rack in
 // racks order — exactly the rack the sequential scan would have committed
-// to — then re-gathers picks from that rack alone.
-func (c *Cluster) findFirstFeasible(racks []*Rack, n int, packed bool) (Placement, bool) {
+// to — then re-gathers picks from that rack alone. Inline-context only.
+func (x *searchCtx) findFirstFeasible(racks []*Rack, n int, packed bool) (Placement, bool) {
+	c := x.c
 	if cap(c.feasScratch) < len(racks) {
 		c.feasScratch = make([]rackFeasibility, len(racks))
 	}
@@ -177,14 +240,14 @@ func (c *Cluster) findFirstFeasible(racks []*Rack, n int, packed bool) (Placemen
 				continue
 			}
 		}
-		c.picks = c.picks[:0]
-		if rem, _ := c.gatherFromRack(rack, n); rem != 0 {
+		x.picks = x.picks[:0]
+		if rem, _ := x.gatherFromRack(rack, n); rem != 0 {
 			// The scored walk and the pick walk read the same immutable
 			// snapshot; disagreement means the event loop mutated state
 			// mid-search, which the single-threaded engine forbids.
 			panic("cluster: rack feasibility diverged from gather")
 		}
-		return c.materializePicks(n), true
+		return x.materializePicks(n), true
 	}
 	return Placement{}, false
 }
@@ -217,17 +280,18 @@ func (r *Rack) countGather(need int) (int, int) {
 
 // findAnywhere places on any free GPUs, preferring emptier racks first to
 // keep the job as compact as the free space allows, then spilling across
-// racks.
-func (c *Cluster) findAnywhere(n int) (Placement, bool) {
-	if p, ok := c.bestFitSingleServer(n); ok {
+// racks. With n <= freeGPUs it cannot fail — the gather visits every free
+// GPU in the cluster — which is why relaxed searches are never memoized.
+func (x *searchCtx) findAnywhere(n int) (Placement, bool) {
+	if p, ok := x.bestFitSingleServer(n); ok {
 		return p, true
 	}
-	c.picks = c.picks[:0]
+	x.picks = x.picks[:0]
 	need := n
-	for _, rack := range c.racksByFreeDesc() {
-		need, _ = c.gatherFromRack(rack, need)
+	for _, rack := range x.racksByFreeDesc() {
+		need, _ = x.gatherFromRack(rack, need)
 		if need == 0 {
-			return c.materializePicks(n), true
+			return x.materializePicks(n), true
 		}
 	}
 	return Placement{}, false
@@ -242,7 +306,7 @@ type pick struct {
 // rack, visiting servers by free GPUs descending with ties by server ID —
 // exactly the order the former per-attempt sort produced. It returns the
 // remaining need and the number of servers picked from this rack.
-func (c *Cluster) gatherFromRack(rack *Rack, need int) (int, int) {
+func (x *searchCtx) gatherFromRack(rack *Rack, need int) (int, int) {
 	used := 0
 	for f := rack.SKU.GPUsPerServer; f >= 1 && need > 0; f-- {
 		for w, word := range rack.buckets[f] {
@@ -254,7 +318,7 @@ func (c *Cluster) gatherFromRack(rack *Rack, need int) (int, int) {
 				if take > need {
 					take = need
 				}
-				c.picks = append(c.picks, pick{srv: srv, take: take})
+				x.picks = append(x.picks, pick{srv: srv, take: take})
 				used++
 				need -= take
 				if need == 0 {
@@ -268,9 +332,9 @@ func (c *Cluster) gatherFromRack(rack *Rack, need int) (int, int) {
 
 // materializePicks builds the placement for the current pick scratch,
 // taking each picked server's free GPUs in ascending device order.
-func (c *Cluster) materializePicks(n int) Placement {
+func (x *searchCtx) materializePicks(n int) Placement {
 	slots := make([]Slot, 0, n)
-	for _, pk := range c.picks {
+	for _, pk := range x.picks {
 		taken := 0
 		for g := range pk.srv.GPUs {
 			if taken == pk.take {
@@ -287,12 +351,13 @@ func (c *Cluster) materializePicks(n int) Placement {
 
 // bestFitSingleServer finds the server whose free-GPU count is the smallest
 // value >= n (ties broken by lowest server ID for determinism).
-func (c *Cluster) bestFitSingleServer(n int) (Placement, bool) {
+func (x *searchCtx) bestFitSingleServer(n int) (Placement, bool) {
+	c := x.c
 	for f := n; f <= c.maxPerServer; f++ {
 		if id := firstBit(c.freeBuckets[f]); id >= 0 {
 			srv := c.servers[id]
-			c.picks = append(c.picks[:0], pick{srv: srv, take: n})
-			return c.materializePicks(n), true
+			x.picks = append(x.picks[:0], pick{srv: srv, take: n})
+			return x.materializePicks(n), true
 		}
 	}
 	return Placement{}, false
@@ -302,9 +367,9 @@ func (c *Cluster) bestFitSingleServer(n int) (Placement, bool) {
 // increasing occupancy), ties by rack ID. The result is a reused scratch
 // ordered by insertion sort — rack counts are small and the (free desc, ID)
 // key is a total order, so the output matches the former stable sort.
-func (c *Cluster) racksByFreeDesc() []*Rack {
-	racks := c.rackScratch[:0]
-	for _, r := range c.Racks {
+func (x *searchCtx) racksByFreeDesc() []*Rack {
+	racks := x.rackScratch[:0]
+	for _, r := range x.c.Racks {
 		i := len(racks)
 		racks = append(racks, r)
 		for i > 0 {
@@ -317,8 +382,37 @@ func (c *Cluster) racksByFreeDesc() []*Rack {
 		}
 		racks[i] = r
 	}
-	c.rackScratch = racks
+	x.rackScratch = racks
 	return racks
+}
+
+// FindMigrationTarget looks for a single-server best-fit for a gpus-wide
+// job that avoids the excluded servers and lands on a server that is
+// already partly used (moving onto an empty server would just shift the
+// fragmentation). The bucket walk — ascending free count from gpus, first
+// set bit — visits exactly the "smallest free >= gpus, ties by lowest ID"
+// order the defragmenter's former full-inventory scan selected, skipping
+// fully free servers by comparing the bucket index against the server's
+// capacity.
+func (c *Cluster) FindMigrationTarget(gpus int, exclude map[int]bool) (Placement, bool) {
+	if gpus <= 0 {
+		return Placement{}, false
+	}
+	for f := gpus; f <= c.maxPerServer; f++ {
+		for w, word := range c.freeBuckets[f] {
+			for word != 0 {
+				id := w*64 + bits.TrailingZeros64(word)
+				word &= word - 1
+				if int(c.srvCap[id]) == f || exclude[id] {
+					continue // fully free, or one of the job's own servers
+				}
+				srv := c.servers[id]
+				c.inline.picks = append(c.inline.picks[:0], pick{srv: srv, take: gpus})
+				return c.inline.materializePicks(gpus), true
+			}
+		}
+	}
+	return Placement{}, false
 }
 
 // firstBit returns the index of the lowest set bit, or -1 when none is set.

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"philly/internal/faults"
+)
+
+// FuzzParseFaultsSpec drives both CLI spec parsers — faults.ParseSpec and
+// ParseCheckpointSpec — with arbitrary input. The oracle is the canonical
+// rendering: whenever a spec is accepted, its canonical form must (a) be
+// accepted too, (b) parse to a config DeepEqual to the original's, and
+// (c) be a fixed point of canonicalization. Rejection must come back as an
+// error, never a panic.
+func FuzzParseFaultsSpec(f *testing.F) {
+	for _, s := range []string{
+		"none", "all", "server", "rack", "cluster",
+		"server+rack", "rack+cluster", "server+rack+cluster", "all+server",
+		"all:4", "server:0.5", "none:3", "cluster:1e-3", "all:0x1p-2",
+		"off", "30", "30:10", "30:10:60", "0.5:0:0", "1e3:1:2",
+		"", ":", "bogus", "all:", ":2", "30:10:60:5", "30:nan", "inf",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		if cfg, err := faults.ParseSpec(spec); err == nil {
+			canon, cerr := faults.CanonicalSpec(spec)
+			if cerr != nil {
+				t.Fatalf("faults: %q parsed but did not canonicalize: %v", spec, cerr)
+			}
+			cfg2, err2 := faults.ParseSpec(canon)
+			if err2 != nil {
+				t.Fatalf("faults: canonical %q of %q did not re-parse: %v", canon, spec, err2)
+			}
+			if !reflect.DeepEqual(cfg, cfg2) {
+				t.Fatalf("faults: canonical %q of %q parsed to a different config:\n%+v\n%+v", canon, spec, cfg, cfg2)
+			}
+			if canon2, _ := faults.CanonicalSpec(canon); canon2 != canon {
+				t.Fatalf("faults: canonical form is not a fixed point: %q -> %q -> %q", spec, canon, canon2)
+			}
+		} else if _, cerr := faults.CanonicalSpec(spec); cerr == nil {
+			t.Fatalf("faults: %q rejected by ParseSpec but canonicalized", spec)
+		}
+		if cfg, err := ParseCheckpointSpec(spec); err == nil {
+			canon, cerr := CanonicalCheckpointSpec(spec)
+			if cerr != nil {
+				t.Fatalf("checkpoint: %q parsed but did not canonicalize: %v", spec, cerr)
+			}
+			cfg2, err2 := ParseCheckpointSpec(canon)
+			if err2 != nil {
+				t.Fatalf("checkpoint: canonical %q of %q did not re-parse: %v", canon, spec, err2)
+			}
+			if cfg != cfg2 {
+				t.Fatalf("checkpoint: canonical %q of %q parsed to a different config:\n%+v\n%+v", canon, spec, cfg, cfg2)
+			}
+			if canon2, _ := CanonicalCheckpointSpec(canon); canon2 != canon {
+				t.Fatalf("checkpoint: canonical form is not a fixed point: %q -> %q -> %q", spec, canon, canon2)
+			}
+		} else if _, cerr := CanonicalCheckpointSpec(spec); cerr == nil {
+			t.Fatalf("checkpoint: %q rejected by ParseCheckpointSpec but canonicalized", spec)
+		}
+	})
+}

@@ -128,6 +128,13 @@ func TestWorkerCountInvariance(t *testing.T) {
 			if seqStudy.parallelTicks != 0 {
 				t.Fatal("no-pool run must use the fused sequential walk")
 			}
+			// The speculative placement path is on by default and its
+			// counters are part of the compared result, so the matrix
+			// below also pins their worker/shard invariance — provided the
+			// workload actually speculates.
+			if seq.Sched.SpeculativeCommits == 0 {
+				t.Fatalf("policy=%v seed=%d: no speculative placement commits", policy, seed)
+			}
 			for _, workers := range []int{1, 2, 4, 8} {
 				res, st := runWithPool(t, cfg, workers)
 				// Guard against the gate (or a future refactor) silently
@@ -208,6 +215,9 @@ func TestMillionEventInvariance(t *testing.T) {
 	seq, seqStudy := runWithPool(t, cfg, 0)
 	if p := seqStudy.engine.Processed(); p < 1_000_000 {
 		t.Fatalf("reference run processed %d events, want >= 1e6 (recalibrate the config)", p)
+	}
+	if seq.Sched.SpeculativeCommits == 0 || seq.Sched.CacheShortCircuits == 0 {
+		t.Fatalf("saturated run did not exercise the cached/speculative paths: %+v", seq.Sched)
 	}
 	cells := [][2]int{
 		{1, 1}, {1, 2}, {1, 0 /* = NumVCs */},

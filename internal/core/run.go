@@ -537,10 +537,11 @@ func (s *Study) WindowStats() simulation.WindowStats {
 }
 
 // SetPool attaches a shared fork-join worker pool for intra-study
-// parallelism: the telemetry walk, multi-rack placement scoring, and large
-// log scans shard across it. Must be called before Run. The pool changes
-// wall-clock only — StudyResult is bit-identical for any pool size,
-// including none (see PERFORMANCE.md for the determinism argument).
+// parallelism: the telemetry walk, multi-rack placement scoring, the
+// scheduler's speculative candidate searches, and large log scans shard
+// across it. Must be called before Run. The pool changes wall-clock only —
+// StudyResult is bit-identical for any pool size, including none (see
+// PERFORMANCE.md for the determinism argument).
 //
 // The pool may be shared with other studies and with internal/sweep's
 // across-study workers: shards are handed only to workers that are idle at
@@ -549,6 +550,7 @@ func (s *Study) WindowStats() simulation.WindowStats {
 func (s *Study) SetPool(p *par.Pool) {
 	s.pool = p
 	s.cluster.SetPool(p)
+	s.sched.SetPool(p)
 }
 
 // Run executes the study to completion and returns the result.

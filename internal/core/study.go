@@ -14,6 +14,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -112,39 +113,73 @@ func DefaultCheckpointConfig() CheckpointConfig {
 // (defaults from DefaultCheckpointConfig). Errors are descriptive, for
 // fail-fast flag validation.
 func ParseCheckpointSpec(spec string) (CheckpointConfig, error) {
+	min, w, r, off, err := parseCheckpointParts(spec)
+	if err != nil {
+		return CheckpointConfig{}, err
+	}
 	cfg := DefaultCheckpointConfig()
-	if spec == "off" {
+	if off {
 		return cfg, nil
+	}
+	cfg.Enabled = true
+	cfg.Interval = simulation.FromMinutes(min)
+	cfg.WriteSeconds = w
+	cfg.RestoreSeconds = r
+	return cfg, nil
+}
+
+// CanonicalCheckpointSpec parses spec and re-renders it in canonical form:
+// "off", or the fully explicit "MIN:WRITE_S:RESTORE_S" with each number as
+// the shortest decimal that round-trips (elided costs are filled in from
+// DefaultCheckpointConfig). The canonical form is a fixed point and parses
+// to a CheckpointConfig identical to the original spec's.
+func CanonicalCheckpointSpec(spec string) (string, error) {
+	min, w, r, off, err := parseCheckpointParts(spec)
+	if err != nil {
+		return "", err
+	}
+	if off {
+		return "off", nil
+	}
+	g := func(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+	return g(min) + ":" + g(w) + ":" + g(r), nil
+}
+
+// parseCheckpointParts decodes a checkpoint spec to its raw numbers, with
+// defaults applied. ParseCheckpointSpec and CanonicalCheckpointSpec share it
+// so the canonical rendering can never drift from what the parser accepted.
+// All three numbers must be finite: a NaN cost would silently poison every
+// downstream duration sum.
+func parseCheckpointParts(spec string) (min, w, r float64, off bool, err error) {
+	def := DefaultCheckpointConfig()
+	w, r = def.WriteSeconds, def.RestoreSeconds
+	if spec == "off" {
+		return 0, w, r, true, nil
 	}
 	parts := strings.Split(spec, ":")
 	if len(parts) > 3 {
-		return CheckpointConfig{}, fmt.Errorf("core: checkpoint spec %q: want off or MIN[:WRITE_S[:RESTORE_S]]", spec)
+		return 0, 0, 0, false, fmt.Errorf("core: checkpoint spec %q: want off or MIN[:WRITE_S[:RESTORE_S]]", spec)
 	}
-	min, err := strconv.ParseFloat(parts[0], 64)
-	if err != nil || min <= 0 {
-		return CheckpointConfig{}, fmt.Errorf("core: checkpoint spec %q: interval must be a positive number of minutes", spec)
+	min, perr := strconv.ParseFloat(parts[0], 64)
+	if perr != nil || min <= 0 || math.IsInf(min, 0) {
+		return 0, 0, 0, false, fmt.Errorf("core: checkpoint spec %q: interval must be a positive number of minutes", spec)
 	}
-	iv := simulation.FromMinutes(min)
-	if iv <= 0 {
-		return CheckpointConfig{}, fmt.Errorf("core: checkpoint spec %q: interval rounds to zero seconds", spec)
+	if simulation.FromMinutes(min) <= 0 {
+		return 0, 0, 0, false, fmt.Errorf("core: checkpoint spec %q: interval rounds to zero seconds", spec)
 	}
-	cfg.Enabled = true
-	cfg.Interval = iv
 	if len(parts) > 1 {
-		w, err := strconv.ParseFloat(parts[1], 64)
-		if err != nil || w < 0 {
-			return CheckpointConfig{}, fmt.Errorf("core: checkpoint spec %q: write cost must be a non-negative number of seconds", spec)
+		w, perr = strconv.ParseFloat(parts[1], 64)
+		if perr != nil || w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return 0, 0, 0, false, fmt.Errorf("core: checkpoint spec %q: write cost must be a non-negative number of seconds", spec)
 		}
-		cfg.WriteSeconds = w
 	}
 	if len(parts) > 2 {
-		r, err := strconv.ParseFloat(parts[2], 64)
-		if err != nil || r < 0 {
-			return CheckpointConfig{}, fmt.Errorf("core: checkpoint spec %q: restore cost must be a non-negative number of seconds", spec)
+		r, perr = strconv.ParseFloat(parts[2], 64)
+		if perr != nil || r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return 0, 0, 0, false, fmt.Errorf("core: checkpoint spec %q: restore cost must be a non-negative number of seconds", spec)
 		}
-		cfg.RestoreSeconds = r
 	}
-	return cfg, nil
+	return min, w, r, false, nil
 }
 
 // DefragConfig controls checkpoint-migration of small jobs to consolidate

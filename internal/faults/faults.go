@@ -172,39 +172,114 @@ func (c Config) Validate(numRacks int) error {
 // "all:4" fails four times as often as DefaultConfig). "none" returns a
 // disabled config.
 func ParseSpec(spec string) (Config, error) {
+	p, err := parseSpecParts(spec)
+	if err != nil {
+		return Config{}, err
+	}
+	return p.config(), nil
+}
+
+// CanonicalSpec parses spec and re-renders it in canonical form: "none" for
+// a disabled config (any scale is dropped — it has nothing to multiply),
+// levels in server, rack, cluster order with all three collapsing to "all",
+// and ":SCALE" appended only when the scale differs from 1, rendered as the
+// shortest decimal that round-trips. The canonical form is a fixed point
+// (canonicalizing it again returns it unchanged) and parses to a Config
+// identical to the original spec's.
+func CanonicalSpec(spec string) (string, error) {
+	p, err := parseSpecParts(spec)
+	if err != nil {
+		return "", err
+	}
+	return p.String(), nil
+}
+
+// specParts is the decoded form of a faults spec: which tiers are enabled
+// plus the frequency multiplier. ParseSpec and CanonicalSpec share it so the
+// canonical rendering can never drift from what the parser accepted.
+type specParts struct {
+	server, rack, cluster bool
+	scale                 float64
+}
+
+func parseSpecParts(spec string) (specParts, error) {
+	p := specParts{scale: 1}
 	levels := spec
-	scale := 1.0
 	if i := strings.IndexByte(spec, ':'); i >= 0 {
 		levels = spec[:i]
 		f, err := strconv.ParseFloat(spec[i+1:], 64)
 		if err != nil {
-			return Config{}, fmt.Errorf("faults: bad scale %q in spec %q: want a positive number", spec[i+1:], spec)
+			return specParts{}, fmt.Errorf("faults: bad scale %q in spec %q: want a positive number", spec[i+1:], spec)
 		}
 		if !(f > 0) || math.IsInf(f, 0) {
-			return Config{}, fmt.Errorf("faults: scale must be a positive finite number, got %v in spec %q", f, spec)
+			return specParts{}, fmt.Errorf("faults: scale must be a positive finite number, got %v in spec %q", f, spec)
 		}
-		scale = f
+		p.scale = f
 	}
 	if levels == "none" {
-		return Config{}, nil
+		return p, nil
 	}
-	base := DefaultConfig()
-	cfg := Config{Enabled: true}
 	for _, lv := range strings.Split(levels, "+") {
 		switch lv {
 		case "all":
-			cfg.Server, cfg.Rack, cfg.Cluster = base.Server, base.Rack, base.Cluster
+			p.server, p.rack, p.cluster = true, true, true
 		case "server":
-			cfg.Server = base.Server
+			p.server = true
 		case "rack":
-			cfg.Rack = base.Rack
+			p.rack = true
 		case "cluster":
-			cfg.Cluster = base.Cluster
+			p.cluster = true
 		default:
-			return Config{}, fmt.Errorf("faults: unknown level %q in spec %q (want none, all, or a '+'-joined subset of server, rack, cluster)", lv, spec)
+			return specParts{}, fmt.Errorf("faults: unknown level %q in spec %q (want none, all, or a '+'-joined subset of server, rack, cluster)", lv, spec)
 		}
 	}
-	return cfg.Scale(scale), nil
+	return p, nil
+}
+
+func (p specParts) enabled() bool { return p.server || p.rack || p.cluster }
+
+func (p specParts) config() Config {
+	if !p.enabled() {
+		return Config{}
+	}
+	base := DefaultConfig()
+	cfg := Config{Enabled: true}
+	if p.server {
+		cfg.Server = base.Server
+	}
+	if p.rack {
+		cfg.Rack = base.Rack
+	}
+	if p.cluster {
+		cfg.Cluster = base.Cluster
+	}
+	return cfg.Scale(p.scale)
+}
+
+func (p specParts) String() string {
+	if !p.enabled() {
+		return "none"
+	}
+	var s string
+	if p.server && p.rack && p.cluster {
+		s = "all"
+	} else {
+		var lv []string
+		if p.server {
+			lv = append(lv, "server")
+		}
+		if p.rack {
+			lv = append(lv, "rack")
+		}
+		if p.cluster {
+			lv = append(lv, "cluster")
+		}
+		s = strings.Join(lv, "+")
+	}
+	if p.scale != 1 {
+		s += ":" + strconv.FormatFloat(p.scale, 'g', -1, 64)
+	}
+	return s
 }
 
 // Topology is the physical layout the plan is drawn over: server IDs are

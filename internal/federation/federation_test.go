@@ -338,3 +338,46 @@ func TestValidate(t *testing.T) {
 		}
 	}
 }
+
+// TestFleetCacheSpeculationAblation is the federation (Fleet) leg of
+// core.TestCacheSpeculationAblation: turning the rack-epoch search cache
+// and speculative candidate searches off in every member must leave the
+// federated Result bit-identical — outside the counters that report the
+// mechanisms themselves — across worker counts {0, 1, 4}.
+func TestFleetCacheSpeculationAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the ablation matrix is not a -short test")
+	}
+	onCfg := pressuredFleet()
+	offCfg := pressuredFleet()
+	for i := range offCfg.Members {
+		offCfg.Members[i].Config.Scheduler.DisableSearchCache = true
+		offCfg.Members[i].Config.Scheduler.SpeculativeCandidates = 0
+	}
+	normalize := func(res *Result) {
+		for _, m := range res.Members {
+			m.Result.Config.Scheduler.DisableSearchCache = false
+			m.Result.Config.Scheduler.SpeculativeCandidates = 0
+			m.Result.Sched.CacheShortCircuits = 0
+			m.Result.Sched.SpeculativeCommits = 0
+			m.Result.Sched.SpeculativeConflicts = 0
+		}
+	}
+	base := runFleet(t, onCfg, 0)
+	spec, hits := 0, 0
+	for _, m := range base.Members {
+		spec += m.Result.Sched.SpeculativeCommits
+		hits += m.Result.Sched.CacheShortCircuits
+	}
+	if spec == 0 || hits == 0 {
+		t.Fatalf("pressured fleet did not exercise the cached/speculative paths (commits=%d, hits=%d)", spec, hits)
+	}
+	normalize(base)
+	for _, workers := range []int{0, 1, 4} {
+		res := runFleet(t, offCfg, workers)
+		normalize(res)
+		if !reflect.DeepEqual(base, res) {
+			t.Fatalf("workers=%d: disabled-cache fleet diverged from the default fleet", workers)
+		}
+	}
+}

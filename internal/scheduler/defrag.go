@@ -3,7 +3,6 @@ package scheduler
 import (
 	"sort"
 
-	"philly/internal/cluster"
 	"philly/internal/simulation"
 )
 
@@ -82,7 +81,7 @@ func (s *Scheduler) Defrag(now simulation.Time, maxWidth, maxMoves int) []Migrat
 		if err := s.cluster.Release(j.ID); err != nil {
 			panic("scheduler: defrag release failed: " + err.Error())
 		}
-		p, ok := s.findMigrationTarget(j.GPUs, fromSet)
+		p, ok := s.cluster.FindMigrationTarget(j.GPUs, fromSet)
 		if !ok {
 			// No strictly better spot; put the job back where it was.
 			if err := s.cluster.Allocate(j.ID, old); err != nil {
@@ -100,37 +99,7 @@ func (s *Scheduler) Defrag(now simulation.Time, maxWidth, maxMoves int) []Migrat
 	return events
 }
 
-// findMigrationTarget looks for a single-server best-fit placement that
-// avoids the excluded servers and lands on a server that is already partly
-// used (moving onto an empty server would just shift the fragmentation).
-func (s *Scheduler) findMigrationTarget(gpus int, exclude map[int]bool) (cluster.Placement, bool) {
-	var best *cluster.Server
-	for _, srv := range s.cluster.Servers() {
-		if exclude[srv.ID] {
-			continue
-		}
-		if srv.FreeGPUs() < gpus || srv.UsedGPUs() == 0 {
-			continue
-		}
-		if best == nil || srv.FreeGPUs() < best.FreeGPUs() ||
-			(srv.FreeGPUs() == best.FreeGPUs() && srv.ID < best.ID) {
-			best = srv
-		}
-	}
-	if best == nil {
-		return cluster.Placement{}, false
-	}
-	var p cluster.Placement
-	for g := range best.GPUs {
-		if len(p.Slots) == gpus {
-			break
-		}
-		if best.GPUs[g].Owner == 0 {
-			p.Slots = append(p.Slots, cluster.Slot{Server: best.ID, GPU: g})
-		}
-	}
-	if len(p.Slots) != gpus {
-		return cluster.Placement{}, false
-	}
-	return p, true
-}
+// The single-server best-fit target search lives on the cluster now
+// (cluster.FindMigrationTarget): the free-count bucket bitmaps give the
+// former full-inventory scan's "smallest free >= gpus, partly used, ties by
+// lowest ID" answer as a first-set-bit walk.

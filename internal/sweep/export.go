@@ -93,6 +93,12 @@ type ExportReplica struct {
 	ETTFHours       NFloat `json:"ettf_hours,omitempty"`
 	ETTRHours       NFloat `json:"ettr_hours,omitempty"`
 	ImbalancePct    NFloat `json:"imbalance_pct,omitempty"`
+	// Placement-search telemetry (PR 9); same omitempty convention — older
+	// exports decode as zero, so the format version stays 1.
+	PlacementSearches    int `json:"placement_searches,omitempty"`
+	CacheShortCircuits   int `json:"cache_short_circuits,omitempty"`
+	SpeculativeCommits   int `json:"speculative_commits,omitempty"`
+	SpeculativeConflicts int `json:"speculative_conflicts,omitempty"`
 }
 
 // ExportAgg mirrors Agg with null-safe floats.
@@ -126,6 +132,11 @@ func toExportReplica(m ReplicaMetrics) ExportReplica {
 		ETTFHours:       NFloat(m.ETTFHours),
 		ETTRHours:       NFloat(m.ETTRHours),
 		ImbalancePct:    NFloat(m.ImbalancePct),
+
+		PlacementSearches:    m.PlacementSearches,
+		CacheShortCircuits:   m.CacheShortCircuits,
+		SpeculativeCommits:   m.SpeculativeCommits,
+		SpeculativeConflicts: m.SpeculativeConflicts,
 	}
 }
 
@@ -149,6 +160,11 @@ func fromExportReplica(e ExportReplica) ReplicaMetrics {
 		ETTFHours:       float64(e.ETTFHours),
 		ETTRHours:       float64(e.ETTRHours),
 		ImbalancePct:    float64(e.ImbalancePct),
+
+		PlacementSearches:    e.PlacementSearches,
+		CacheShortCircuits:   e.CacheShortCircuits,
+		SpeculativeCommits:   e.SpeculativeCommits,
+		SpeculativeConflicts: e.SpeculativeConflicts,
 	}
 }
 

@@ -188,3 +188,63 @@ func TestExportReliabilityColumnsRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestExportSchedulerCountersRoundTrip pins the PR-9 export additions: the
+// four placement-search counters round-trip exactly and are omitted when
+// zero, so older exports decode unchanged and the format version stays 1.
+func TestExportSchedulerCountersRoundTrip(t *testing.T) {
+	busy := ReplicaMetrics{
+		Seed: 7, Jobs: 20, Completed: 18,
+		PlacementSearches: 1234, CacheShortCircuits: 987,
+		SpeculativeCommits: 456, SpeculativeConflicts: 3,
+	}
+	idle := ReplicaMetrics{Seed: 8, Jobs: 20, Completed: 20}
+	res := &Result{
+		Replicas: 2,
+		BaseSeed: 13,
+		Scenarios: []ScenarioResult{{
+			Scenario: Scenario{Name: "base"},
+			Replicas: []ReplicaMetrics{busy, idle},
+			Summary:  Summarize([]ReplicaMetrics{busy, idle}),
+		}},
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.String()
+	for _, key := range []string{
+		"\"placement_searches\": 1234", "\"cache_short_circuits\": 987",
+		"\"speculative_commits\": 456", "\"speculative_conflicts\": 3",
+	} {
+		if !strings.Contains(raw, key) {
+			t.Errorf("export missing %s", key)
+		}
+	}
+	got, err := DecodeJSON(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := got.Scenarios[0].Replicas
+	if !reflect.DeepEqual(reps[0], busy) || !reflect.DeepEqual(reps[1], idle) {
+		t.Errorf("scheduler counters did not round-trip: %+v %+v", reps[0], reps[1])
+	}
+
+	zeroOnly := &Result{
+		Replicas: 1, BaseSeed: 13,
+		Scenarios: []ScenarioResult{{
+			Scenario: Scenario{Name: "base"},
+			Replicas: []ReplicaMetrics{idle},
+			Summary:  Summarize([]ReplicaMetrics{idle}),
+		}},
+	}
+	buf.Reset()
+	if err := zeroOnly.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"placement_searches", "cache_short_circuits", "speculative_commits", "speculative_conflicts"} {
+		if strings.Contains(buf.String(), key) {
+			t.Errorf("zero-counter export emits %s; omitempty contract broken", key)
+		}
+	}
+}

@@ -45,6 +45,13 @@ type ReplicaMetrics struct {
 	// run's fleet row (max member mean util minus min, in percentage
 	// points); 0 for plain studies and individual member rows.
 	ImbalancePct float64
+	// Placement-search telemetry (PR 9): total searches, negative-result
+	// cache short-circuits, and speculative commits/conflicts. Exported per
+	// replica but not aggregated into table columns.
+	PlacementSearches    int
+	CacheShortCircuits   int
+	SpeculativeCommits   int
+	SpeculativeConflicts int
 }
 
 // Reduce computes a replica's metrics from its study result. It is the
@@ -195,6 +202,10 @@ func (r *StreamReducer) Finish(res *core.StudyResult) ReplicaMetrics {
 	m.MeanUtilPct = res.Telemetry.All().Mean()
 	m.Preemptions = res.Sched.FairSharePreemptions + res.Sched.PolicyPreemptions
 	m.Migrations = res.Sched.Migrations
+	m.PlacementSearches = res.Sched.PlacementSearches
+	m.CacheShortCircuits = res.Sched.CacheShortCircuits
+	m.SpeculativeCommits = res.Sched.SpeculativeCommits
+	m.SpeculativeConflicts = res.Sched.SpeculativeConflicts
 	if m.Completed > 0 {
 		m.UnsuccessfulPct = 100 * float64(unsuccessful) / float64(m.Completed)
 	}
