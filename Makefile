@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-sweep bench-json bench-smoke bench-compare bench-mem shuffle fuzz
+.PHONY: check vet build test race bench bench-sweep bench-json bench-smoke bench-compare bench-mem shuffle fuzz serve-smoke
 
 # check is the CI gate: vet, build everything, then the full test suite
 # under the race detector — which now covers the intra-study parallel
 # pipeline end to end, including TestWorkerCountInvariance (full-precision
 # StudyResult equality across intra-study worker counts 1/2/4/8 and the
-# sequential engine) — and a one-iteration benchmark smoke so the bench
-# path itself cannot rot.
-check: vet build race bench-smoke
+# sequential engine) — a one-iteration benchmark smoke so the bench path
+# itself cannot rot, and a philly-load self-test against an in-process
+# philly-serve so the service path cannot either.
+check: vet build race bench-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -78,6 +79,14 @@ bench-json:
 # `make bench-compare THRESHOLD=...` when both baselines carry them.
 bench-mem:
 	$(GO) test -bench FederatedSweepMemory -benchmem -run '^$$' .
+
+# serve-smoke boots an in-process philly-serve, drives it with philly-load
+# (open-loop arrivals, repeated specs), and gates on at least one request
+# being answered from the result cache — submit, dispatch, progress
+# streaming, result download and the provably-exact cache all exercised in
+# one shot.
+serve-smoke:
+	$(GO) run ./cmd/philly-load -requests 12 -rps 20 -specs 2 -require-cache-hit
 
 # bench-compare diffs two bench-json baselines and prints per-benchmark
 # ns/op and allocs/op deltas. THRESHOLD (a percent) turns it into a CI

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"philly/internal/serve"
+)
+
+// TestParseFileReadsLoadReport closes the loop on philly-load's
+// saturation reports: a report written through serve.WriteBenchJSON must
+// come back out of this tool's parser with the same numbers, because the
+// CI gate (`bench-compare -threshold`) sees nothing else.
+func TestParseFileReadsLoadReport(t *testing.T) {
+	rep := &serve.LoadReport{
+		Pattern: "weekly", RPS: 4, Completed: 10,
+		MeanNs: 2e6, P50Ns: 1e6, P95Ns: 3e6, P99Ns: 4e6,
+		CacheHitPct: 40, Rejected: 2, Errors: 0, AchievedRPS: 3.5,
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_load.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serve.WriteBenchJSON(f, []string{rep.BenchLine()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	samples, err := parseFile(path)
+	if err != nil {
+		t.Fatalf("parseFile: %v", err)
+	}
+	s := samples["BenchmarkServeLoad/pattern=weekly/rps=4"]
+	if s == nil {
+		keys := make([]string, 0, len(samples))
+		for k := range samples {
+			keys = append(keys, k)
+		}
+		t.Fatalf("load report benchmark missing; parsed %v", keys)
+	}
+	if s.n != 1 || s.nsOp != rep.MeanNs {
+		t.Errorf("parsed n=%d ns/op=%.0f, want 1 run at the mean latency %.0f", s.n, s.nsOp, rep.MeanNs)
+	}
+	for unit, want := range map[string]float64{
+		"p50_ns": 1e6, "p95_ns": 3e6, "p99_ns": 4e6,
+		"cache_hit_pct": 40, "rejected_reqs": 2, "err_reqs": 0,
+		"achieved_rps": 3.5,
+	} {
+		if got := s.extra[unit]; got != want {
+			t.Errorf("extra %s = %v, want %v", unit, got, want)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Command philly-load is the self-measuring load harness for
+// philly-serve: an open-loop generator whose arrivals follow the same
+// workload.Pattern presets the simulator models its tenants with, so the
+// service is profiled the way the paper profiles its cluster. Each -rps
+// stage reports latency percentiles, cache-hit ratio, admission rejects
+// and achieved throughput; together the stages are a saturation report.
+//
+// Usage:
+//
+//	philly-load [-target URL] [-requests N] [-rps R1,R2,...]
+//	            [-pattern preset] [-tenant name] [-specs N]
+//	            [-spec-scale small] [-spec-jobs N] [-seed N]
+//	            [-budget N] [-queue-depth N] [-cache-entries N]
+//	            [-o BENCH_serve.json] [-require-cache-hit]
+//
+// Without -target it starts an in-process philly-serve on a loopback
+// port (configured by -budget/-queue-depth/-cache-entries) and tears it
+// down after the run — the self-test mode `make serve-smoke` uses.
+//
+// -specs N cycles N distinct study specs across the arrivals; N smaller
+// than -requests guarantees repeats, which is what exercises the result
+// cache. -cache-entries -1 disables the cache: running the same stage
+// with the cache off and on is the before/after ablation behind the
+// committed BENCH_PR10_*.json baselines.
+//
+// -o writes the stages as a `go test -json` output-event stream in the
+// repo's BENCH_*.json schema; `bench-compare -threshold` consumes it
+// unchanged, so service-level latency regressions gate CI exactly like
+// engine-level ones.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"philly/internal/serve"
+)
+
+func main() {
+	target := flag.String("target", "", "philly-serve base URL; empty starts an in-process server")
+	requests := flag.Int("requests", 32, "arrivals per stage")
+	rpsList := flag.String("rps", "8", "offered arrival rates, one stage per comma-separated value")
+	pattern := flag.String("pattern", "", "workload pattern preset modulating arrivals (empty = stationary Poisson)")
+	tenant := flag.String("tenant", "", "tenant header to send (empty = default)")
+	specs := flag.Int("specs", 4, "distinct study specs cycled across arrivals (repeats exercise the cache)")
+	specScale := flag.String("spec-scale", "small", "scale of the generated specs")
+	specJobs := flag.Int("spec-jobs", 200, "job count of the generated specs (0 = scale default)")
+	seed := flag.Uint64("seed", 1, "arrival schedule seed and generated specs' base seed")
+	budget := flag.Int("budget", 0, "in-process server worker budget (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue-depth", 16, "in-process server per-tenant queue depth")
+	cacheEntries := flag.Int("cache-entries", 256, "in-process server cache capacity (negative disables)")
+	out := flag.String("o", "", "write stages as a BENCH_*.json go-test-json event stream")
+	requireCacheHit := flag.Bool("require-cache-hit", false, "exit 1 unless at least one request was served from cache (smoke gate)")
+	timeout := flag.Duration("timeout", 120*time.Second, "per-request submit-to-result deadline")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fatalf("unexpected arguments: %v", flag.Args())
+	}
+	if *specs < 1 {
+		fatalf("-specs must be >= 1")
+	}
+
+	var rates []float64
+	for _, part := range strings.Split(*rpsList, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := strconv.ParseFloat(part, 64)
+		if err != nil || r <= 0 {
+			fatalf("-rps %q: want positive numbers", part)
+		}
+		rates = append(rates, r)
+	}
+	if len(rates) == 0 {
+		fatalf("-rps: want at least one rate")
+	}
+
+	base := *target
+	var shutdown func()
+	if base == "" {
+		srv := serve.New(serve.Config{
+			Budget:       *budget,
+			QueueDepth:   *queueDepth,
+			CacheEntries: *cacheEntries,
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatalf("listen: %v", err)
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		base = "http://" + ln.Addr().String()
+		shutdown = func() {
+			hs.Close()
+			srv.Close()
+		}
+		fmt.Fprintf(os.Stderr, "philly-load: in-process server on %s (budget %d, cache %d)\n",
+			base, srv.Budget(), *cacheEntries)
+	}
+
+	// Distinct specs differ only by seed: same cost profile, different
+	// canonical hash — repeats within a stage are guaranteed cache hits.
+	bodies := make([]serve.Spec, *specs)
+	for i := range bodies {
+		bodies[i] = serve.Spec{
+			Scale: *specScale,
+			Jobs:  *specJobs,
+			Seed:  *seed + uint64(i),
+		}
+	}
+
+	var lines []string
+	failed := false
+	cacheHits := 0
+	for _, rps := range rates {
+		rep, err := serve.RunLoad(serve.LoadOptions{
+			BaseURL:  base,
+			Tenant:   *tenant,
+			Requests: *requests,
+			RPS:      rps,
+			Pattern:  *pattern,
+			Specs:    bodies,
+			Seed:     *seed,
+			Timeout:  *timeout,
+		})
+		if err != nil {
+			if shutdown != nil {
+				shutdown()
+			}
+			fatalf("stage rps=%g: %v", rps, err)
+		}
+		rep.Records = nil // the report row, not the raw samples
+		cacheHits += rep.CacheHits
+		if rep.Errors > 0 {
+			failed = true
+		}
+		lines = append(lines, rep.BenchLine())
+		fmt.Printf("rps=%-8g requests=%-4d completed=%-4d rejected=%-3d errors=%-3d cache_hit=%5.1f%%  p50=%s p95=%s p99=%s achieved=%.2f/s\n",
+			rps, rep.Requests, rep.Completed, rep.Rejected, rep.Errors, rep.CacheHitPct,
+			time.Duration(rep.P50Ns), time.Duration(rep.P95Ns), time.Duration(rep.P99Ns), rep.AchievedRPS)
+	}
+	if shutdown != nil {
+		shutdown()
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := serve.WriteBenchJSON(f, lines); err != nil {
+			f.Close()
+			fatalf("writing %s: %v", *out, err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("writing %s: %v", *out, err)
+		}
+		fmt.Fprintf(os.Stderr, "philly-load: wrote %d stage lines to %s\n", len(lines), *out)
+	}
+	if *requireCacheHit && cacheHits == 0 {
+		fatalf("smoke gate: no request was served from cache (want >= 1)")
+	}
+	if failed {
+		fatalf("some requests errored; see stage report above")
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "philly-load: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,88 @@
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Ledger carves one worker budget into leases for external schedulers —
+// the accounting side of the pool contract. A Pool bounds how many tasks
+// one fork-join caller can have in flight; a Ledger bounds how many
+// workers several *independent* callers (the serve admission controller's
+// concurrently running studies) may hold in total. Each admitted study
+// leases its worker count up front, runs on a pool of exactly that size,
+// and releases the lease when it finishes, so the sum of every in-flight
+// study's parallelism never exceeds the machine budget — the same "one
+// budget, zero oversubscription" guarantee Pool gives within a study,
+// lifted across studies.
+//
+// All methods are safe for concurrent use. TryAcquire never blocks:
+// admission control decides what to do with a refusal (queue, reject),
+// the ledger only keeps the arithmetic honest.
+type Ledger struct {
+	mu        sync.Mutex
+	size      int
+	leased    int
+	highWater int
+}
+
+// NewLedger builds a ledger with a total budget of n workers; n <= 0
+// means runtime.GOMAXPROCS(0).
+func NewLedger(n int) *Ledger {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Ledger{size: n}
+}
+
+// Size returns the total budget.
+func (l *Ledger) Size() int { return l.size }
+
+// TryAcquire leases n workers if the remaining budget allows it and
+// reports whether the lease was granted. n must be positive.
+func (l *Ledger) TryAcquire(n int) bool {
+	if n <= 0 {
+		panic(fmt.Sprintf("par: TryAcquire(%d): lease must be positive", n))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.leased+n > l.size {
+		return false
+	}
+	l.leased += n
+	if l.leased > l.highWater {
+		l.highWater = l.leased
+	}
+	return true
+}
+
+// Release returns n leased workers to the budget. Releasing more than is
+// currently leased is a caller bug and panics: silently clamping would
+// let a double-release inflate the budget and break the admission bound.
+func (l *Ledger) Release(n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("par: Release(%d): lease must be positive", n))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n > l.leased {
+		panic(fmt.Sprintf("par: Release(%d) with only %d leased", n, l.leased))
+	}
+	l.leased -= n
+}
+
+// Leased returns the currently leased worker count.
+func (l *Ledger) Leased() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.leased
+}
+
+// HighWater returns the maximum leased count ever observed — the white-box
+// witness that admission never oversubscribed the budget.
+func (l *Ledger) HighWater() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.highWater
+}

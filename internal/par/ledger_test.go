@@ -1,0 +1,76 @@
+package par
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLedgerBudget(t *testing.T) {
+	l := NewLedger(4)
+	if l.Size() != 4 {
+		t.Fatalf("Size = %d, want 4", l.Size())
+	}
+	if !l.TryAcquire(3) {
+		t.Fatal("TryAcquire(3) on an empty ledger refused")
+	}
+	if l.TryAcquire(2) {
+		t.Fatal("TryAcquire(2) with 3/4 leased granted — budget exceeded")
+	}
+	if !l.TryAcquire(1) {
+		t.Fatal("TryAcquire(1) with 3/4 leased refused")
+	}
+	if got := l.Leased(); got != 4 {
+		t.Fatalf("Leased = %d, want 4", got)
+	}
+	l.Release(4)
+	if got := l.Leased(); got != 0 {
+		t.Fatalf("Leased after release = %d, want 0", got)
+	}
+	if got := l.HighWater(); got != 4 {
+		t.Fatalf("HighWater = %d, want 4", got)
+	}
+}
+
+func TestLedgerDefaultsToGOMAXPROCS(t *testing.T) {
+	if NewLedger(0).Size() < 1 {
+		t.Fatal("NewLedger(0) budget < 1")
+	}
+}
+
+func TestLedgerOverReleasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release beyond leased did not panic")
+		}
+	}()
+	NewLedger(2).Release(1)
+}
+
+// TestLedgerConcurrentHighWater hammers the ledger from many goroutines
+// and asserts the high-water mark never exceeds the budget — the
+// admission-control invariant the serve scheduler relies on.
+func TestLedgerConcurrentHighWater(t *testing.T) {
+	l := NewLedger(3)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if l.TryAcquire(2) {
+					l.Release(2)
+				}
+				if l.TryAcquire(1) {
+					l.Release(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if hw := l.HighWater(); hw > l.Size() {
+		t.Fatalf("HighWater %d exceeds budget %d", hw, l.Size())
+	}
+	if got := l.Leased(); got != 0 {
+		t.Fatalf("Leased after drain = %d, want 0", got)
+	}
+}

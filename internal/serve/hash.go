@@ -1,0 +1,48 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// CanonicalHash digests a resolved spec into the result-cache key.
+//
+// Why a hit is provably the same answer: (1) Resolve maps every
+// acceptable spelling of a spec — JSON field order, whitespace, elided
+// defaults, non-canonical sub-spec forms — to one canonical Resolved
+// value through the same parsers the CLIs validate with; (2) encoding a
+// struct fixes the JSON field order, so equal Resolved values render to
+// equal bytes; (3) the engine is bit-deterministic in the fully-resolved
+// configuration (enforced by the invariance and cross-engine conformance
+// suites under -race), and everything the configuration depends on is in
+// Resolved — including the content digest of a replayed trace file, not
+// its path. Equal hashes therefore imply byte-identical study results.
+// Worker counts and tenancy are deliberately absent: they change
+// wall-clock, never results.
+func CanonicalHash(r Resolved) string {
+	b, err := json.Marshal(r)
+	if err != nil {
+		// Resolved is plain strings and integers; Marshal cannot fail.
+		panic(fmt.Sprintf("serve: marshaling resolved spec: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// digestFile hashes a replay trace's content for the canonical hash.
+func digestFile(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", fmt.Errorf("serve: digesting %s: %w", path, err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

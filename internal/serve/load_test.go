@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// These are bench-compare's parsing regexes verbatim; the load harness's
+// whole point is that its report lines gate CI through that tool, so the
+// formats are pinned against each other here.
+var (
+	benchCompareLine  = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+	benchCompareExtra = regexp.MustCompile(`([0-9.eE+-]+) ([A-Za-z_][A-Za-z0-9_]*)(\s|$)`)
+)
+
+// TestRunLoadSelfTest drives the harness against an in-process server.
+// The cache is warmed synchronously first, so every generated request is
+// a deterministic cache hit — the assertions cannot flake on timing.
+func TestRunLoadSelfTest(t *testing.T) {
+	s := New(Config{Budget: 2})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	spec := tinySpec(21)
+	warm, err := s.Submit("", spec)
+	if err != nil {
+		t.Fatalf("warm submit: %v", err)
+	}
+	if st := waitFinished(t, warm); st.State != StateDone {
+		t.Fatalf("warm run ended %s (%s)", st.State, st.Error)
+	}
+
+	rep, err := RunLoad(LoadOptions{
+		BaseURL:  ts.URL,
+		Requests: 8,
+		RPS:      100,
+		Pattern:  "diurnal",
+		Specs:    []Spec{spec},
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if rep.Requests != 8 || rep.Completed != 8 || rep.Errors != 0 || rep.Rejected != 0 {
+		t.Fatalf("report %+v, want 8 clean completions", rep)
+	}
+	if rep.CacheHits != 8 || rep.CacheHitPct != 100 {
+		t.Errorf("cache hits %d (%.1f%%), want all 8 against a warmed cache", rep.CacheHits, rep.CacheHitPct)
+	}
+	if !(rep.MeanNs > 0 && rep.P50Ns <= rep.P95Ns && rep.P95Ns <= rep.P99Ns) {
+		t.Errorf("latency aggregates out of order: mean %.0f p50 %.0f p95 %.0f p99 %.0f",
+			rep.MeanNs, rep.P50Ns, rep.P95Ns, rep.P99Ns)
+	}
+	if len(rep.Records) != 8 {
+		t.Errorf("%d records, want 8", len(rep.Records))
+	}
+
+	// The report round-trips its own JSON schema.
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal report: %v", err)
+	}
+	var back LoadReport
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("unmarshal report: %v", err)
+	}
+	if back.Pattern != rep.Pattern || back.CacheHits != rep.CacheHits || back.P99Ns != rep.P99Ns {
+		t.Errorf("report did not round-trip: %+v vs %+v", back, rep)
+	}
+}
+
+// TestRunLoadValidation fails fast with the shared validators before any
+// traffic is generated.
+func TestRunLoadValidation(t *testing.T) {
+	base := LoadOptions{BaseURL: "http://127.0.0.1:0", Requests: 4, RPS: 10, Specs: []Spec{tinySpec(1)}}
+	cases := []struct {
+		name    string
+		mutate  func(*LoadOptions)
+		wantSub string
+	}{
+		{"zero requests", func(o *LoadOptions) { o.Requests = 0 }, "requests must be >= 1"},
+		{"zero rps", func(o *LoadOptions) { o.RPS = 0 }, "rps must be > 0"},
+		{"no specs", func(o *LoadOptions) { o.Specs = nil }, "at least one spec"},
+		{"bad spec", func(o *LoadOptions) { o.Specs = []Spec{{Scale: "galactic"}} }, `load spec 0: unknown scale "galactic"`},
+		{"bad pattern", func(o *LoadOptions) { o.Pattern = "nope" }, "nope"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := base
+			tc.mutate(&opts)
+			_, err := RunLoad(opts)
+			if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("RunLoad error %v, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestArrivalScheduleDeterministic pins the open-loop schedule: same
+// options, same offsets; the pattern reshapes them; offsets ascend.
+func TestArrivalScheduleDeterministic(t *testing.T) {
+	opts := LoadOptions{Requests: 64, RPS: 50, Seed: 9}
+	a, err := arrivalSchedule(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := arrivalSchedule(opts)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed produced different schedules")
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			t.Fatalf("offsets not ascending at %d: %v < %v", i, a[i], a[i-1])
+		}
+	}
+	opts.Pattern = "burst"
+	c, err := arrivalSchedule(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Errorf("burst pattern left the stationary schedule unchanged")
+	}
+	opts.Pattern = "nope"
+	if _, err := arrivalSchedule(opts); err == nil {
+		t.Errorf("unknown pattern accepted")
+	}
+}
+
+// TestBenchLineFormat checks a report line parses under bench-compare's
+// own regexes, with the service metrics riding as ReportMetric extras.
+func TestBenchLineFormat(t *testing.T) {
+	rep := &LoadReport{
+		Pattern: "burst", RPS: 8, Requests: 16, Completed: 12, CacheHits: 6,
+		Rejected: 3, Errors: 1, MeanNs: 5.5e6, P50Ns: 4e6, P95Ns: 9e6, P99Ns: 9.5e6,
+		CacheHitPct: 50, AchievedRPS: 7.25,
+	}
+	line := rep.BenchLine()
+	m := benchCompareLine.FindStringSubmatch(line)
+	if m == nil {
+		t.Fatalf("bench line does not match bench-compare's regex: %q", line)
+	}
+	if m[1] != "BenchmarkServeLoad/pattern=burst/rps=8" {
+		t.Errorf("benchmark name %q", m[1])
+	}
+	if m[2] != "5500000" {
+		t.Errorf("ns/op field %q, want the mean latency 5500000", m[2])
+	}
+	extras := map[string]string{}
+	for _, em := range benchCompareExtra.FindAllStringSubmatch(m[3], -1) {
+		extras[em[2]] = em[1]
+	}
+	for unit, want := range map[string]string{
+		"p50_ns": "4000000", "p95_ns": "9000000", "p99_ns": "9500000",
+		"cache_hit_pct": "50.0", "rejected_reqs": "3", "err_reqs": "1",
+		"achieved_rps": "7.25",
+	} {
+		if got := extras[unit]; got != want {
+			t.Errorf("extra %s = %q, want %q (line %q)", unit, got, want, line)
+		}
+	}
+}
+
+// TestWriteBenchJSON emits one valid go-test-json output event per line.
+func TestWriteBenchJSON(t *testing.T) {
+	var buf bytes.Buffer
+	lines := []string{"BenchmarkA \t 1 \t 2 ns/op", "BenchmarkB \t 3 \t 4 ns/op"}
+	if err := WriteBenchJSON(&buf, lines); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(got) != len(lines) {
+		t.Fatalf("%d events, want %d", len(got), len(lines))
+	}
+	for i, raw := range got {
+		var ev struct{ Action, Output string }
+		if err := json.Unmarshal([]byte(raw), &ev); err != nil {
+			t.Fatalf("event %d is not JSON: %v", i, err)
+		}
+		if ev.Action != "output" || ev.Output != lines[i]+"\n" {
+			t.Errorf("event %d = %+v, want output %q", i, ev, lines[i])
+		}
+	}
+}

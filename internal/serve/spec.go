@@ -1,0 +1,312 @@
+// Package serve turns the simulation engine into a long-lived
+// multi-tenant service: an HTTP/JSON API that accepts study, sweep and
+// federation specs, schedules them onto one shared worker budget with
+// admission control and per-tenant weighted fairness (the paper's VC-quota
+// ideas applied to the simulator itself), streams progress, and memoizes
+// completed results in an LRU keyed by a canonical config hash.
+//
+// The cache is provably exact, not heuristically "probably fine": every
+// study is bit-deterministic in its fully-resolved configuration (the
+// invariance and conformance suites enforce this for every engine), and
+// the hash covers exactly the inputs that resolution depends on — so two
+// requests with equal hashes would have produced byte-identical results,
+// and returning the memoized one is indistinguishable from re-running.
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"philly/internal/core"
+	"philly/internal/faults"
+	"philly/internal/federation"
+	"philly/internal/sweep"
+	"philly/internal/trace"
+	"philly/internal/workload"
+)
+
+// Spec is the request body of POST /v1/studies: one study, sweep, or
+// federation run, expressed through the same surfaces the CLIs expose
+// (philly-sim's -pattern/-replay/-faults/-checkpoint/-federation,
+// philly-sweep's -axis/-replicas). Zero values mean the CLI defaults.
+type Spec struct {
+	// Scale selects the base configuration: small, medium or full
+	// (default small). Incompatible with Federation, whose member presets
+	// fix each cluster's scale.
+	Scale string `json:"scale,omitempty"`
+	// Seed is the base seed for per-run derivation (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Jobs overrides the base workload job count (0 = scale default).
+	Jobs int `json:"jobs,omitempty"`
+	// Replicas is the number of seed replicas per scenario (default 1).
+	Replicas int `json:"replicas,omitempty"`
+	// Workers is the worker lease the study asks for; the server clamps
+	// it to [1, budget]. It never affects results — only wall-clock — so
+	// it is excluded from the canonical hash.
+	Workers int `json:"workers,omitempty"`
+	// Pattern is a temporal workload pattern preset name (philly-sim
+	// -pattern). Mutually exclusive with Replay.
+	Pattern string `json:"pattern,omitempty"`
+	// Replay replays a server-local trace file instead of the generative
+	// workload (philly-sim -replay). The file's content digest — not the
+	// path — enters the canonical hash, so an edited trace can never
+	// alias a stale cached result.
+	Replay string `json:"replay,omitempty"`
+	// Faults enables correlated outages (philly-sim -faults grammar).
+	Faults string `json:"faults,omitempty"`
+	// Checkpoint enables the checkpoint/restore cost model (philly-sim
+	// -checkpoint grammar).
+	Checkpoint string `json:"checkpoint,omitempty"`
+	// Federation runs a federated multi-cluster study of these
+	// "+"-separated member presets (philly-sim -federation grammar).
+	Federation string `json:"federation,omitempty"`
+	// Axes are philly-sweep -axis specs ("name=v1,v2", repeatable); the
+	// scenarios are the cross-product, in axis order.
+	Axes []string `json:"axes,omitempty"`
+}
+
+// Resolved is a Spec with every default applied and every sub-spec
+// re-rendered canonically by the same parsers the CLIs validate with.
+// Its canonical JSON rendering (fixed struct field order) is what
+// CanonicalHash digests: two Specs resolve equal iff they would produce
+// identical studies, regardless of JSON field order, whitespace, or
+// cosmetic spec spelling ("server+rack:1" vs "rack+server").
+type Resolved struct {
+	Scale        string   `json:"scale"`
+	Seed         uint64   `json:"seed"`
+	Jobs         int      `json:"jobs,omitempty"`
+	Replicas     int      `json:"replicas"`
+	Pattern      string   `json:"pattern,omitempty"`
+	Replay       string   `json:"replay,omitempty"`
+	ReplayDigest string   `json:"replay_digest,omitempty"`
+	Faults       string   `json:"faults,omitempty"`
+	Checkpoint   string   `json:"checkpoint,omitempty"`
+	Federation   string   `json:"federation,omitempty"`
+	Axes         []string `json:"axes,omitempty"`
+}
+
+// scaleConfig maps a scale name to its base configuration, with the same
+// names and error text as the philly-sweep CLI.
+func scaleConfig(scale string) (core.Config, error) {
+	switch scale {
+	case "small":
+		return core.SmallConfig(), nil
+	case "medium":
+		return core.MediumConfig(), nil
+	case "full":
+		return core.DefaultConfig(), nil
+	default:
+		return core.Config{}, fmt.Errorf("unknown scale %q", scale)
+	}
+}
+
+// Resolve validates the spec through the shared CLI parsers and renders
+// it canonically. Every error it returns is the same fail-fast message
+// the equivalent CLI flag would print, so a 400 from the service reads
+// exactly like a philly-sim/-sweep usage error.
+func (s Spec) Resolve() (Resolved, error) {
+	r := Resolved{Seed: s.Seed, Jobs: s.Jobs, Replicas: s.Replicas}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.Replicas <= 0 {
+		r.Replicas = 1
+	}
+	if r.Jobs < 0 {
+		return Resolved{}, fmt.Errorf("jobs %d: want a positive int", s.Jobs)
+	}
+
+	r.Scale = s.Scale
+	if r.Scale == "" {
+		r.Scale = "small"
+	}
+	if _, err := scaleConfig(r.Scale); err != nil {
+		return Resolved{}, err
+	}
+
+	if s.Pattern != "" && s.Replay != "" {
+		return Resolved{}, fmt.Errorf("pattern and replay are mutually exclusive (a replayed trace already fixes the arrival timeline)")
+	}
+	if s.Pattern != "" {
+		p, err := workload.PresetPattern(s.Pattern)
+		if err != nil {
+			return Resolved{}, err
+		}
+		r.Pattern = p.Name
+	}
+	if s.Replay != "" {
+		digest, err := digestFile(s.Replay)
+		if err != nil {
+			return Resolved{}, err
+		}
+		// Load once for fail-fast validation; BuildMatrix loads again at
+		// run time (the file content is pinned by the digest).
+		if _, err := trace.LoadTraceFile(s.Replay, trace.DefaultReplayOptions()); err != nil {
+			return Resolved{}, err
+		}
+		r.Replay = s.Replay
+		r.ReplayDigest = digest
+	}
+	if s.Faults != "" {
+		canon, err := faults.CanonicalSpec(s.Faults)
+		if err != nil {
+			return Resolved{}, err
+		}
+		r.Faults = canon
+	}
+	if s.Checkpoint != "" {
+		canon, err := core.CanonicalCheckpointSpec(s.Checkpoint)
+		if err != nil {
+			return Resolved{}, err
+		}
+		r.Checkpoint = canon
+	}
+	if s.Federation != "" {
+		if _, err := federation.ParseSpec(0, s.Federation); err != nil {
+			return Resolved{}, err
+		}
+		var members []string
+		for _, p := range strings.Split(s.Federation, "+") {
+			if p = strings.TrimSpace(p); p != "" {
+				members = append(members, p)
+			}
+		}
+		r.Federation = strings.Join(members, "+")
+		// Member presets fix each cluster's scale and workload size; the
+		// same combinations philly-sim rejects are rejected here.
+		if s.Scale != "" {
+			return Resolved{}, fmt.Errorf("scale is incompatible with federation (member presets fix each cluster's scale)")
+		}
+		if s.Jobs != 0 {
+			return Resolved{}, fmt.Errorf("jobs is incompatible with federation (member presets fix each cluster's workload)")
+		}
+	}
+	for _, spec := range s.Axes {
+		ax, err := sweep.ParseAxis(spec)
+		if err != nil {
+			return Resolved{}, err
+		}
+		labels := make([]string, len(ax.Values))
+		for i, v := range ax.Values {
+			labels[i] = v.Label
+		}
+		r.Axes = append(r.Axes, ax.Name+"="+strings.Join(labels, ","))
+	}
+
+	// Expansion-time errors (duplicate axis names, an axis colliding with
+	// a field-derived one under federation) should 400 at submit, not
+	// fail the job after it was queued.
+	m, err := r.BuildMatrix()
+	if err != nil {
+		return Resolved{}, err
+	}
+	if _, err := m.Scenarios(); err != nil {
+		return Resolved{}, err
+	}
+	return r, nil
+}
+
+// BuildMatrix turns a resolved spec into the sweep matrix that runs it.
+// Non-federated specs apply pattern/replay/faults/checkpoint to the base
+// configuration exactly like philly-sim's flags; federated specs route
+// them through single-value axes instead, because axis mutations are the
+// one mechanism the sweep re-applies to every member's preset
+// configuration (see sweep.federatedConfig).
+func (r Resolved) BuildMatrix() (sweep.Matrix, error) {
+	base, err := scaleConfig(r.Scale)
+	if err != nil {
+		return sweep.Matrix{}, err
+	}
+	base.Seed = r.Seed
+	if r.Jobs > 0 {
+		base.Workload.TotalJobs = r.Jobs
+	}
+
+	var axes []sweep.Axis
+	for _, spec := range r.Axes {
+		ax, err := sweep.ParseAxis(spec)
+		if err != nil {
+			return sweep.Matrix{}, err
+		}
+		axes = append(axes, ax)
+	}
+
+	if r.Federation == "" {
+		if r.Pattern != "" {
+			p, err := workload.PresetPattern(r.Pattern)
+			if err != nil {
+				return sweep.Matrix{}, err
+			}
+			base.Workload.Pattern = p
+		}
+		if r.Replay != "" {
+			specs, err := trace.LoadTraceFile(r.Replay, trace.DefaultReplayOptions())
+			if err != nil {
+				return sweep.Matrix{}, err
+			}
+			if err := trace.ApplyReplay(&base, specs); err != nil {
+				return sweep.Matrix{}, err
+			}
+		}
+		if r.Faults != "" {
+			fc, err := faults.ParseSpec(r.Faults)
+			if err != nil {
+				return sweep.Matrix{}, err
+			}
+			base.Faults = fc
+		}
+		if r.Checkpoint != "" {
+			cc, err := core.ParseCheckpointSpec(r.Checkpoint)
+			if err != nil {
+				return sweep.Matrix{}, err
+			}
+			base.Checkpoint = cc
+		}
+		return sweep.Matrix{Base: base, Axes: axes}, nil
+	}
+
+	// Federated: field-derived single-value axes reach every member. The
+	// failure.domains and workload.* axes share the exact parsers the
+	// non-federated path uses; checkpoint needs a custom value because
+	// the checkpoint.interval axis cannot carry explicit write/restore
+	// costs.
+	appendAxis := func(spec string) error {
+		ax, err := sweep.ParseAxis(spec)
+		if err != nil {
+			return err
+		}
+		axes = append(axes, ax)
+		return nil
+	}
+	if r.Pattern != "" {
+		if err := appendAxis("workload.pattern=" + r.Pattern); err != nil {
+			return sweep.Matrix{}, err
+		}
+	}
+	if r.Replay != "" {
+		if err := appendAxis("workload.trace=" + r.Replay); err != nil {
+			return sweep.Matrix{}, err
+		}
+	}
+	if r.Faults != "" {
+		if err := appendAxis("failure.domains=" + r.Faults); err != nil {
+			return sweep.Matrix{}, err
+		}
+	}
+	if r.Checkpoint != "" {
+		cc, err := core.ParseCheckpointSpec(r.Checkpoint)
+		if err != nil {
+			return sweep.Matrix{}, err
+		}
+		axes = append(axes, sweep.Axis{Name: "checkpoint.spec", Values: []sweep.Value{{
+			Label: r.Checkpoint,
+			// CheckpointConfig is a value type, so sharing cc across
+			// scenarios cannot alias.
+			Apply: func(c *core.Config) { c.Checkpoint = cc },
+		}}})
+	}
+	if err := appendAxis(sweep.FleetAxisName + "=" + r.Federation); err != nil {
+		return sweep.Matrix{}, err
+	}
+	return sweep.Matrix{Base: base, Axes: axes}, nil
+}

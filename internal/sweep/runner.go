@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -8,6 +9,11 @@ import (
 	"philly/internal/par"
 	"philly/internal/stats"
 )
+
+// ErrCanceled is returned by Run when Options.Cancel closed before the
+// sweep completed. Use errors.Is to distinguish a cancellation from a
+// real run failure.
+var ErrCanceled = errors.New("sweep: canceled")
 
 // Options parameterizes a sweep run.
 type Options struct {
@@ -39,6 +45,14 @@ type Options struct {
 	// (done, total). Calls come from worker goroutines, possibly
 	// concurrently; it must be safe for that.
 	Progress func(done, total int)
+	// Cancel, when non-nil, aborts the sweep as soon as the channel is
+	// closed: no further scenario × replica unit starts, and Run returns
+	// ErrCanceled. Units already executing run to completion first —
+	// cancellation latency is bounded by one cell, which keeps the engine
+	// free of mid-study interrupt plumbing while letting a long sweep be
+	// abandoned promptly (the serve admission layer relies on this for
+	// clean shutdown).
+	Cancel <-chan struct{}
 }
 
 // Result is a completed sweep.
@@ -148,6 +162,14 @@ func (m Matrix) Run(opts Options) (*Result, error) {
 	pool.ForkJoin(total, func(unit int) {
 		if failed() {
 			return
+		}
+		if opts.Cancel != nil {
+			select {
+			case <-opts.Cancel:
+				fail(ErrCanceled)
+				return
+			default:
+			}
 		}
 		s, r := unit/replicas, unit%replicas
 		runSeed := DeriveSeed(baseSeed, s, r)
