@@ -8,7 +8,7 @@
 //
 //	philly-serve [-addr :8080] [-budget N] [-queue-depth N]
 //	             [-cache-entries N] [-tenants name:weight,...]
-//	             [-default-weight N]
+//	             [-default-weight N] [-retain-jobs N] [-trace-dir DIR]
 //
 // API (see internal/serve):
 //
@@ -26,6 +26,11 @@
 // tenants get -default-weight. -budget is the same worker budget
 // philly-sweep's -workers spends, shared by every running study: the
 // admission ledger guarantees the summed leases never exceed it.
+//
+// Replay specs may only name relative paths inside -trace-dir (the
+// working directory by default); absolute paths and ".." escapes are
+// rejected. Terminal jobs stay addressable for -retain-jobs fetches
+// before their IDs age out.
 //
 // Results are bit-deterministic in the fully-resolved spec, so a cache
 // hit is byte-identical to a fresh run — see serve.CanonicalHash.
@@ -88,6 +93,8 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 16, "max queued studies per tenant before 429")
 	cacheEntries := flag.Int("cache-entries", 256, "result cache capacity in studies (negative disables)")
 	defaultWeight := flag.Int("default-weight", 1, "fair-share weight of tenants not listed in -tenants")
+	retainJobs := flag.Int("retain-jobs", 0, "terminal jobs kept addressable before their IDs age out (0 = 1024, negative = unbounded)")
+	traceDir := flag.String("trace-dir", "", "directory replay paths in submitted specs are confined to (default: working directory)")
 	flag.Var(weights, "tenants", "per-tenant fair-share weights, name:weight[,name:weight...]")
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -101,6 +108,8 @@ func main() {
 		CacheEntries:  *cacheEntries,
 		Weights:       weights,
 		DefaultWeight: *defaultWeight,
+		RetainJobs:    *retainJobs,
+		TraceDir:      *traceDir,
 	})
 	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
 

@@ -51,6 +51,9 @@ type Job struct {
 	canceled bool
 	// finished closes exactly once on reaching a terminal state.
 	finished chan struct{}
+	// retired marks the job as recorded in the server's terminal-job
+	// retention log; guarded by Server.mu, not j.mu.
+	retired bool
 }
 
 func newJob(id, tenant string, r Resolved, hash string, reqWorkers int) *Job {
@@ -130,12 +133,20 @@ func (j *Job) changeCh() <-chan struct{} {
 	return j.changed
 }
 
-func (j *Job) setRunning(workers int) {
+// setRunning moves a dequeued job to running. It reports false if the
+// job already reached a terminal state — a cancel (or shutdown) that
+// landed between dequeue and start — in which case the dispatcher must
+// release the lease instead of running the study.
+func (j *Job) setRunning(workers int) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return false
+	}
 	j.state = StateRunning
 	j.workers = workers
 	j.notifyLocked()
+	return true
 }
 
 func (j *Job) setProgress(done, total int) {
@@ -151,6 +162,24 @@ func (j *Job) setProgress(done, total int) {
 func (j *Job) finish(state JobState, res *sweep.Result, export []byte, errMsg string) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	j.finishLocked(state, res, export, errMsg)
+}
+
+// finishIfUnstarted atomically moves a job that never started to
+// canceled and reports whether it did; running or terminal jobs are
+// left alone. The check and the transition share one critical section,
+// so a concurrent setRunning cannot interleave between them.
+func (j *Job) finishIfUnstarted() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.finishLocked(StateCanceled, nil, nil, "canceled before start")
+	return true
+}
+
+func (j *Job) finishLocked(state JobState, res *sweep.Result, export []byte, errMsg string) {
 	if j.state.terminal() {
 		return
 	}

@@ -56,10 +56,11 @@ type LoadOptions struct {
 
 // LoadRecord is one request's outcome.
 type LoadRecord struct {
-	// Offset is the scheduled arrival offset from stage start.
-	Offset time.Duration `json:"offset_s"`
+	// Offset is the scheduled arrival offset from stage start. Durations
+	// marshal as integer nanoseconds, hence the _ns tags.
+	Offset time.Duration `json:"offset_ns"`
 	// Latency is submit → result fetched (completed requests only).
-	Latency time.Duration `json:"latency_s"`
+	Latency time.Duration `json:"latency_ns"`
 	Status  int           `json:"status"`
 	CacheHit bool         `json:"cache_hit"`
 	Rejected bool         `json:"rejected"`

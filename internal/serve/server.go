@@ -24,6 +24,16 @@ type Config struct {
 	// CacheEntries bounds the result cache; 0 means 256, negative
 	// disables caching (philly-load's before/after ablation).
 	CacheEntries int
+	// RetainJobs bounds how many terminal (done/failed/canceled) jobs
+	// stay addressable for status and result fetches; past the bound the
+	// oldest terminal jobs are dropped and their IDs return 404. Live
+	// jobs are never dropped. 0 means 1024; negative retains everything
+	// (unbounded — tests and debugging only).
+	RetainJobs int
+	// TraceDir is the directory replay paths in submitted specs are
+	// confined to; "" means the server's working directory. Specs may
+	// only name relative paths inside it — see resolveReplay.
+	TraceDir string
 	// Weights are per-tenant fair-share weights; tenants not listed get
 	// DefaultWeight. Larger weight, larger share of the worker budget.
 	Weights map[string]int
@@ -76,6 +86,8 @@ type Server struct {
 	tenants  map[string]*tenantState
 	jobs     map[string]*Job
 	nextID   int
+	accepted int      // all accepted submits ever (monotone; jobs may age out of the map)
+	doneLog  []string // terminal job IDs in retirement order, oldest first
 	grantLog []string // job IDs in grant order — the fairness tests' witness
 
 	kick chan struct{}
@@ -96,6 +108,9 @@ func newServer(cfg Config, hold <-chan struct{}) *Server {
 	}
 	if cfg.DefaultWeight <= 0 {
 		cfg.DefaultWeight = 1
+	}
+	if cfg.RetainJobs == 0 {
+		cfg.RetainJobs = 1024
 	}
 	entries := cfg.CacheEntries
 	if entries == 0 {
@@ -143,7 +158,7 @@ func (s *Server) Submit(tenant string, spec Spec) (*Job, error) {
 	if tenant == "" {
 		tenant = "default"
 	}
-	r, err := spec.Resolve()
+	r, err := spec.resolveWithin(s.cfg.TraceDir)
 	if err != nil {
 		return nil, err
 	}
@@ -163,11 +178,13 @@ func (s *Server) Submit(tenant string, spec Spec) (*Job, error) {
 		t.admitted++
 		t.completed++
 		s.jobs[id] = j
+		s.accepted++
 		s.mu.Unlock()
 		j.mu.Lock()
 		j.cacheHit = true
 		j.mu.Unlock()
 		j.finish(StateDone, e.result, e.export, "")
+		s.retire(j)
 		return j, nil
 	}
 
@@ -180,6 +197,7 @@ func (s *Server) Submit(tenant string, spec Spec) (*Job, error) {
 	t.admitted++
 	t.queue = append(t.queue, j)
 	s.jobs[id] = j
+	s.accepted++
 	s.mu.Unlock()
 
 	s.kickDispatch()
@@ -228,18 +246,32 @@ func (s *Server) Cancel(id string) bool {
 	s.mu.Unlock()
 	j.requestCancel()
 	// If the job never started, it reaches the terminal state here;
-	// running jobs transition when the sweep observes the cancel.
-	j.finishIfUnstarted()
+	// running jobs transition when the sweep observes the cancel (and
+	// the run goroutine retires them).
+	if j.finishIfUnstarted() {
+		s.retire(j)
+	}
 	return true
 }
 
-// finishIfUnstarted moves a still-queued job to canceled.
-func (j *Job) finishIfUnstarted() {
-	j.mu.Lock()
-	queued := j.state == StateQueued
-	j.mu.Unlock()
-	if queued {
-		j.finish(StateCanceled, nil, nil, "canceled before start")
+// retire records a terminal job in the bounded retention log, evicting
+// the oldest terminal jobs past Config.RetainJobs. Live (queued or
+// running) jobs are never evicted, so a submit's ID stays addressable
+// until after its result could have been fetched.
+func (s *Server) retire(j *Job) {
+	if s.cfg.RetainJobs < 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.retired {
+		return
+	}
+	j.retired = true
+	s.doneLog = append(s.doneLog, j.ID)
+	for len(s.doneLog) > s.cfg.RetainJobs {
+		delete(s.jobs, s.doneLog[0])
+		s.doneLog = s.doneLog[1:]
 	}
 }
 
@@ -406,7 +438,20 @@ func (s *Server) startNext() bool {
 	s.wg.Add(1)
 	s.mu.Unlock()
 
-	j.setRunning(w)
+	if !j.setRunning(w) {
+		// Canceled (or shut down) between dequeue and start: the job is
+		// already terminal, so give the lease back instead of running —
+		// setRunning must never resurrect a terminal job, or its
+		// finished channel would close twice when the sweep returned.
+		s.mu.Lock()
+		t.runningWorkers -= w
+		t.runningJobs--
+		s.mu.Unlock()
+		s.ledger.Release(w)
+		s.wg.Done()
+		s.retire(j)
+		return true
+	}
 	go s.run(j, t, w)
 	return true
 }
@@ -444,6 +489,7 @@ func (s *Server) run(j *Job, t *tenantState, workers int) {
 	default:
 		j.finish(StateFailed, nil, nil, err.Error())
 	}
+	s.retire(j)
 	s.kickDispatch()
 }
 
@@ -491,9 +537,12 @@ type Stats struct {
 	CacheEntries    int                    `json:"cache_entries"`
 	CacheHits       uint64                 `json:"cache_hits"`
 	CacheMisses     uint64                 `json:"cache_misses"`
-	Tenants         map[string]TenantStats `json:"tenants"`
-	JobsByState     map[JobState]int       `json:"jobs_by_state"`
-	AcceptedStudies int                    `json:"accepted_studies"`
+	Tenants map[string]TenantStats `json:"tenants"`
+	// JobsByState counts the retained jobs only; terminal jobs past
+	// Config.RetainJobs have aged out.
+	JobsByState map[JobState]int `json:"jobs_by_state"`
+	// AcceptedStudies counts every accepted submit ever (monotone).
+	AcceptedStudies int `json:"accepted_studies"`
 }
 
 // Snapshot collects current server statistics.
@@ -526,7 +575,7 @@ func (s *Server) Snapshot() Stats {
 	for _, j := range s.jobs {
 		st.JobsByState[j.Status().State]++
 	}
-	st.AcceptedStudies = len(s.jobs)
+	st.AcceptedStudies = s.accepted
 	return st
 }
 
@@ -542,26 +591,25 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
-	var pending []*Job
 	for _, t := range s.tenants {
-		pending = append(pending, t.queue...)
 		t.queue = nil
 	}
-	var running []*Job
+	// Cancel every non-terminal job, not just queued-or-running ones:
+	// a job the dispatcher popped but has not yet started is in neither
+	// set, and missing it would make Close block until that study ran to
+	// full completion.
+	var open []*Job
 	for _, j := range s.jobs {
-		if st := j.Status().State; st == StateRunning {
-			running = append(running, j)
+		if !j.Status().State.terminal() {
+			open = append(open, j)
 		}
 	}
 	close(s.quit)
 	s.mu.Unlock()
 
-	for _, j := range pending {
+	for _, j := range open {
 		j.requestCancel()
 		j.finishIfUnstarted()
-	}
-	for _, j := range running {
-		j.requestCancel()
 	}
 	s.wg.Wait()
 }

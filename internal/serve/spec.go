@@ -15,6 +15,8 @@ package serve
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 
 	"philly/internal/core"
@@ -48,8 +50,11 @@ type Spec struct {
 	// -pattern). Mutually exclusive with Replay.
 	Pattern string `json:"pattern,omitempty"`
 	// Replay replays a server-local trace file instead of the generative
-	// workload (philly-sim -replay). The file's content digest — not the
-	// path — enters the canonical hash, so an edited trace can never
+	// workload (philly-sim -replay). The path must be relative and stay
+	// inside the server's trace directory (Config.TraceDir); absolute
+	// paths and ".." escapes are rejected, so a client can never make
+	// the server open an arbitrary file. The file's content digest — not
+	// the path — enters the canonical hash, so an edited trace can never
 	// alias a stale cached result.
 	Replay string `json:"replay,omitempty"`
 	// Faults enables correlated outages (philly-sim -faults grammar).
@@ -100,11 +105,56 @@ func scaleConfig(scale string) (core.Config, error) {
 	}
 }
 
+// maxReplayBytes caps client-supplied replay traces. Digesting reads
+// the whole file, so without a cap one submit could pin a handler
+// goroutine on an arbitrarily large server-local file. A var, not a
+// const, so tests can lower it without writing 64 MiB fixtures.
+var maxReplayBytes int64 = 64 << 20
+
+// resolveReplay validates a client-supplied replay path — relative
+// only, no escape from root ("" means the working directory), a regular
+// file (never a device node or directory), and under the size cap —
+// and returns the server-local path plus its content digest. Unreadable
+// and irregular paths all map to one generic error: distinguishing
+// "absent" from "present but unreadable" would let clients probe the
+// server's filesystem.
+func resolveReplay(root, p string) (full, digest string, err error) {
+	if filepath.IsAbs(p) {
+		return "", "", fmt.Errorf("replay %q: absolute paths are not allowed (replay paths are relative to the server's trace directory)", p)
+	}
+	clean := filepath.Clean(p)
+	if clean == ".." || strings.HasPrefix(clean, ".."+string(filepath.Separator)) {
+		return "", "", fmt.Errorf("replay %q: path escapes the trace directory", p)
+	}
+	full = clean
+	if root != "" {
+		full = filepath.Join(root, clean)
+	}
+	info, statErr := os.Stat(full)
+	if statErr != nil || !info.Mode().IsRegular() {
+		return "", "", fmt.Errorf("replay %q: not a readable trace file", p)
+	}
+	if info.Size() > maxReplayBytes {
+		return "", "", fmt.Errorf("replay %q: trace is %d bytes, over the %d-byte limit", p, info.Size(), maxReplayBytes)
+	}
+	digest, err = digestFile(full)
+	if err != nil {
+		return "", "", fmt.Errorf("replay %q: not a readable trace file", p)
+	}
+	return full, digest, nil
+}
+
 // Resolve validates the spec through the shared CLI parsers and renders
 // it canonically. Every error it returns is the same fail-fast message
 // the equivalent CLI flag would print, so a 400 from the service reads
-// exactly like a philly-sim/-sweep usage error.
-func (s Spec) Resolve() (Resolved, error) {
+// exactly like a philly-sim/-sweep usage error. Replay paths resolve
+// inside the current working directory; the server confines them to its
+// Config.TraceDir via resolveWithin.
+func (s Spec) Resolve() (Resolved, error) { return s.resolveWithin("") }
+
+// resolveWithin is Resolve with replay paths confined to traceDir (""
+// means the working directory).
+func (s Spec) resolveWithin(traceDir string) (Resolved, error) {
 	r := Resolved{Seed: s.Seed, Jobs: s.Jobs, Replicas: s.Replicas}
 	if r.Seed == 0 {
 		r.Seed = 1
@@ -135,16 +185,16 @@ func (s Spec) Resolve() (Resolved, error) {
 		r.Pattern = p.Name
 	}
 	if s.Replay != "" {
-		digest, err := digestFile(s.Replay)
+		full, digest, err := resolveReplay(traceDir, s.Replay)
 		if err != nil {
 			return Resolved{}, err
 		}
 		// Load once for fail-fast validation; BuildMatrix loads again at
 		// run time (the file content is pinned by the digest).
-		if _, err := trace.LoadTraceFile(s.Replay, trace.DefaultReplayOptions()); err != nil {
+		if _, err := trace.LoadTraceFile(full, trace.DefaultReplayOptions()); err != nil {
 			return Resolved{}, err
 		}
-		r.Replay = s.Replay
+		r.Replay = full
 		r.ReplayDigest = digest
 	}
 	if s.Faults != "" {

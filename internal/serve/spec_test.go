@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"philly/internal/core"
+	"philly/internal/stats"
+	"philly/internal/trace"
+	"philly/internal/workload"
+)
+
+// writeTinyTrace writes a small valid spec-CSV trace into dir and
+// returns its file name.
+func writeTinyTrace(t *testing.T, dir, name string) string {
+	t.Helper()
+	cfg := core.SmallConfig()
+	cfg.Workload.TotalJobs = 30
+	g := stats.NewRNG(cfg.Seed).Split("workload")
+	gen, err := workload.NewGenerator(cfg.Workload, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteSpecsCSV(&buf, gen.Generate(g)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return name
+}
+
+// TestReplayPathConfinement pins the replay path policy: relative paths
+// inside the trace directory resolve (with a content digest), while
+// absolute paths, ".." escapes, and oversized files are rejected, and
+// every unreadable or irregular path maps to one generic error that
+// leaks no existence information.
+func TestReplayPathConfinement(t *testing.T) {
+	dir := t.TempDir()
+	name := writeTinyTrace(t, dir, "ok.csv")
+
+	r, err := Spec{Replay: name}.resolveWithin(dir)
+	if err != nil {
+		t.Fatalf("valid relative replay rejected: %v", err)
+	}
+	if want := filepath.Join(dir, name); r.Replay != want || r.ReplayDigest == "" {
+		t.Errorf("resolved replay %q digest %q, want path %q and a digest", r.Replay, r.ReplayDigest, want)
+	}
+
+	cases := []struct{ name, replay, want string }{
+		{"absolute path", filepath.Join(dir, name), "absolute paths are not allowed"},
+		{"dotdot escape", "../" + name, "escapes the trace directory"},
+		{"sneaky escape", "sub/../../" + name, "escapes the trace directory"},
+		{"missing file", "missing.csv", `replay "missing.csv": not a readable trace file`},
+		{"directory not file", ".", "not a readable trace file"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Spec{Replay: tc.replay}.resolveWithin(dir)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("resolve replay %q = %v, want error containing %q", tc.replay, err, tc.want)
+			}
+		})
+	}
+
+	// The size cap runs before the digest pass ever opens the file;
+	// maxReplayBytes is a var precisely so this fixture stays tiny.
+	defer func(old int64) { maxReplayBytes = old }(maxReplayBytes)
+	maxReplayBytes = 16
+	_, err = Spec{Replay: name}.resolveWithin(dir)
+	if err == nil || !strings.Contains(err.Error(), "over the 16-byte limit") {
+		t.Errorf("oversized trace resolved anyway: %v", err)
+	}
+}
